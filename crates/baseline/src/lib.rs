@@ -1,0 +1,23 @@
+//! `pinpoint-baseline`: the comparator analyses of the Pinpoint
+//! reproduction's evaluation (PLDI 2018, §5).
+//!
+//! Two baselines are implemented from their published designs:
+//!
+//! * [`svfg`] — the **layered** sparse value-flow analysis in the style
+//!   of SVF: a whole-program, flow- and context-insensitive Andersen
+//!   points-to analysis followed by full sparse value-flow graph (FSVFG)
+//!   construction and a path-insensitive source–sink traversal. This is
+//!   the subject of the Fig. 7–9 scalability comparison and the SVF
+//!   column of Table 1.
+//! * [`dense`] — a compilation-unit-confined, path-correlation-free
+//!   checker standing in for Infer/CSA in the Table 3 comparison: fast,
+//!   blind to cross-unit bugs, and noisy on branch-exclusive patterns.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dense;
+pub mod svfg;
+
+pub use dense::{check_module as dense_check, DenseWarning};
+pub use svfg::{check_uaf as layered_check_uaf, Fsvfg, LayeredWarning};

@@ -1,0 +1,46 @@
+//! Criterion benchmarks for Fig. 7's core contrast: building Pinpoint's
+//! SEGs vs building the layered baseline's FSVFG, at two program sizes.
+//! The gap widens with size (the FSVFG's memory def-use cross product is
+//! quadratic under imprecise points-to).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pinpoint_core::Analysis;
+use pinpoint_workload::{generate, GenConfig};
+
+fn bench_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for kloc in [1.0f64, 5.0] {
+        let project = generate(&GenConfig {
+            seed: 5,
+            real_bugs: 1,
+            decoys: 1,
+            taint: false,
+            ..GenConfig::default().with_target_kloc(kloc)
+        });
+        group.bench_with_input(
+            BenchmarkId::new("seg", format!("{kloc}kloc")),
+            &project.source,
+            |b, src| {
+                b.iter(|| {
+                    let module = pinpoint_ir::compile(src).unwrap();
+                    Analysis::from_module(module)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fsvfg", format!("{kloc}kloc")),
+            &project.source,
+            |b, src| {
+                b.iter(|| {
+                    let module = pinpoint_ir::compile(src).unwrap();
+                    pinpoint_baseline::Fsvfg::build(&module)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

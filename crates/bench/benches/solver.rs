@@ -1,0 +1,67 @@
+//! Solver micro-benchmarks: the linear-time contradiction solver vs the
+//! full DPLL(T) solver on path-condition-shaped formulas (§3.1.1's cost
+//! argument: the cheap solver discharges most conditions for a fraction
+//! of the price).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_smt::{LinearSolver, Sort, SmtSolver, TermArena, TermId};
+
+/// Builds a path-condition-shaped formula: a conjunction of branch
+/// literals, value-flow equalities, and guarded implications.
+fn path_condition(arena: &mut TermArena, n: usize, contradictory: bool) -> TermId {
+    let mut conj = Vec::new();
+    for i in 0..n {
+        let b = arena.var(format!("theta{i}"), Sort::Bool);
+        let x = arena.var(format!("x{i}"), Sort::Int);
+        let y = arena.var(format!("y{i}"), Sort::Int);
+        let zero = arena.int(0);
+        let ne = arena.ne(x, zero);
+        let eq = arena.eq(x, y);
+        let imp = arena.implies(b, eq);
+        conj.push(b);
+        conj.push(ne);
+        conj.push(imp);
+    }
+    if contradictory {
+        // An *apparent* contradiction the arena's flattening does not
+        // fold away: θ0 is asserted above, and ¬θ0 is common to both
+        // disjuncts here (P/N sets intersect).
+        let t0 = arena.var("theta0".to_string(), Sort::Bool);
+        let nt0 = arena.not(t0);
+        let p = arena.var("aux_p".to_string(), Sort::Bool);
+        let q = arena.var("aux_q".to_string(), Sort::Bool);
+        let l = arena.and2(nt0, p);
+        let r = arena.and2(nt0, q);
+        conj.push(arena.or2(l, r));
+    }
+    arena.and(conj)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    for n in [8usize, 32] {
+        for contradictory in [false, true] {
+            let label = if contradictory { "unsat" } else { "sat" };
+            group.bench_function(format!("linear_{label}_{n}"), |b| {
+                let mut arena = TermArena::new();
+                let cond = path_condition(&mut arena, n, contradictory);
+                b.iter(|| {
+                    let mut solver = LinearSolver::new();
+                    solver.check(&arena, cond)
+                });
+            });
+            group.bench_function(format!("smt_{label}_{n}"), |b| {
+                let mut arena = TermArena::new();
+                let cond = path_condition(&mut arena, n, contradictory);
+                b.iter(|| {
+                    let mut solver = SmtSolver::new();
+                    solver.check(&arena, cond)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Least-squares curve fitting for the Fig. 10 scalability study.
+//!
+//! The paper fits time and memory against program size and reports the
+//! coefficient of determination `R²` (> 0.9 ⇒ near-linear observed
+//! complexity). We fit `y = a·x + b` and also `y = a·x² + b` so the
+//! harness can report which model explains the data better.
+
+/// A fitted model `y = a·f(x) + b` with its coefficient of determination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Slope.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r2: f64,
+}
+
+/// Fits `y = a·x + b` by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given.
+pub fn linear_fit(points: &[(f64, f64)]) -> Fit {
+    fit_with(points, |x| x)
+}
+
+/// Fits `y = a·x² + b`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given.
+pub fn quadratic_fit(points: &[(f64, f64)]) -> Fit {
+    fit_with(points, |x| x * x)
+}
+
+fn fit_with(points: &[(f64, f64)], f: impl Fn(f64) -> f64) -> Fit {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|&(x, _)| f(x)).sum();
+    let sy: f64 = points.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|&(x, _)| f(x) * f(x)).sum();
+    let sxy: f64 = points.iter().map(|&(x, y)| f(x) * y).sum();
+    let denom = n * sxx - sx * sx;
+    let (a, b) = if denom.abs() < f64::EPSILON {
+        (0.0, sy / n)
+    } else {
+        let a = (n * sxy - sx * sy) / denom;
+        let b = (sy - a * sx) / n;
+        (a, b)
+    };
+    // R² = 1 - SS_res / SS_tot.
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| (y - (a * f(x) + b)).powi(2))
+        .sum();
+    let r2 = if ss_tot.abs() < f64::EPSILON {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Fit { a, b, r2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.a - 3.0).abs() < 1e-9);
+        assert!((fit.b - 2.0).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_data_prefers_quadratic_model() {
+        let pts: Vec<(f64, f64)> = (1..12).map(|i| (i as f64, (i * i) as f64)).collect();
+        let lin = linear_fit(&pts);
+        let quad = quadratic_fit(&pts);
+        assert!(quad.r2 > lin.r2);
+        assert!((quad.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let pts = [
+            (1.0, 3.2),
+            (2.0, 4.8),
+            (3.0, 7.1),
+            (4.0, 8.7),
+            (5.0, 11.4),
+        ];
+        let fit = linear_fit(&pts);
+        assert!(fit.r2 > 0.97 && fit.r2 < 1.0, "r2 = {}", fit.r2);
+    }
+
+    #[test]
+    fn constant_data_fits_intercept() {
+        let pts = [(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)];
+        let fit = linear_fit(&pts);
+        assert!(fit.a.abs() < 1e-9);
+        assert!((fit.b - 5.0).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        let _ = linear_fit(&[(1.0, 1.0)]);
+    }
+}

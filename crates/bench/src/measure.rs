@@ -1,0 +1,69 @@
+//! Stage measurement: wall time plus peak heap bytes.
+
+use crate::alloc::CountingAlloc;
+use std::time::{Duration, Instant};
+
+/// The cost of one measured stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Wall-clock time.
+    pub time: Duration,
+    /// Peak heap bytes observed during the stage (over the baseline live
+    /// size at stage entry).
+    pub peak_bytes: usize,
+}
+
+impl Measurement {
+    /// Formats the peak as mebibytes.
+    pub fn peak_mib(&self) -> f64 {
+        self.peak_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Runs `stage`, returning its result plus its time/memory cost.
+///
+/// Peak accounting only reflects reality when [`CountingAlloc`] is
+/// installed as the global allocator (the `reproduce` binary does); under
+/// other allocators `peak_bytes` is zero.
+pub fn measure<T>(stage: impl FnOnce() -> T) -> (T, Measurement) {
+    let live_before = CountingAlloc::live();
+    CountingAlloc::reset_peak();
+    let t0 = Instant::now();
+    let out = stage();
+    let time = t0.elapsed();
+    let peak = CountingAlloc::peak().saturating_sub(live_before);
+    (
+        out,
+        Measurement {
+            time,
+            peak_bytes: peak,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_time_monotonically() {
+        let (value, m) = measure(|| {
+            let mut v = 0u64;
+            for i in 0..10_000 {
+                v = v.wrapping_add(i);
+            }
+            v
+        });
+        assert_eq!(value, (0..10_000u64).sum::<u64>());
+        assert!(m.time > Duration::ZERO);
+    }
+
+    #[test]
+    fn mib_conversion() {
+        let m = Measurement {
+            time: Duration::ZERO,
+            peak_bytes: 3 * 1024 * 1024,
+        };
+        assert!((m.peak_mib() - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,246 @@
+//! Compositional value-flow summaries (§3.3.2).
+//!
+//! The paper's VF summaries record, per function, how bug-specific
+//! vertices relate to the function's interface: VF1 (parameter → return),
+//! VF2 (source → return), VF3 (parameter → source), VF4 (parameter →
+//! sink). The demand-driven search uses them to decide whether entering a
+//! callee can possibly contribute to a bug path — avoiding the blind
+//! inlining a summary-free search would do at every call site.
+//!
+//! This module computes the *existence* form of those summaries for a
+//! given property: for every formal parameter of every function, can a
+//! value arriving there reach (transitively, through callees and the
+//! function's own interface) a sink, a return value, or a global store?
+//! If not, descending into that parameter during the search is provably
+//! fruitless and the detector skips it. The summaries are computed once
+//! per checker by a monotone fixpoint over the call graph (recursion
+//! converges because the domain is boolean).
+
+use crate::seg::{EdgeKind, ModuleSeg};
+use crate::spec::{self, Spec};
+use pinpoint_ir::{FuncId, Module, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// Per-function, per-parameter interface summaries for one property.
+#[derive(Debug, Default)]
+pub struct ParamSummaries {
+    /// `interesting[f][j]` — a value arriving at parameter `j` of `f` may
+    /// reach a sink, a return position, or a global store.
+    interesting: HashMap<FuncId, Vec<bool>>,
+}
+
+impl ParamSummaries {
+    /// `true` if descending into parameter `j` of `f` can contribute to a
+    /// bug path. Unknown functions default to `true` (conservative).
+    pub fn descend_useful(&self, f: FuncId, param_index: usize) -> bool {
+        self.interesting
+            .get(&f)
+            .and_then(|v| v.get(param_index))
+            .copied()
+            .unwrap_or(true)
+    }
+
+    /// Number of (function, parameter) pairs summarised as fruitful.
+    pub fn fruitful_count(&self) -> usize {
+        self.interesting
+            .values()
+            .flat_map(|v| v.iter())
+            .filter(|&&b| b)
+            .count()
+    }
+
+    /// Computes summaries for `spec` by fixpoint.
+    pub fn build(module: &Module, segs: &ModuleSeg, property: &Spec) -> Self {
+        // Sink values per function for this property.
+        let mut sink_values: HashMap<FuncId, HashSet<ValueId>> = HashMap::new();
+        for (fid, f) in module.iter_funcs() {
+            let set: HashSet<ValueId> = spec::spec_sinks(property, f)
+                .into_iter()
+                .map(|s| s.value)
+                .collect();
+            sink_values.insert(fid, set);
+        }
+        // Global-store values per function.
+        let mut global_store_values: HashMap<FuncId, HashSet<ValueId>> = HashMap::new();
+        for entries in segs.global_stores.values() {
+            for &(fid, v, _) in entries {
+                global_store_values.entry(fid).or_default().insert(v);
+            }
+        }
+        let mut interesting: HashMap<FuncId, Vec<bool>> = module
+            .iter_funcs()
+            .map(|(fid, f)| (fid, vec![false; f.params.len()]))
+            .collect();
+        // Monotone fixpoint: re-evaluate until no parameter flips.
+        let mut changed = true;
+        let mut rounds = 0;
+        while changed && rounds < module.funcs.len() + 2 {
+            changed = false;
+            rounds += 1;
+            for (fid, f) in module.iter_funcs() {
+                for (j, &p) in f.params.iter().enumerate() {
+                    if interesting[&fid][j] {
+                        continue;
+                    }
+                    if Self::param_reaches(
+                        module,
+                        segs,
+                        property,
+                        &sink_values,
+                        &global_store_values,
+                        &interesting,
+                        fid,
+                        p,
+                    ) {
+                        interesting.get_mut(&fid).expect("indexed")[j] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        ParamSummaries { interesting }
+    }
+
+    /// Local forward reachability from `start` in `fid`, consulting callee
+    /// summaries at call sites.
+    #[allow(clippy::too_many_arguments)]
+    fn param_reaches(
+        module: &Module,
+        segs: &ModuleSeg,
+        property: &Spec,
+        sink_values: &HashMap<FuncId, HashSet<ValueId>>,
+        global_store_values: &HashMap<FuncId, HashSet<ValueId>>,
+        interesting: &HashMap<FuncId, Vec<bool>>,
+        fid: FuncId,
+        start: ValueId,
+    ) -> bool {
+        let seg = segs.seg(fid);
+        let sinks = &sink_values[&fid];
+        let gstores = global_store_values.get(&fid);
+        let mut visited: HashSet<ValueId> = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            if !visited.insert(v) {
+                continue;
+            }
+            if sinks.contains(&v) {
+                return true;
+            }
+            if seg.ret_index.contains_key(&v) {
+                return true; // may flow back to any caller (VF1/VF2)
+            }
+            if gstores.is_some_and(|s| s.contains(&v)) {
+                return true; // escapes through a global channel
+            }
+            if let Some(uses) = seg.arg_uses.get(&v) {
+                for au in uses {
+                    if let Some(gid) = module.func_by_name(&au.callee) {
+                        if interesting
+                            .get(&gid)
+                            .and_then(|ps| ps.get(au.index))
+                            .copied()
+                            .unwrap_or(false)
+                        {
+                            return true; // the callee can do something with it
+                        }
+                    }
+                }
+            }
+            for e in seg.succs(v) {
+                if e.kind == EdgeKind::Transform && !property.traverses_transforms {
+                    continue;
+                }
+                stack.push(e.dst);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CheckerKind;
+
+    fn summaries(src: &str, kind: CheckerKind) -> (pinpoint_ir::Module, ParamSummaries) {
+        let mut module = pinpoint_ir::compile(src).unwrap();
+        let mut analysis = pinpoint_pta::analyze_module(&mut module);
+        let mut arena = std::mem::take(&mut analysis.arena);
+        let mut symbols = std::mem::take(&mut analysis.symbols);
+        let segs = ModuleSeg::build(&module, &mut arena, &mut symbols, &analysis.pta);
+        let s = ParamSummaries::build(&module, &segs, &kind.spec());
+        (module, s)
+    }
+
+    #[test]
+    fn sinkless_callee_is_fruitless() {
+        let (m, s) = summaries(
+            "fn harmless(p: int*) { print(p); return; }
+             fn main() { let p: int* = malloc(); harmless(p); free(p); return; }",
+            CheckerKind::UseAfterFree,
+        );
+        let f = m.func_by_name("harmless").unwrap();
+        assert!(!s.descend_useful(f, 0), "print is not a UAF sink");
+    }
+
+    #[test]
+    fn dereferencing_callee_is_fruitful() {
+        let (m, s) = summaries(
+            "fn deref(p: int*) { let x: int = *p; print(x); return; }
+             fn main() { let p: int* = malloc(); free(p); deref(p); return; }",
+            CheckerKind::UseAfterFree,
+        );
+        let f = m.func_by_name("deref").unwrap();
+        assert!(s.descend_useful(f, 0));
+    }
+
+    #[test]
+    fn returning_callee_is_fruitful() {
+        // VF1: the parameter flows back out; the caller may sink it.
+        let (m, s) = summaries(
+            "fn id(p: int*) -> int* { return p; }
+             fn main() { let p: int* = malloc(); let q: int* = id(p); print(q); return; }",
+            CheckerKind::UseAfterFree,
+        );
+        let f = m.func_by_name("id").unwrap();
+        assert!(s.descend_useful(f, 0));
+    }
+
+    #[test]
+    fn transitive_fruitfulness_through_wrappers() {
+        let (m, s) = summaries(
+            "fn inner(p: int*) { free(p); return; }
+             fn wrapper(p: int*) { inner(p); return; }
+             fn main() { let p: int* = malloc(); wrapper(p); return; }",
+            CheckerKind::UseAfterFree,
+        );
+        let w = m.func_by_name("wrapper").unwrap();
+        assert!(
+            s.descend_useful(w, 0),
+            "wrapper forwards to a freeing callee (fixpoint round 2)"
+        );
+    }
+
+    #[test]
+    fn property_specific_summaries_differ() {
+        let src = "fn sendit(v: int) { sendto(v); return; }
+                   fn main() { let s: int = getpass(); sendit(s); return; }";
+        let (m, uaf) = summaries(src, CheckerKind::UseAfterFree);
+        let (_, dt) = summaries(src, CheckerKind::DataTransmission);
+        let f = m.func_by_name("sendit").unwrap();
+        assert!(!uaf.descend_useful(f, 0), "sendto is not a UAF sink");
+        assert!(dt.descend_useful(f, 0), "sendto is the DT sink");
+    }
+
+    #[test]
+    fn global_store_counts_as_escape() {
+        let (m, s) = summaries(
+            "global cell: int*;
+             fn stash(p: int*) { *cell = p; return; }
+             fn main() { let p: int* = malloc(); stash(p); free(p); return; }",
+            CheckerKind::UseAfterFree,
+        );
+        let f = m.func_by_name("stash").unwrap();
+        assert!(s.descend_useful(f, 0), "a global store can reach any load");
+    }
+}

@@ -1,0 +1,238 @@
+//! Call graph, Tarjan SCC condensation, and bottom-up ordering.
+//!
+//! Pinpoint is a bottom-up compositional analysis: callees are analysed
+//! before callers so their summaries are available at call sites (§3.3.2).
+//! Recursive SCCs are cut by the §4.2 soundiness rule (call-graph loops
+//! unrolled once): calls to a function in the *same* SCC are treated as
+//! summary-free (no value flows through them).
+
+use crate::ir::{intrinsics, FuncId, Inst, Module};
+use std::collections::HashMap;
+
+/// Call graph over a module's user-defined functions.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Callees per function (deduplicated; intrinsics excluded).
+    pub callees: Vec<Vec<FuncId>>,
+    /// Callers per function (deduplicated).
+    pub callers: Vec<Vec<FuncId>>,
+    /// SCC index per function (condensation node).
+    pub scc_of: Vec<usize>,
+    /// Functions per SCC.
+    pub sccs: Vec<Vec<FuncId>>,
+    /// Functions in bottom-up order (callees before callers; within an
+    /// SCC, arbitrary).
+    pub bottom_up: Vec<FuncId>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `module`.
+    pub fn new(module: &Module) -> Self {
+        let n = module.funcs.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for (fid, f) in module.iter_funcs() {
+            for (_, inst) in f.iter_insts() {
+                if let Inst::Call { callee, .. } = inst {
+                    if intrinsics::is_intrinsic(callee) {
+                        continue;
+                    }
+                    if let Some(target) = module.func_by_name(callee) {
+                        if !callees[fid.0 as usize].contains(&target) {
+                            callees[fid.0 as usize].push(target);
+                        }
+                        if !callers[target.0 as usize].contains(&fid) {
+                            callers[target.0 as usize].push(fid);
+                        }
+                    }
+                }
+            }
+        }
+        let (scc_of, sccs) = tarjan(n, &callees);
+        // Tarjan emits SCCs in reverse topological order of the
+        // condensation (callees' components before callers'), which is
+        // exactly bottom-up.
+        let mut bottom_up = Vec::with_capacity(n);
+        for scc in &sccs {
+            bottom_up.extend(scc.iter().copied());
+        }
+        CallGraph {
+            callees,
+            callers,
+            scc_of,
+            sccs,
+            bottom_up,
+        }
+    }
+
+    /// `true` if `caller` and `callee` are in the same SCC (recursive
+    /// call; its summary is unavailable — treated as a no-flow call).
+    pub fn same_scc(&self, a: FuncId, b: FuncId) -> bool {
+        self.scc_of[a.0 as usize] == self.scc_of[b.0 as usize]
+    }
+
+    /// `true` if `f` is self-recursive or part of a larger cycle.
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        let scc = self.scc_of[f.0 as usize];
+        self.sccs[scc].len() > 1 || self.callees[f.0 as usize].contains(&f)
+    }
+}
+
+/// Iterative Tarjan SCC. Returns (scc index per node, SCC member lists in
+/// reverse-topological order of the condensation).
+fn tarjan(n: usize, succs: &[Vec<FuncId>]) -> (Vec<usize>, Vec<Vec<FuncId>>) {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+        visited: bool,
+    }
+    let mut state = vec![
+        NodeState {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut counter = 0u32;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+
+    // Explicit DFS stack: (node, next child index).
+    for root in 0..n {
+        if state[root].visited {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = dfs.last_mut() {
+            if *ci == 0 && !state[v].visited {
+                state[v].visited = true;
+                state[v].index = counter;
+                state[v].lowlink = counter;
+                counter += 1;
+                stack.push(v);
+                state[v].on_stack = true;
+            }
+            if *ci < succs[v].len() {
+                let w = succs[v][*ci].0 as usize;
+                *ci += 1;
+                if !state[w].visited {
+                    dfs.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&mut (parent, _)) = dfs.last_mut() {
+                    let low = state[v].lowlink;
+                    state[parent].lowlink = state[parent].lowlink.min(low);
+                }
+                if state[v].lowlink == state[v].index {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack nonempty");
+                        state[w].on_stack = false;
+                        scc_of[w] = sccs.len();
+                        comp.push(FuncId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    (scc_of, sccs)
+}
+
+/// Map from function name to id for quick test assertions.
+pub fn name_map(module: &Module) -> HashMap<String, FuncId> {
+    module
+        .iter_funcs()
+        .map(|(id, f)| (f.name.clone(), id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    fn build(src: &str) -> (Module, CallGraph) {
+        let m = lower(&parse(src).unwrap()).unwrap();
+        let cg = CallGraph::new(&m);
+        (m, cg)
+    }
+
+    #[test]
+    fn bottom_up_orders_callees_first() {
+        let (m, cg) = build(
+            "fn leaf() { return; }
+             fn mid() { leaf(); return; }
+             fn top() { mid(); leaf(); return; }",
+        );
+        let names = name_map(&m);
+        let pos = |n: &str| {
+            cg.bottom_up
+                .iter()
+                .position(|f| *f == names[n])
+                .unwrap()
+        };
+        assert!(pos("leaf") < pos("mid"));
+        assert!(pos("mid") < pos("top"));
+    }
+
+    #[test]
+    fn intrinsics_are_not_edges() {
+        let (_, cg) = build("fn f(p: int*) { free(p); print(p); return; }");
+        assert!(cg.callees[0].is_empty());
+    }
+
+    #[test]
+    fn mutual_recursion_one_scc() {
+        let (m, cg) = build(
+            "fn even(n: int) { odd(n - 1); return; }
+             fn odd(n: int) { even(n - 1); return; }",
+        );
+        let names = name_map(&m);
+        assert!(cg.same_scc(names["even"], names["odd"]));
+        assert!(cg.is_recursive(names["even"]));
+        assert_eq!(cg.sccs.iter().filter(|s| s.len() == 2).count(), 1);
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let (m, cg) = build("fn f(n: int) { f(n - 1); return; }");
+        let names = name_map(&m);
+        assert!(cg.is_recursive(names["f"]));
+        assert!(cg.same_scc(names["f"], names["f"]));
+    }
+
+    #[test]
+    fn non_recursive_functions_in_singleton_sccs() {
+        let (m, cg) = build(
+            "fn a() { b(); return; }
+             fn b() { return; }",
+        );
+        let names = name_map(&m);
+        assert!(!cg.is_recursive(names["a"]));
+        assert!(!cg.same_scc(names["a"], names["b"]));
+    }
+
+    #[test]
+    fn callers_mirror_callees() {
+        let (m, cg) = build(
+            "fn leaf() { return; }
+             fn top() { leaf(); return; }",
+        );
+        let names = name_map(&m);
+        assert_eq!(cg.callers[names["leaf"].0 as usize], vec![names["top"]]);
+        assert!(cg.callers[names["top"].0 as usize].is_empty());
+    }
+}

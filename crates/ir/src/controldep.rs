@@ -1,0 +1,232 @@
+//! Control dependence (Ferrante et al.), feeding the SEG's `Gc` subgraph.
+//!
+//! A block `B` is control dependent on branch edge `(A, polarity)` when
+//! taking that edge makes `B`'s execution inevitable while the other edge
+//! can avoid `B`. We compute this with the standard post-dominance
+//! criterion: for each CFG edge `A → B` where `B` does not post-dominate
+//! `A`, every block on the post-dominator-tree path from `B` up to (but
+//! not including) `ipdom(A)` is control dependent on the edge.
+//!
+//! The paper's SEG stores, per statement, the *immediate* control
+//! dependence as a branch-condition variable plus polarity (Example 3.5);
+//! nested dependences are recovered transitively by following the `Gc`
+//! edges of the controlling branch's condition. [`ControlDeps::deps`]
+//! returns exactly that immediate set.
+
+use crate::cfg::Cfg;
+use crate::dom::PostDomTree;
+use crate::ir::{BlockId, Function, Terminator, ValueId};
+
+/// One control dependence: the branch condition value and the polarity of
+/// the edge on which the dependent block executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControlDep {
+    /// The branch-condition SSA value.
+    pub cond: ValueId,
+    /// `true` when the block runs on the then-edge.
+    pub polarity: bool,
+}
+
+/// Control dependences of every block of a function.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    deps: Vec<Vec<ControlDep>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences for `f`.
+    pub fn new(f: &Function, cfg: &Cfg, pdt: &PostDomTree) -> Self {
+        let n = cfg.len();
+        let mut deps: Vec<Vec<ControlDep>> = vec![Vec::new(); n];
+        for (a_idx, blk) in f.blocks.iter().enumerate() {
+            let a = BlockId(a_idx as u32);
+            if !cfg.reachable[a_idx] {
+                continue;
+            }
+            let Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } = blk.term
+            else {
+                continue;
+            };
+            for (succ, polarity) in [(then_bb, true), (else_bb, false)] {
+                if pdt.post_dominates(succ, a) {
+                    continue; // edge does not decide anything
+                }
+                // Walk B up the post-dominator tree to ipdom(A).
+                let stop = pdt.ipdom(a);
+                let mut cur = Some(succ);
+                while let Some(b) = cur {
+                    if Some(b) == stop {
+                        break;
+                    }
+                    let dep = ControlDep { cond, polarity };
+                    if !deps[b.0 as usize].contains(&dep) {
+                        deps[b.0 as usize].push(dep);
+                    }
+                    let next = pdt.ipdom(b);
+                    if next == Some(b) {
+                        break;
+                    }
+                    cur = next;
+                }
+            }
+        }
+        ControlDeps { deps }
+    }
+
+    /// Immediate control dependences of `b`.
+    pub fn deps(&self, b: BlockId) -> &[ControlDep] {
+        &self.deps[b.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Function, Terminator};
+    use crate::types::Type;
+
+    /// 0 -(c)→ {1, 2}; both → 3 (exit).
+    fn diamond() -> (Function, ValueId) {
+        let mut f = Function::new("d");
+        let c = f.new_value("c", Type::Bool);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let b3 = f.new_block();
+        f.set_term(
+            f.entry(),
+            Terminator::Branch {
+                cond: c,
+                then_bb: b1,
+                else_bb: b2,
+            },
+        );
+        f.set_term(b1, Terminator::Jump(b3));
+        f.set_term(b2, Terminator::Jump(b3));
+        f.set_term(b3, Terminator::Return(vec![]));
+        (f, c)
+    }
+
+    #[test]
+    fn diamond_arms_depend_on_branch() {
+        let (f, c) = diamond();
+        let cfg = Cfg::new(&f);
+        let pdt = PostDomTree::new(&f, &cfg);
+        let cd = ControlDeps::new(&f, &cfg, &pdt);
+        assert_eq!(
+            cd.deps(BlockId(1)),
+            &[ControlDep {
+                cond: c,
+                polarity: true
+            }]
+        );
+        assert_eq!(
+            cd.deps(BlockId(2)),
+            &[ControlDep {
+                cond: c,
+                polarity: false
+            }]
+        );
+        assert!(cd.deps(BlockId(0)).is_empty());
+        assert!(cd.deps(BlockId(3)).is_empty());
+    }
+
+    #[test]
+    fn nested_branch_immediate_dependence_only() {
+        // 0 -(c)→ {1, 4}; 1 -(d)→ {2, 3}; 2 → 3; 3 → 5; 4 → 5; 5 ret.
+        let mut f = Function::new("n");
+        let c = f.new_value("c", Type::Bool);
+        let d = f.new_value("d", Type::Bool);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let b3 = f.new_block();
+        let b4 = f.new_block();
+        let b5 = f.new_block();
+        f.set_term(
+            f.entry(),
+            Terminator::Branch {
+                cond: c,
+                then_bb: b1,
+                else_bb: b4,
+            },
+        );
+        f.set_term(
+            b1,
+            Terminator::Branch {
+                cond: d,
+                then_bb: b2,
+                else_bb: b3,
+            },
+        );
+        f.set_term(b2, Terminator::Jump(b3));
+        f.set_term(b3, Terminator::Jump(b5));
+        f.set_term(b4, Terminator::Jump(b5));
+        f.set_term(b5, Terminator::Return(vec![]));
+        let cfg = Cfg::new(&f);
+        let pdt = PostDomTree::new(&f, &cfg);
+        let cd = ControlDeps::new(&f, &cfg, &pdt);
+        // b2 depends only on d (its dependence on c is transitive through
+        // the statement defining d, exactly as in the paper's Example 3.5).
+        assert_eq!(
+            cd.deps(b2),
+            &[ControlDep {
+                cond: d,
+                polarity: true
+            }]
+        );
+        // b1 and b3 depend on c=true: b3 joins the inner diamond but is
+        // still inside the outer then-arm.
+        assert_eq!(
+            cd.deps(b1),
+            &[ControlDep {
+                cond: c,
+                polarity: true
+            }]
+        );
+        assert_eq!(
+            cd.deps(b3),
+            &[ControlDep {
+                cond: c,
+                polarity: true
+            }]
+        );
+        assert_eq!(
+            cd.deps(b4),
+            &[ControlDep {
+                cond: c,
+                polarity: false
+            }]
+        );
+    }
+
+    #[test]
+    fn early_return_arm() {
+        // 0 -(c)→ {1 (ret path merges), 2}; model: then-arm jumps straight
+        // to exit, else falls through to exit too — both arms post-dominate
+        // nothing special; then-arm depends on c.
+        let mut f = Function::new("e");
+        let c = f.new_value("c", Type::Bool);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let exit = f.new_block();
+        f.set_term(
+            f.entry(),
+            Terminator::Branch {
+                cond: c,
+                then_bb: b1,
+                else_bb: b2,
+            },
+        );
+        f.set_term(b1, Terminator::Jump(exit));
+        f.set_term(b2, Terminator::Jump(exit));
+        f.set_term(exit, Terminator::Return(vec![]));
+        let cfg = Cfg::new(&f);
+        let pdt = PostDomTree::new(&f, &cfg);
+        let cd = ControlDeps::new(&f, &cfg, &pdt);
+        assert_eq!(cd.deps(b1).len(), 1);
+        assert_eq!(cd.deps(exit).len(), 0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Lexer for the mini-language.
+
+use crate::ast::Span;
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword body.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    // Keywords
+    /// `fn`.
+    Fn,
+    /// `let`.
+    Let,
+    /// `if`.
+    If,
+    /// `else`.
+    Else,
+    /// `while`.
+    While,
+    /// `return`.
+    Return,
+    /// `global`.
+    Global,
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `null`.
+    Null,
+    /// `int` type keyword.
+    TyInt,
+    /// `bool` type keyword.
+    TyBool,
+    /// `malloc`.
+    Malloc,
+    // Punctuation / operators
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `:`.
+    Colon,
+    /// `->`.
+    Arrow,
+    /// `=`.
+    Assign,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `!`.
+    Bang,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// Where it was found.
+    pub span: Span,
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises `src`.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let span = Span { offset: i, line };
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token {
+                    tok: Tok::LParen,
+                    span,
+                });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token {
+                    tok: Tok::RParen,
+                    span,
+                });
+                i += 1;
+            }
+            b'{' => {
+                out.push(Token {
+                    tok: Tok::LBrace,
+                    span,
+                });
+                i += 1;
+            }
+            b'}' => {
+                out.push(Token {
+                    tok: Tok::RBrace,
+                    span,
+                });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token {
+                    tok: Tok::Comma,
+                    span,
+                });
+                i += 1;
+            }
+            b';' => {
+                out.push(Token {
+                    tok: Tok::Semi,
+                    span,
+                });
+                i += 1;
+            }
+            b':' => {
+                out.push(Token {
+                    tok: Tok::Colon,
+                    span,
+                });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token {
+                    tok: Tok::Plus,
+                    span,
+                });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token {
+                    tok: Tok::Star,
+                    span,
+                });
+                i += 1;
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token {
+                        tok: Tok::Arrow,
+                        span,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        tok: Tok::Minus,
+                        span,
+                    });
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        tok: Tok::EqEq,
+                        span,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        tok: Tok::Assign,
+                        span,
+                    });
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        tok: Tok::NotEq,
+                        span,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        tok: Tok::Bang,
+                        span,
+                    });
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Le, span });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Lt, span });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Ge, span });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Gt, span });
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token {
+                        tok: Tok::AndAnd,
+                        span,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `&&`".into(),
+                        span,
+                    });
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token {
+                        tok: Tok::OrOr,
+                        span,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `||`".into(),
+                        span,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    span,
+                })?;
+                out.push(Token {
+                    tok: Tok::Int(v),
+                    span,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let tok = match text {
+                    "fn" => Tok::Fn,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "global" => Tok::Global,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "null" => Tok::Null,
+                    "int" => Tok::TyInt,
+                    "bool" => Tok::TyBool,
+                    "malloc" => Tok::Malloc,
+                    _ => Tok::Ident(text.to_string()),
+                };
+                out.push(Token { tok, span });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{}`", other as char),
+                    span,
+                })
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span {
+            offset: bytes.len(),
+            line,
+        },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_function_header() {
+        let toks = kinds("fn foo(a: int*) -> int {");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::Colon,
+                Tok::TyInt,
+                Tok::Star,
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::TyInt,
+                Tok::LBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_compound_operators() {
+        let toks = kinds("= == ! != < <= > >= && || - ->");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Assign,
+                Tok::EqEq,
+                Tok::Bang,
+                Tok::NotEq,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Minus,
+                Tok::Arrow,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("// comment\nfn").unwrap();
+        assert_eq!(toks[0].tok, Tok::Fn);
+        assert_eq!(toks[0].span.line, 2);
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn lexes_integers() {
+        assert_eq!(kinds("42 007"), vec![Tok::Int(42), Tok::Int(7), Tok::Eof]);
+    }
+
+    #[test]
+    fn keywords_versus_identifiers() {
+        assert_eq!(
+            kinds("iffy if fnord fn"),
+            vec![
+                Tok::Ident("iffy".into()),
+                Tok::If,
+                Tok::Ident("fnord".into()),
+                Tok::Fn,
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,923 @@
+//! Lowering from the AST to the SSA IR.
+//!
+//! Because the surface language is structured, SSA construction is done
+//! directly during lowering: each structured branch is lowered with its own
+//! variable environment and φ-instructions are inserted at joins for the
+//! variables whose definitions differ between the arms. `while` loops are
+//! analysed as a single guarded iteration (`if (c) { body }`), which is the
+//! paper's §4.2 soundiness rule of unrolling each loop once and keeps every
+//! CFG acyclic.
+//!
+//! Functions are normalised to have exactly one `return` statement: all
+//! source-level returns jump to a dedicated exit block that φ-merges the
+//! returned values, matching the paper's assumption ("with no loss of
+//! generality, we assume each function has only one return statement").
+
+use crate::ast::{BinOpKind, Expr, FuncDef, Program, Span, Stmt, UnOpKind};
+use crate::ir::{
+    intrinsics, BinOp, BlockId, Const, Function, GlobalId, Inst, Module, Terminator, UnOp, ValueId,
+};
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Semantic error raised during lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    /// Human-readable message.
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Signature of a callable (user function or intrinsic).
+#[derive(Debug, Clone)]
+struct Signature {
+    params: Vec<Type>,
+    ret: Option<Type>,
+    /// Intrinsics with polymorphic parameters skip strict checking.
+    polymorphic: bool,
+}
+
+/// Lowers a parsed program to an SSA module.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] on type errors, unknown names, arity
+/// mismatches, or invalid dereferences.
+///
+/// # Examples
+///
+/// ```
+/// let src = "fn main() { let p: int* = malloc(); free(p); return; }";
+/// let program = pinpoint_ir::parser::parse(src).unwrap();
+/// let module = pinpoint_ir::lower::lower(&program)?;
+/// assert_eq!(module.funcs.len(), 1);
+/// # Ok::<(), pinpoint_ir::lower::LowerError>(())
+/// ```
+pub fn lower(program: &Program) -> Result<Module, LowerError> {
+    let mut module = Module::new();
+    let mut globals: HashMap<String, (GlobalId, Type)> = HashMap::new();
+    for g in &program.globals {
+        let id = module.add_global(&g.name, g.ty.clone());
+        if globals
+            .insert(g.name.clone(), (id, g.ty.clone()))
+            .is_some()
+        {
+            return Err(LowerError {
+                message: format!("duplicate global `{}`", g.name),
+                span: g.span,
+            });
+        }
+    }
+    let mut signatures: HashMap<String, Signature> = intrinsic_signatures();
+    for f in &program.funcs {
+        let sig = Signature {
+            params: f.params.iter().map(|(_, t)| t.clone()).collect(),
+            ret: f.ret_ty.clone(),
+            polymorphic: false,
+        };
+        if signatures.insert(f.name.clone(), sig).is_some() {
+            return Err(LowerError {
+                message: format!("duplicate function `{}`", f.name),
+                span: f.span,
+            });
+        }
+    }
+    for fdef in &program.funcs {
+        let func = FnLowerer::new(fdef, &signatures, &globals).run()?;
+        module.add_func(func);
+    }
+    Ok(module)
+}
+
+fn intrinsic_signatures() -> HashMap<String, Signature> {
+    let mut m = HashMap::new();
+    let poly = |params: usize, ret: Option<Type>| Signature {
+        params: vec![Type::Int; params],
+        ret,
+        polymorphic: true,
+    };
+    m.insert(intrinsics::FREE.into(), poly(1, None));
+    m.insert(intrinsics::PRINT.into(), poly(1, None));
+    m.insert(
+        intrinsics::NONDET_BOOL.into(),
+        Signature {
+            params: vec![],
+            ret: Some(Type::Bool),
+            polymorphic: false,
+        },
+    );
+    m.insert(
+        intrinsics::NONDET_INT.into(),
+        Signature {
+            params: vec![],
+            ret: Some(Type::Int),
+            polymorphic: false,
+        },
+    );
+    m.insert(
+        intrinsics::FGETC.into(),
+        Signature {
+            params: vec![],
+            ret: Some(Type::Int),
+            polymorphic: false,
+        },
+    );
+    m.insert(
+        intrinsics::RECV.into(),
+        Signature {
+            params: vec![],
+            ret: Some(Type::Int),
+            polymorphic: false,
+        },
+    );
+    m.insert(
+        intrinsics::GETPASS.into(),
+        Signature {
+            params: vec![],
+            ret: Some(Type::Int),
+            polymorphic: false,
+        },
+    );
+    m.insert(intrinsics::FOPEN.into(), poly(1, Some(Type::Int)));
+    m.insert(intrinsics::SENDTO.into(), poly(1, None));
+    m
+}
+
+/// Variable environment: source name → current SSA value.
+type Env = HashMap<String, ValueId>;
+
+struct FnLowerer<'a> {
+    def: &'a FuncDef,
+    sigs: &'a HashMap<String, Signature>,
+    globals: &'a HashMap<String, (GlobalId, Type)>,
+    f: Function,
+    cur: BlockId,
+    /// Return sites: (predecessor block, returned value).
+    ret_sites: Vec<(BlockId, Option<ValueId>)>,
+    /// `true` once the current block has been terminated.
+    terminated: bool,
+}
+
+impl<'a> FnLowerer<'a> {
+    fn new(
+        def: &'a FuncDef,
+        sigs: &'a HashMap<String, Signature>,
+        globals: &'a HashMap<String, (GlobalId, Type)>,
+    ) -> Self {
+        let f = Function::new(&def.name);
+        let cur = f.entry();
+        FnLowerer {
+            def,
+            sigs,
+            globals,
+            f,
+            cur,
+            ret_sites: Vec::new(),
+            terminated: false,
+        }
+    }
+
+    fn run(mut self) -> Result<Function, LowerError> {
+        let mut env: Env = HashMap::new();
+        for (name, ty) in &self.def.params {
+            let v = self.f.new_value(name.clone(), ty.clone());
+            self.f.params.push(v);
+            env.insert(name.clone(), v);
+        }
+        if let Some(rt) = &self.def.ret_ty {
+            self.f.ret_tys.push(rt.clone());
+        }
+        self.lower_stmts(&self.def.body, &mut env)?;
+        // Implicit `return;` for procedures that fall off the end.
+        if !self.terminated {
+            if self.def.ret_ty.is_some() {
+                return Err(LowerError {
+                    message: format!(
+                        "function `{}` may fall off the end without returning a value",
+                        self.def.name
+                    ),
+                    span: self.def.span,
+                });
+            }
+            let cur = self.cur;
+            self.ret_sites.push((cur, None));
+            self.terminated = true; // jump patched below
+        }
+        // Build the unique exit block.
+        let exit = self.f.new_block();
+        for &(pred, _) in &self.ret_sites {
+            self.f.set_term(pred, Terminator::Jump(exit));
+        }
+        let ret_vals: Vec<ValueId> = if let Some(rt) = &self.def.ret_ty {
+            let vals: Vec<(BlockId, ValueId)> = self
+                .ret_sites
+                .iter()
+                .map(|&(b, v)| (b, v.expect("typed return checked per-site")))
+                .collect();
+            let merged = if vals.len() == 1 {
+                vals[0].1
+            } else {
+                let dst = self.f.new_value("ret", rt.clone());
+                self.f.push_inst(
+                    exit,
+                    Inst::Phi {
+                        dst,
+                        incomings: vals,
+                    },
+                );
+                dst
+            };
+            vec![merged]
+        } else {
+            vec![]
+        };
+        self.f.set_term(exit, Terminator::Return(ret_vals));
+        Ok(self.f)
+    }
+
+    fn err(&self, message: impl Into<String>, span: Span) -> LowerError {
+        LowerError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt], env: &mut Env) -> Result<(), LowerError> {
+        for s in stmts {
+            if self.terminated {
+                break; // unreachable code after return: ignore
+            }
+            self.lower_stmt(s, env)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, env: &mut Env) -> Result<(), LowerError> {
+        match stmt {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                span,
+            } => {
+                let v = self.lower_expr(init, env)?;
+                let vt = self.f.ty(v).clone();
+                if !types_compatible(ty, &vt) {
+                    return Err(self.err(
+                        format!("type mismatch in `let {name}`: declared {ty}, got {vt}"),
+                        *span,
+                    ));
+                }
+                let named = self.f.new_value(name.clone(), ty.clone());
+                self.f.push_inst(self.cur, Inst::Copy { dst: named, src: v });
+                env.insert(name.clone(), named);
+                Ok(())
+            }
+            Stmt::Assign { name, value, span } => {
+                let old = *env
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown variable `{name}`"), *span))?;
+                let old_ty = self.f.ty(old).clone();
+                let v = self.lower_expr(value, env)?;
+                let vt = self.f.ty(v).clone();
+                if !types_compatible(&old_ty, &vt) {
+                    return Err(self.err(
+                        format!("type mismatch assigning `{name}`: {old_ty} vs {vt}"),
+                        *span,
+                    ));
+                }
+                let named = self.f.new_value(name.clone(), old_ty);
+                self.f.push_inst(self.cur, Inst::Copy { dst: named, src: v });
+                env.insert(name.clone(), named);
+                Ok(())
+            }
+            Stmt::Store {
+                ptr,
+                depth,
+                value,
+                span,
+            } => {
+                let p = self.lower_expr(ptr, env)?;
+                let pt = self.f.ty(p).clone();
+                let Some(target_ty) = pt.deref(*depth as usize) else {
+                    return Err(self.err(
+                        format!("cannot dereference {pt} {depth} time(s)"),
+                        *span,
+                    ));
+                };
+                let target_ty = target_ty.clone();
+                let v = self.lower_expr(value, env)?;
+                let vt = self.f.ty(v).clone();
+                if !types_compatible(&target_ty, &vt) {
+                    return Err(self.err(
+                        format!("type mismatch in store: cell is {target_ty}, value is {vt}"),
+                        *span,
+                    ));
+                }
+                self.f.push_inst(
+                    self.cur,
+                    Inst::Store {
+                        ptr: p,
+                        depth: *depth,
+                        src: v,
+                    },
+                );
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                let _ = self.lower_expr_allow_void(e, env)?;
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => self.lower_if(cond, then_body, else_body, *span, env),
+            Stmt::While { cond, body, span } => {
+                // Soundiness: analyse one guarded iteration.
+                self.lower_if(cond, body, &[], *span, env)
+            }
+            Stmt::Return(e, span) => {
+                let v = match (e, &self.def.ret_ty) {
+                    (Some(e), Some(rt)) => {
+                        let v = self.lower_expr(e, env)?;
+                        let vt = self.f.ty(v).clone();
+                        if !types_compatible(rt, &vt) {
+                            return Err(self.err(
+                                format!("return type mismatch: expected {rt}, got {vt}"),
+                                *span,
+                            ));
+                        }
+                        Some(v)
+                    }
+                    (None, None) => None,
+                    (Some(_), None) => {
+                        return Err(self.err("returning a value from a procedure", *span))
+                    }
+                    (None, Some(_)) => {
+                        return Err(self.err("missing return value", *span));
+                    }
+                };
+                self.ret_sites.push((self.cur, v));
+                self.terminated = true;
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &Expr,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+        span: Span,
+        env: &mut Env,
+    ) -> Result<(), LowerError> {
+        let c = self.lower_expr(cond, env)?;
+        if *self.f.ty(c) != Type::Bool {
+            return Err(self.err("branch condition must be bool", span));
+        }
+        let then_bb = self.f.new_block();
+        let else_bb = self.f.new_block();
+        self.f.set_term(
+            self.cur,
+            Terminator::Branch {
+                cond: c,
+                then_bb,
+                else_bb,
+            },
+        );
+        // Then arm.
+        let mut then_env = env.clone();
+        self.cur = then_bb;
+        self.terminated = false;
+        self.lower_stmts(then_body, &mut then_env)?;
+        let then_exit = if self.terminated { None } else { Some(self.cur) };
+        // Else arm.
+        let mut else_env = env.clone();
+        self.cur = else_bb;
+        self.terminated = false;
+        self.lower_stmts(else_body, &mut else_env)?;
+        let else_exit = if self.terminated { None } else { Some(self.cur) };
+        // Join.
+        match (then_exit, else_exit) {
+            (None, None) => {
+                // Both arms returned; the code after the if is unreachable.
+                self.terminated = true;
+                Ok(())
+            }
+            (Some(b), None) => {
+                let join = self.f.new_block();
+                self.f.set_term(b, Terminator::Jump(join));
+                self.cur = join;
+                self.terminated = false;
+                *env = then_env;
+                Ok(())
+            }
+            (None, Some(b)) => {
+                let join = self.f.new_block();
+                self.f.set_term(b, Terminator::Jump(join));
+                self.cur = join;
+                self.terminated = false;
+                *env = else_env;
+                Ok(())
+            }
+            (Some(tb), Some(eb)) => {
+                let join = self.f.new_block();
+                self.f.set_term(tb, Terminator::Jump(join));
+                self.f.set_term(eb, Terminator::Jump(join));
+                self.cur = join;
+                self.terminated = false;
+                // φ-merge differing variables.
+                let mut merged = Env::new();
+                for (name, &tv) in &then_env {
+                    let Some(&ev) = else_env.get(name) else {
+                        continue; // declared only in the then-arm: out of scope
+                    };
+                    if tv == ev {
+                        merged.insert(name.clone(), tv);
+                    } else {
+                        let ty = self.f.ty(tv).clone();
+                        let dst = self.f.new_value(name.clone(), ty);
+                        self.f.push_inst(
+                            join,
+                            Inst::Phi {
+                                dst,
+                                incomings: vec![(tb, tv), (eb, ev)],
+                            },
+                        );
+                        merged.insert(name.clone(), dst);
+                    }
+                }
+                *env = merged;
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr, env: &Env) -> Result<ValueId, LowerError> {
+        match self.lower_expr_allow_void(e, env)? {
+            Some(v) => Ok(v),
+            None => Err(self.err("void call used as a value", e.span())),
+        }
+    }
+
+    fn lower_expr_allow_void(
+        &mut self,
+        e: &Expr,
+        env: &Env,
+    ) -> Result<Option<ValueId>, LowerError> {
+        match e {
+            Expr::Int(v) => {
+                let dst = self.f.new_value("c", Type::Int);
+                self.f.push_inst(
+                    self.cur,
+                    Inst::Const {
+                        dst,
+                        value: Const::Int(*v),
+                    },
+                );
+                Ok(Some(dst))
+            }
+            Expr::Bool(b) => {
+                let dst = self.f.new_value("c", Type::Bool);
+                self.f.push_inst(
+                    self.cur,
+                    Inst::Const {
+                        dst,
+                        value: Const::Bool(*b),
+                    },
+                );
+                Ok(Some(dst))
+            }
+            Expr::Null => {
+                let dst = self.f.new_value("null", Type::Int.ptr_to());
+                self.f.push_inst(
+                    self.cur,
+                    Inst::Const {
+                        dst,
+                        value: Const::Null,
+                    },
+                );
+                Ok(Some(dst))
+            }
+            Expr::Var(name, span) => {
+                if let Some(&v) = env.get(name) {
+                    return Ok(Some(v));
+                }
+                if let Some((gid, ty)) = self.globals.get(name) {
+                    let dst = self.f.new_value(name.clone(), ty.clone().ptr_to());
+                    self.f.push_inst(
+                        self.cur,
+                        Inst::GlobalAddr {
+                            dst,
+                            global: *gid,
+                        },
+                    );
+                    return Ok(Some(dst));
+                }
+                Err(self.err(format!("unknown variable `{name}`"), *span))
+            }
+            Expr::Deref(inner, span) => {
+                let p = self.lower_expr(inner, env)?;
+                let pt = self.f.ty(p).clone();
+                let Some(pointee) = pt.pointee() else {
+                    return Err(self.err(format!("cannot dereference non-pointer {pt}"), *span));
+                };
+                let pointee = pointee.clone();
+                let dst = self.f.new_value("ld", pointee);
+                self.f.push_inst(
+                    self.cur,
+                    Inst::Load {
+                        dst,
+                        ptr: p,
+                        depth: 1,
+                    },
+                );
+                Ok(Some(dst))
+            }
+            Expr::Un(op, inner, span) => {
+                let v = self.lower_expr(inner, env)?;
+                let vt = self.f.ty(v).clone();
+                let (irop, want, out) = match op {
+                    UnOpKind::Neg => (UnOp::Neg, Type::Int, Type::Int),
+                    UnOpKind::Not => (UnOp::Not, Type::Bool, Type::Bool),
+                };
+                if vt != want {
+                    return Err(self.err(format!("operand of `{irop}` must be {want}"), *span));
+                }
+                let dst = self.f.new_value("t", out);
+                self.f.push_inst(
+                    self.cur,
+                    Inst::Un {
+                        dst,
+                        op: irop,
+                        operand: v,
+                    },
+                );
+                Ok(Some(dst))
+            }
+            Expr::Bin(op, l, r, span) => {
+                let lv = self.lower_expr(l, env)?;
+                let rv = self.lower_expr(r, env)?;
+                let lt = self.f.ty(lv).clone();
+                let rt = self.f.ty(rv).clone();
+                // Gt/Ge lower to swapped Lt/Le.
+                let (irop, lv, rv, lt, rt) = match op {
+                    BinOpKind::Gt => (BinOp::Lt, rv, lv, rt, lt),
+                    BinOpKind::Ge => (BinOp::Le, rv, lv, rt, lt),
+                    BinOpKind::Add => (BinOp::Add, lv, rv, lt, rt),
+                    BinOpKind::Sub => (BinOp::Sub, lv, rv, lt, rt),
+                    BinOpKind::Mul => (BinOp::Mul, lv, rv, lt, rt),
+                    BinOpKind::Eq => (BinOp::Eq, lv, rv, lt, rt),
+                    BinOpKind::Ne => (BinOp::Ne, lv, rv, lt, rt),
+                    BinOpKind::Lt => (BinOp::Lt, lv, rv, lt, rt),
+                    BinOpKind::Le => (BinOp::Le, lv, rv, lt, rt),
+                    BinOpKind::And => (BinOp::And, lv, rv, lt, rt),
+                    BinOpKind::Or => (BinOp::Or, lv, rv, lt, rt),
+                };
+                let out_ty = match irop {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                        if lt != Type::Int || rt != Type::Int {
+                            return Err(
+                                self.err(format!("arithmetic on non-int: {lt} {irop} {rt}"), *span)
+                            );
+                        }
+                        Type::Int
+                    }
+                    BinOp::Lt | BinOp::Le => {
+                        if lt != Type::Int || rt != Type::Int {
+                            return Err(
+                                self.err(format!("comparison on non-int: {lt} {irop} {rt}"), *span)
+                            );
+                        }
+                        Type::Bool
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        if !types_compatible(&lt, &rt) {
+                            return Err(self.err(
+                                format!("equality between incompatible types {lt} and {rt}"),
+                                *span,
+                            ));
+                        }
+                        Type::Bool
+                    }
+                    BinOp::And | BinOp::Or => {
+                        if lt != Type::Bool || rt != Type::Bool {
+                            return Err(self.err("logical op on non-bool", *span));
+                        }
+                        Type::Bool
+                    }
+                };
+                let dst = self.f.new_value("t", out_ty);
+                self.f.push_inst(
+                    self.cur,
+                    Inst::Bin {
+                        dst,
+                        op: irop,
+                        lhs: lv,
+                        rhs: rv,
+                    },
+                );
+                Ok(Some(dst))
+            }
+            Expr::Malloc(_) => {
+                // A fresh cell; its type is inferred from the declaration
+                // that consumes it — represented as int* by default and
+                // adjusted by `types_compatible`'s malloc rule.
+                let dst = self.f.new_value("m", Type::Int.ptr_to());
+                self.f.push_inst(self.cur, Inst::Alloc { dst });
+                Ok(Some(dst))
+            }
+            Expr::Call(name, args, span) => {
+                let sig = self
+                    .sigs
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown function `{name}`"), *span))?
+                    .clone();
+                if args.len() != sig.params.len() {
+                    return Err(self.err(
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                        *span,
+                    ));
+                }
+                let mut argv = Vec::with_capacity(args.len());
+                for (a, pt) in args.iter().zip(&sig.params) {
+                    let v = self.lower_expr(a, env)?;
+                    let vt = self.f.ty(v).clone();
+                    if !sig.polymorphic && !types_compatible(pt, &vt) {
+                        return Err(self.err(
+                            format!("argument type mismatch for `{name}`: expected {pt}, got {vt}"),
+                            a.span(),
+                        ));
+                    }
+                    argv.push(v);
+                }
+                let dsts = match &sig.ret {
+                    Some(rt) => {
+                        let dst = self.f.new_value("r", rt.clone());
+                        vec![dst]
+                    }
+                    None => vec![],
+                };
+                let ret = dsts.first().copied();
+                self.f.push_inst(
+                    self.cur,
+                    Inst::Call {
+                        dsts,
+                        callee: name.clone(),
+                        args: argv,
+                    },
+                );
+                Ok(ret)
+            }
+        }
+    }
+}
+
+/// Type compatibility: exact match, or a `malloc` cell (`int*`) used at any
+/// pointer type, or `null` (`int*`) used at any pointer type.
+fn types_compatible(expected: &Type, got: &Type) -> bool {
+    expected == got || (expected.is_ptr() && *got == Type::Int.ptr_to())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> Module {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    fn lower_err(src: &str) -> LowerError {
+        lower(&parse(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn straightline_function() {
+        let m = lower_src("fn main() { let p: int* = malloc(); free(p); return; }");
+        let f = &m.funcs[0];
+        assert_eq!(f.params.len(), 0);
+        assert!(f.ret_tys.is_empty());
+        // Alloc, Copy (let), Call (free).
+        let kinds: Vec<_> = f.iter_insts().map(|(_, i)| i.clone()).collect();
+        assert!(matches!(kinds[0], Inst::Alloc { .. }));
+        assert!(matches!(kinds[1], Inst::Copy { .. }));
+        assert!(matches!(kinds[2], Inst::Call { ref callee, .. } if callee == "free"));
+    }
+
+    #[test]
+    fn if_inserts_phi_for_divergent_variable() {
+        let m = lower_src(
+            "fn f(c: bool) -> int {
+                let x: int = 0;
+                if (c) { x = 1; } else { x = 2; }
+                return x;
+            }",
+        );
+        let f = &m.funcs[0];
+        let phis: Vec<_> = f
+            .iter_insts()
+            .filter(|(_, i)| matches!(i, Inst::Phi { .. }))
+            .collect();
+        assert_eq!(phis.len(), 1, "one φ for x at the join");
+    }
+
+    #[test]
+    fn unchanged_variable_needs_no_phi() {
+        let m = lower_src(
+            "fn f(c: bool) -> int {
+                let x: int = 0;
+                let y: int = 0;
+                if (c) { y = 1; } else { y = 2; }
+                return x;
+            }",
+        );
+        let f = &m.funcs[0];
+        let phi_names: Vec<&str> = f
+            .iter_insts()
+            .filter_map(|(_, i)| match i {
+                Inst::Phi { dst, .. } => Some(f.value(*dst).name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phi_names, vec!["y"]);
+    }
+
+    #[test]
+    fn multiple_returns_merge_in_exit_block() {
+        let m = lower_src(
+            "fn f(c: bool) -> int {
+                if (c) { return 1; }
+                return 2;
+            }",
+        );
+        let f = &m.funcs[0];
+        assert_eq!(f.return_values().len(), 1);
+        let rb = f.return_block().unwrap();
+        // The exit block φ-merges the two returned constants.
+        assert!(matches!(f.block(rb).insts.first(), Some(Inst::Phi { .. })));
+    }
+
+    #[test]
+    fn while_unrolls_to_guarded_iteration() {
+        let m = lower_src(
+            "fn f(n: int) {
+                let i: int = 0;
+                while (i < n) { i = i + 1; }
+                return;
+            }",
+        );
+        let f = &m.funcs[0];
+        // Acyclic CFG — topo_order must not panic.
+        let cfg = Cfg::new(f);
+        let order = cfg.topo_order(f.entry());
+        assert!(order.len() >= 3);
+    }
+
+    #[test]
+    fn globals_are_addresses() {
+        let m = lower_src(
+            "global g: int;
+             fn f(p: int**) { *p = g; return; }",
+        );
+        let f = &m.funcs[0];
+        assert!(f
+            .iter_insts()
+            .any(|(_, i)| matches!(i, Inst::GlobalAddr { .. })));
+        assert_eq!(m.globals.len(), 1);
+    }
+
+    #[test]
+    fn figure2_example_lowers() {
+        // The paper's Fig. 1/2 program in surface syntax.
+        let src = r#"
+            global gb: int;
+            fn foo(a: int*) {
+                let ptr: int** = malloc();
+                *ptr = a;
+                if (nondet_bool()) { bar(ptr); } else { qux(ptr); }
+                let f: int* = *ptr;
+                if (nondet_bool()) { print(*f); }
+                return;
+            }
+            fn bar(q: int**) {
+                let c: int* = malloc();
+                let t3: bool = *q != null;
+                if (t3) { *q = c; free(c); }
+                else { if (nondet_bool()) { *q = gb; } }
+                return;
+            }
+            fn qux(r: int**) {
+                if (nondet_bool()) { *r = null; } else { *r = null; }
+                return;
+            }
+        "#;
+        let m = lower_src(src);
+        assert_eq!(m.funcs.len(), 3);
+        assert!(m.func_by_name("foo").is_some());
+        // Each function must have a single return block.
+        for (_, f) in m.iter_funcs() {
+            assert!(f.return_block().is_some(), "{} has a return", f.name);
+        }
+    }
+
+    #[test]
+    fn type_error_let_mismatch() {
+        let e = lower_err("fn f() { let x: int = true; return; }");
+        assert!(e.message.contains("type mismatch"), "{}", e.message);
+    }
+
+    #[test]
+    fn type_error_branch_condition() {
+        let e = lower_err("fn f() { if (1) { } return; }");
+        assert!(e.message.contains("bool"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_unknown_variable() {
+        let e = lower_err("fn f() { x = 1; return; }");
+        assert!(e.message.contains("unknown variable"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_unknown_function() {
+        let e = lower_err("fn f() { g(); return; }");
+        assert!(e.message.contains("unknown function"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_arity_mismatch() {
+        let e = lower_err("fn g(x: int) { return; } fn f() { g(); return; }");
+        assert!(e.message.contains("argument"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_missing_return_value() {
+        let e = lower_err("fn f() -> int { return; }");
+        assert!(e.message.contains("return"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_fall_off_typed_function() {
+        let e = lower_err("fn f(c: bool) -> int { if (c) { return 1; } }");
+        assert!(e.message.contains("fall off"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_deref_non_pointer() {
+        let e = lower_err("fn f(x: int) { let y: int = *x; return; }");
+        assert!(e.message.contains("dereference"), "{}", e.message);
+    }
+
+    #[test]
+    fn nested_store_depth_checked() {
+        let m = lower_src("fn f(p: int**) { **p = 3; return; }");
+        let f = &m.funcs[0];
+        assert!(f
+            .iter_insts()
+            .any(|(_, i)| matches!(i, Inst::Store { depth: 2, .. })));
+        let e = lower_err("fn f(p: int*) { **p = 3; return; }");
+        assert!(e.message.contains("dereference"), "{}", e.message);
+    }
+
+    #[test]
+    fn dead_code_after_return_ignored() {
+        let m = lower_src("fn f() { return; free(null); }");
+        let f = &m.funcs[0];
+        assert_eq!(
+            f.iter_insts()
+                .filter(|(_, i)| matches!(i, Inst::Call { .. }))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn both_arms_return_makes_join_unreachable() {
+        let m = lower_src(
+            "fn f(c: bool) -> int {
+                if (c) { return 1; } else { return 2; }
+            }",
+        );
+        let f = &m.funcs[0];
+        assert!(f.return_block().is_some());
+    }
+}

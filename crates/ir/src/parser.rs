@@ -1,0 +1,538 @@
+//! Recursive-descent parser for the mini-language.
+
+use crate::ast::{BinOpKind, Expr, FuncDef, GlobalDef, Program, Span, Stmt, UnOpKind};
+use crate::lexer::{lex, LexError, Tok, Token};
+use crate::types::Type;
+use std::fmt;
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
+    }
+}
+
+/// Parses a whole program.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let src = "fn main() { let x: int = 1; return; }";
+/// let program = pinpoint_ir::parser::parse(src)?;
+/// assert_eq!(program.funcs.len(), 1);
+/// # Ok::<(), pinpoint_ir::parser::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            span: self.span(),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Global => prog.globals.push(self.global()?),
+                Tok::Fn => prog.funcs.push(self.func()?),
+                other => return Err(self.error(format!("expected `fn` or `global`, found {other}"))),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global(&mut self) -> Result<GlobalDef, ParseError> {
+        let span = self.span();
+        self.expect(Tok::Global)?;
+        let name = self.ident()?;
+        self.expect(Tok::Colon)?;
+        let ty = self.ty()?;
+        self.expect(Tok::Semi)?;
+        Ok(GlobalDef { name, ty, span })
+    }
+
+    fn func(&mut self) -> Result<FuncDef, ParseError> {
+        let span = self.span();
+        self.expect(Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let ty = self.ty()?;
+                params.push((pname, ty));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let ret_ty = if *self.peek() == Tok::Arrow {
+            self.bump();
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FuncDef {
+            name,
+            params,
+            ret_ty,
+            body,
+            span,
+        })
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let mut base = match self.bump() {
+            Tok::TyInt => Type::Int,
+            Tok::TyBool => Type::Bool,
+            other => return Err(self.error(format!("expected type, found {other}"))),
+        };
+        while *self.peek() == Tok::Star {
+            self.bump();
+            base = base.ptr_to();
+        }
+        Ok(base)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let ty = self.ty()?;
+                self.expect(Tok::Assign)?;
+                let init = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Let {
+                    name,
+                    ty,
+                    init,
+                    span,
+                })
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if *self.peek() == Tok::Else {
+                    self.bump();
+                    if *self.peek() == Tok::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span,
+                })
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            Tok::Return => {
+                self.bump();
+                if *self.peek() == Tok::Semi {
+                    self.bump();
+                    Ok(Stmt::Return(None, span))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Return(Some(e), span))
+                }
+            }
+            Tok::Star => {
+                // Store: one or more `*` then a primary expr, `=`, value.
+                let mut depth = 0u32;
+                while *self.peek() == Tok::Star {
+                    self.bump();
+                    depth += 1;
+                }
+                let ptr = self.primary()?;
+                self.expect(Tok::Assign)?;
+                let value = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Store {
+                    ptr,
+                    depth,
+                    value,
+                    span,
+                })
+            }
+            Tok::Ident(name) => {
+                // Assignment or expression statement (call).
+                if self.tokens[self.pos + 1].tok == Tok::Assign {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Assign { name, value, span })
+                } else {
+                    let e = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+            other => Err(self.error(format!("expected statement, found {other}"))),
+        }
+    }
+
+    // Precedence climbing: or < and < cmp < add < mul < unary < primary.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOpKind::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Tok::AndAnd {
+            let span = self.span();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOpKind::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => Some(BinOpKind::Eq),
+            Tok::NotEq => Some(BinOpKind::Ne),
+            Tok::Lt => Some(BinOpKind::Lt),
+            Tok::Le => Some(BinOpKind::Le),
+            Tok::Gt => Some(BinOpKind::Gt),
+            Tok::Ge => Some(BinOpKind::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let span = self.span();
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs), span))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOpKind::Add,
+                Tok::Minus => BinOpKind::Sub,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while *self.peek() == Tok::Star {
+            let span = self.span();
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(BinOpKind::Mul, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Un(UnOpKind::Neg, Box::new(e), span))
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Un(UnOpKind::Not, Box::new(e), span))
+            }
+            Tok::Star => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Deref(Box::new(e), span))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::True => Ok(Expr::Bool(true)),
+            Tok::False => Ok(Expr::Bool(false)),
+            Tok::Null => Ok(Expr::Null),
+            Tok::Malloc => {
+                self.expect(Tok::LParen)?;
+                self.expect(Tok::RParen)?;
+                Ok(Expr::Malloc(span))
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call(name, args, span))
+                } else {
+                    Ok(Expr::Var(name, span))
+                }
+            }
+            other => Err(ParseError {
+                message: format!("expected expression, found {other}"),
+                span,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_bar() {
+        let src = r#"
+            global gb: int*;
+            fn bar(q: int**) {
+                let c: int* = malloc();
+                if (*q != null) {
+                    *q = c;
+                    free(c);
+                } else {
+                    if (nondet_bool()) { *q = gb; }
+                }
+                return;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.name, "bar");
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.params[0].1, Type::int_ptr(2));
+        assert_eq!(f.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_nested_deref_store() {
+        let src = "fn f(p: int**) { **p = 3; return; }";
+        let prog = parse(src).unwrap();
+        match &prog.funcs[0].body[0] {
+            Stmt::Store { depth, .. } => assert_eq!(*depth, 2),
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = "fn f() -> int { return 1 + 2 * 3; }";
+        let prog = parse(src).unwrap();
+        match &prog.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Bin(BinOpKind::Add, _, rhs, _)), _) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOpKind::Mul, ..)));
+            }
+            other => panic!("expected return of addition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_precedence() {
+        // a || b && c parses as a || (b && c).
+        let src = "fn f(a: bool, b: bool, c: bool) -> bool { return a || b && c; }";
+        let prog = parse(src).unwrap();
+        match &prog.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Bin(BinOpKind::Or, _, rhs, _)), _) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOpKind::And, ..)));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = "fn f(a: bool, b: bool) { if (a) {} else if (b) {} else {} return; }";
+        let prog = parse(src).unwrap();
+        match &prog.funcs[0].body[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_loops_parse() {
+        let src = "fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } return; }";
+        let prog = parse(src).unwrap();
+        assert!(matches!(prog.funcs[0].body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn call_statement_and_expression() {
+        let src = "fn f(p: int*) -> int* { free(p); let x: int* = qux(p, 3); return x; }";
+        let prog = parse(src).unwrap();
+        assert!(matches!(prog.funcs[0].body[0], Stmt::Expr(Expr::Call(..))));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let src = "fn f() { let x: int = 1 return; }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("expected"), "{}", err);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "fn f() {\n  let x: int = @;\n}";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.span.line, 2);
+    }
+
+    #[test]
+    fn unary_chains() {
+        let src = "fn f(p: int**) -> int { return -**p; }";
+        let prog = parse(src).unwrap();
+        match &prog.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Un(UnOpKind::Neg, inner, _)), _) => {
+                assert!(matches!(**inner, Expr::Deref(..)));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Types of the mini-language and IR.
+//!
+//! The paper's formal language (§3) is untyped apart from the distinction
+//! between values and k-level pointers; we keep a small nominal type system
+//! (`int`, `bool`, and arbitrarily nested pointers) so that the front end
+//! can reject ill-formed programs early and the points-to analysis knows
+//! which values can carry addresses.
+
+use std::fmt;
+
+/// A mini-language type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Machine integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Pointer to a pointee type.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// Pointer to `self`.
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Pointer to `int` with the given indirection depth
+    /// (`int_ptr(0) = int`, `int_ptr(2) = int**`).
+    pub fn int_ptr(depth: usize) -> Type {
+        let mut t = Type::Int;
+        for _ in 0..depth {
+            t = t.ptr_to();
+        }
+        t
+    }
+
+    /// Returns the pointee type, if this is a pointer.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(inner) => Some(inner),
+            _ => None,
+        }
+    }
+
+    /// Number of pointer levels (`int** → 2`).
+    pub fn indirection(&self) -> usize {
+        match self {
+            Type::Ptr(inner) => 1 + inner.indirection(),
+            _ => 0,
+        }
+    }
+
+    /// Result type of dereferencing `k` times, if well-formed.
+    pub fn deref(&self, k: usize) -> Option<&Type> {
+        if k == 0 {
+            return Some(self);
+        }
+        self.pointee().and_then(|p| p.deref(k - 1))
+    }
+
+    /// `true` if the type is a pointer.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+            Type::Ptr(inner) => write!(f, "{inner}*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nested_pointers() {
+        assert_eq!(Type::int_ptr(2).to_string(), "int**");
+        assert_eq!(Type::Bool.ptr_to().to_string(), "bool*");
+    }
+
+    #[test]
+    fn indirection_counts_levels() {
+        assert_eq!(Type::Int.indirection(), 0);
+        assert_eq!(Type::int_ptr(3).indirection(), 3);
+    }
+
+    #[test]
+    fn deref_walks_levels() {
+        let t = Type::int_ptr(2);
+        assert_eq!(t.deref(0), Some(&Type::int_ptr(2)));
+        assert_eq!(t.deref(1), Some(&Type::int_ptr(1)));
+        assert_eq!(t.deref(2), Some(&Type::Int));
+        assert_eq!(t.deref(3), None);
+        assert_eq!(Type::Bool.deref(1), None);
+    }
+}

@@ -1,0 +1,341 @@
+//! The module-level points-to pipeline.
+//!
+//! Functions are processed bottom-up on the call graph (§3.3.2). For each
+//! function:
+//!
+//! 1. call sites are rewritten against the already-final connector shapes
+//!    of the callees (Fig. 3(b); same-SCC calls are skipped — the §4.2
+//!    rule of unrolling call-graph cycles once);
+//! 2. a first quasi path-sensitive points-to pass collects the function's
+//!    referenced/modified parameter-rooted access paths (Mod/Ref);
+//! 3. connectors (Aux formal parameters / Aux return values) are inserted
+//!    (Fig. 3(a));
+//! 4. a second pass over the transformed body produces the final guarded
+//!    points-to sets and the conditional memory def-use edges consumed by
+//!    the SEG builder.
+
+use crate::intra::{analyze_function_with, AuxParamBinding, FuncPta, PtaStats};
+use crate::symbols::Symbols;
+use crate::transform::{insert_connectors, rewrite_call_sites, AuxShape};
+use pinpoint_ir::{CallGraph, FuncId, Module};
+use pinpoint_smt::{LinearSolver, TermArena};
+
+/// Result of the whole-module pipeline.
+#[derive(Debug)]
+pub struct ModuleAnalysis {
+    /// Shared term arena (conditions of every function live here).
+    pub arena: TermArena,
+    /// Value-to-term cache.
+    pub symbols: Symbols,
+    /// The call graph used for ordering.
+    pub callgraph: CallGraph,
+    /// Connector shape per function (indexed by `FuncId`).
+    pub shapes: Vec<AuxShape>,
+    /// Points-to result per function (indexed by `FuncId`).
+    pub pta: Vec<FuncPta>,
+    /// The linear-time solver, retaining its statistics.
+    pub linear: LinearSolver,
+}
+
+impl ModuleAnalysis {
+    /// Aggregated pruning statistics across all functions.
+    pub fn total_stats(&self) -> PtaStats {
+        let mut total = PtaStats::default();
+        for p in &self.pta {
+            total.pruned += p.stats.pruned;
+            total.kept += p.stats.kept;
+            total.linear_checks += p.stats.linear_checks;
+        }
+        total
+    }
+
+    /// Connector shape of `f`.
+    pub fn shape(&self, f: FuncId) -> &AuxShape {
+        &self.shapes[f.0 as usize]
+    }
+
+    /// Points-to result of `f`.
+    pub fn func_pta(&self, f: FuncId) -> &FuncPta {
+        &self.pta[f.0 as usize]
+    }
+}
+
+/// Runs the pipeline, transforming `module` in place.
+///
+/// # Examples
+///
+/// ```
+/// let mut module = pinpoint_ir::compile(
+///     "fn set(q: int**, v: int*) { *q = v; return; }",
+/// ).unwrap();
+/// let analysis = pinpoint_pta::analyze_module(&mut module);
+/// let fid = module.func_by_name("set").unwrap();
+/// // *q is modified, so `set` gained an Aux return value.
+/// assert_eq!(analysis.shape(fid).aux_rets.len(), 1);
+/// ```
+pub fn analyze_module(module: &mut Module) -> ModuleAnalysis {
+    analyze_module_with(module, &PtaConfig::default())
+}
+
+/// Points-to pipeline options.
+#[derive(Debug, Clone, Copy)]
+pub struct PtaConfig {
+    /// Run the §3.1.1 linear-time contradiction pruning (`false` is the
+    /// ablation: keep every guarded fact).
+    pub prune: bool,
+}
+
+impl Default for PtaConfig {
+    fn default() -> Self {
+        PtaConfig { prune: true }
+    }
+}
+
+/// Runs the pipeline with explicit options.
+pub fn analyze_module_with(module: &mut Module, config: &PtaConfig) -> ModuleAnalysis {
+    let callgraph = CallGraph::new(module);
+    let mut arena = TermArena::new();
+    let mut symbols = Symbols::new();
+    let mut linear = LinearSolver::new();
+    let n = module.funcs.len();
+    let mut shapes: Vec<AuxShape> = vec![AuxShape::default(); n];
+    let mut pta: Vec<Option<FuncPta>> = (0..n).map(|_| None).collect();
+    let module_names: std::collections::HashMap<String, FuncId> = module
+        .iter_funcs()
+        .map(|(id, f)| (f.name.clone(), id))
+        .collect();
+
+    for &fid in &callgraph.bottom_up.clone() {
+        // 1. Rewrite call sites against finished callee shapes.
+        {
+            let shapes_ref = &shapes;
+            let cg = &callgraph;
+            let module_names = &module_names;
+            let caller = fid;
+            let lookup = |name: &str| -> Option<&AuxShape> {
+                let target = *module_names.get(name)?;
+                if cg.same_scc(caller, target) {
+                    return None; // recursion: summary unavailable
+                }
+                Some(&shapes_ref[target.0 as usize])
+            };
+            rewrite_call_sites(&mut module.funcs[fid.0 as usize], lookup);
+        }
+        // 2. Mod/Ref pass (pre-connector body).
+        let pass1 = analyze_function_with(
+            &mut arena,
+            &mut symbols,
+            &mut linear,
+            fid,
+            module.func(fid),
+            &[],
+            config.prune,
+        );
+        // 3. Insert connectors.
+        let shape = insert_connectors(module.func_mut(fid), &pass1.refs, &pass1.mods);
+        // 4. Final pass on the transformed body.
+        let bindings: Vec<AuxParamBinding> = shape
+            .aux_params
+            .iter()
+            .map(|&(path, value)| AuxParamBinding { path, value })
+            .collect();
+        let pass2 = analyze_function_with(
+            &mut arena,
+            &mut symbols,
+            &mut linear,
+            fid,
+            module.func(fid),
+            &bindings,
+            config.prune,
+        );
+        shapes[fid.0 as usize] = shape;
+        pta[fid.0 as usize] = Some(pass2);
+    }
+
+    ModuleAnalysis {
+        arena,
+        symbols,
+        callgraph,
+        shapes,
+        pta: pta.into_iter().map(|p| p.unwrap_or_default()).collect(),
+        linear,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::AccessPath;
+    use pinpoint_ir::{compile, Inst};
+
+    #[test]
+    fn figure2_pipeline_end_to_end() {
+        // The motivating example of Fig. 1/2.
+        let mut m = compile(
+            r#"
+            global gb: int;
+            fn foo(a: int*) {
+                let ptr: int** = malloc();
+                *ptr = a;
+                if (nondet_bool()) { bar(ptr); } else { qux(ptr); }
+                let f: int* = *ptr;
+                if (nondet_bool()) { print(*f); }
+                return;
+            }
+            fn bar(q: int**) {
+                let c: int* = malloc();
+                let t3: bool = *q != null;
+                if (t3) { *q = c; free(c); }
+                else { if (nondet_bool()) { *q = gb; } }
+                return;
+            }
+            fn qux(r: int**) {
+                if (nondet_bool()) { *r = null; } else { *r = null; }
+                return;
+            }
+            "#,
+        )
+        .unwrap();
+        let analysis = analyze_module(&mut m);
+        let bar = m.func_by_name("bar").unwrap();
+        let foo = m.func_by_name("foo").unwrap();
+        let qux = m.func_by_name("qux").unwrap();
+        // bar reads and writes *(q,1): one aux param (X), one aux ret (Y).
+        assert_eq!(analysis.shape(bar).aux_params.len(), 1);
+        assert_eq!(analysis.shape(bar).aux_rets.len(), 1);
+        // qux writes but (only conditionally) reads *(r,1): at least the
+        // aux return exists.
+        assert_eq!(analysis.shape(qux).aux_rets.len(), 1);
+        // foo's call sites were rewritten: the call to bar now has 2 args.
+        let f = m.func(foo);
+        let bar_call = f
+            .iter_insts()
+            .find_map(|(_, i)| match i {
+                Inst::Call { callee, args, dsts } if callee == "bar" => {
+                    Some((args.len(), dsts.len()))
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(bar_call, (2, 1), "bar(ptr, K) with receiver L");
+        // foo has no param-rooted side effects of its own (a is read only
+        // as a value), so no connectors on foo from memory paths.
+        assert!(analysis.shape(foo).aux_params.is_empty());
+        // In foo, the load f = *ptr must now see the store *ptr = L
+        // (the write-back of bar's aux return) and *ptr = M (qux's).
+        let foo_pta = analysis.func_pta(foo);
+        let src_names: Vec<&str> = foo_pta
+            .mem_deps
+            .iter()
+            .map(|d| f.value(d.src).name.as_str())
+            .collect();
+        assert!(
+            src_names.iter().any(|n| n.starts_with("aux_recv")),
+            "f = *ptr reads the written-back aux receiver, got {src_names:?}"
+        );
+    }
+
+    #[test]
+    fn deep_call_chain_propagates_paths() {
+        // inner writes *(q,1); middle just forwards; outer must see the
+        // effect through two levels of connectors.
+        let mut m = compile(
+            "fn inner(q: int**) { *q = null; return; }
+             fn middle(q: int**) { inner(q); return; }
+             fn outer(a: int*) -> int* {
+                let p: int** = malloc();
+                *p = a;
+                middle(p);
+                let r: int* = *p;
+                return r;
+             }",
+        )
+        .unwrap();
+        let analysis = analyze_module(&mut m);
+        let middle = m.func_by_name("middle").unwrap();
+        // middle's rewritten call to inner makes middle itself modify
+        // *(q,1), so middle gets an aux return too.
+        assert!(
+            analysis
+                .shape(middle)
+                .aux_rets
+                .contains(&(AccessPath { root: 0, depth: 1 }, analysis.shape(middle).aux_rets[0].1)),
+            "middle inherits the modification"
+        );
+        let outer = m.func_by_name("outer").unwrap();
+        let f = m.func(outer);
+        let pta = analysis.func_pta(outer);
+        let r_deps: Vec<&str> = pta
+            .mem_deps
+            .iter()
+            .map(|d| f.value(d.src).name.as_str())
+            .collect();
+        assert!(
+            r_deps.iter().any(|n| n.starts_with("aux_recv")),
+            "outer's load sees middle's write-back: {r_deps:?}"
+        );
+    }
+
+    #[test]
+    fn recursion_does_not_loop() {
+        let mut m = compile(
+            "fn f(q: int**, n: int) {
+                if (n > 0) { f(q, n - 1); }
+                *q = null;
+                return;
+             }",
+        )
+        .unwrap();
+        let analysis = analyze_module(&mut m);
+        let f = m.func_by_name("f").unwrap();
+        // The direct store still yields an aux return.
+        assert_eq!(analysis.shape(f).aux_rets.len(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate_across_functions() {
+        let mut m = compile(
+            "fn a(c: bool, p: int**) {
+                *p = null;
+                if (c) { let x: int* = *p; print(x); } else { *p = null; }
+                return;
+             }
+             fn b(c: bool, p: int**) {
+                if (c) { *p = null; } else { let x: int* = *p; print(x); }
+                return;
+             }",
+        )
+        .unwrap();
+        let analysis = analyze_module(&mut m);
+        let stats = analysis.total_stats();
+        assert!(stats.linear_checks > 0);
+        assert!(stats.kept > 0);
+    }
+
+    #[test]
+    fn read_only_chain_gets_aux_param_only() {
+        let mut m = compile(
+            "fn get(q: int**) -> int* {
+                let v: int* = *q;
+                return v;
+             }",
+        )
+        .unwrap();
+        let analysis = analyze_module(&mut m);
+        let f = m.func_by_name("get").unwrap();
+        assert_eq!(analysis.shape(f).aux_params.len(), 1);
+        assert!(analysis.shape(f).aux_rets.is_empty());
+        // The load now reads the entry store of the aux param.
+        let func = m.func(f);
+        let pta = analysis.func_pta(f);
+        let dep_srcs: Vec<&str> = pta
+            .mem_deps
+            .iter()
+            .map(|d| func.value(d.src).name.as_str())
+            .collect();
+        assert!(
+            dep_srcs.iter().any(|n| n.starts_with("aux_in")),
+            "v = *q reads F: {dep_srcs:?}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! `pinpoint-smt`: the constraint-solving substrate for the Pinpoint
+//! reproduction (PLDI 2018).
+//!
+//! Pinpoint delays all expensive path-feasibility reasoning to the bug
+//! detection stage, where whole value-flow path conditions are handed to an
+//! SMT solver (the paper uses Z3). This crate is a from-scratch substitute
+//! providing everything the analysis needs:
+//!
+//! * [`term`] — hash-consed condition terms shared across a function's
+//!   symbolic expression graph;
+//! * [`linear`] — the paper's §3.1.1 *linear-time contradiction solver*
+//!   (the `P(C)`/`N(C)` positive/negative atom-set rules) used during the
+//!   quasi path-sensitive points-to analysis;
+//! * [`sat`] — a CDCL SAT core (two-watched literals, 1UIP learning,
+//!   VSIDS activities, Luby restarts);
+//! * [`theory`] — EUF congruence closure plus Fourier–Motzkin linear
+//!   integer arithmetic;
+//! * [`solver`] — the lazy DPLL(T) loop combining the above.
+//!
+//! # Examples
+//!
+//! ```
+//! use pinpoint_smt::term::{Sort, TermArena};
+//! use pinpoint_smt::solver::{SmtResult, SmtSolver};
+//!
+//! let mut arena = TermArena::new();
+//! let theta1 = arena.var("theta1", Sort::Bool);
+//! let x = arena.var("x", Sort::Int);
+//! let zero = arena.int(0);
+//! let theta3 = arena.ne(x, zero);
+//! let path_condition = arena.and2(theta1, theta3);
+//!
+//! let mut solver = SmtSolver::new();
+//! assert_eq!(solver.check(&arena, path_condition), SmtResult::Sat);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod linear;
+pub mod sat;
+pub mod solver;
+pub mod term;
+pub mod theory;
+
+pub use linear::{LinearSolver, LinearVerdict};
+pub use solver::{SmtResult, SmtSolver};
+pub use term::{Sort, TermArena, TermId, TermKind};

@@ -1,0 +1,318 @@
+//! The linear-time contradiction solver of §3.1.1.
+//!
+//! During the intra-procedural points-to analysis Pinpoint must discard
+//! points-to relations that only hold on infeasible paths, but invoking a
+//! full SMT solver there would redo work that the bug-finding stage repeats
+//! anyway. The paper observes that more than 90% of the *unsatisfiable*
+//! conditions built at that stage contain an apparent contradiction of the
+//! form `a ∧ ¬a`, and detects them with a solver linear in the number of
+//! atomic constraints.
+//!
+//! For a condition `C` the solver computes two sets of atoms:
+//! `P(C)` (atoms that must hold positively) and `N(C)` (atoms that must hold
+//! negatively), using the rules from the paper:
+//!
+//! * `C = a` (atomic): `P = {a}`, `N = ∅`;
+//! * `C = ¬C₁`: `P = N(C₁)`, `N = P(C₁)`;
+//! * `C = C₁ ∧ C₂`: `P = P₁ ∪ P₂`, `N = N₁ ∪ N₂`;
+//! * `C = C₁ ∨ C₂`: `P = P₁ ∩ P₂`, `N = N₁ ∩ N₂`.
+//!
+//! If `P(C) ∩ N(C) ≠ ∅` then `C` contains `a ∧ ¬a` and is unsatisfiable.
+//! The converse does not hold — a condition the solver cannot refute may
+//! still be unsatisfiable — so callers treat [`LinearVerdict::Unknown`] as
+//! "possibly satisfiable".
+
+use crate::term::{TermArena, TermId, TermKind};
+use std::collections::HashMap;
+
+/// Outcome of the linear-time check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinearVerdict {
+    /// The condition contains an apparent contradiction `a ∧ ¬a`.
+    Unsat,
+    /// No apparent contradiction found; the condition may or may not be
+    /// satisfiable.
+    Unknown,
+}
+
+/// Sorted set of atom ids; small enough that `Vec` beats hash sets here.
+type AtomSet = Vec<TermId>;
+
+fn union(a: &AtomSet, b: &AtomSet) -> AtomSet {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn intersect(a: &AtomSet, b: &AtomSet) -> AtomSet {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn overlaps(a: &AtomSet, b: &AtomSet) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Linear-time contradiction checker with memoisation across queries.
+///
+/// The per-term `(P, N)` sets are cached, so repeatedly checking conditions
+/// that share structure (the common case on a symbolic expression graph,
+/// where conditions are hash-consed) costs amortised linear time in the
+/// number of *new* atoms.
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_smt::term::{Sort, TermArena};
+/// use pinpoint_smt::linear::{LinearSolver, LinearVerdict};
+///
+/// let mut arena = TermArena::new();
+/// let x = arena.var("x", Sort::Int);
+/// let zero = arena.int(0);
+/// let a = arena.eq(x, zero);
+/// let p = arena.var("p", Sort::Bool);
+/// let na = arena.not(a);
+/// let lhs = arena.and2(a, p);
+/// // (x = 0 ∧ p) ∧ ¬(x = 0): apparent contradiction
+/// // note: the arena itself already folds syntactically identical
+/// // complements, so we build the nesting through a disjunction.
+/// let c = arena.or2(lhs, na);
+/// let mut solver = LinearSolver::new();
+/// assert_eq!(solver.check(&arena, c), LinearVerdict::Unknown);
+/// ```
+#[derive(Debug, Default)]
+pub struct LinearSolver {
+    cache: HashMap<TermId, (AtomSet, AtomSet)>,
+    /// Number of `check` calls answered `Unsat`.
+    pub unsat_count: u64,
+    /// Number of `check` calls answered `Unknown`.
+    pub unknown_count: u64,
+}
+
+impl LinearSolver {
+    /// Creates a solver with an empty memo table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks `c` for an apparent contradiction.
+    pub fn check(&mut self, arena: &TermArena, c: TermId) -> LinearVerdict {
+        if arena.is_false(c) {
+            self.unsat_count += 1;
+            return LinearVerdict::Unsat;
+        }
+        let (p, n) = self.sets(arena, c);
+        if overlaps(&p, &n) {
+            self.unsat_count += 1;
+            LinearVerdict::Unsat
+        } else {
+            self.unknown_count += 1;
+            LinearVerdict::Unknown
+        }
+    }
+
+    /// Returns `(P(c), N(c))`, computing and memoising as needed.
+    fn sets(&mut self, arena: &TermArena, c: TermId) -> (AtomSet, AtomSet) {
+        if let Some(cached) = self.cache.get(&c) {
+            return cached.clone();
+        }
+        // Explicit stack: conditions can be deeply nested on long paths.
+        let mut stack = vec![c];
+        while let Some(&top) = stack.last() {
+            if self.cache.contains_key(&top) {
+                stack.pop();
+                continue;
+            }
+            let children: Vec<TermId> = match arena.kind(top) {
+                TermKind::Not(x) => vec![*x],
+                TermKind::And(xs) | TermKind::Or(xs) => xs.clone(),
+                _ => Vec::new(),
+            };
+            let pending: Vec<TermId> = children
+                .iter()
+                .copied()
+                .filter(|ch| !self.cache.contains_key(ch))
+                .collect();
+            if !pending.is_empty() {
+                stack.extend(pending);
+                continue;
+            }
+            stack.pop();
+            let entry = match arena.kind(top) {
+                TermKind::BoolConst(_) => (Vec::new(), Vec::new()),
+                TermKind::Not(x) => {
+                    let (p, n) = self.cache[x].clone();
+                    (n, p)
+                }
+                TermKind::And(xs) => {
+                    let mut p = Vec::new();
+                    let mut n = Vec::new();
+                    for x in xs {
+                        let (cp, cn) = &self.cache[x];
+                        p = union(&p, cp);
+                        n = union(&n, cn);
+                    }
+                    (p, n)
+                }
+                TermKind::Or(xs) => {
+                    let mut iter = xs.iter();
+                    let first = iter.next().expect("or is never empty after simplify");
+                    let (mut p, mut n) = self.cache[first].clone();
+                    for x in iter {
+                        let (cp, cn) = &self.cache[x];
+                        p = intersect(&p, cp);
+                        n = intersect(&n, cn);
+                    }
+                    (p, n)
+                }
+                // Atomic constraint (Var, Eq, Lt, Le over bool sort, or an
+                // Ite of boolean sort, which we treat opaquely).
+                _ => (vec![top], Vec::new()),
+            };
+            self.cache.insert(top, entry);
+        }
+        self.cache[&c].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    /// Builds `a ∧ ¬a` through opaque conjuncts so the arena's syntactic
+    /// complement folding does not fire, exercising the solver itself.
+    #[test]
+    fn detects_nested_contradiction() {
+        let mut arena = TermArena::new();
+        let x = arena.var("x", Sort::Int);
+        let zero = arena.int(0);
+        let a = arena.eq(x, zero);
+        let p = arena.var("p", Sort::Bool);
+        let q = arena.var("q", Sort::Bool);
+        let na = arena.not(a);
+        // (a ∧ p) ∧ (¬a ∧ q): contradiction hidden one level down.
+        let l = arena.and2(a, p);
+        let r = arena.and2(na, q);
+        // `and` flattens, so go through Or to keep the nesting honest:
+        // ((a∧p) ∨ false) ∧ ((¬a∧q) ∨ false) — but `or` simplifies too.
+        // Flattened and still works: the union rule must find a in P and N.
+        let c = arena.and2(l, r);
+        let mut s = LinearSolver::new();
+        assert_eq!(s.check(&arena, c), LinearVerdict::Unsat);
+    }
+
+    #[test]
+    fn disjunction_intersects() {
+        let mut arena = TermArena::new();
+        let a = arena.var("a", Sort::Bool);
+        let b = arena.var("b", Sort::Bool);
+        let na = arena.not(a);
+        // (a ∨ b) ∧ ¬a is satisfiable (b = true): P((a∨b)) = {} ∩ ... wait,
+        // P(a∨b) = P(a) ∩ P(b) = ∅, N(¬a) = ∅, P(¬a) = ∅, N contains a.
+        let lhs = arena.or2(a, b);
+        let c = arena.and2(lhs, na);
+        let mut s = LinearSolver::new();
+        assert_eq!(s.check(&arena, c), LinearVerdict::Unknown);
+    }
+
+    #[test]
+    fn disjunction_common_atom_detected() {
+        let mut arena = TermArena::new();
+        let a = arena.var("a", Sort::Bool);
+        let b = arena.var("b", Sort::Bool);
+        let c_ = arena.var("c", Sort::Bool);
+        let na = arena.not(a);
+        // (a∧b) ∨ (a∧c) has P = {a}; conjoined with ¬a ⇒ contradiction.
+        let l = arena.and2(a, b);
+        let r = arena.and2(a, c_);
+        let disj = arena.or2(l, r);
+        let cond = arena.and2(disj, na);
+        let mut s = LinearSolver::new();
+        assert_eq!(s.check(&arena, cond), LinearVerdict::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_stays_unknown() {
+        let mut arena = TermArena::new();
+        let a = arena.var("a", Sort::Bool);
+        let b = arena.var("b", Sort::Bool);
+        let nb = arena.not(b);
+        let c = arena.and2(a, nb);
+        let mut s = LinearSolver::new();
+        assert_eq!(s.check(&arena, c), LinearVerdict::Unknown);
+    }
+
+    #[test]
+    fn semantic_unsat_not_caught() {
+        // x < 0 ∧ 0 < x is unsatisfiable but not *apparently* contradictory:
+        // the linear solver must answer Unknown (the full solver catches it).
+        let mut arena = TermArena::new();
+        let x = arena.var("x", Sort::Int);
+        let zero = arena.int(0);
+        let l = arena.lt(x, zero);
+        let r = arena.lt(zero, x);
+        let c = arena.and2(l, r);
+        let mut s = LinearSolver::new();
+        assert_eq!(s.check(&arena, c), LinearVerdict::Unknown);
+    }
+
+    #[test]
+    fn false_constant_is_unsat() {
+        let mut arena = TermArena::new();
+        let f = arena.fls();
+        let mut s = LinearSolver::new();
+        assert_eq!(s.check(&arena, f), LinearVerdict::Unsat);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut arena = TermArena::new();
+        let a = arena.var("a", Sort::Bool);
+        let mut s = LinearSolver::new();
+        let _ = s.check(&arena, a);
+        let f = arena.fls();
+        let _ = s.check(&arena, f);
+        assert_eq!(s.unknown_count, 1);
+        assert_eq!(s.unsat_count, 1);
+    }
+}

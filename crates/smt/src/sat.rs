@@ -1,0 +1,689 @@
+//! CDCL SAT solver: the boolean core of the lazy SMT solver.
+//!
+//! A conventional conflict-driven clause-learning solver with two-watched
+//!-literal propagation, VSIDS-style variable activities, phase saving, 1UIP
+//! conflict analysis and Luby restarts. It is deliberately compact — the
+//! conditions Pinpoint emits are small compared to industrial SAT instances
+//! — but it is a complete solver, and the theory layer (see
+//! [`crate::theory`]) drives it through the incremental
+//! [`SatSolver::add_clause`] / [`SatSolver::solve`] interface.
+
+/// A boolean variable, identified by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BVar(pub u32);
+
+/// A literal: a variable with a polarity, encoded as `2*var + sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive or negative literal of `v`.
+    #[inline]
+    pub fn new(v: BVar, positive: bool) -> Self {
+        Lit(v.0 << 1 | u32::from(!positive))
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> BVar {
+        BVar(self.0 >> 1)
+    }
+
+    /// `true` for a positive literal.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    #[inline]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    #[inline]
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Result of a SAT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found.
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+}
+
+/// Reason for an assignment: either a decision or a propagating clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    Decision,
+    Clause(usize),
+}
+
+/// Aggregate statistics, used by the benchmark harness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SatStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts analysed.
+    pub conflicts: u64,
+    /// Number of restarts.
+    pub restarts: u64,
+}
+
+/// The CDCL solver.
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_smt::sat::{Lit, SatResult, SatSolver};
+///
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(vec![Lit::new(a, true), Lit::new(b, true)]);
+/// s.add_clause(vec![Lit::new(a, false)]);
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    /// watches[lit.code()] = clause indices watching that literal.
+    watches: Vec<Vec<usize>>,
+    assign: Vec<Value>,
+    reason: Vec<Reason>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    queue_head: usize,
+    activity: Vec<f64>,
+    activity_inc: f64,
+    saved_phase: Vec<bool>,
+    seen: Vec<bool>,
+    unsat: bool,
+    /// Statistics for the harness.
+    pub stats: SatStats,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self {
+            activity_inc: 1.0,
+            ..Self::default()
+        }
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Allocates a fresh boolean variable.
+    pub fn new_var(&mut self) -> BVar {
+        let v = BVar(u32::try_from(self.assign.len()).expect("too many SAT vars"));
+        self.assign.push(Value::Undef);
+        self.reason.push(Reason::Decision);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    fn lit_value(&self, l: Lit) -> Value {
+        match self.assign[l.var().0 as usize] {
+            Value::Undef => Value::Undef,
+            Value::True => {
+                if l.is_positive() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+            Value::False => {
+                if l.is_positive() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+        }
+    }
+
+    /// Adds a clause. An empty clause makes the instance trivially UNSAT.
+    /// Must be called at decision level 0 (i.e. between `solve` calls the
+    /// solver automatically backtracks to level 0).
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        self.backtrack_to(0);
+        if self.unsat {
+            return;
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology?
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // contains l and ¬l
+            }
+        }
+        // Remove literals already false at level 0; satisfied clause is a no-op.
+        let mut filtered = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            match self.lit_value(l) {
+                Value::True => return,
+                Value::False => {}
+                Value::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => self.unsat = true,
+            1 => {
+                let conflict =
+                    !self.enqueue(filtered[0], Reason::Decision) || self.propagate().is_some();
+                if conflict {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[filtered[0].negate().code()].push(idx);
+                self.watches[filtered[1].negate().code()].push(idx);
+                self.clauses.push(Clause {
+                    lits: filtered,
+                    learnt: false,
+                });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Reason) -> bool {
+        match self.lit_value(l) {
+            Value::True => true,
+            Value::False => false,
+            Value::Undef => {
+                let v = l.var().0 as usize;
+                self.assign[v] = if l.is_positive() {
+                    Value::True
+                } else {
+                    Value::False
+                };
+                self.reason[v] = reason;
+                self.level[v] = self.trail_lim.len() as u32;
+                self.saved_phase[v] = l.is_positive();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Propagates all enqueued literals; returns a conflicting clause index.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.queue_head < self.trail.len() {
+            let l = self.trail[self.queue_head];
+            self.queue_head += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let mut watch_list = std::mem::take(&mut self.watches[l.code()]);
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                // Ensure the false literal is at position 1.
+                let false_lit = l.negate();
+                {
+                    let c = &mut self.clauses[ci];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.lit_value(first) == Value::True {
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                let len = self.clauses[ci].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.lit_value(lk) != Value::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[lk.negate().code()].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict.
+                if !self.enqueue(first, Reason::Clause(ci)) {
+                    self.watches[l.code()] = watch_list;
+                    self.queue_head = self.trail.len();
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            let existing = std::mem::replace(&mut self.watches[l.code()], watch_list);
+            self.watches[l.code()].extend(existing);
+        }
+        None
+    }
+
+    fn bump(&mut self, v: BVar) {
+        let a = &mut self.activity[v.0 as usize];
+        *a += self.activity_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.activity_inc *= 1e-100;
+        }
+    }
+
+    /// 1UIP conflict analysis; returns (learnt clause, backtrack level).
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut clause_idx = conflict;
+        let mut trail_idx = self.trail.len();
+        let current_level = self.trail_lim.len() as u32;
+        loop {
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.clauses[clause_idx].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                let vi = v.0 as usize;
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.seen[vi] = true;
+                    self.bump(v);
+                    if self.level[vi] == current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next seen literal.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if self.seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found UIP candidate").var().0 as usize;
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            match self.reason[pv] {
+                Reason::Clause(ci) => clause_idx = ci,
+                Reason::Decision => unreachable!("non-UIP decision inside level"),
+            }
+        }
+        let asserting = p.expect("1UIP literal").negate();
+        for l in &learnt {
+            self.seen[l.var().0 as usize] = false;
+        }
+        // Backtrack level = max level among the other literals.
+        let bt = learnt
+            .iter()
+            .map(|l| self.level[l.var().0 as usize])
+            .max()
+            .unwrap_or(0);
+        let mut clause = vec![asserting];
+        clause.extend(learnt);
+        (clause, bt)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().expect("trail_lim nonempty");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail nonempty");
+                self.assign[l.var().0 as usize] = Value::Undef;
+            }
+        }
+        self.queue_head = self.trail.len().min(self.queue_head);
+        self.queue_head = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<(f64, usize)> = None;
+        for (v, val) in self.assign.iter().enumerate() {
+            if *val == Value::Undef {
+                let act = self.activity[v];
+                if best.is_none_or(|(ba, _)| act > ba) {
+                    best = Some((act, v));
+                }
+            }
+        }
+        best.map(|(_, v)| Lit::new(BVar(v as u32), self.saved_phase[v]))
+    }
+
+    fn luby(i: u64) -> u64 {
+        // Luby sequence 1 1 2 1 1 2 4 …, 0-based index.
+        let mut n = i + 1; // 1-based position
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < n {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == n {
+                return 1u64 << (k - 1);
+            }
+            n -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Solves the current clause set.
+    pub fn solve(&mut self) -> SatResult {
+        self.backtrack_to(0);
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_idx = 0u64;
+        let mut restart_limit = 32 * Self::luby(restart_idx);
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return SatResult::Unsat;
+                }
+                let (clause, bt) = self.analyze(conflict);
+                self.backtrack_to(bt);
+                self.activity_inc *= 1.05;
+                let asserting = clause[0];
+                if clause.len() == 1 {
+                    debug_assert_eq!(self.trail_lim.len(), 0);
+                    if !self.enqueue(asserting, Reason::Decision) {
+                        self.unsat = true;
+                        return SatResult::Unsat;
+                    }
+                } else {
+                    let idx = self.clauses.len();
+                    self.watches[clause[0].negate().code()].push(idx);
+                    self.watches[clause[1].negate().code()].push(idx);
+                    self.clauses.push(Clause {
+                        lits: clause,
+                        learnt: true,
+                    });
+                    let ok = self.enqueue(asserting, Reason::Clause(idx));
+                    debug_assert!(ok, "asserting literal must be enqueueable");
+                }
+            } else if conflicts_since_restart >= restart_limit {
+                self.stats.restarts += 1;
+                restart_idx += 1;
+                restart_limit = 32 * Self::luby(restart_idx);
+                conflicts_since_restart = 0;
+                self.backtrack_to(0);
+            } else {
+                match self.decide() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(l, Reason::Decision);
+                        debug_assert!(ok, "decision variable was unassigned");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value of `v` in the last satisfying assignment (if `solve` returned
+    /// `Sat` and `v` was assigned).
+    pub fn value(&self, v: BVar) -> Option<bool> {
+        match self.assign[v.0 as usize] {
+            Value::True => Some(true),
+            Value::False => Some(false),
+            Value::Undef => None,
+        }
+    }
+
+    /// Number of clauses currently stored (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of learnt (conflict-derived) clauses in the database.
+    pub fn num_learnt(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+
+    /// Returns `true` once the instance is known UNSAT.
+    pub fn is_unsat(&self) -> bool {
+        self.unsat
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops read naturally for PHP grids
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut SatSolver, vars: &mut Vec<BVar>, idx: usize, pos: bool) -> Lit {
+        while vars.len() <= idx {
+            vars.push(s.new_var());
+        }
+        Lit::new(vars[idx], pos)
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![Lit::new(a, true)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![Lit::new(a, true)]);
+        s.add_clause(vec![Lit::new(a, false)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = SatSolver::new();
+        let mut v = Vec::new();
+        // a, a→b, b→c, c→d ⇒ all true.
+        let a = lit(&mut s, &mut v, 0, true);
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![a],
+            vec![lit(&mut s, &mut v, 0, false), lit(&mut s, &mut v, 1, true)],
+            vec![lit(&mut s, &mut v, 1, false), lit(&mut s, &mut v, 2, true)],
+            vec![lit(&mut s, &mut v, 2, false), lit(&mut s, &mut v, 3, true)],
+        ];
+        for c in clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        for i in 0..4 {
+            assert_eq!(s.value(v[i]), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole: p1h1, p2h1, ¬p1h1 ∨ ¬p2h1.
+        let mut s = SatSolver::new();
+        let p1 = s.new_var();
+        let p2 = s.new_var();
+        s.add_clause(vec![Lit::new(p1, true)]);
+        s.add_clause(vec![Lit::new(p2, true)]);
+        s.add_clause(vec![Lit::new(p1, false), Lit::new(p2, false)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn learnt_clauses_recorded() {
+        // PHP(4,3) requires deep conflict analysis; non-unit learnt
+        // clauses must appear in the database (PHP(3,2) learns only unit
+        // clauses, which are asserted directly instead of stored).
+        let mut s = SatSolver::new();
+        let mut x = vec![vec![BVar(0); 3]; 4];
+        for row in x.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &x {
+            s.add_clause(row.iter().map(|&v| Lit::new(v, true)).collect());
+        }
+        for h in 0..3 {
+            for p1 in 0..4 {
+                for p2 in (p1 + 1)..4 {
+                    s.add_clause(vec![
+                        Lit::new(x[p1][h], false),
+                        Lit::new(x[p2][h], false),
+                    ]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.num_learnt() > 0);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // PHP(3,2): each pigeon in some hole; no two pigeons share a hole.
+        let mut s = SatSolver::new();
+        let mut x = [[BVar(0); 2]; 3];
+        for p in 0..3 {
+            for h in 0..2 {
+                x[p][h] = s.new_var();
+            }
+        }
+        for p in 0..3 {
+            s.add_clause(vec![Lit::new(x[p][0], true), Lit::new(x[p][1], true)]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause(vec![Lit::new(x[p1][h], false), Lit::new(x[p2][h], false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats.conflicts > 0, "requires search, not just propagation");
+    }
+
+    #[test]
+    fn satisfiable_3sat_random_shape() {
+        // A small satisfiable instance with multiple models.
+        let mut s = SatSolver::new();
+        let mut v = Vec::new();
+        let cs: Vec<Vec<(usize, bool)>> = vec![
+            vec![(0, true), (1, false), (2, true)],
+            vec![(0, false), (1, true), (3, true)],
+            vec![(2, false), (3, false), (4, true)],
+            vec![(1, true), (4, false), (0, true)],
+            vec![(3, true), (2, true), (1, false)],
+        ];
+        for c in &cs {
+            let clause: Vec<Lit> = c.iter().map(|&(i, p)| lit(&mut s, &mut v, i, p)).collect();
+            s.add_clause(clause);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        // Model check.
+        for c in &cs {
+            assert!(
+                c.iter()
+                    .any(|&(i, p)| s.value(v[i]) == Some(p) || s.value(v[i]).is_none()),
+                "clause {c:?} not satisfied"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_solving_after_sat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![Lit::new(a, true), Lit::new(b, true)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        // Force a and ¬b afterwards; still SAT.
+        s.add_clause(vec![Lit::new(a, true)]);
+        s.add_clause(vec![Lit::new(b, false)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.value(b), Some(false));
+        // Now contradict.
+        s.add_clause(vec![Lit::new(a, false)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautological_clause_ignored() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![Lit::new(a, true), Lit::new(a, false)]);
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new();
+        let _ = s.new_var();
+        s.add_clause(vec![]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(SatSolver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn lit_encoding_roundtrip() {
+        let v = BVar(7);
+        let l = Lit::new(v, true);
+        assert_eq!(l.var(), v);
+        assert!(l.is_positive());
+        let n = l.negate();
+        assert_eq!(n.var(), v);
+        assert!(!n.is_positive());
+        assert_eq!(n.negate(), l);
+    }
+}

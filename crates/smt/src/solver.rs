@@ -1,0 +1,447 @@
+//! The lazy DPLL(T) SMT solver used at Pinpoint's bug-detection stage.
+//!
+//! Path conditions harvested from the symbolic expression graph are boolean
+//! combinations of theory atoms. The solver Tseitin-encodes the boolean
+//! skeleton into CNF, runs the CDCL core, and on every propositional model
+//! checks the implied conjunction of theory literals with
+//! [`crate::theory::check_conjunction`]. Inconsistent models are excluded
+//! with a blocking clause and the loop repeats until either a
+//! theory-consistent model is found (`Sat`) or the CNF becomes
+//! unsatisfiable (`Unsat`).
+
+use crate::sat::{BVar, Lit, SatResult as CoreResult, SatSolver};
+use crate::term::{TermArena, TermId, TermKind};
+use crate::theory::{check_conjunction, TheoryLit, TheoryVerdict};
+use std::collections::HashMap;
+
+/// Result of an SMT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmtResult {
+    /// The formula is satisfiable (a theory-consistent model was found).
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+/// Statistics recorded across all queries of one [`SmtSolver`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SmtStats {
+    /// Number of `check` queries answered.
+    pub queries: u64,
+    /// Queries answered `Sat`.
+    pub sat: u64,
+    /// Queries answered `Unsat`.
+    pub unsat: u64,
+    /// Theory-consistency checks performed across all queries.
+    pub theory_checks: u64,
+    /// Blocking clauses added (propositional models refuted by theories).
+    pub theory_conflicts: u64,
+}
+
+/// A witness assignment for the boolean variables of a satisfiable query,
+/// mapping variable names to their values. Integer-sorted variables are
+/// not included (their theory models are not materialised); boolean
+/// branch conditions are what a bug report's witness needs.
+pub type BoolModel = Vec<(String, bool)>;
+
+/// A fresh solver instance per query keeps the implementation simple; this
+/// wrapper owns cross-query statistics.
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_smt::term::{Sort, TermArena};
+/// use pinpoint_smt::solver::{SmtResult, SmtSolver};
+///
+/// let mut arena = TermArena::new();
+/// let x = arena.var("x", Sort::Int);
+/// let zero = arena.int(0);
+/// let pos_x = arena.lt(zero, x);
+/// let neg_x = arena.lt(x, zero);
+/// let both = arena.and2(pos_x, neg_x);
+/// let mut solver = SmtSolver::new();
+/// assert_eq!(solver.check(&arena, both), SmtResult::Unsat);
+/// assert_eq!(solver.check(&arena, pos_x), SmtResult::Sat);
+/// ```
+#[derive(Debug, Default)]
+pub struct SmtSolver {
+    /// Aggregate statistics (exposed for the evaluation harness).
+    pub stats: SmtStats,
+    /// Bound on DPLL(T) model-refutation rounds per query; exceeded bound
+    /// conservatively answers `Sat` (a possibly-spurious bug report).
+    pub max_rounds: u32,
+}
+
+impl SmtSolver {
+    /// Creates a solver with the default round limit.
+    pub fn new() -> Self {
+        Self {
+            stats: SmtStats::default(),
+            max_rounds: 10_000,
+        }
+    }
+
+    /// Checks satisfiability of `formula` (a boolean term in `arena`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `formula` is not of boolean sort.
+    pub fn check(&mut self, arena: &TermArena, formula: TermId) -> SmtResult {
+        self.check_with_model(arena, formula).0
+    }
+
+    /// Like [`SmtSolver::check`], also returning a witness assignment of
+    /// the formula's free *boolean* variables when satisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `formula` is not of boolean sort.
+    pub fn check_with_model(
+        &mut self,
+        arena: &TermArena,
+        formula: TermId,
+    ) -> (SmtResult, BoolModel) {
+        assert_eq!(
+            arena.sort(formula),
+            crate::term::Sort::Bool,
+            "SMT query must be boolean"
+        );
+        self.stats.queries += 1;
+        let (result, model) = self.check_inner(arena, formula);
+        match result {
+            SmtResult::Sat => self.stats.sat += 1,
+            SmtResult::Unsat => self.stats.unsat += 1,
+        }
+        (result, model)
+    }
+
+    fn check_inner(&mut self, arena: &TermArena, formula: TermId) -> (SmtResult, BoolModel) {
+        if arena.is_true(formula) {
+            return (SmtResult::Sat, Vec::new());
+        }
+        if arena.is_false(formula) {
+            return (SmtResult::Unsat, Vec::new());
+        }
+        let mut enc = Encoder::new();
+        let root = enc.encode(arena, formula);
+        enc.sat.add_clause(vec![root]);
+        let mut rounds = 0u32;
+        loop {
+            match enc.sat.solve() {
+                CoreResult::Unsat => return (SmtResult::Unsat, Vec::new()),
+                CoreResult::Sat => {
+                    // Collect asserted theory literals from the model.
+                    let mut lits: Vec<TheoryLit> = Vec::new();
+                    let mut blocking: Vec<Lit> = Vec::new();
+                    for (&term, &bvar) in &enc.atom_vars {
+                        if let Some(value) = enc.sat.value(bvar) {
+                            // Plain boolean variables carry no theory
+                            // content; only Eq/Lt/Le atoms do.
+                            if matches!(
+                                arena.kind(term),
+                                TermKind::Eq(..) | TermKind::Lt(..) | TermKind::Le(..)
+                            ) {
+                                lits.push(TheoryLit {
+                                    atom: term,
+                                    positive: value,
+                                });
+                                blocking.push(Lit::new(bvar, !value));
+                            }
+                        }
+                    }
+                    self.stats.theory_checks += 1;
+                    match check_conjunction(arena, &lits) {
+                        TheoryVerdict::Consistent => {
+                            let model = enc.bool_model(arena);
+                            return (SmtResult::Sat, model);
+                        }
+                        TheoryVerdict::Conflict => {
+                            self.stats.theory_conflicts += 1;
+                            if blocking.is_empty() {
+                                // No atoms to refute: should not happen, but
+                                // avoid an infinite loop.
+                                return (SmtResult::Unsat, Vec::new());
+                            }
+                            enc.sat.add_clause(blocking);
+                        }
+                    }
+                }
+            }
+            rounds += 1;
+            if rounds >= self.max_rounds {
+                // Give up: treat as satisfiable (conservative for bug
+                // finding — may yield a false positive, never lose a path).
+                return (SmtResult::Sat, Vec::new());
+            }
+        }
+    }
+}
+
+/// Tseitin encoder: maps boolean subterms to SAT variables and emits the
+/// defining clauses.
+struct Encoder {
+    sat: SatSolver,
+    /// SAT variable for every boolean subterm (atoms and gates alike).
+    term_vars: HashMap<TermId, BVar>,
+    /// The subset of `term_vars` that are theory atoms or free booleans.
+    atom_vars: HashMap<TermId, BVar>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Self {
+            sat: SatSolver::new(),
+            term_vars: HashMap::new(),
+            atom_vars: HashMap::new(),
+        }
+    }
+
+    /// Returns the literal representing `t` (positive polarity).
+    fn encode(&mut self, arena: &TermArena, t: TermId) -> Lit {
+        if let Some(&v) = self.term_vars.get(&t) {
+            return Lit::new(v, true);
+        }
+        match arena.kind(t).clone() {
+            TermKind::BoolConst(b) => {
+                let v = self.fresh(t);
+                self.sat.add_clause(vec![Lit::new(v, b)]);
+                Lit::new(v, true)
+            }
+            TermKind::Not(x) => {
+                let inner = self.encode(arena, x);
+                // Reuse the inner variable with flipped polarity; cache via
+                // a gate variable to keep the map total.
+                let v = self.fresh(t);
+                let lv = Lit::new(v, true);
+                // v ↔ ¬inner
+                self.sat.add_clause(vec![lv.negate(), inner.negate()]);
+                self.sat.add_clause(vec![lv, inner]);
+                lv
+            }
+            TermKind::And(xs) => {
+                let children: Vec<Lit> = xs.iter().map(|&x| self.encode(arena, x)).collect();
+                let v = self.fresh(t);
+                let lv = Lit::new(v, true);
+                // v → each child; all children → v.
+                let mut long = vec![lv];
+                for c in &children {
+                    self.sat.add_clause(vec![lv.negate(), *c]);
+                    long.push(c.negate());
+                }
+                self.sat.add_clause(long);
+                lv
+            }
+            TermKind::Or(xs) => {
+                let children: Vec<Lit> = xs.iter().map(|&x| self.encode(arena, x)).collect();
+                let v = self.fresh(t);
+                let lv = Lit::new(v, true);
+                let mut long = vec![lv.negate()];
+                for c in &children {
+                    self.sat.add_clause(vec![lv, c.negate()]);
+                    long.push(*c);
+                }
+                self.sat.add_clause(long);
+                lv
+            }
+            TermKind::Ite(c, a, b) if arena.sort(t) == crate::term::Sort::Bool => {
+                let lc = self.encode(arena, c);
+                let la = self.encode(arena, a);
+                let lb = self.encode(arena, b);
+                let v = self.fresh(t);
+                let lv = Lit::new(v, true);
+                // v ↔ (c ? a : b)
+                self.sat.add_clause(vec![lc.negate(), la.negate(), lv]);
+                self.sat.add_clause(vec![lc.negate(), la, lv.negate()]);
+                self.sat.add_clause(vec![lc, lb.negate(), lv]);
+                self.sat.add_clause(vec![lc, lb, lv.negate()]);
+                lv
+            }
+            // Atoms: free boolean variables and theory predicates.
+            _ => {
+                let v = self.fresh(t);
+                self.atom_vars.insert(t, v);
+                Lit::new(v, true)
+            }
+        }
+    }
+
+    fn fresh(&mut self, t: TermId) -> BVar {
+        let v = self.sat.new_var();
+        self.term_vars.insert(t, v);
+        v
+    }
+
+    /// Extracts the current assignment of free boolean variables.
+    fn bool_model(&self, arena: &TermArena) -> BoolModel {
+        let mut model: BoolModel = self
+            .atom_vars
+            .iter()
+            .filter_map(|(&term, &bvar)| match arena.kind(term) {
+                TermKind::Var(name, crate::term::Sort::Bool) => self
+                    .sat
+                    .value(bvar)
+                    .map(|value| (name.clone(), value)),
+                _ => None,
+            })
+            .collect();
+        model.sort();
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    fn solver() -> SmtSolver {
+        SmtSolver::new()
+    }
+
+    #[test]
+    fn pure_boolean_sat_unsat() {
+        let mut a = TermArena::new();
+        let p = a.var("p", Sort::Bool);
+        let q = a.var("q", Sort::Bool);
+        let nq = a.not(q);
+        let f = a.and2(p, nq);
+        let mut s = solver();
+        assert_eq!(s.check(&a, f), SmtResult::Sat);
+        // (p ∨ q) ∧ ¬p ∧ ¬q
+        let pq = a.or2(p, q);
+        let np = a.not(p);
+        let g = a.and([pq, np, nq]);
+        assert_eq!(s.check(&a, g), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn theory_unsat_via_bounds() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let five = a.int(5);
+        let lo = a.lt(five, x);
+        let hi = a.lt(x, zero);
+        let f = a.and2(lo, hi);
+        let mut s = solver();
+        assert_eq!(s.check(&a, f), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn theory_guides_boolean_choice() {
+        // (x < 0 ∨ x > 10) ∧ x = 5 is unsat; ∧ x = 12 is sat.
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let ten = a.int(10);
+        let five = a.int(5);
+        let twelve = a.int(12);
+        let l = a.lt(x, zero);
+        let r = a.gt(x, ten);
+        let lr = a.or2(l, r);
+        let x5 = a.eq(x, five);
+        let x12 = a.eq(x, twelve);
+        let f_unsat = a.and2(lr, x5);
+        let f_sat = a.and2(lr, x12);
+        let mut s = solver();
+        assert_eq!(s.check(&a, f_unsat), SmtResult::Unsat);
+        assert_eq!(s.check(&a, f_sat), SmtResult::Sat);
+        assert!(s.stats.theory_conflicts > 0, "needed theory refutation");
+    }
+
+    #[test]
+    fn equality_transitivity_in_context() {
+        // p → x = y, p, y = 0, x ≠ 0 is unsat.
+        let mut a = TermArena::new();
+        let p = a.var("p", Sort::Bool);
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let zero = a.int(0);
+        let xy = a.eq(x, y);
+        let imp = a.implies(p, xy);
+        let y0 = a.eq(y, zero);
+        let nx0 = a.ne(x, zero);
+        let f = a.and([imp, p, y0, nx0]);
+        let mut s = solver();
+        assert_eq!(s.check(&a, f), SmtResult::Unsat);
+        // Without p it is satisfiable.
+        let g = a.and([imp, y0, nx0]);
+        assert_eq!(s.check(&a, g), SmtResult::Sat);
+    }
+
+    #[test]
+    fn value_flow_shaped_condition() {
+        // The shape Pinpoint emits for the Fig. 2 bug: θ1 ∧ θ3 ∧ θ2 with
+        // θ3 ⇔ (X ≠ 0) and the value-flow equalities; must be SAT.
+        let mut a = TermArena::new();
+        let t1 = a.var("theta1", Sort::Bool);
+        let t2 = a.var("theta2", Sort::Bool);
+        let x = a.var("X", Sort::Int);
+        let k = a.var("K", Sort::Int);
+        let c = a.var("c", Sort::Int);
+        let f_ = a.var("f", Sort::Int);
+        let zero = a.int(0);
+        let t3 = a.ne(x, zero);
+        let flow = [a.eq(k, x), a.eq(c, f_)];
+        let cond = a.and([t1, t2, t3, flow[0], flow[1]]);
+        let mut s = solver();
+        assert_eq!(s.check(&a, cond), SmtResult::Sat);
+    }
+
+    #[test]
+    fn constants_fold_to_immediate_answers() {
+        let mut a = TermArena::new();
+        let t = a.tru();
+        let f = a.fls();
+        let mut s = solver();
+        assert_eq!(s.check(&a, t), SmtResult::Sat);
+        assert_eq!(s.check(&a, f), SmtResult::Unsat);
+        assert_eq!(s.stats.queries, 2);
+    }
+
+    #[test]
+    fn boolean_ite_encoded() {
+        let mut a = TermArena::new();
+        let c = a.var("c", Sort::Bool);
+        let p = a.var("p", Sort::Bool);
+        let q = a.var("q", Sort::Bool);
+        let ite = a.ite(c, p, q);
+        // ite(c,p,q) ∧ c ∧ ¬p is unsat.
+        let np = a.not(p);
+        let f = a.and([ite, c, np]);
+        let mut s = solver();
+        assert_eq!(s.check(&a, f), SmtResult::Unsat);
+        // ite(c,p,q) ∧ ¬c ∧ q is sat.
+        let nc = a.not(c);
+        let g = a.and([ite, nc, q]);
+        assert_eq!(s.check(&a, g), SmtResult::Sat);
+    }
+
+    #[test]
+    fn deep_conjunction_of_independent_atoms() {
+        let mut a = TermArena::new();
+        let mut conj = Vec::new();
+        for i in 0..50 {
+            let x = a.var(format!("x{i}"), Sort::Int);
+            let c = a.int(i);
+            conj.push(a.eq(x, c));
+        }
+        let f = a.and(conj);
+        let mut s = solver();
+        assert_eq!(s.check(&a, f), SmtResult::Sat);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = TermArena::new();
+        let p = a.var("p", Sort::Bool);
+        let np = a.not(p);
+        let f = a.and2(p, np);
+        let mut s = solver();
+        let _ = s.check(&a, f);
+        let _ = s.check(&a, p);
+        assert_eq!(s.stats.queries, 2);
+        assert_eq!(s.stats.sat, 1);
+        assert_eq!(s.stats.unsat, 1);
+    }
+}

@@ -1,0 +1,632 @@
+//! Hash-consed term representation for path conditions.
+//!
+//! Every condition manipulated by the analysis — branch conditions, gating
+//! conditions of φ-assignments, data-dependence guards, and whole path
+//! conditions — is a [`TermId`] pointing into a [`TermArena`]. Terms are
+//! *hash-consed*: structurally equal terms are represented by the same id,
+//! so equality is `O(1)` and the condition DAG shared across a function's
+//! symbolic expression graph is stored exactly once.
+//!
+//! The term language mirrors what Pinpoint's analysis emits: boolean
+//! structure (`and`/`or`/`not`/`ite`), equalities and integer comparisons
+//! between symbolic values, and linear integer arithmetic. Anything beyond
+//! that (e.g. a product of two variables) is still representable and is
+//! treated as an opaque function application by the theory solver.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Sort (type) of a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// Boolean sort.
+    Bool,
+    /// Mathematical integer sort (models program integers and pointers).
+    Int,
+}
+
+/// Identifier of a hash-consed term inside a [`TermArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Returns the raw index of this term.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Structure of a term. Children are [`TermId`]s into the same arena.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermKind {
+    /// Boolean constant `true`/`false`.
+    BoolConst(bool),
+    /// Integer constant.
+    IntConst(i64),
+    /// Free variable (uninterpreted constant) with a name and sort.
+    Var(String, Sort),
+    /// Logical negation of a boolean term.
+    Not(TermId),
+    /// N-ary conjunction (flattened, deduplicated, sorted).
+    And(Vec<TermId>),
+    /// N-ary disjunction (flattened, deduplicated, sorted).
+    Or(Vec<TermId>),
+    /// If-then-else; condition is boolean, branches share a sort.
+    Ite(TermId, TermId, TermId),
+    /// Equality between two terms of the same sort (arguments sorted).
+    Eq(TermId, TermId),
+    /// Strict less-than over integers.
+    Lt(TermId, TermId),
+    /// Non-strict less-than over integers.
+    Le(TermId, TermId),
+    /// N-ary integer addition (flattened, sorted).
+    Add(Vec<TermId>),
+    /// Integer subtraction.
+    Sub(TermId, TermId),
+    /// Integer multiplication (binary).
+    Mul(TermId, TermId),
+    /// Integer negation.
+    Neg(TermId),
+}
+
+/// Arena owning all terms; the sole way to create or inspect terms.
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_smt::term::{Sort, TermArena};
+///
+/// let mut arena = TermArena::new();
+/// let x = arena.var("x", Sort::Bool);
+/// let not_x = arena.not(x);
+/// let not_not_x = arena.not(not_x);
+/// // hash-consing + simplification: ¬¬x is the same term as x
+/// assert_eq!(x, not_not_x);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct TermArena {
+    terms: Vec<TermKind>,
+    sorts: Vec<Sort>,
+    consed: HashMap<TermKind, TermId>,
+}
+
+impl TermArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms created so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if no terms have been created.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns the structure of `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` was produced by a different arena.
+    pub fn kind(&self, t: TermId) -> &TermKind {
+        &self.terms[t.index()]
+    }
+
+    /// Returns the sort of `t`.
+    pub fn sort(&self, t: TermId) -> Sort {
+        self.sorts[t.index()]
+    }
+
+    fn intern(&mut self, kind: TermKind, sort: Sort) -> TermId {
+        if let Some(&id) = self.consed.get(&kind) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term arena overflow"));
+        self.terms.push(kind.clone());
+        self.sorts.push(sort);
+        self.consed.insert(kind, id);
+        id
+    }
+
+    /// The constant `true`.
+    pub fn tru(&mut self) -> TermId {
+        self.intern(TermKind::BoolConst(true), Sort::Bool)
+    }
+
+    /// The constant `false`.
+    pub fn fls(&mut self) -> TermId {
+        self.intern(TermKind::BoolConst(false), Sort::Bool)
+    }
+
+    /// Boolean constant.
+    pub fn bool_const(&mut self, b: bool) -> TermId {
+        self.intern(TermKind::BoolConst(b), Sort::Bool)
+    }
+
+    /// Integer constant.
+    pub fn int(&mut self, v: i64) -> TermId {
+        self.intern(TermKind::IntConst(v), Sort::Int)
+    }
+
+    /// Free variable of the given sort. Two calls with the same name and
+    /// sort return the same term.
+    pub fn var(&mut self, name: impl Into<String>, sort: Sort) -> TermId {
+        self.intern(TermKind::Var(name.into(), sort), sort)
+    }
+
+    /// Negation, with simplification: `¬true = false`, `¬¬x = x`.
+    pub fn not(&mut self, t: TermId) -> TermId {
+        debug_assert_eq!(self.sort(t), Sort::Bool);
+        match self.kind(t) {
+            TermKind::BoolConst(b) => {
+                let b = !b;
+                self.bool_const(b)
+            }
+            TermKind::Not(inner) => *inner,
+            _ => self.intern(TermKind::Not(t), Sort::Bool),
+        }
+    }
+
+    /// N-ary conjunction with flattening, deduplication, unit laws and
+    /// complement detection (`x ∧ ¬x = false`).
+    pub fn and(&mut self, ts: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut flat: Vec<TermId> = Vec::new();
+        for t in ts {
+            match self.kind(t) {
+                TermKind::BoolConst(true) => {}
+                TermKind::BoolConst(false) => return self.fls(),
+                TermKind::And(children) => flat.extend(children.iter().copied()),
+                _ => flat.push(t),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        // x ∧ ¬x = false
+        for &t in &flat {
+            if let TermKind::Not(inner) = self.kind(t) {
+                if flat.binary_search(inner).is_ok() {
+                    return self.fls();
+                }
+            }
+        }
+        match flat.len() {
+            0 => self.tru(),
+            1 => flat[0],
+            _ => self.intern(TermKind::And(flat), Sort::Bool),
+        }
+    }
+
+    /// Binary conjunction convenience wrapper over [`TermArena::and`].
+    pub fn and2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.and([a, b])
+    }
+
+    /// N-ary disjunction with flattening, deduplication, unit laws and
+    /// complement detection (`x ∨ ¬x = true`).
+    pub fn or(&mut self, ts: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut flat: Vec<TermId> = Vec::new();
+        for t in ts {
+            match self.kind(t) {
+                TermKind::BoolConst(false) => {}
+                TermKind::BoolConst(true) => return self.tru(),
+                TermKind::Or(children) => flat.extend(children.iter().copied()),
+                _ => flat.push(t),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        for &t in &flat {
+            if let TermKind::Not(inner) = self.kind(t) {
+                if flat.binary_search(inner).is_ok() {
+                    return self.tru();
+                }
+            }
+        }
+        match flat.len() {
+            0 => self.fls(),
+            1 => flat[0],
+            _ => self.intern(TermKind::Or(flat), Sort::Bool),
+        }
+    }
+
+    /// Binary disjunction convenience wrapper over [`TermArena::or`].
+    pub fn or2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.or([a, b])
+    }
+
+    /// Implication `a ⇒ b`, encoded as `¬a ∨ b`.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        let na = self.not(a);
+        self.or2(na, b)
+    }
+
+    /// If-then-else with constant-condition and equal-branch simplification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not boolean or the branches have different sorts.
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        assert_eq!(self.sort(c), Sort::Bool, "ite condition must be boolean");
+        assert_eq!(self.sort(t), self.sort(e), "ite branches must share a sort");
+        match self.kind(c) {
+            TermKind::BoolConst(true) => return t,
+            TermKind::BoolConst(false) => return e,
+            _ => {}
+        }
+        if t == e {
+            return t;
+        }
+        let sort = self.sort(t);
+        self.intern(TermKind::Ite(c, t, e), sort)
+    }
+
+    /// Equality with reflexivity and constant folding; arguments are
+    /// canonically ordered so `eq(a, b) == eq(b, a)`.
+    ///
+    /// Boolean equality is expanded structurally into an *iff*
+    /// (`(a ∧ b) ∨ (¬a ∧ ¬b)`) so the SAT core reasons through it; only
+    /// integer equality becomes a theory atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arguments have different sorts.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        assert_eq!(self.sort(a), self.sort(b), "eq arguments must share a sort");
+        if a == b {
+            return self.tru();
+        }
+        if let (TermKind::IntConst(x), TermKind::IntConst(y)) = (self.kind(a), self.kind(b)) {
+            let r = x == y;
+            return self.bool_const(r);
+        }
+        if self.sort(a) == Sort::Bool {
+            let na = self.not(a);
+            let nb = self.not(b);
+            let both = self.and2(a, b);
+            let neither = self.and2(na, nb);
+            return self.or2(both, neither);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(TermKind::Eq(a, b), Sort::Bool)
+    }
+
+    /// Disequality `a ≠ b`, encoded as `¬(a = b)`.
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Strict integer comparison `a < b` with constant folding.
+    pub fn lt(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Int);
+        debug_assert_eq!(self.sort(b), Sort::Int);
+        if a == b {
+            return self.fls();
+        }
+        if let (TermKind::IntConst(x), TermKind::IntConst(y)) = (self.kind(a), self.kind(b)) {
+            let r = x < y;
+            return self.bool_const(r);
+        }
+        self.intern(TermKind::Lt(a, b), Sort::Bool)
+    }
+
+    /// Non-strict integer comparison `a ≤ b` with constant folding.
+    pub fn le(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Int);
+        debug_assert_eq!(self.sort(b), Sort::Int);
+        if a == b {
+            return self.tru();
+        }
+        if let (TermKind::IntConst(x), TermKind::IntConst(y)) = (self.kind(a), self.kind(b)) {
+            let r = x <= y;
+            return self.bool_const(r);
+        }
+        self.intern(TermKind::Le(a, b), Sort::Bool)
+    }
+
+    /// Strict integer comparison `a > b`, encoded as `b < a`.
+    pub fn gt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.lt(b, a)
+    }
+
+    /// Non-strict integer comparison `a ≥ b`, encoded as `b ≤ a`.
+    pub fn ge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.le(b, a)
+    }
+
+    /// N-ary integer addition with flattening and constant folding.
+    pub fn add(&mut self, ts: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut flat: Vec<TermId> = Vec::new();
+        let mut konst: i64 = 0;
+        for t in ts {
+            match self.kind(t) {
+                TermKind::IntConst(v) => konst = konst.wrapping_add(*v),
+                TermKind::Add(children) => {
+                    for &c in children {
+                        if let TermKind::IntConst(v) = self.kind(c) {
+                            konst = konst.wrapping_add(*v);
+                        } else {
+                            flat.push(c);
+                        }
+                    }
+                }
+                _ => flat.push(t),
+            }
+        }
+        if konst != 0 || flat.is_empty() {
+            let k = self.int(konst);
+            flat.push(k);
+        }
+        flat.sort_unstable();
+        match flat.len() {
+            1 => flat[0],
+            _ => self.intern(TermKind::Add(flat), Sort::Int),
+        }
+    }
+
+    /// Binary integer addition.
+    pub fn add2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.add([a, b])
+    }
+
+    /// Integer subtraction with constant folding and `a - a = 0`.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.int(0);
+        }
+        if let (TermKind::IntConst(x), TermKind::IntConst(y)) = (self.kind(a), self.kind(b)) {
+            let v = x.wrapping_sub(*y);
+            return self.int(v);
+        }
+        if let TermKind::IntConst(0) = self.kind(b) {
+            return a;
+        }
+        self.intern(TermKind::Sub(a, b), Sort::Int)
+    }
+
+    /// Integer multiplication with constant folding and unit/zero laws.
+    pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+        if let (TermKind::IntConst(x), TermKind::IntConst(y)) = (self.kind(a), self.kind(b)) {
+            let v = x.wrapping_mul(*y);
+            return self.int(v);
+        }
+        for (k, other) in [(a, b), (b, a)] {
+            match self.kind(k) {
+                TermKind::IntConst(0) => return self.int(0),
+                TermKind::IntConst(1) => return other,
+                _ => {}
+            }
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(TermKind::Mul(a, b), Sort::Int)
+    }
+
+    /// Integer negation with folding.
+    pub fn neg(&mut self, a: TermId) -> TermId {
+        match self.kind(a) {
+            TermKind::IntConst(v) => {
+                let v = v.wrapping_neg();
+                self.int(v)
+            }
+            TermKind::Neg(inner) => *inner,
+            _ => self.intern(TermKind::Neg(a), Sort::Int),
+        }
+    }
+
+    /// Returns `true` if `t` is the constant `true`.
+    pub fn is_true(&self, t: TermId) -> bool {
+        matches!(self.kind(t), TermKind::BoolConst(true))
+    }
+
+    /// Returns `true` if `t` is the constant `false`.
+    pub fn is_false(&self, t: TermId) -> bool {
+        matches!(self.kind(t), TermKind::BoolConst(false))
+    }
+
+    /// Returns `true` if `t` is an *atomic constraint* in the paper's sense
+    /// (§3.1.1): a boolean term that is not built from `∧`, `∨`, `¬`.
+    pub fn is_atom(&self, t: TermId) -> bool {
+        self.sort(t) == Sort::Bool
+            && !matches!(
+                self.kind(t),
+                TermKind::And(_) | TermKind::Or(_) | TermKind::Not(_) | TermKind::BoolConst(_)
+            )
+    }
+
+    /// Pretty-prints a term as an S-expression.
+    pub fn display(&self, t: TermId) -> String {
+        let mut s = String::new();
+        self.write_sexpr(t, &mut s);
+        s
+    }
+
+    fn write_sexpr(&self, t: TermId, out: &mut String) {
+        use std::fmt::Write;
+        match self.kind(t) {
+            TermKind::BoolConst(b) => {
+                let _ = write!(out, "{b}");
+            }
+            TermKind::IntConst(v) => {
+                let _ = write!(out, "{v}");
+            }
+            TermKind::Var(name, _) => out.push_str(name),
+            TermKind::Not(x) => {
+                out.push_str("(not ");
+                self.write_sexpr(*x, out);
+                out.push(')');
+            }
+            TermKind::And(xs) => self.write_nary("and", xs, out),
+            TermKind::Or(xs) => self.write_nary("or", xs, out),
+            TermKind::Add(xs) => self.write_nary("+", xs, out),
+            TermKind::Ite(c, a, b) => {
+                out.push_str("(ite ");
+                self.write_sexpr(*c, out);
+                out.push(' ');
+                self.write_sexpr(*a, out);
+                out.push(' ');
+                self.write_sexpr(*b, out);
+                out.push(')');
+            }
+            TermKind::Eq(a, b) => self.write_bin("=", *a, *b, out),
+            TermKind::Lt(a, b) => self.write_bin("<", *a, *b, out),
+            TermKind::Le(a, b) => self.write_bin("<=", *a, *b, out),
+            TermKind::Sub(a, b) => self.write_bin("-", *a, *b, out),
+            TermKind::Mul(a, b) => self.write_bin("*", *a, *b, out),
+            TermKind::Neg(a) => {
+                out.push_str("(- ");
+                self.write_sexpr(*a, out);
+                out.push(')');
+            }
+        }
+    }
+
+    fn write_nary(&self, op: &str, xs: &[TermId], out: &mut String) {
+        out.push('(');
+        out.push_str(op);
+        for &x in xs {
+            out.push(' ');
+            self.write_sexpr(x, out);
+        }
+        out.push(')');
+    }
+
+    fn write_bin(&self, op: &str, a: TermId, b: TermId, out: &mut String) {
+        out.push('(');
+        out.push_str(op);
+        out.push(' ');
+        self.write_sexpr(a, out);
+        out.push(' ');
+        self.write_sexpr(b, out);
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut a = TermArena::new();
+        let x1 = a.var("x", Sort::Int);
+        let x2 = a.var("x", Sort::Int);
+        assert_eq!(x1, x2);
+        let y = a.var("y", Sort::Int);
+        let e1 = a.eq(x1, y);
+        let e2 = a.eq(y, x1);
+        assert_eq!(e1, e2, "eq is canonically ordered");
+    }
+
+    #[test]
+    fn and_simplifies_units_and_complements() {
+        let mut a = TermArena::new();
+        let p = a.var("p", Sort::Bool);
+        let t = a.tru();
+        let f = a.fls();
+        assert_eq!(a.and([p, t]), p);
+        assert_eq!(a.and([p, f]), f);
+        let np = a.not(p);
+        let contradiction = a.and([p, np]);
+        assert!(a.is_false(contradiction));
+    }
+
+    #[test]
+    fn or_simplifies_units_and_complements() {
+        let mut a = TermArena::new();
+        let p = a.var("p", Sort::Bool);
+        let f = a.fls();
+        assert_eq!(a.or([p, f]), p);
+        let np = a.not(p);
+        let taut = a.or([p, np]);
+        assert!(a.is_true(taut));
+    }
+
+    #[test]
+    fn and_flattens_nested() {
+        let mut a = TermArena::new();
+        let p = a.var("p", Sort::Bool);
+        let q = a.var("q", Sort::Bool);
+        let r = a.var("r", Sort::Bool);
+        let pq = a.and2(p, q);
+        let pqr = a.and2(pq, r);
+        match a.kind(pqr) {
+            TermKind::And(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_folds_constants() {
+        let mut a = TermArena::new();
+        let two = a.int(2);
+        let three = a.int(3);
+        assert_eq!(a.add2(two, three), a.int(5));
+        assert_eq!(a.mul(two, three), a.int(6));
+        assert_eq!(a.sub(three, two), a.int(1));
+        let x = a.var("x", Sort::Int);
+        assert_eq!(a.sub(x, x), a.int(0));
+        let zero = a.int(0);
+        assert_eq!(a.mul(zero, x), a.int(0));
+        let one = a.int(1);
+        assert_eq!(a.mul(one, x), x);
+    }
+
+    #[test]
+    fn comparisons_fold() {
+        let mut a = TermArena::new();
+        let two = a.int(2);
+        let three = a.int(3);
+        let lt = a.lt(two, three);
+        assert!(a.is_true(lt));
+        let x = a.var("x", Sort::Int);
+        let le_refl = a.le(x, x);
+        assert!(a.is_true(le_refl));
+        let lt_irrefl = a.lt(x, x);
+        assert!(a.is_false(lt_irrefl));
+    }
+
+    #[test]
+    fn ite_simplifies() {
+        let mut a = TermArena::new();
+        let c = a.var("c", Sort::Bool);
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let t = a.tru();
+        assert_eq!(a.ite(t, x, y), x);
+        assert_eq!(a.ite(c, x, x), x);
+    }
+
+    #[test]
+    fn atoms_are_recognised() {
+        let mut a = TermArena::new();
+        let p = a.var("p", Sort::Bool);
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let e = a.eq(x, zero);
+        assert!(a.is_atom(p));
+        assert!(a.is_atom(e));
+        let np = a.not(p);
+        assert!(!a.is_atom(np));
+        let conj = a.and2(p, e);
+        assert!(!a.is_atom(conj));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let atom = a.ne(x, zero);
+        assert_eq!(a.display(atom), "(not (= x 0))");
+    }
+}

@@ -1,0 +1,770 @@
+//! Theory reasoning for the lazy DPLL(T) loop.
+//!
+//! Two cooperating decision procedures check a conjunction of asserted
+//! theory literals for consistency:
+//!
+//! * **EUF**: congruence closure over the term DAG. Asserted equalities
+//!   merge classes; congruent applications (same kind, class-equal
+//!   children) are merged transitively; an asserted disequality whose
+//!   sides end up in the same class is a conflict.
+//! * **Linear integer arithmetic**: atoms are normalised into linear
+//!   inequalities `Σ cᵢ·bᵢ ≤ k` over *base* terms (variables and opaque
+//!   non-linear subterms) and checked by Fourier–Motzkin elimination over
+//!   the rationals, with disequality handling by entailment probing.
+//!
+//! The combination is deliberately partial (no full Nelson–Oppen equality
+//! propagation, rational relaxation of integer constraints): the solver may
+//! answer *consistent* for a conjunction that is integer-infeasible in a
+//! corner case, which in Pinpoint's setting can only produce a spurious
+//! report, never a missed one along an explored path. Both procedures are
+//! complete for the conflicts the analysis actually generates (value-flow
+//! equalities, branch atoms, null/range comparisons).
+
+use crate::term::{TermArena, TermId, TermKind};
+use std::collections::HashMap;
+
+/// An asserted theory literal: an atom and its assigned polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TheoryLit {
+    /// The atomic constraint (see [`TermArena::is_atom`]).
+    pub atom: TermId,
+    /// `true` if asserted positively.
+    pub positive: bool,
+}
+
+/// Verdict of a theory consistency check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TheoryVerdict {
+    /// The conjunction of asserted literals is theory-consistent (up to the
+    /// documented incompleteness).
+    Consistent,
+    /// The conjunction is inconsistent.
+    Conflict,
+}
+
+// ---------------------------------------------------------------------------
+// Congruence closure
+// ---------------------------------------------------------------------------
+
+/// Union–find with congruence closure over a slice of relevant terms.
+#[derive(Debug)]
+struct Congruence {
+    parent: HashMap<TermId, TermId>,
+}
+
+impl Congruence {
+    fn new() -> Self {
+        Self {
+            parent: HashMap::new(),
+        }
+    }
+
+    fn find(&mut self, t: TermId) -> TermId {
+        let p = *self.parent.get(&t).unwrap_or(&t);
+        if p == t {
+            return t;
+        }
+        let root = self.find(p);
+        self.parent.insert(t, root);
+        root
+    }
+
+    fn union(&mut self, a: TermId, b: TermId) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.parent.insert(ra, rb);
+        true
+    }
+}
+
+/// Children of a term, for congruence purposes.
+fn children(arena: &TermArena, t: TermId) -> Vec<TermId> {
+    match arena.kind(t) {
+        TermKind::Not(a) | TermKind::Neg(a) => vec![*a],
+        TermKind::Eq(a, b)
+        | TermKind::Lt(a, b)
+        | TermKind::Le(a, b)
+        | TermKind::Sub(a, b)
+        | TermKind::Mul(a, b) => vec![*a, *b],
+        TermKind::Ite(c, a, b) => vec![*c, *a, *b],
+        TermKind::And(xs) | TermKind::Or(xs) | TermKind::Add(xs) => xs.clone(),
+        TermKind::BoolConst(_) | TermKind::IntConst(_) | TermKind::Var(..) => Vec::new(),
+    }
+}
+
+/// Structural tag used to detect congruent applications.
+fn op_tag(arena: &TermArena, t: TermId) -> Option<u8> {
+    match arena.kind(t) {
+        TermKind::Not(_) => Some(1),
+        TermKind::Neg(_) => Some(2),
+        TermKind::Eq(..) => Some(3),
+        TermKind::Lt(..) => Some(4),
+        TermKind::Le(..) => Some(5),
+        TermKind::Sub(..) => Some(6),
+        TermKind::Mul(..) => Some(7),
+        TermKind::Ite(..) => Some(8),
+        TermKind::Add(_) => Some(9),
+        TermKind::And(_) => Some(10),
+        TermKind::Or(_) => Some(11),
+        _ => None,
+    }
+}
+
+fn collect_subterms(arena: &TermArena, roots: &[TermId], out: &mut Vec<TermId>) {
+    let mut seen: HashMap<TermId, ()> = HashMap::new();
+    let mut stack: Vec<TermId> = roots.to_vec();
+    while let Some(t) = stack.pop() {
+        if seen.insert(t, ()).is_some() {
+            continue;
+        }
+        out.push(t);
+        stack.extend(children(arena, t));
+    }
+}
+
+/// Checks EUF consistency of the asserted equalities/disequalities.
+fn check_euf(arena: &TermArena, lits: &[TheoryLit]) -> TheoryVerdict {
+    let mut eqs: Vec<(TermId, TermId)> = Vec::new();
+    let mut neqs: Vec<(TermId, TermId)> = Vec::new();
+    let mut roots: Vec<TermId> = Vec::new();
+    for l in lits {
+        if let TermKind::Eq(a, b) = arena.kind(l.atom) {
+            roots.push(*a);
+            roots.push(*b);
+            if l.positive {
+                eqs.push((*a, *b));
+            } else {
+                neqs.push((*a, *b));
+            }
+        }
+    }
+    if eqs.is_empty() {
+        // Disequalities alone conflict only via reflexivity, which the
+        // arena already folds (eq(a, a) = true); nothing to do.
+        return TheoryVerdict::Consistent;
+    }
+    let mut subterms = Vec::new();
+    collect_subterms(arena, &roots, &mut subterms);
+    let mut cc = Congruence::new();
+    for (a, b) in &eqs {
+        cc.union(*a, *b);
+    }
+    // Distinct integer constants must stay distinct.
+    let consts: Vec<TermId> = subterms
+        .iter()
+        .copied()
+        .filter(|t| matches!(arena.kind(*t), TermKind::IntConst(_)))
+        .collect();
+    // Congruence propagation to fixpoint.
+    loop {
+        let mut changed = false;
+        let mut sig: HashMap<(u8, Vec<TermId>), TermId> = HashMap::new();
+        for &t in &subterms {
+            if let Some(tag) = op_tag(arena, t) {
+                let key: Vec<TermId> = children(arena, t).iter().map(|&c| cc.find(c)).collect();
+                match sig.entry((tag, key)) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if cc.union(t, *e.get()) {
+                            changed = true;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(t);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (a, b) in &neqs {
+        if cc.find(*a) == cc.find(*b) {
+            return TheoryVerdict::Conflict;
+        }
+    }
+    for i in 0..consts.len() {
+        for j in (i + 1)..consts.len() {
+            if cc.find(consts[i]) == cc.find(consts[j]) {
+                return TheoryVerdict::Conflict;
+            }
+        }
+    }
+    TheoryVerdict::Consistent
+}
+
+// ---------------------------------------------------------------------------
+// Linear integer arithmetic (Fourier–Motzkin over rationals)
+// ---------------------------------------------------------------------------
+
+/// A linear expression `Σ coeff·base + constant` over opaque base terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct LinExpr {
+    coeffs: Vec<(TermId, i128)>, // sorted by TermId, nonzero coeffs
+    constant: i128,
+}
+
+impl LinExpr {
+    fn constant(v: i128) -> Self {
+        LinExpr {
+            coeffs: Vec::new(),
+            constant: v,
+        }
+    }
+
+    fn base(t: TermId) -> Self {
+        LinExpr {
+            coeffs: vec![(t, 1)],
+            constant: 0,
+        }
+    }
+
+    fn scale(&self, k: i128) -> Self {
+        if k == 0 {
+            return LinExpr::constant(0);
+        }
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|&(t, c)| (t, c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    fn add(&self, other: &LinExpr) -> Self {
+        let mut out = Vec::with_capacity(self.coeffs.len() + other.coeffs.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.coeffs.len() && j < other.coeffs.len() {
+            let (ta, ca) = self.coeffs[i];
+            let (tb, cb) = other.coeffs[j];
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => {
+                    out.push((ta, ca));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((tb, cb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if ca + cb != 0 {
+                        out.push((ta, ca + cb));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.coeffs[i..]);
+        out.extend_from_slice(&other.coeffs[j..]);
+        LinExpr {
+            coeffs: out,
+            constant: self.constant + other.constant,
+        }
+    }
+
+    fn sub(&self, other: &LinExpr) -> Self {
+        self.add(&other.scale(-1))
+    }
+
+    fn is_const(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+}
+
+/// Linearises an integer term; non-linear subterms become opaque bases.
+fn linearize(arena: &TermArena, t: TermId) -> LinExpr {
+    match arena.kind(t) {
+        TermKind::IntConst(v) => LinExpr::constant(i128::from(*v)),
+        TermKind::Add(xs) => {
+            let mut acc = LinExpr::constant(0);
+            for &x in xs {
+                acc = acc.add(&linearize(arena, x));
+            }
+            acc
+        }
+        TermKind::Sub(a, b) => linearize(arena, *a).sub(&linearize(arena, *b)),
+        TermKind::Neg(a) => linearize(arena, *a).scale(-1),
+        TermKind::Mul(a, b) => {
+            let la = linearize(arena, *a);
+            let lb = linearize(arena, *b);
+            if la.is_const() {
+                lb.scale(la.constant)
+            } else if lb.is_const() {
+                la.scale(lb.constant)
+            } else {
+                LinExpr::base(t) // opaque non-linear product
+            }
+        }
+        _ => LinExpr::base(t), // Var, Ite, … opaque
+    }
+}
+
+/// An inequality `expr ≤ 0`.
+#[derive(Debug, Clone)]
+struct Ineq(LinExpr);
+
+/// Maximum number of constraints Fourier–Motzkin may generate before the
+/// check gives up and assumes consistency (documented incompleteness).
+const FM_LIMIT: usize = 20_000;
+
+/// Checks `ineqs` (each `e ≤ 0`) for rational feasibility.
+fn fm_feasible(mut ineqs: Vec<Ineq>) -> bool {
+    loop {
+        // Constant constraints: conflict if constant > 0.
+        ineqs.retain(|Ineq(e)| {
+            if e.is_const() {
+                debug_assert!(e.constant <= 0 || e.coeffs.is_empty());
+                false
+            } else {
+                true
+            }
+        });
+        // Re-check constants eagerly below, so first scan:
+        // (retain above dropped consistent constants; inconsistent ones
+        // must be caught before dropping — do a pre-pass instead.)
+        // NOTE: the pre-pass is done by the caller loop below.
+        // Pick a variable to eliminate: the one with fewest +/- pairs.
+        let mut var: Option<TermId> = None;
+        for Ineq(e) in &ineqs {
+            if let Some(&(t, _)) = e.coeffs.first() {
+                var = Some(t);
+                break;
+            }
+        }
+        let Some(v) = var else {
+            return true; // no variables left, all constants were ≤ 0
+        };
+        let mut lower: Vec<LinExpr> = Vec::new(); // e with coeff(v) < 0
+        let mut upper: Vec<LinExpr> = Vec::new(); // e with coeff(v) > 0
+        let mut rest: Vec<Ineq> = Vec::new();
+        for Ineq(e) in ineqs {
+            match e.coeffs.iter().find(|&&(t, _)| t == v) {
+                Some(&(_, c)) if c > 0 => upper.push(e),
+                Some(&(_, c)) if c < 0 => lower.push(e),
+                _ => rest.push(Ineq(e)),
+            }
+        }
+        if lower.len() * upper.len() + rest.len() > FM_LIMIT {
+            return true; // give up: assume feasible
+        }
+        for lo in &lower {
+            let cl = -coeff_of(lo, v); // > 0
+            for up in &upper {
+                let cu = coeff_of(up, v); // > 0
+                // cl*up + cu*lo eliminates v: (cu*lo + cl*up) ≤ 0.
+                let combined = up.scale(cl).add(&lo.scale(cu));
+                debug_assert_eq!(coeff_of(&combined, v), 0);
+                if combined.is_const() {
+                    if combined.constant > 0 {
+                        return false;
+                    }
+                } else {
+                    rest.push(Ineq(combined));
+                }
+            }
+        }
+        ineqs = rest;
+        // Constant conflict pre-pass for next round.
+        if ineqs.iter().any(|Ineq(e)| e.is_const() && e.constant > 0) {
+            return false;
+        }
+        if ineqs.is_empty() {
+            return true;
+        }
+    }
+}
+
+fn coeff_of(e: &LinExpr, v: TermId) -> i128 {
+    e.coeffs
+        .iter()
+        .find(|&&(t, _)| t == v)
+        .map_or(0, |&(_, c)| c)
+}
+
+/// Checks arithmetic consistency of the asserted literals.
+fn check_arith(arena: &TermArena, lits: &[TheoryLit]) -> TheoryVerdict {
+    let mut ineqs: Vec<Ineq> = Vec::new();
+    let mut diseqs: Vec<LinExpr> = Vec::new(); // e ≠ 0
+    for l in lits {
+        match arena.kind(l.atom) {
+            TermKind::Lt(a, b) => {
+                let e = linearize(arena, *a).sub(&linearize(arena, *b));
+                if l.positive {
+                    // a < b  ⇔  a - b + 1 ≤ 0 (integers)
+                    ineqs.push(Ineq(e.add(&LinExpr::constant(1))));
+                } else {
+                    // ¬(a < b) ⇔ b ≤ a ⇔ b - a ≤ 0
+                    ineqs.push(Ineq(e.scale(-1)));
+                }
+            }
+            TermKind::Le(a, b) => {
+                let e = linearize(arena, *a).sub(&linearize(arena, *b));
+                if l.positive {
+                    ineqs.push(Ineq(e.clone()));
+                } else {
+                    // ¬(a ≤ b) ⇔ b < a ⇔ b - a + 1 ≤ 0
+                    ineqs.push(Ineq(e.scale(-1).add(&LinExpr::constant(1))));
+                }
+            }
+            TermKind::Eq(a, b) if arena.sort(*a) == crate::term::Sort::Int => {
+                let e = linearize(arena, *a).sub(&linearize(arena, *b));
+                if l.positive {
+                    ineqs.push(Ineq(e.clone()));
+                    ineqs.push(Ineq(e.scale(-1)));
+                } else {
+                    diseqs.push(e);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Constant-only quick conflicts.
+    for Ineq(e) in &ineqs {
+        if e.is_const() && e.constant > 0 {
+            return TheoryVerdict::Conflict;
+        }
+    }
+    for e in &diseqs {
+        if e.is_const() && e.constant == 0 {
+            return TheoryVerdict::Conflict;
+        }
+    }
+    if !fm_feasible(ineqs.clone()) {
+        return TheoryVerdict::Conflict;
+    }
+    // Disequality handling: e ≠ 0 conflicts iff the inequalities entail
+    // e = 0, i.e. both (e ≥ 1) and (e ≤ -1) are infeasible additions.
+    for e in &diseqs {
+        if e.is_const() {
+            continue; // already handled
+        }
+        let mut with_pos = ineqs.clone();
+        // e ≥ 1 ⇔ 1 - e ≤ 0
+        with_pos.push(Ineq(LinExpr::constant(1).sub(e)));
+        let mut with_neg = ineqs.clone();
+        // e ≤ -1 ⇔ e + 1 ≤ 0
+        with_neg.push(Ineq(e.add(&LinExpr::constant(1))));
+        if !fm_feasible(with_pos) && !fm_feasible(with_neg) {
+            return TheoryVerdict::Conflict;
+        }
+    }
+    TheoryVerdict::Consistent
+}
+
+/// Checks the conjunction of `lits` for consistency in EUF + linear
+/// integer arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_smt::term::{Sort, TermArena};
+/// use pinpoint_smt::theory::{check_conjunction, TheoryLit, TheoryVerdict};
+///
+/// let mut arena = TermArena::new();
+/// let x = arena.var("x", Sort::Int);
+/// let y = arena.var("y", Sort::Int);
+/// let lt = arena.lt(x, y);
+/// let gt = arena.lt(y, x);
+/// let lits = [
+///     TheoryLit { atom: lt, positive: true },
+///     TheoryLit { atom: gt, positive: true },
+/// ];
+/// assert_eq!(check_conjunction(&arena, &lits), TheoryVerdict::Conflict);
+/// ```
+pub fn check_conjunction(arena: &TermArena, lits: &[TheoryLit]) -> TheoryVerdict {
+    if check_euf(arena, lits) == TheoryVerdict::Conflict {
+        return TheoryVerdict::Conflict;
+    }
+    check_arith(arena, lits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    fn pos(atom: TermId) -> TheoryLit {
+        TheoryLit {
+            atom,
+            positive: true,
+        }
+    }
+
+    fn neg(atom: TermId) -> TheoryLit {
+        TheoryLit {
+            atom,
+            positive: false,
+        }
+    }
+
+    #[test]
+    fn euf_transitivity_conflict() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let z = a.var("z", Sort::Int);
+        let xy = a.eq(x, y);
+        let yz = a.eq(y, z);
+        let xz = a.eq(x, z);
+        let lits = [pos(xy), pos(yz), neg(xz)];
+        assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Conflict);
+    }
+
+    #[test]
+    fn euf_congruence_conflict() {
+        // x = y ∧ x+1 ≠ y+1 is a congruence conflict.
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let one = a.int(1);
+        let x1 = a.add2(x, one);
+        let y1 = a.add2(y, one);
+        let xy = a.eq(x, y);
+        let fx_fy = a.eq(x1, y1);
+        let lits = [pos(xy), neg(fx_fy)];
+        assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Conflict);
+    }
+
+    #[test]
+    fn distinct_constants_conflict() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let one = a.int(1);
+        let e0 = a.eq(x, zero);
+        let e1 = a.eq(x, one);
+        let lits = [pos(e0), pos(e1)];
+        assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Conflict);
+    }
+
+    #[test]
+    fn arith_cycle_conflict() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let lt = a.lt(x, y);
+        let gt = a.lt(y, x);
+        assert_eq!(
+            check_conjunction(&a, &[pos(lt), pos(gt)]),
+            TheoryVerdict::Conflict
+        );
+    }
+
+    #[test]
+    fn arith_bounds_consistent() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let ten = a.int(10);
+        let lo = a.le(zero, x);
+        let hi = a.le(x, ten);
+        assert_eq!(
+            check_conjunction(&a, &[pos(lo), pos(hi)]),
+            TheoryVerdict::Consistent
+        );
+    }
+
+    #[test]
+    fn arith_bounds_conflict() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let ten = a.int(10);
+        let hi = a.lt(x, zero);
+        let lo = a.lt(ten, x);
+        assert_eq!(
+            check_conjunction(&a, &[pos(lo), pos(hi)]),
+            TheoryVerdict::Conflict
+        );
+    }
+
+    #[test]
+    fn diseq_squeeze_conflict() {
+        // 0 ≤ x ∧ x ≤ 0 ∧ x ≠ 0 is a conflict.
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let lo = a.le(zero, x);
+        let hi = a.le(x, zero);
+        let eq = a.eq(x, zero);
+        let lits = [pos(lo), pos(hi), neg(eq)];
+        assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Conflict);
+    }
+
+    #[test]
+    fn diseq_alone_consistent() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let eq = a.eq(x, zero);
+        assert_eq!(
+            check_conjunction(&a, &[neg(eq)]),
+            TheoryVerdict::Consistent
+        );
+    }
+
+    #[test]
+    fn equality_chain_feeds_arith() {
+        // x = y ∧ y = 5 ∧ x < 3: arithmetic must see the chain.
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let five = a.int(5);
+        let three = a.int(3);
+        let xy = a.eq(x, y);
+        let y5 = a.eq(y, five);
+        let x3 = a.lt(x, three);
+        let lits = [pos(xy), pos(y5), pos(x3)];
+        assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Conflict);
+    }
+
+    #[test]
+    fn negated_le_is_strict_gt() {
+        // ¬(x ≤ 5) ∧ x ≤ 5 → conflict (checks both polarities wired right).
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let five = a.int(5);
+        let le = a.le(x, five);
+        assert_eq!(
+            check_conjunction(&a, &[pos(le), neg(le)]),
+            TheoryVerdict::Conflict
+        );
+    }
+
+    #[test]
+    fn integer_strictness_used() {
+        // x < y ∧ y < x+2 ∧ x ≠ ... fine; but x < y ∧ y < x+1 is an
+        // integer conflict that the +1 encoding catches.
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let one = a.int(1);
+        let x1 = a.add2(x, one);
+        let l1 = a.lt(x, y);
+        let l2 = a.lt(y, x1);
+        assert_eq!(
+            check_conjunction(&a, &[pos(l1), pos(l2)]),
+            TheoryVerdict::Conflict
+        );
+    }
+
+    #[test]
+    fn empty_conjunction_consistent() {
+        let a = TermArena::new();
+        assert_eq!(check_conjunction(&a, &[]), TheoryVerdict::Consistent);
+    }
+
+    #[test]
+    fn nonlinear_products_are_opaque() {
+        // x*y = 1 ∧ x*y = 2 conflicts via the opaque base (same product).
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let xy = a.mul(x, y);
+        let one = a.int(1);
+        let two = a.int(2);
+        let e1 = a.eq(xy, one);
+        let e2 = a.eq(xy, two);
+        assert_eq!(
+            check_conjunction(&a, &[pos(e1), pos(e2)]),
+            TheoryVerdict::Conflict
+        );
+    }
+}
+
+#[cfg(test)]
+mod chain_tests {
+    use super::*;
+    use crate::term::{Sort, TermArena};
+
+    fn pos(atom: crate::term::TermId) -> TheoryLit {
+        TheoryLit {
+            atom,
+            positive: true,
+        }
+    }
+
+    #[test]
+    fn long_strict_chain_cycle_conflicts() {
+        // x0 < x1 < … < x9 < x0 is a conflict FM must find after
+        // eliminating nine variables.
+        let mut a = TermArena::new();
+        let xs: Vec<_> = (0..10).map(|i| a.var(format!("x{i}"), Sort::Int)).collect();
+        let mut lits = Vec::new();
+        for w in xs.windows(2) {
+            let l = a.lt(w[0], w[1]);
+            lits.push(pos(l));
+        }
+        let back = a.lt(xs[9], xs[0]);
+        lits.push(pos(back));
+        assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Conflict);
+    }
+
+    #[test]
+    fn long_chain_without_cycle_is_consistent() {
+        let mut a = TermArena::new();
+        let xs: Vec<_> = (0..10).map(|i| a.var(format!("x{i}"), Sort::Int)).collect();
+        let lits: Vec<TheoryLit> = xs
+            .windows(2)
+            .map(|w| {
+                let l = a.lt(w[0], w[1]);
+                pos(l)
+            })
+            .collect();
+        assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Consistent);
+    }
+
+    #[test]
+    fn coefficient_scaling_conflict() {
+        // 2x ≤ y ∧ y ≤ x ∧ 1 ≤ x conflicts (forces x ≤ 0 and x ≥ 1).
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let two = a.int(2);
+        let one = a.int(1);
+        let tx = a.mul(two, x);
+        let l1 = a.le(tx, y);
+        let l2 = a.le(y, x);
+        let l3 = a.le(one, x);
+        let lits = [pos(l1), pos(l2), pos(l3)];
+        assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Conflict);
+    }
+
+    #[test]
+    fn sum_constraint_propagates() {
+        // x + y ≤ 1 ∧ 1 ≤ x ∧ 1 ≤ y conflicts.
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let one = a.int(1);
+        let s = a.add2(x, y);
+        let l1 = a.le(s, one);
+        let l2 = a.le(one, x);
+        let l3 = a.le(one, y);
+        let lits = [pos(l1), pos(l2), pos(l3)];
+        assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Conflict);
+    }
+
+    #[test]
+    fn ite_terms_handled_opaquely_by_euf() {
+        // ite(c, x, y) = z ∧ ite(c, x, y) ≠ z is a direct EUF conflict
+        // even though the solver gives the ite no arithmetic meaning.
+        let mut a = TermArena::new();
+        let c = a.var("c", Sort::Bool);
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let z = a.var("z", Sort::Int);
+        let ite = a.ite(c, x, y);
+        let eq = a.eq(ite, z);
+        let lits = [
+            pos(eq),
+            TheoryLit {
+                atom: eq,
+                positive: false,
+            },
+        ];
+        assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Conflict);
+    }
+}

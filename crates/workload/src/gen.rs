@@ -1,0 +1,506 @@
+//! Seeded synthetic-project generator.
+//!
+//! The paper's evaluation runs on eighteen open-source C/C++ systems (2
+//! KLoC – 8 MLoC). Those code bases (and their build environments) are
+//! not reproducible here, so the scaling and precision experiments run on
+//! *generated* projects instead: deterministic, seeded programs in the
+//! mini-language with the structural features the analysis cost depends
+//! on — call DAGs, branchy control flow, pointer indirection through
+//! `int**` cells, and inter-procedural side effects — plus *injected*
+//! defects with known ground truth.
+//!
+//! Two kinds of defects are injected:
+//!
+//! * **real bugs** — feasible source→sink pairs (the guard polarities
+//!   match), possibly routed through helper functions and memory cells;
+//! * **decoys** — the same shapes made path-infeasible (source guarded by
+//!   `c`, sink by `!c`). A path-sensitive checker must stay silent on
+//!   decoys; path-insensitive baselines warn, which is how the Table 1
+//!   false-positive-rate contrast is measured.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// What kind of defect a ground-truth entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugKind {
+    /// Use-after-free (deref after free).
+    UseAfterFree,
+    /// Double free.
+    DoubleFree,
+    /// Path-traversal taint (fgetc → fopen).
+    PathTraversal,
+    /// Data-transmission taint (getpass → sendto).
+    DataTransmission,
+}
+
+/// A ground-truth entry for one injected defect.
+#[derive(Debug, Clone)]
+pub struct InjectedBug {
+    /// Unique id; the involved functions contain `bug{id}_` in their
+    /// names so reports can be matched back.
+    pub id: usize,
+    /// Defect kind.
+    pub kind: BugKind,
+    /// `true` for a feasible defect, `false` for a path-infeasible decoy.
+    pub real: bool,
+    /// Marker substring present in the involved function names.
+    pub marker: String,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed (same seed ⇒ same project).
+    pub seed: u64,
+    /// Number of filler functions (the project skeleton).
+    pub functions: usize,
+    /// Statements per filler function body (before branching).
+    pub stmts_per_function: usize,
+    /// Number of real bugs to inject, per kind.
+    pub real_bugs: usize,
+    /// Number of infeasible decoys to inject, per kind.
+    pub decoys: usize,
+    /// Include taint defects (off for pure UAF experiments).
+    pub taint: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 42,
+            functions: 50,
+            stmts_per_function: 12,
+            real_bugs: 1,
+            decoys: 1,
+            taint: false,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Scales the skeleton to roughly `kloc` thousand source lines.
+    /// (Each filler function is ~`stmts_per_function` + 8 lines.)
+    pub fn with_target_kloc(mut self, kloc: f64) -> Self {
+        let lines_per_fn = self.stmts_per_function as f64 + 8.0;
+        self.functions = ((kloc * 1000.0) / lines_per_fn).max(2.0) as usize;
+        self
+    }
+}
+
+/// A generated project.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The program text.
+    pub source: String,
+    /// Ground truth of injected defects.
+    pub bugs: Vec<InjectedBug>,
+    /// Source lines (KLoC × 1000).
+    pub lines: usize,
+}
+
+/// Generates a project from `config`.
+pub fn generate(config: &GenConfig) -> Generated {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut out = String::new();
+    let mut bugs = Vec::new();
+
+    // Shared pointer utilities, used by every filler — the structural
+    // trigger of the paper's "pointer trap": a context-insensitive
+    // points-to analysis names the heap by allocation site, so every
+    // cell handed out by `util_cell` is ONE abstract object and every
+    // store through any such cell may feed every load through any other.
+    // Pinpoint's bottom-up design keeps each call site's cell distinct.
+    out.push_str(
+        "fn util_cell() -> int** {\n    let c: int** = malloc();\n    return c;\n}\n\
+         fn util_buf() -> int* {\n    let b: int* = malloc();\n    return b;\n}\n\
+         fn util_put(q: int**, v: int*) {\n    *q = v;\n    return;\n}\n\
+         fn util_get(q: int**) -> int* {\n    let v: int* = *q;\n    return v;\n}\n",
+    );
+
+    // Filler skeleton: functions call only higher-indexed functions, so
+    // the call graph is a DAG.
+    let shapes = signature_shapes();
+    let sigs: Vec<usize> = (0..config.functions)
+        .map(|_| rng.gen_range(0..shapes.len()))
+        .collect();
+    for i in 0..config.functions {
+        emit_filler(
+            &mut out,
+            &mut rng,
+            i,
+            &sigs,
+            &shapes,
+            config.stmts_per_function,
+        );
+    }
+
+    // Injected defects.
+    let mut id = 0;
+    for kind in [BugKind::UseAfterFree, BugKind::DoubleFree] {
+        for real in [true, false] {
+            let n = if real { config.real_bugs } else { config.decoys };
+            for _ in 0..n {
+                let marker = format!("bug{id}_");
+                emit_memory_bug(&mut out, &mut rng, kind, real, &marker);
+                bugs.push(InjectedBug {
+                    id,
+                    kind,
+                    real,
+                    marker,
+                });
+                id += 1;
+            }
+        }
+    }
+    if config.taint {
+        for kind in [BugKind::PathTraversal, BugKind::DataTransmission] {
+            for real in [true, false] {
+                let n = if real { config.real_bugs } else { config.decoys };
+                for _ in 0..n {
+                    let marker = format!("bug{id}_");
+                    emit_taint_bug(&mut out, &mut rng, kind, real, &marker);
+                    bugs.push(InjectedBug {
+                        id,
+                        kind,
+                        real,
+                        marker,
+                    });
+                    id += 1;
+                }
+            }
+        }
+    }
+    let lines = out.lines().count();
+    Generated {
+        source: out,
+        bugs,
+        lines,
+    }
+}
+
+/// Parameter/return shapes filler functions draw from.
+fn signature_shapes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("(a: int, b: int) -> int", "int"),
+        ("(p: int*) -> int", "int"),
+        ("(q: int**, v: int*)", "void"),
+        ("(q: int**) -> int*", "ptr"),
+        ("(c: bool, x: int) -> int", "int"),
+        ("() -> int*", "ptr"),
+    ]
+}
+
+fn call_expr(idx: usize, shape: usize) -> (String, &'static str) {
+    // Arguments reference the caller's canonical locals (always emitted
+    // in the prologue below).
+    let name = format!("filler{idx}");
+    match shape {
+        0 => (format!("{name}(x0, x1)"), "int"),
+        1 => (format!("{name}(p0)"), "int"),
+        2 => (format!("{name}(pp0, p0)"), "void"),
+        3 => (format!("{name}(pp0)"), "ptr"),
+        4 => (format!("{name}(b0, x0)"), "int"),
+        _ => (format!("{name}()"), "ptr"),
+    }
+}
+
+fn emit_filler(
+    out: &mut String,
+    rng: &mut SmallRng,
+    idx: usize,
+    sigs: &[usize],
+    shapes: &[(&'static str, &'static str)],
+    stmts: usize,
+) {
+    let (params, _ret) = shapes[sigs[idx]];
+    let _ = writeln!(out, "fn filler{idx}{params} {{");
+    // Canonical prologue: every filler has x0, x1 (int), b0 (bool),
+    // p0 (int*), pp0 (int**) in scope regardless of its parameters.
+    let _ = writeln!(out, "    let x0: int = 1;");
+    let _ = writeln!(out, "    let x1: int = nondet_int();");
+    let _ = writeln!(out, "    let b0: bool = nondet_bool();");
+    let _ = writeln!(out, "    let p0: int* = util_buf();");
+    let _ = writeln!(out, "    let pp0: int** = util_cell();");
+    let _ = writeln!(out, "    util_put(pp0, p0);");
+    let mut v = 1usize; // fresh-variable counter
+    let mut depth = 0usize;
+    let mut open = 0usize;
+    for _ in 0..stmts {
+        match rng.gen_range(0..10) {
+            0 => {
+                let _ = writeln!(out, "    let x{n}: int = x0 + x1;", n = v + 1);
+                v += 1;
+            }
+            1 => {
+                let _ = writeln!(out, "    let b{n}: bool = x1 < x0;", n = v + 1);
+                v += 1;
+            }
+            2 => {
+                let _ = writeln!(out, "    let p{n}: int* = util_get(pp0);", n = v + 1);
+                v += 1;
+            }
+            3 => {
+                let _ = writeln!(out, "    *p0 = x0;");
+            }
+            4 => {
+                let _ = writeln!(out, "    let x{n}: int = *p0;", n = v + 1);
+                v += 1;
+            }
+            5 if depth < 2 => {
+                let _ = writeln!(out, "    if (b0) {{");
+                depth += 1;
+                open += 1;
+            }
+            6 if open > 0 => {
+                let _ = writeln!(out, "    }}");
+                open -= 1;
+                depth = depth.saturating_sub(1);
+            }
+            7 if idx + 1 < sigs.len() => {
+                // Call a strictly later function (DAG).
+                let callee = rng.gen_range(idx + 1..sigs.len());
+                let (expr, kind) = call_expr(callee, sigs[callee]);
+                match kind {
+                    "int" => {
+                        let _ = writeln!(out, "    let x{n}: int = {expr};", n = v + 1);
+                        v += 1;
+                    }
+                    "ptr" => {
+                        let _ = writeln!(out, "    let p{n}: int* = {expr};", n = v + 1);
+                        v += 1;
+                    }
+                    _ => {
+                        let _ = writeln!(out, "    {expr};");
+                    }
+                }
+            }
+            8 => {
+                let _ = writeln!(out, "    util_put(pp0, p0);");
+            }
+            _ => {
+                let _ = writeln!(out, "    print(x0);");
+            }
+        }
+    }
+    for _ in 0..open {
+        let _ = writeln!(out, "    }}");
+    }
+    match shapes[sigs[idx]].1 {
+        "int" => {
+            let _ = writeln!(out, "    return x0;");
+        }
+        "ptr" => {
+            let _ = writeln!(out, "    return p0;");
+        }
+        _ => {
+            let _ = writeln!(out, "    return;");
+        }
+    }
+    let _ = writeln!(out, "}}");
+}
+
+/// Emits a UAF or double-free defect cluster. Shapes rotate between
+/// intra-procedural, cross-call (callee frees), and memory-indirect
+/// (Fig. 1-style) plumbing.
+fn emit_memory_bug(out: &mut String, rng: &mut SmallRng, kind: BugKind, real: bool, marker: &str) {
+    let shape = rng.gen_range(0..3);
+    // Guard polarities: real bugs use matching guards, decoys opposite.
+    let sink_guard = if real { "g" } else { "!g" };
+    let sink_stmt = |out: &mut String| match kind {
+        BugKind::DoubleFree => {
+            let _ = writeln!(out, "        free(p);");
+        }
+        _ => {
+            let _ = writeln!(out, "        let y: int = *p;");
+            let _ = writeln!(out, "        print(y);");
+        }
+    };
+    match shape {
+        0 => {
+            // Intra-procedural.
+            let _ = writeln!(out, "fn {marker}driver(g: bool) {{");
+            let _ = writeln!(out, "    let p: int* = malloc();");
+            let _ = writeln!(out, "    if (g) {{ free(p); }}");
+            let _ = writeln!(out, "    if ({sink_guard}) {{");
+            sink_stmt(out);
+            let _ = writeln!(out, "    }}");
+            let _ = writeln!(out, "    return;");
+            let _ = writeln!(out, "}}");
+        }
+        1 => {
+            // Cross-call: a helper frees its parameter.
+            let _ = writeln!(out, "fn {marker}release(p: int*) {{ free(p); return; }}");
+            let _ = writeln!(out, "fn {marker}driver(g: bool) {{");
+            let _ = writeln!(out, "    let p: int* = malloc();");
+            let _ = writeln!(out, "    if (g) {{ {marker}release(p); }}");
+            let _ = writeln!(out, "    if ({sink_guard}) {{");
+            sink_stmt(out);
+            let _ = writeln!(out, "    }}");
+            let _ = writeln!(out, "    return;");
+            let _ = writeln!(out, "}}");
+        }
+        _ => {
+            // Memory-indirect (Fig. 1-style): the freed pointer is stored
+            // through an int** cell inside the callee and reloaded by the
+            // caller.
+            let _ = writeln!(out, "fn {marker}fill(q: int**) {{");
+            let _ = writeln!(out, "    let c: int* = malloc();");
+            let _ = writeln!(out, "    *q = c;");
+            let _ = writeln!(out, "    free(c);");
+            let _ = writeln!(out, "    return;");
+            let _ = writeln!(out, "}}");
+            let _ = writeln!(out, "fn {marker}driver(g: bool) {{");
+            // The cell comes from the shared allocator wrapper: a
+            // context-insensitive analysis conflates it with every other
+            // wrapped cell in the program, so the freed pointer appears
+            // to reach every load in every filler.
+            let _ = writeln!(out, "    let pp: int** = util_cell();");
+            let _ = writeln!(out, "    let init: int* = util_buf();");
+            let _ = writeln!(out, "    *pp = init;");
+            let _ = writeln!(out, "    if (g) {{ {marker}fill(pp); }}");
+            let _ = writeln!(out, "    let p: int* = *pp;");
+            let _ = writeln!(out, "    if ({sink_guard}) {{");
+            sink_stmt(out);
+            let _ = writeln!(out, "    }}");
+            let _ = writeln!(out, "    return;");
+            let _ = writeln!(out, "}}");
+        }
+    }
+}
+
+/// Emits a taint defect cluster (source and sink possibly in different
+/// functions, flow through returns).
+fn emit_taint_bug(out: &mut String, rng: &mut SmallRng, kind: BugKind, real: bool, marker: &str) {
+    let (source, sink) = match kind {
+        BugKind::PathTraversal => ("fgetc()", "fopen"),
+        _ => ("getpass()", "sendto"),
+    };
+    let sink_guard = if real { "g" } else { "!g" };
+    let cross = rng.gen_bool(0.5);
+    if cross {
+        let _ = writeln!(out, "fn {marker}fetch() -> int {{");
+        let _ = writeln!(out, "    let s: int = {source};");
+        let _ = writeln!(out, "    return s;");
+        let _ = writeln!(out, "}}");
+        let _ = writeln!(out, "fn {marker}driver(g: bool) {{");
+        let _ = writeln!(out, "    let v: int = 0;");
+        let _ = writeln!(out, "    if (g) {{ v = {marker}fetch(); }}");
+        let _ = writeln!(out, "    if ({sink_guard}) {{");
+        emit_sink_use(out, kind, sink, "v + 1");
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "    return;");
+        let _ = writeln!(out, "}}");
+    } else {
+        let _ = writeln!(out, "fn {marker}driver(g: bool) {{");
+        let _ = writeln!(out, "    let v: int = 0;");
+        let _ = writeln!(out, "    if (g) {{ v = {source}; }}");
+        let _ = writeln!(out, "    if ({sink_guard}) {{");
+        emit_sink_use(out, kind, sink, "v");
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "    return;");
+        let _ = writeln!(out, "}}");
+    }
+}
+
+/// `fopen` returns a handle; `sendto` is a procedure.
+fn emit_sink_use(out: &mut String, kind: BugKind, sink: &str, arg: &str) {
+    if kind == BugKind::PathTraversal {
+        let _ = writeln!(out, "        let h: int = {sink}({arg});");
+        let _ = writeln!(out, "        print(h);");
+    } else {
+        let _ = writeln!(out, "        {sink}({arg});");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = GenConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.bugs.len(), b.bugs.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig {
+            seed: 1,
+            ..GenConfig::default()
+        });
+        let b = generate(&GenConfig {
+            seed: 2,
+            ..GenConfig::default()
+        });
+        assert_ne!(a.source, b.source);
+    }
+
+    #[test]
+    fn generated_program_compiles() {
+        let g = generate(&GenConfig {
+            taint: true,
+            ..GenConfig::default()
+        });
+        let module = pinpoint_ir::compile(&g.source)
+            .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{}", g.source));
+        assert!(module.funcs.len() >= 50);
+    }
+
+    #[test]
+    fn target_kloc_scales_function_count() {
+        let small = GenConfig::default().with_target_kloc(1.0);
+        let large = GenConfig::default().with_target_kloc(10.0);
+        assert!(large.functions > small.functions * 5);
+        let g = generate(&large);
+        assert!(
+            g.lines > 8_000 && g.lines < 13_000,
+            "target 10 KLoC, got {}",
+            g.lines
+        );
+    }
+
+    #[test]
+    fn ground_truth_counts_match_config() {
+        let cfg = GenConfig {
+            real_bugs: 2,
+            decoys: 3,
+            taint: true,
+            ..GenConfig::default()
+        };
+        let g = generate(&cfg);
+        // 4 kinds × (2 real + 3 decoys).
+        assert_eq!(g.bugs.len(), 4 * 5);
+        assert_eq!(g.bugs.iter().filter(|b| b.real).count(), 4 * 2);
+    }
+
+    #[test]
+    fn markers_appear_in_source() {
+        let g = generate(&GenConfig::default());
+        for bug in &g.bugs {
+            assert!(
+                g.source.contains(&bug.marker),
+                "marker {} missing",
+                bug.marker
+            );
+        }
+    }
+
+    #[test]
+    fn all_seeds_compile_smoke() {
+        for seed in 0..10 {
+            let g = generate(&GenConfig {
+                seed,
+                functions: 20,
+                taint: true,
+                ..GenConfig::default()
+            });
+            pinpoint_ir::compile(&g.source)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

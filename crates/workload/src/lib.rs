@@ -1,0 +1,26 @@
+//! `pinpoint-workload`: workload generation for the Pinpoint
+//! reproduction's evaluation (PLDI 2018, §5).
+//!
+//! The paper evaluates on eighteen open-source systems plus SPEC CINT
+//! 2000 and measures recall on the NSA Juliet suite; none of those are
+//! redistributable here, so this crate generates deterministic synthetic
+//! equivalents:
+//!
+//! * [`gen`] — seeded projects of parameterised size with call DAGs,
+//!   branchy control flow, pointer plumbing, and injected defects (real
+//!   bugs and path-infeasible decoys) with ground truth;
+//! * [`juliet`] — a 51-variant flaw-template suite (~1428 cases at paper
+//!   scale) for recall measurement;
+//! * [`subjects`] — a registry mirroring Table 1's subject list, mapping
+//!   each subject to a scaled-down generated project.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gen;
+pub mod juliet;
+pub mod subjects;
+
+pub use gen::{generate, BugKind, GenConfig, Generated, InjectedBug};
+pub use juliet::{generate as generate_juliet, JulietCase, JulietSuite};
+pub use subjects::{generate_subject, Subject, DEFAULT_SCALE, SUBJECTS};

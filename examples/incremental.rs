@@ -1,0 +1,70 @@
+//! Incremental re-analysis: edit one function, pay for one caller chain.
+//!
+//! The paper frames its performance target against the industrial
+//! requirement of checking millions of lines within hours; day-to-day,
+//! that only works if a one-function edit does not re-run the whole
+//! pipeline. Pinpoint's bottom-up architecture makes the dependency
+//! structure explicit: a function's analysis depends on its own IR and
+//! its callees' connector shapes — so an edit dirties exactly its
+//! transitive caller chain.
+//!
+//! ```sh
+//! cargo run --release --example incremental
+//! ```
+
+use pinpoint::workload::{generate, GenConfig};
+use pinpoint::{Analysis, CheckerKind};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let project = generate(&GenConfig {
+        seed: 5,
+        real_bugs: 2,
+        decoys: 2,
+        taint: false,
+        ..GenConfig::default().with_target_kloc(20.0)
+    });
+    println!(
+        "project: {} lines, {} functions",
+        project.lines,
+        project.source.matches("fn ").count()
+    );
+
+    // Full analysis.
+    let t0 = Instant::now();
+    let mut analysis = Analysis::from_source(&project.source)?;
+    let full_time = t0.elapsed();
+    let baseline: usize = analysis.check(CheckerKind::UseAfterFree).len();
+    println!("full analysis: {full_time:?}, {baseline} reports");
+
+    // Edit one leaf-ish filler function.
+    let edited = {
+        let needle = "fn filler1(";
+        let start = project.source.find(needle).expect("filler1 exists");
+        let brace = project.source[start..].find('{').unwrap() + start + 1;
+        format!(
+            "{}\n    let hotfix: int = 1;\n    print(hotfix);{}",
+            &project.source[..brace],
+            &project.source[brace..]
+        )
+    };
+    let t1 = Instant::now();
+    let reanalyzed = analysis.update_incremental(&edited, &["filler1".into()])?;
+    let inc_time = t1.elapsed();
+    let after = analysis.check(CheckerKind::UseAfterFree).len();
+    let total = analysis.module.funcs.len();
+    println!(
+        "incremental update: {inc_time:?}, {reanalyzed}/{total} functions re-analysed, {after} reports"
+    );
+    assert_eq!(baseline, after, "verdicts stable across the edit");
+    assert!(reanalyzed < total / 4, "most of the project was reused");
+    println!(
+        "\nend-to-end speedup: ~{:.1}x (the floor is re-lowering the edited\n\
+         source text; the analysis stages themselves — points-to,\n\
+         transformation, SEG construction — ran for {}/{} functions only)",
+        full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9),
+        reanalyzed,
+        total
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quick start: compile a small program and run every checker.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pinpoint::{Analysis, CheckerKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        // A tiny session handler with two defects: a use-after-free of
+        // the connection buffer, and tainted user input reaching fopen.
+        fn main() {
+            let buf: int* = malloc();
+            handle(buf);
+            return;
+        }
+
+        fn handle(buf: int*) {
+            let n: int = fgetc();
+            if (n < 0) {
+                free(buf);
+            }
+            // Bug 1: buf may already be freed here.
+            *buf = n;
+
+            // Bug 2: untrusted n flows into a file open.
+            let h: int = fopen(n);
+            print(h);
+            return;
+        }
+    "#;
+
+    let mut analysis = Analysis::from_source(source)?;
+    println!(
+        "analysed {} functions / {} instructions ({} SEG edges, {} terms)\n",
+        analysis.module.funcs.len(),
+        analysis.module.inst_count(),
+        analysis.stats.seg_edges,
+        analysis.stats.terms,
+    );
+
+    for kind in CheckerKind::ALL {
+        let reports = analysis.check(kind);
+        println!("{kind}: {} report(s)", reports.len());
+        for r in &reports {
+            println!("  {}", r.describe(&analysis.module));
+        }
+    }
+
+    println!(
+        "\nsearch: {} vertices visited, {} candidates, {} refuted by SMT",
+        analysis.stats.detect.visited,
+        analysis.stats.detect.candidates,
+        analysis.stats.detect.refuted,
+    );
+    Ok(())
+}

@@ -1,0 +1,237 @@
+//! The `pinpoint` command-line front end.
+//!
+//! ```sh
+//! pinpoint check program.pp                 # run every checker
+//! pinpoint check program.pp --checker uaf   # one checker
+//! pinpoint check program.pp --json          # machine-readable output
+//! pinpoint leaks program.pp                 # memory-leak detection
+//! pinpoint dump-ir program.pp               # lowered SSA IR
+//! pinpoint dump-seg program.pp foo          # SEG of `foo` as Graphviz
+//! pinpoint stats program.pp                 # pipeline statistics
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = reports found, 2 = usage or input error.
+
+use pinpoint::core::export::seg_to_dot;
+use pinpoint::{Analysis, CheckerKind, Report};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(found_reports) => {
+            if found_reports {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pinpoint check <file> [--checker uaf|taint-pt|taint-dt|null] [--json] [--no-solve] [--ctx-depth N]
+  pinpoint leaks <file> [--json]
+  pinpoint dump-ir <file>
+  pinpoint dump-seg <file> <function>
+  pinpoint stats <file>";
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    let file = args.get(1).ok_or("missing input file")?;
+    let source =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    match cmd.as_str() {
+        "check" => check(&source, &args[2..]),
+        "leaks" => leaks(&source, &args[2..]),
+        "dump-ir" => {
+            let module = pinpoint::compile(&source).map_err(|e| e.to_string())?;
+            print!("{}", pinpoint::ir::printer::print_module(&module));
+            Ok(false)
+        }
+        "dump-seg" => {
+            let func = args.get(2).ok_or("missing function name")?;
+            let analysis = Analysis::from_source(&source).map_err(|e| e.to_string())?;
+            let fid = analysis
+                .module
+                .func_by_name(func)
+                .ok_or_else(|| format!("no function `{func}`"))?;
+            print!(
+                "{}",
+                seg_to_dot(&analysis.module, &analysis.segs, &analysis.arena, fid)
+            );
+            Ok(false)
+        }
+        "stats" => {
+            let mut analysis = Analysis::from_source(&source).map_err(|e| e.to_string())?;
+            let _ = analysis.check_all();
+            let s = analysis.stats;
+            println!("functions:        {}", analysis.module.funcs.len());
+            println!("instructions:     {}", analysis.module.inst_count());
+            println!("SEG vertices:     {}", s.seg_vertices);
+            println!("SEG edges:        {}", s.seg_edges);
+            println!("terms:            {}", s.terms);
+            println!("pta time:         {:?}", s.pta_time);
+            println!("seg time:         {:?}", s.seg_time);
+            println!("detect time:      {:?}", s.detect_time);
+            println!("linear checks:    {}", s.pta.linear_checks);
+            println!("linear pruned:    {}", s.pta.pruned);
+            println!("search visited:   {}", s.detect.visited);
+            println!("candidates:       {}", s.detect.candidates);
+            println!("SMT-refuted:      {}", s.detect.refuted);
+            println!("reports:          {}", s.detect.reports);
+            Ok(false)
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_checker(name: &str) -> Result<CheckerKind, String> {
+    match name {
+        "uaf" | "use-after-free" => Ok(CheckerKind::UseAfterFree),
+        "taint-pt" | "path-traversal" => Ok(CheckerKind::PathTraversal),
+        "taint-dt" | "data-transmission" => Ok(CheckerKind::DataTransmission),
+        "null" | "null-deref" => Ok(CheckerKind::NullDeref),
+        other => Err(format!("unknown checker `{other}`")),
+    }
+}
+
+fn check(source: &str, flags: &[String]) -> Result<bool, String> {
+    let mut kinds: Vec<CheckerKind> = Vec::new();
+    let mut json = false;
+    let mut solve = true;
+    let mut ctx_depth: Option<u32> = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--checker" => {
+                let name = it.next().ok_or("--checker needs a value")?;
+                kinds.push(parse_checker(name)?);
+            }
+            "--json" => json = true,
+            "--no-solve" => solve = false,
+            "--ctx-depth" => {
+                let v = it.next().ok_or("--ctx-depth needs a value")?;
+                ctx_depth = Some(v.parse().map_err(|_| "invalid --ctx-depth")?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if kinds.is_empty() {
+        kinds.extend(CheckerKind::ALL);
+    }
+    let mut analysis = Analysis::from_source(source).map_err(|e| e.to_string())?;
+    analysis.config.solve = solve;
+    if let Some(d) = ctx_depth {
+        analysis.config.max_ctx_depth = d;
+    }
+    let mut all: Vec<Report> = Vec::new();
+    for kind in kinds {
+        all.extend(analysis.check(kind));
+    }
+    if json {
+        println!("{}", reports_to_json(&analysis, &all));
+    } else if all.is_empty() {
+        println!("no defects found");
+    } else {
+        for r in &all {
+            println!("{}", r.describe(&analysis.module));
+            if !r.witness.is_empty() {
+                let w: Vec<String> = r
+                    .witness
+                    .iter()
+                    .map(|(n, v)| format!("{n}={v}"))
+                    .collect();
+                println!("  witness: {}", w.join(" "));
+            }
+        }
+        println!("{} report(s)", all.len());
+    }
+    Ok(!all.is_empty())
+}
+
+fn leaks(source: &str, flags: &[String]) -> Result<bool, String> {
+    let json = flags.iter().any(|f| f == "--json");
+    let mut analysis = Analysis::from_source(source).map_err(|e| e.to_string())?;
+    let reports = analysis.check_leaks();
+    if json {
+        let mut out = String::from("[");
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"function\":\"{}\",\"kind\":\"{:?}\",\"site\":\"{}\"}}",
+                json_escape(&analysis.module.func(r.func).name),
+                r.kind,
+                r.alloc_site
+            );
+        }
+        out.push(']');
+        println!("{out}");
+    } else if reports.is_empty() {
+        println!("no leaks found");
+    } else {
+        for r in &reports {
+            println!(
+                "[leak:{:?}] allocation at {} in `{}`",
+                r.kind,
+                r.alloc_site,
+                analysis.module.func(r.func).name
+            );
+        }
+        println!("{} leak(s)", reports.len());
+    }
+    Ok(!reports.is_empty())
+}
+
+fn reports_to_json(analysis: &Analysis, reports: &[Report]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let witness: Vec<String> = r
+            .witness
+            .iter()
+            .map(|(n, v)| format!("{{\"var\":\"{}\",\"value\":{v}}}", json_escape(n)))
+            .collect();
+        let path: Vec<String> = r
+            .path
+            .iter()
+            .map(|s| {
+                let f = analysis.module.func(s.func);
+                format!(
+                    "{{\"function\":\"{}\",\"value\":\"{}\",\"note\":\"{}\"}}",
+                    json_escape(&f.name),
+                    json_escape(&f.value(s.value).name),
+                    json_escape(s.note)
+                )
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "{{\"property\":\"{}\",\"source_function\":\"{}\",\"sink_function\":\"{}\",\"sink_role\":\"{:?}\",\"path\":[{}],\"witness\":[{}]}}",
+            json_escape(&r.property),
+            json_escape(&analysis.module.func(r.source_func).name),
+            json_escape(&analysis.module.func(r.sink_func).name),
+            r.sink_role,
+            path.join(","),
+            witness.join(",")
+        );
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}

@@ -1,0 +1,153 @@
+//! Integration tests of the `pinpoint` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn run(args: &[&str], source: &str) -> (String, String, i32) {
+    let mut file = tempfile_path();
+    {
+        let mut f = std::fs::File::create(&file.0).expect("temp file");
+        f.write_all(source.as_bytes()).expect("write");
+    }
+    let mut full: Vec<&str> = vec![args[0], &file.0];
+    full.extend(&args[1..]);
+    let out = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .args(&full)
+        .output()
+        .expect("binary runs");
+    file.1 = true; // best-effort cleanup below
+    let _ = std::fs::remove_file(&file.0);
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn tempfile_path() -> (String, bool) {
+    let n = std::process::id();
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos();
+    (
+        std::env::temp_dir()
+            .join(format!("pinpoint_cli_{n}_{t}.pp"))
+            .to_string_lossy()
+            .into_owned(),
+        false,
+    )
+}
+
+const BUGGY: &str = "
+    fn main(debug: bool) {
+        let p: int* = malloc();
+        if (debug) { free(p); }
+        if (debug) { let x: int = *p; print(x); }
+        return;
+    }";
+
+const CLEAN: &str = "
+    fn main() {
+        let p: int* = malloc();
+        let x: int = *p;
+        print(x);
+        free(p);
+        return;
+    }";
+
+#[test]
+fn check_reports_and_exit_code() {
+    let (stdout, _, code) = run(&["check"], BUGGY);
+    assert_eq!(code, 1, "reports found → exit 1");
+    assert!(stdout.contains("use-after-free"), "{stdout}");
+    assert!(stdout.contains("witness: main:debug=true"), "{stdout}");
+}
+
+#[test]
+fn clean_program_exits_zero() {
+    let (stdout, _, code) = run(&["check"], CLEAN);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("no defects found"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_wellformed_enough() {
+    let (stdout, _, code) = run(&["check", "--json", "--checker", "uaf"], BUGGY);
+    assert_eq!(code, 1);
+    let line = stdout.lines().next().unwrap();
+    assert!(line.starts_with('[') && line.ends_with(']'), "{line}");
+    assert!(line.contains("\"property\":\"use-after-free\""), "{line}");
+    assert!(line.contains("\"witness\""), "{line}");
+}
+
+#[test]
+fn specific_checker_selection() {
+    // Only the taint checker: the UAF must not be reported.
+    let (stdout, _, code) = run(&["check", "--checker", "taint-pt"], BUGGY);
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn leaks_subcommand() {
+    let (stdout, _, code) = run(&["leaks"], BUGGY);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("ConditionallyFreed"), "{stdout}");
+}
+
+#[test]
+fn dump_ir_prints_module() {
+    let (stdout, _, code) = run(&["dump-ir"], CLEAN);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("fn main("), "{stdout}");
+    assert!(stdout.contains("malloc"), "{stdout}");
+}
+
+#[test]
+fn dump_seg_prints_dot() {
+    let (stdout, _, code) = run(&["dump-seg", "main"], BUGGY);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("digraph seg_main"), "{stdout}");
+}
+
+#[test]
+fn stats_subcommand() {
+    let (stdout, _, code) = run(&["stats"], BUGGY);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("SEG edges:"), "{stdout}");
+    assert!(stdout.contains("candidates:"), "{stdout}");
+}
+
+#[test]
+fn usage_error_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .arg("frobnicate")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn parse_error_reported() {
+    let (_, stderr, code) = run(&["check"], "fn main( {");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn no_solve_flag_admits_infeasible() {
+    let infeasible = "
+        fn main(c: bool) {
+            let p: int* = malloc();
+            if (c) { free(p); }
+            if (!c) { let x: int = *p; print(x); }
+            return;
+        }";
+    let (with_solve, _, code_solve) = run(&["check", "--checker", "uaf"], infeasible);
+    assert_eq!(code_solve, 0, "SMT refutes: {with_solve}");
+    let (without, _, code_nosolve) =
+        run(&["check", "--checker", "uaf", "--no-solve"], infeasible);
+    assert_eq!(code_nosolve, 1, "without SMT the candidate leaks: {without}");
+}

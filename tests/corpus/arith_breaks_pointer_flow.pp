@@ -1,0 +1,11 @@
+// expect: uaf=0
+// Pointer checkers do not traverse arithmetic: x is an int derived
+// from a load, not the freed pointer itself.
+fn main() {
+    let p: int* = malloc();
+    let x: int = *p;
+    free(p);
+    let y: int = x + 1;
+    print(y);
+    return;
+}

@@ -1,0 +1,10 @@
+// expect: uaf=1
+// Free and use in sibling callees, same guard polarity.
+fn kill(p: int*) { free(p); return; }
+fn use_it(p: int*) { let x: int = *p; print(x); return; }
+fn main(c: bool) {
+    let p: int* = malloc();
+    if (c) { kill(p); }
+    if (c) { use_it(p); }
+    return;
+}

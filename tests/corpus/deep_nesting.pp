@@ -1,0 +1,15 @@
+// expect: uaf=1 leak=1
+// Free guarded by a ∧ b; use guarded by a ∧ b too (nested).
+fn main(a: bool, b: bool) {
+    let p: int* = malloc();
+    if (a) {
+        if (b) { free(p); }
+    }
+    if (a) {
+        if (b) {
+            let x: int = *p;
+            print(x);
+        }
+    }
+    return;
+}

@@ -1,0 +1,15 @@
+// expect: uaf=0 leak=1
+// Free under a ∧ b; use under a ∧ ¬b: infeasible.
+fn main(a: bool, b: bool) {
+    let p: int* = malloc();
+    if (a) {
+        if (b) { free(p); }
+    }
+    if (a) {
+        if (!b) {
+            let x: int = *p;
+            print(x);
+        }
+    }
+    return;
+}

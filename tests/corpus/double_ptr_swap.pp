@@ -1,0 +1,15 @@
+// expect: uaf=1 null=0 leak=2
+// The freed cell travels through a pointer swap before the deref.
+fn main() {
+    let a: int** = malloc();
+    let b: int** = malloc();
+    let p: int* = malloc();
+    *a = p;
+    let tmp: int* = *a;
+    *b = tmp;
+    free(p);
+    let q: int* = *b;
+    let x: int = *q;
+    print(x);
+    return;
+}

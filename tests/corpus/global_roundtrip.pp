@@ -1,0 +1,13 @@
+// expect: uaf=1
+global stash: int*;
+fn put(p: int*) { *stash = p; return; }
+fn get() -> int* { let v: int* = *stash; return v; }
+fn main() {
+    let p: int* = malloc();
+    put(p);
+    free(p);
+    let q: int* = get();
+    let x: int = *q;
+    print(x);
+    return;
+}

@@ -1,0 +1,11 @@
+// expect: uaf=0 leak=1
+// Classic guard: the deref only happens when the free did not.
+fn main(err: bool) {
+    let p: int* = malloc();
+    if (err) { free(p); }
+    if (!err) {
+        let x: int = *p;
+        print(x);
+    }
+    return;
+}

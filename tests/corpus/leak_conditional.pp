@@ -1,0 +1,7 @@
+// expect: uaf=0 leak=1
+fn main(keep: bool) {
+    let p: int* = malloc();
+    *p = 1;
+    if (!keep) { free(p); }
+    return;
+}

@@ -1,0 +1,6 @@
+// expect: leak=1
+fn main() {
+    let buf: int* = malloc();
+    *buf = 0;
+    return;
+}

@@ -1,0 +1,8 @@
+// expect: leak=0
+fn release(p: int*) { free(p); return; }
+fn main() {
+    let p: int* = malloc();
+    *p = 1;
+    release(p);
+    return;
+}

@@ -1,0 +1,13 @@
+// expect: null=0
+// The null value is only dereferenced behind a non-null check whose
+// condition chains through a helper.
+fn check(p: int*) -> bool { let ok: bool = p != null; return ok; }
+fn main() {
+    let p: int* = null;
+    let ok: bool = check(p);
+    if (ok) {
+        let x: int = *p;
+        print(x);
+    }
+    return;
+}

@@ -1,0 +1,10 @@
+// expect: null=1 leak=1
+fn main(c: bool) {
+    let p: int* = malloc();
+    let q: int* = null;
+    let r: int* = p;
+    if (c) { r = q; }
+    let x: int = *r;
+    print(x);
+    return;
+}

@@ -1,0 +1,13 @@
+// expect: uaf=0 leak=0
+// Recursion is cut at the SCC: the analysis terminates and the free
+// through the recursive walk is still connected to the allocation.
+fn walk(p: int*, n: int) {
+    if (n > 0) { walk(p, n - 1); }
+    if (n == 0) { free(p); }
+    return;
+}
+fn main() {
+    let p: int* = malloc();
+    walk(p, 3);
+    return;
+}

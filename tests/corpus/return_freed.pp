@@ -1,0 +1,12 @@
+// expect: uaf=1
+// The factory returns memory it already released.
+fn broken_factory() -> int* {
+    let p: int* = malloc();
+    free(p);
+    return p;
+}
+fn main() {
+    let q: int* = broken_factory();
+    *q = 5;
+    return;
+}

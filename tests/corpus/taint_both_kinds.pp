@@ -1,0 +1,9 @@
+// expect: taint-pt=1 taint-dt=1
+fn main() {
+    let a: int = fgetc();
+    let h: int = fopen(a);
+    print(h);
+    let s: int = getpass();
+    sendto(s);
+    return;
+}

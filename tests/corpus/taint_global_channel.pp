@@ -1,0 +1,13 @@
+// expect: taint-dt=1
+// The secret crosses functions through a global cell, not a call edge.
+global chan: int;
+fn producer() {
+    let s: int = getpass();
+    *chan = s;
+    return;
+}
+fn consumer() {
+    let v: int = *chan;
+    sendto(v);
+    return;
+}

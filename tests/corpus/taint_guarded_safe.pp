@@ -1,0 +1,8 @@
+// expect: taint-dt=0
+fn main(dbg: bool) {
+    let s: int = getpass();
+    let v: int = 0;
+    if (dbg) { v = s; }
+    if (!dbg) { sendto(v); }
+    return;
+}

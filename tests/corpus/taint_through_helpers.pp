@@ -1,0 +1,10 @@
+// expect: taint-pt=1 taint-dt=0
+fn read_one() -> int { let v: int = fgetc(); return v; }
+fn normalize(v: int) -> int { return v - 32; }
+fn main() {
+    let raw: int = read_one();
+    let n: int = normalize(raw);
+    let h: int = fopen(n + 1);
+    print(h);
+    return;
+}

@@ -1,0 +1,13 @@
+// expect: uaf=1 leak=1
+// The freed pointer reaches the deref through a phi that merges it with
+// a live pointer; only one arm is dangerous but it is feasible.
+fn main(c: bool) {
+    let a: int* = malloc();
+    let b: int* = malloc();
+    free(a);
+    let r: int* = b;
+    if (c) { r = a; }
+    let x: int = *r;
+    print(x);
+    return;
+}

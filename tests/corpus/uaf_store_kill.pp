@@ -1,0 +1,15 @@
+// expect: uaf=0 leak=2
+// The cell is overwritten with a live pointer before the reload: the
+// guarded memory analysis kills the freed value's entry.
+fn main() {
+    let cell: int** = malloc();
+    let dead: int* = malloc();
+    let live: int* = malloc();
+    *cell = dead;
+    free(dead);
+    *cell = live;
+    let p: int* = *cell;
+    let x: int = *p;
+    print(x);
+    return;
+}

@@ -1,0 +1,13 @@
+// expect: uaf=1 leak=1
+// Free inside a loop body (analysed once-unrolled), use after the loop.
+fn main(n: int) {
+    let p: int* = malloc();
+    let i: int = 0;
+    while (i < n) {
+        free(p);
+        i = i + 1;
+    }
+    let x: int = *p;
+    print(x);
+    return;
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on cross-crate invariants.
+
+use pinpoint::smt::{LinearSolver, LinearVerdict, Sort, SmtResult, SmtSolver, TermArena, TermId};
+use pinpoint::workload::{generate, GenConfig};
+use pinpoint::{Analysis, CheckerKind};
+use proptest::prelude::*;
+
+/// A small generator of random boolean conditions over a fixed pool of
+/// atoms, shaped like the analysis' path conditions.
+#[derive(Debug, Clone)]
+enum CondTree {
+    Atom(u8),
+    NotAtom(u8),
+    And(Vec<CondTree>),
+    Or(Vec<CondTree>),
+}
+
+fn cond_strategy() -> impl Strategy<Value = CondTree> {
+    let leaf = prop_oneof![
+        (0u8..6).prop_map(CondTree::Atom),
+        (0u8..6).prop_map(CondTree::NotAtom),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(CondTree::And),
+            prop::collection::vec(inner, 2..4).prop_map(CondTree::Or),
+        ]
+    })
+}
+
+fn build(arena: &mut TermArena, t: &CondTree) -> TermId {
+    match t {
+        CondTree::Atom(i) => {
+            // Mix boolean atoms and integer comparisons, like real
+            // path conditions.
+            if i % 2 == 0 {
+                arena.var(format!("b{i}"), Sort::Bool)
+            } else {
+                let x = arena.var(format!("x{i}"), Sort::Int);
+                let zero = arena.int(0);
+                arena.ne(x, zero)
+            }
+        }
+        CondTree::NotAtom(i) => {
+            let a = build(arena, &CondTree::Atom(*i));
+            arena.not(a)
+        }
+        CondTree::And(xs) => {
+            let ts: Vec<TermId> = xs.iter().map(|x| build(arena, x)).collect();
+            arena.and(ts)
+        }
+        CondTree::Or(xs) => {
+            let ts: Vec<TermId> = xs.iter().map(|x| build(arena, x)).collect();
+            arena.or(ts)
+        }
+    }
+}
+
+proptest! {
+    /// The linear-time solver is sound: whenever it says Unsat, the full
+    /// SMT solver agrees. (This is the §3.1.1 contract: the cheap solver
+    /// may under-detect unsatisfiability but never over-detects.)
+    #[test]
+    fn linear_solver_unsat_implies_smt_unsat(tree in cond_strategy()) {
+        let mut arena = TermArena::new();
+        let cond = build(&mut arena, &tree);
+        let mut linear = LinearSolver::new();
+        if linear.check(&arena, cond) == LinearVerdict::Unsat {
+            let mut smt = SmtSolver::new();
+            prop_assert_eq!(smt.check(&arena, cond), SmtResult::Unsat);
+        }
+    }
+
+    /// Hash-consing invariant: building the same tree twice yields the
+    /// same term id.
+    #[test]
+    fn term_construction_is_canonical(tree in cond_strategy()) {
+        let mut arena = TermArena::new();
+        let a = build(&mut arena, &tree);
+        let b = build(&mut arena, &tree);
+        prop_assert_eq!(a, b);
+    }
+
+    /// De Morgan consistency through the simplifying constructors: the
+    /// SMT solver finds ¬(a ∧ b) ⟺ (¬a ∨ ¬b) valid for generated trees.
+    #[test]
+    fn negation_equisatisfiable(tree in cond_strategy()) {
+        let mut arena = TermArena::new();
+        let cond = build(&mut arena, &tree);
+        let neg = arena.not(cond);
+        let both = arena.and2(cond, neg);
+        let mut smt = SmtSolver::new();
+        prop_assert_eq!(smt.check(&arena, both), SmtResult::Unsat);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any generated project compiles and the full pipeline runs without
+    /// panicking; detection candidate accounting stays consistent.
+    #[test]
+    fn pipeline_total_on_generated_projects(seed in 0u64..500) {
+        let project = generate(&GenConfig {
+            seed,
+            functions: 12,
+            stmts_per_function: 8,
+            real_bugs: 1,
+            decoys: 1,
+            taint: true,
+        });
+        let mut analysis = Analysis::from_source(&project.source)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}")))?;
+        let _ = analysis.check(CheckerKind::UseAfterFree);
+        let s = analysis.stats;
+        prop_assert_eq!(s.detect.candidates, s.detect.reports + s.detect.refuted);
+    }
+}
