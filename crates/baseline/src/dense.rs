@@ -39,14 +39,13 @@ pub fn check_function(fid: FuncId, f: &Function) -> Vec<DenseWarning> {
                 index: i as u32,
             };
             match inst {
-                Inst::Load { ptr, .. } | Inst::Store { ptr, .. }
-                    if freed.contains(ptr) => {
-                        warnings.push(DenseWarning {
-                            func: fid,
-                            free_site: free_site_of[ptr],
-                            use_site: site,
-                        });
-                    }
+                Inst::Load { ptr, .. } | Inst::Store { ptr, .. } if freed.contains(ptr) => {
+                    warnings.push(DenseWarning {
+                        func: fid,
+                        free_site: free_site_of[ptr],
+                        use_site: site,
+                    });
+                }
                 Inst::Call { callee, args, .. } if callee == intrinsics::FREE => {
                     if let Some(&p) = args.first() {
                         if freed.contains(&p) {

@@ -1,11 +1,12 @@
 //! End-to-end checker benchmarks: Pinpoint vs the layered and dense
 //! baselines on the same generated project (Tables 1/3 cost columns).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::harness::bench;
 use pinpoint_core::{Analysis, CheckerKind};
 use pinpoint_workload::{generate, generate_juliet, GenConfig};
 
-fn bench_checkers(c: &mut Criterion) {
+fn bench_checkers() {
+    println!("# group: checker");
     let project = generate(&GenConfig {
         seed: 5,
         real_bugs: 2,
@@ -13,43 +14,30 @@ fn bench_checkers(c: &mut Criterion) {
         taint: true,
         ..GenConfig::default().with_target_kloc(2.0)
     });
-    let mut group = c.benchmark_group("checker");
-    group.sample_size(10);
-    group.bench_function("pinpoint_uaf_2kloc", |b| {
-        b.iter(|| {
-            let mut a = Analysis::from_source(&project.source).unwrap();
-            a.check(CheckerKind::UseAfterFree).len()
-        });
+    bench("pinpoint_uaf_2kloc", 10, || {
+        let a = Analysis::from_source(&project.source).unwrap();
+        a.check(CheckerKind::UseAfterFree).len()
     });
-    group.bench_function("pinpoint_taint_2kloc", |b| {
-        b.iter(|| {
-            let mut a = Analysis::from_source(&project.source).unwrap();
-            a.check(CheckerKind::PathTraversal).len()
-                + a.check(CheckerKind::DataTransmission).len()
-        });
+    bench("pinpoint_taint_2kloc", 10, || {
+        let a = Analysis::from_source(&project.source).unwrap();
+        a.check(CheckerKind::PathTraversal).len() + a.check(CheckerKind::DataTransmission).len()
     });
-    group.bench_function("layered_uaf_2kloc", |b| {
-        b.iter(|| {
-            let module = pinpoint_ir::compile(&project.source).unwrap();
-            let g = pinpoint_baseline::Fsvfg::build(&module);
-            pinpoint_baseline::layered_check_uaf(&module, &g).len()
-        });
+    bench("layered_uaf_2kloc", 10, || {
+        let module = pinpoint_ir::compile(&project.source).unwrap();
+        let g = pinpoint_baseline::Fsvfg::build(&module);
+        pinpoint_baseline::layered_check_uaf(&module, &g).len()
     });
-    group.bench_function("dense_uaf_2kloc", |b| {
-        b.iter(|| {
-            let module = pinpoint_ir::compile(&project.source).unwrap();
-            pinpoint_baseline::dense_check(&module).len()
-        });
+    bench("dense_uaf_2kloc", 10, || {
+        let module = pinpoint_ir::compile(&project.source).unwrap();
+        pinpoint_baseline::dense_check(&module).len()
     });
     let juliet = generate_juliet(2);
-    group.bench_function("juliet_102_cases", |b| {
-        b.iter(|| {
-            let mut a = Analysis::from_source(&juliet.source).unwrap();
-            a.check(CheckerKind::UseAfterFree).len()
-        });
+    bench("juliet_102_cases", 10, || {
+        let a = Analysis::from_source(&juliet.source).unwrap();
+        a.check(CheckerKind::UseAfterFree).len()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_checkers);
-criterion_main!(benches);
+fn main() {
+    bench_checkers();
+}

@@ -3,8 +3,8 @@
 //! argument: the cheap solver discharges most conditions for a fraction
 //! of the price).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pinpoint_smt::{LinearSolver, Sort, SmtSolver, TermArena, TermId};
+use pinpoint_bench::harness::bench;
+use pinpoint_smt::{LinearSolver, SmtSolver, Sort, TermArena, TermId};
 
 /// Builds a path-condition-shaped formula: a conjunction of branch
 /// literals, value-flow equalities, and guarded implications.
@@ -37,31 +37,31 @@ fn path_condition(arena: &mut TermArena, n: usize, contradictory: bool) -> TermI
     arena.and(conj)
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver");
+fn bench_solvers() {
+    println!("# group: solver");
     for n in [8usize, 32] {
         for contradictory in [false, true] {
             let label = if contradictory { "unsat" } else { "sat" };
-            group.bench_function(format!("linear_{label}_{n}"), |b| {
+            {
                 let mut arena = TermArena::new();
                 let cond = path_condition(&mut arena, n, contradictory);
-                b.iter(|| {
+                bench(&format!("linear_{label}_{n}"), 50, || {
                     let mut solver = LinearSolver::new();
                     solver.check(&arena, cond)
                 });
-            });
-            group.bench_function(format!("smt_{label}_{n}"), |b| {
+            }
+            {
                 let mut arena = TermArena::new();
                 let cond = path_condition(&mut arena, n, contradictory);
-                b.iter(|| {
+                bench(&format!("smt_{label}_{n}"), 50, || {
                     let mut solver = SmtSolver::new();
                     solver.check(&arena, cond)
                 });
-            });
+            }
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);
+fn main() {
+    bench_solvers();
+}

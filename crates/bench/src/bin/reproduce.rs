@@ -127,7 +127,10 @@ fn build_seg(source: &str) -> (Analysis, Measurement) {
 fn build_fsvfg(
     source: &str,
     budget: Duration,
-) -> (Option<(pinpoint_ir::Module, pinpoint_baseline::Fsvfg)>, Measurement) {
+) -> (
+    Option<(pinpoint_ir::Module, pinpoint_baseline::Fsvfg)>,
+    Measurement,
+) {
     let module = pinpoint_ir::compile(source).expect("subject compiles");
     measure(move || {
         let deadline = Some(Instant::now() + budget);
@@ -170,7 +173,11 @@ fn fig7_fig8(opts: &Options, time_axis: bool) {
                 if first_timeout.is_none() {
                     first_timeout = Some(s.name);
                 }
-                ("TIMEOUT".into(), format!("{:.1}+", fs_m.peak_mib()), String::new())
+                (
+                    "TIMEOUT".into(),
+                    format!("{:.1}+", fs_m.peak_mib()),
+                    String::new(),
+                )
             }
         };
         println!(
@@ -205,7 +212,7 @@ fn fig9(opts: &Options) {
         let project = generate_subject(s, opts.scale);
         let kloc = project.lines as f64 / 1000.0;
         let (reports, pp_m) = measure(|| {
-            let mut a = Analysis::from_source(&project.source).expect("compiles");
+            let a = Analysis::from_source(&project.source).expect("compiles");
             a.check(CheckerKind::UseAfterFree).len()
         });
         let (layered, base_m) = measure(|| {
@@ -216,7 +223,10 @@ fn fig9(opts: &Options) {
         });
         let (base_mem, note) = match layered {
             Some(w) => (format!("{:.1}", base_m.peak_mib()), format!("{w} warnings")),
-            None => (format!("{:.1}+ (TIMEOUT)", base_m.peak_mib()), String::new()),
+            None => (
+                format!("{:.1}+ (TIMEOUT)", base_m.peak_mib()),
+                String::new(),
+            ),
         };
         println!(
             "{:<14} {:>9.1} {:>16.1} {:>18}  pinpoint: {} reports {}",
@@ -242,10 +252,15 @@ fn fig10(opts: &Options) {
         let project = generate_subject(s, opts.scale);
         let kloc = project.lines as f64 / 1000.0;
         let (_r, m) = measure(|| {
-            let mut a = Analysis::from_source(&project.source).expect("compiles");
+            let a = Analysis::from_source(&project.source).expect("compiles");
             a.check(CheckerKind::UseAfterFree).len()
         });
-        println!("{:>9.1} {:>12} {:>12.1}", kloc, fmt_dur(m.time), m.peak_mib());
+        println!(
+            "{:>9.1} {:>12} {:>12.1}",
+            kloc,
+            fmt_dur(m.time),
+            m.peak_mib()
+        );
         time_pts.push((kloc, m.time.as_secs_f64()));
         mem_pts.push((kloc, m.peak_mib()));
     }
@@ -288,7 +303,7 @@ fn table1(opts: &Options) {
     for s in subjects(opts) {
         let project = generate_subject(s, opts.scale);
         let kloc = project.lines as f64 / 1000.0;
-        let mut analysis = Analysis::from_source(&project.source).expect("compiles");
+        let analysis = Analysis::from_source(&project.source).expect("compiles");
         let reports = analysis.check(CheckerKind::UseAfterFree);
         // FP accounting against ground truth: a report is a false positive
         // when it matches a decoy marker or no marker at all.
@@ -297,9 +312,10 @@ fn table1(opts: &Options) {
             .filter(|r| {
                 let sf = &analysis.module.func(r.source_func).name;
                 let kf = &analysis.module.func(r.sink_func).name;
-                let matches_real = project.bugs.iter().any(|b| {
-                    b.real && (sf.contains(&b.marker) || kf.contains(&b.marker))
-                });
+                let matches_real = project
+                    .bugs
+                    .iter()
+                    .any(|b| b.real && (sf.contains(&b.marker) || kf.contains(&b.marker)));
                 !matches_real
             })
             .count();
@@ -382,16 +398,17 @@ fn table2(opts: &Options) {
         (CheckerKind::DataTransmission, "Data Transmission Vuln."),
     ] {
         let ((reports, fp), m) = measure(|| {
-            let mut a = Analysis::from_source(&project.source).expect("compiles");
+            let a = Analysis::from_source(&project.source).expect("compiles");
             let reports = a.check(kind);
             let fp = reports
                 .iter()
                 .filter(|r| {
                     let sf = &a.module.func(r.source_func).name;
                     let kf = &a.module.func(r.sink_func).name;
-                    !project.bugs.iter().any(|b| {
-                        b.real && (sf.contains(&b.marker) || kf.contains(&b.marker))
-                    })
+                    !project
+                        .bugs
+                        .iter()
+                        .any(|b| b.real && (sf.contains(&b.marker) || kf.contains(&b.marker)))
                 })
                 .count();
             (reports.len(), fp)
@@ -430,10 +447,7 @@ fn table3(opts: &Options) {
             .iter()
             .filter(|w| {
                 let f = &module.func(w.func).name;
-                !project
-                    .bugs
-                    .iter()
-                    .any(|b| b.real && f.contains(&b.marker))
+                !project.bugs.iter().any(|b| b.real && f.contains(&b.marker))
             })
             .count();
         let missed_cross = project
@@ -471,7 +485,7 @@ fn juliet() {
     println!("\n=== Juliet-style recall (51 variants x 28 cases = 1428) ===");
     let suite = generate_juliet(28);
     let (result, m) = measure(|| {
-        let mut analysis = Analysis::from_source(&suite.source).expect("suite compiles");
+        let analysis = Analysis::from_source(&suite.source).expect("suite compiles");
         let reports = analysis.check(CheckerKind::UseAfterFree);
         let mut missed = Vec::new();
         for case in &suite.cases {
@@ -481,7 +495,11 @@ fn juliet() {
                     .func(r.source_func)
                     .name
                     .contains(&case.marker)
-                    || analysis.module.func(r.sink_func).name.contains(&case.marker)
+                    || analysis
+                        .module
+                        .func(r.sink_func)
+                        .name
+                        .contains(&case.marker)
             });
             if !found {
                 missed.push(case.variant);
@@ -508,11 +526,13 @@ fn linear_solver(opts: &Options) {
     println!("\n=== Linear-time solver effectiveness (§3.1.1) ===");
     let subject = SUBJECTS.iter().find(|s| s.name == "tmux").expect("tmux");
     let project = generate_subject(subject, opts.scale / 4.0);
-    let mut analysis = Analysis::from_source(&project.source).expect("compiles");
-    analysis.config.measure_linear = true;
-    let _ = analysis.check(CheckerKind::UseAfterFree);
-    let pta = analysis.stats.pta;
-    let det = analysis.stats.detect;
+    let analysis = Analysis::from_source(&project.source).expect("compiles");
+    let mut session = analysis.session();
+    session.config.measure_linear = true;
+    let _ = session.check(CheckerKind::UseAfterFree);
+    let stats = session.stats();
+    let pta = stats.pta;
+    let det = stats.detect;
     let sat_frac = if pta.linear_checks == 0 {
         0.0
     } else {
@@ -553,10 +573,8 @@ fn ablations() {
     for prune in [true, false] {
         let (counts, m) = measure(|| {
             let mut module = pinpoint_ir::compile(&project.source).expect("compiles");
-            let pta = pinpoint_pta::analyze_module_with(
-                &mut module,
-                &pinpoint_pta::PtaConfig { prune },
-            );
+            let pta =
+                pinpoint_pta::analyze_module_with(&mut module, &pinpoint_pta::PtaConfig { prune });
             let deps: usize = pta.pta.iter().map(|p| p.mem_deps.len()).sum();
             deps
         });
@@ -584,28 +602,31 @@ fn ablations() {
          fn main() {{\n    let p: int* = malloc();\n    free(p);\n{calls}    hit(p);\n    return;\n}}\n"
     );
     for use_summaries in [true, false] {
-        let mut analysis = Analysis::from_source(&fanout_src).expect("fanout compiles");
-        analysis.config.use_summaries = use_summaries;
-        let (n, m) = measure(|| analysis.check(CheckerKind::UseAfterFree).len());
+        let analysis = Analysis::from_source(&fanout_src).expect("fanout compiles");
+        let mut session = analysis.session();
+        session.config.use_summaries = use_summaries;
+        let (n, m) = measure(|| session.check(CheckerKind::UseAfterFree).len());
+        let det = session.stats().detect;
         println!(
             "VF summaries {:>3}: {n} reports, {} vertices visited, {} descents skipped, detect {}",
             if use_summaries { "ON" } else { "OFF" },
-            analysis.stats.detect.visited,
-            analysis.stats.detect.skipped_descents,
+            det.visited,
+            det.skipped_descents,
             fmt_dur(m.time)
         );
     }
 
     // (b) SMT solving on/off: report counts (path sensitivity).
     for solve in [true, false] {
-        let mut analysis = Analysis::from_source(&project.source).expect("compiles");
-        analysis.config.solve = solve;
-        let reports = analysis.check(CheckerKind::UseAfterFree);
+        let analysis = Analysis::from_source(&project.source).expect("compiles");
+        let mut session = analysis.session();
+        session.config.solve = solve;
+        let reports = session.check(CheckerKind::UseAfterFree);
         println!(
             "SMT path-feasibility {:>3}: {} reports ({} candidates)",
             if solve { "ON" } else { "OFF" },
             reports.len(),
-            analysis.stats.detect.candidates
+            session.stats().detect.candidates
         );
     }
 
@@ -628,9 +649,10 @@ fn ablations() {
         ));
     }
     for depth in [1u32, 2, 4, 6] {
-        let mut analysis = Analysis::from_source(&ladder).expect("ladder compiles");
-        analysis.config.max_ctx_depth = depth;
-        let (n, m) = measure(|| analysis.check(CheckerKind::UseAfterFree).len());
+        let analysis = Analysis::from_source(&ladder).expect("ladder compiles");
+        let mut session = analysis.session();
+        session.config.max_ctx_depth = depth;
+        let (n, m) = measure(|| session.check(CheckerKind::UseAfterFree).len());
         println!(
             "context depth {depth}: {n}/6 ladder bugs found, detect {}",
             fmt_dur(m.time)
@@ -645,9 +667,8 @@ fn ablations() {
         taint: false,
         ..GenConfig::default().with_target_kloc(20.0)
     });
-    let (outcome, full_m) = measure(|| {
-        Analysis::from_source(&inc_project.source).expect("compiles")
-    });
+    let (outcome, full_m) =
+        measure(|| Analysis::from_source(&inc_project.source).expect("compiles"));
     let mut analysis = outcome;
     let edited = {
         let needle = "fn filler1(";

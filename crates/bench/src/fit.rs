@@ -88,13 +88,7 @@ mod tests {
 
     #[test]
     fn noisy_line_r2_below_one() {
-        let pts = [
-            (1.0, 3.2),
-            (2.0, 4.8),
-            (3.0, 7.1),
-            (4.0, 8.7),
-            (5.0, 11.4),
-        ];
+        let pts = [(1.0, 3.2), (2.0, 4.8), (3.0, 7.1), (4.0, 8.7), (5.0, 11.4)];
         let fit = linear_fit(&pts);
         assert!(fit.r2 > 0.97 && fit.r2 < 1.0, "r2 = {}", fit.r2);
     }

@@ -1,0 +1,81 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The workspace vendors no external benchmarking framework, so the
+//! `benches/` targets (built with `harness = false`) drive their
+//! measurements through this module: warm up once, take `samples`
+//! timed runs, report min / median / mean.
+//!
+//! `cargo test` also builds and runs benchmark targets; under test
+//! invocations ([`smoke_mode`]) benches should shrink to a single
+//! iteration so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Arithmetic mean of all samples.
+    pub mean: Duration,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// `true` when the binary was invoked by `cargo test` (cargo passes
+/// `--test`): benches should run one quick iteration and exit.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Runs `f` `samples` times after one warm-up call and prints a
+/// `name  min … median … mean …` line. In [`smoke_mode`] a single
+/// un-timed call is made instead.
+pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Timing {
+    if smoke_mode() {
+        let t0 = Instant::now();
+        let _ = f();
+        let d = t0.elapsed();
+        println!("{name:<40} smoke {d:>12.3?}");
+        return Timing {
+            min: d,
+            median: d,
+            mean: d,
+            samples: 1,
+        };
+    }
+    let _ = f(); // warm-up
+    let samples = samples.max(1);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let _ = f();
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    let timing = Timing {
+        min: times[0],
+        median: times[times.len() / 2],
+        mean: times.iter().sum::<Duration>() / samples as u32,
+        samples,
+    };
+    println!(
+        "{name:<40} min {:>12.3?}  median {:>12.3?}  mean {:>12.3?}  ({samples} samples)",
+        timing.min, timing.median, timing.mean
+    );
+    timing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_ordered_stats() {
+        let t = bench("noop", 5, || 1 + 1);
+        assert!(t.min <= t.median);
+        assert!(t.samples >= 1);
+    }
+}

@@ -9,15 +9,18 @@
 //!   accounting.
 //!
 //! The `reproduce` binary (see `src/bin/reproduce.rs`) drives the
-//! experiments; `cargo bench` runs the Criterion micro-benchmarks.
+//! experiments; `cargo bench` runs the [`harness`]-based
+//! micro-benchmarks under `benches/`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod alloc;
 pub mod fit;
+pub mod harness;
 pub mod measure;
 
 pub use alloc::CountingAlloc;
 pub use fit::{linear_fit, Fit};
+pub use harness::{bench, Timing};
 pub use measure::{measure, Measurement};

@@ -313,8 +313,7 @@ impl<'a> CondBuilder<'a> {
             }
             // φ and loads: guarded equalities over the SEG in-edges.
             Inst::Phi { .. } | Inst::Load { .. } => {
-                let edges: Vec<crate::seg::SegEdge> =
-                    self.segs.seg(fid).preds(v).to_vec();
+                let edges: Vec<crate::seg::SegEdge> = self.segs.seg(fid).preds(v).to_vec();
                 for e in edges {
                     let src_term = self.symbols.value_term(self.arena, fid, f, e.src);
                     let eq = self.arena.eq(term, src_term);
@@ -483,9 +482,7 @@ mod tests {
         let fid = fx.module.func_by_name("f").unwrap();
         let f = fx.module.func(fid);
         let ret = f.return_values()[0];
-        let t = fx
-            .symbols
-            .value_term(&mut fx.arena, fid, f, ret);
+        let t = fx.symbols.value_term(&mut fx.arena, fid, f, ret);
         let mut ctxs = CtxInterner::new();
         let mut cb = CondBuilder::new(
             &fx.module,
@@ -495,10 +492,14 @@ mod tests {
             &mut ctxs,
             CondConfig::default(),
         );
-        let ctx = cb.ctxs.callee_of(ROOT, fid, InstId {
-            block: BlockId(0),
-            index: 0,
-        });
+        let ctx = cb.ctxs.callee_of(
+            ROOT,
+            fid,
+            InstId {
+                block: BlockId(0),
+                index: 0,
+            },
+        );
         let cloned = cb.clone_term(t, ctx);
         assert_ne!(t, cloned);
         let printed = cb.arena.display(cloned);

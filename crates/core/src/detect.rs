@@ -21,6 +21,7 @@ use pinpoint_ir::{Cfg, DomTree, FuncId, InstId, Module, ValueId};
 use pinpoint_pta::Symbols;
 use pinpoint_smt::{SmtResult, SmtSolver, TermArena};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::rc::Rc;
 
 /// Detection tunables.
@@ -96,20 +97,31 @@ pub struct Report {
     /// model. Empty when the condition was trivially true or solving was
     /// disabled.
     pub witness: Vec<(String, bool)>,
+    /// Name of the function holding the source statement.
+    pub source_func_name: String,
+    /// Name of the function holding the sink statement.
+    pub sink_func_name: String,
+    /// Human-readable rendering of the value-flow path
+    /// (`[property] func:value → …`), resolved at creation so the report
+    /// is self-describing without the [`Module`].
+    pub description: String,
 }
 
 impl Report {
-    /// Renders the path as `func:value → …`.
-    pub fn describe(&self, module: &Module) -> String {
-        let steps: Vec<String> = self
-            .path
-            .iter()
-            .map(|s| {
-                let f = module.func(s.func);
-                format!("{}:{}", f.name, f.value(s.value).name)
-            })
-            .collect();
-        format!("[{}] {}", self.property, steps.join(" → "))
+    /// Renders the path as `[property] func:value → …`.
+    ///
+    /// Names are resolved into the report when it is created, so the
+    /// `module` argument is no longer needed — use the [`fmt::Display`]
+    /// impl (`report.to_string()`) instead.
+    #[deprecated(note = "names are resolved at creation; use Display / `to_string()`")]
+    pub fn describe(&self, _module: &Module) -> String {
+        self.description.clone()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.description)
     }
 }
 
@@ -204,95 +216,202 @@ enum Trace {
     },
 }
 
-/// The global detector. Borrows the finished analysis artefacts.
+/// A candidate source→sink pair key: `(source func, source site, sink
+/// func, sink site)`.
+type CandidateKey = (FuncId, InstId, FuncId, InstId);
+
+/// One candidate found during a worker's search, in per-source discovery
+/// order. Recorded instead of immediately reported so the merge can
+/// replay cross-source deduplication deterministically.
 #[derive(Debug)]
-pub struct Detector<'a> {
-    module: &'a Module,
-    segs: &'a ModuleSeg,
-    symbols: &'a mut Symbols,
-    arena: &'a mut TermArena,
-    /// The SMT solver (statistics accumulate across checkers).
-    pub smt: SmtSolver,
-    config: DetectConfig,
-    /// Per-function sink index, built lazily per checker.
-    sink_index: HashMap<FuncId, HashMap<ValueId, Vec<SinkSite>>>,
-    /// Per-function dominator trees for the same-function ordering filter.
-    doms: HashMap<FuncId, DomTree>,
-    /// Linear solver for the `measure_linear` experiment.
-    linear: pinpoint_smt::LinearSolver,
-    /// Interface summaries of the property being checked.
-    summaries: Option<crate::summary::ParamSummaries>,
-    /// Run statistics.
-    pub stats: DetectStats,
+struct CandidateEvent {
+    key: CandidateKey,
+    /// The mirrored key a free→free pair also suppresses (double-free
+    /// symmetry).
+    mirror: Option<CandidateKey>,
+    /// The report, when the path condition was satisfiable (or solving
+    /// was disabled); `None` means the SMT solver refuted it.
+    report: Option<Report>,
+    /// Whether the linear-time solver alone would have refuted it
+    /// (only computed under [`DetectConfig::measure_linear`]).
+    linear_refuted: bool,
 }
 
-impl<'a> Detector<'a> {
-    /// Creates a detector over finished SEGs.
-    pub fn new(
-        module: &'a Module,
-        segs: &'a ModuleSeg,
-        symbols: &'a mut Symbols,
-        arena: &'a mut TermArena,
-        config: DetectConfig,
-    ) -> Self {
-        Detector {
-            module,
-            segs,
+/// Everything one source's search produced.
+#[derive(Debug)]
+struct SourceOutcome {
+    events: Vec<CandidateEvent>,
+    visited: u64,
+    skipped_descents: u64,
+}
+
+/// Property-wide read-only state shared by every worker.
+#[derive(Debug)]
+struct SpecContext<'a> {
+    module: &'a Module,
+    segs: &'a ModuleSeg,
+    spec: &'a Spec,
+    kind: Option<CheckerKind>,
+    config: DetectConfig,
+    /// Per-function sink index for this property.
+    sink_index: HashMap<FuncId, HashMap<ValueId, Vec<SinkSite>>>,
+    /// Interface summaries of the property being checked (§3.3.2).
+    summaries: Option<crate::summary::ParamSummaries>,
+}
+
+/// One detection worker: owns private copies of the condition vocabulary
+/// so several workers (or several concurrent sessions) can search at
+/// once without touching the immutable analysis artefact.
+///
+/// Every source is evaluated from the pristine artefact state: the
+/// worker checkpoints its arena and symbol cache before the search and
+/// rolls both back afterwards, so a source's outcome is a pure function
+/// of the artefact — independent of sharding, thread count, or the
+/// sources that ran before it on the same worker.
+#[derive(Debug)]
+struct Worker<'cx, 'a> {
+    cx: &'cx SpecContext<'a>,
+    symbols: Symbols,
+    arena: TermArena,
+    smt: SmtSolver,
+    /// Fresh per source: its memo is keyed by `TermId`, which rollback
+    /// recycles.
+    linear: pinpoint_smt::LinearSolver,
+    /// Per-function dominator trees for the same-function ordering filter.
+    doms: HashMap<FuncId, DomTree>,
+}
+
+/// Runs one property over the module with `threads` workers, merging
+/// per-source outcomes into reports and statistics that are
+/// byte-identical for any thread count.
+///
+/// Sources are enumerated in module order and partitioned into
+/// contiguous shards. Each worker records *candidate events* (it cannot
+/// know which candidates an earlier source already claimed); the merge
+/// then replays all events in canonical source order against a global
+/// seen-set, counting candidates and emitting reports exactly as a
+/// single-threaded pass over the same per-source results would.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_spec(
+    module: &Module,
+    segs: &ModuleSeg,
+    symbols: &Symbols,
+    arena: &TermArena,
+    spec: &Spec,
+    kind: Option<CheckerKind>,
+    config: DetectConfig,
+    threads: usize,
+) -> (Vec<Report>, DetectStats) {
+    let summaries = config
+        .use_summaries
+        .then(|| crate::summary::ParamSummaries::build(module, segs, spec));
+    let mut sink_index: HashMap<FuncId, HashMap<ValueId, Vec<SinkSite>>> = HashMap::new();
+    for (fid, f) in module.iter_funcs() {
+        let mut by_value: HashMap<ValueId, Vec<SinkSite>> = HashMap::new();
+        for s in spec::spec_sinks(spec, f) {
+            by_value.entry(s.value).or_default().push(s);
+        }
+        sink_index.insert(fid, by_value);
+    }
+    let cx = SpecContext {
+        module,
+        segs,
+        spec,
+        kind,
+        config,
+        sink_index,
+        summaries,
+    };
+    let sources: Vec<(FuncId, SourceSite)> = module
+        .iter_funcs()
+        .flat_map(|(fid, f)| {
+            spec::spec_sources(spec, f)
+                .into_iter()
+                .map(move |s| (fid, s))
+        })
+        .collect();
+
+    let threads = threads.max(1);
+    let outcomes: Vec<SourceOutcome> = if threads == 1 || sources.len() <= 1 {
+        let mut w = Worker::new(&cx, symbols.clone(), arena.clone());
+        sources
+            .iter()
+            .map(|&(fid, s)| w.run_source(fid, s))
+            .collect()
+    } else {
+        let chunk = sources.len().div_ceil(threads);
+        let cx_ref = &cx;
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = sources
+                .chunks(chunk)
+                .map(|shard| {
+                    let symbols = symbols.clone();
+                    let arena = arena.clone();
+                    sc.spawn(move || {
+                        let mut w = Worker::new(cx_ref, symbols, arena);
+                        shard
+                            .iter()
+                            .map(|&(fid, s)| w.run_source(fid, s))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("detection worker panicked"))
+                .collect()
+        })
+    };
+
+    // Deterministic replay in canonical source order.
+    let mut stats = DetectStats {
+        sources: sources.len() as u64,
+        ..DetectStats::default()
+    };
+    let mut reports = Vec::new();
+    let mut seen: HashSet<CandidateKey> = HashSet::new();
+    for outcome in outcomes {
+        stats.visited += outcome.visited;
+        stats.skipped_descents += outcome.skipped_descents;
+        for ev in outcome.events {
+            if !seen.insert(ev.key) {
+                continue; // claimed by an earlier source
+            }
+            if let Some(m) = ev.mirror {
+                seen.insert(m);
+            }
+            stats.candidates += 1;
+            match ev.report {
+                Some(r) => {
+                    stats.reports += 1;
+                    reports.push(r);
+                }
+                None => {
+                    stats.refuted += 1;
+                    if ev.linear_refuted {
+                        stats.linear_refuted += 1;
+                    }
+                }
+            }
+        }
+    }
+    (reports, stats)
+}
+
+impl<'cx, 'a> Worker<'cx, 'a> {
+    fn new(cx: &'cx SpecContext<'a>, symbols: Symbols, arena: TermArena) -> Self {
+        Worker {
+            cx,
             symbols,
             arena,
             smt: SmtSolver::new(),
-            config,
-            sink_index: HashMap::new(),
-            doms: HashMap::new(),
             linear: pinpoint_smt::LinearSolver::new(),
-            summaries: None,
-            stats: DetectStats::default(),
+            doms: HashMap::new(),
         }
-    }
-
-    /// Runs one built-in checker over the whole module.
-    pub fn check(&mut self, kind: CheckerKind) -> Vec<Report> {
-        self.check_spec_impl(&kind.spec(), Some(kind))
-    }
-
-    /// Runs a user-defined property specification over the whole module.
-    pub fn check_spec(&mut self, spec: &Spec) -> Vec<Report> {
-        self.check_spec_impl(spec, None)
-    }
-
-    fn check_spec_impl(&mut self, spec: &Spec, kind: Option<CheckerKind>) -> Vec<Report> {
-        // Compositional interface summaries for this property (§3.3.2).
-        self.summaries = if self.config.use_summaries {
-            Some(crate::summary::ParamSummaries::build(
-                self.module,
-                self.segs,
-                spec,
-            ))
-        } else {
-            None
-        };
-        // (Re)build the sink index for this property.
-        self.sink_index.clear();
-        for (fid, f) in self.module.iter_funcs() {
-            let mut by_value: HashMap<ValueId, Vec<SinkSite>> = HashMap::new();
-            for s in spec::spec_sinks(spec, f) {
-                by_value.entry(s.value).or_default().push(s);
-            }
-            self.sink_index.insert(fid, by_value);
-        }
-        let mut reports = Vec::new();
-        let mut seen: HashSet<(FuncId, InstId, FuncId, InstId)> = HashSet::new();
-        for (fid, f) in self.module.iter_funcs() {
-            for source in spec::spec_sources(spec, f) {
-                self.stats.sources += 1;
-                self.search_from(spec, kind, fid, source, &mut reports, &mut seen);
-            }
-        }
-        reports
     }
 
     fn dom_of(&mut self, fid: FuncId) -> &DomTree {
-        let module = self.module;
+        let module = self.cx.module;
         self.doms.entry(fid).or_insert_with(|| {
             let f = module.func(fid);
             let cfg = Cfg::new(f);
@@ -310,16 +429,22 @@ impl<'a> Detector<'a> {
         dom.dominates(sink.block, source.block)
     }
 
-    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
-    fn search_from(
-        &mut self,
-        spec: &Spec,
-        kind: Option<CheckerKind>,
-        source_func: FuncId,
-        source: SourceSite,
-        reports: &mut Vec<Report>,
-        seen: &mut HashSet<(FuncId, InstId, FuncId, InstId)>,
-    ) {
+    /// Searches from one source, recording candidate events. The worker's
+    /// arena and symbol cache are restored afterwards, so every source is
+    /// evaluated from the pristine artefact state.
+    #[allow(clippy::too_many_lines)]
+    fn run_source(&mut self, source_func: FuncId, source: SourceSite) -> SourceOutcome {
+        let mark = self.arena.mark();
+        let ckpt = self.symbols.checkpoint();
+        self.linear = pinpoint_smt::LinearSolver::new();
+        let mut out = SourceOutcome {
+            events: Vec::new(),
+            visited: 0,
+            skipped_descents: 0,
+        };
+        // Local deduplication only; the cross-source pass happens at the
+        // merge replay.
+        let mut local_seen: HashSet<CandidateKey> = HashSet::new();
         let mut ctxs = CtxInterner::new();
         let mut visited: HashSet<(FuncId, ValueId, CtxId)> = HashSet::new();
         let mut stack: Vec<Node> = vec![Node {
@@ -332,15 +457,16 @@ impl<'a> Detector<'a> {
             since: Some(source.site),
         }];
         while let Some(node) = stack.pop() {
-            if visited.len() > self.config.max_visited_per_source {
+            if visited.len() > self.cx.config.max_visited_per_source {
                 break;
             }
             if !visited.insert((node.func, node.value, node.ctx)) {
                 continue;
             }
-            self.stats.visited += 1;
+            out.visited += 1;
             // 1. Sink checks at this vertex.
             let sinks: Vec<SinkSite> = self
+                .cx
                 .sink_index
                 .get(&node.func)
                 .and_then(|m| m.get(&node.value))
@@ -355,35 +481,31 @@ impl<'a> Detector<'a> {
                         continue; // ordered use-before-danger in this frame
                     }
                 }
-                if !seen.insert((source_func, source.site, node.func, sink.site)) {
+                let key = (source_func, source.site, node.func, sink.site);
+                if !local_seen.insert(key) {
                     continue;
                 }
                 // A free→free pair is one double-free bug regardless of
                 // which free the search started from: suppress the
                 // mirrored candidate.
-                if sink.role == SinkRole::Free {
-                    seen.insert((node.func, sink.site, source_func, source.site));
-                }
-                self.stats.candidates += 1;
-                if let Some(report) = self.try_report(
-                    spec,
-                    kind,
-                    source_func,
-                    source,
-                    &node,
-                    sink,
-                    &mut ctxs,
-                ) {
-                    self.stats.reports += 1;
-                    reports.push(report);
-                } else {
-                    self.stats.refuted += 1;
-                }
+                let mirror = (sink.role == SinkRole::Free).then(|| {
+                    let m = (node.func, sink.site, source_func, source.site);
+                    local_seen.insert(m);
+                    m
+                });
+                let (report, linear_refuted) =
+                    self.evaluate(source_func, source, &node, sink, &mut ctxs);
+                out.events.push(CandidateEvent {
+                    key,
+                    mirror,
+                    report,
+                    linear_refuted,
+                });
             }
             // 2. Local SEG edges.
-            let seg = self.segs.seg(node.func);
+            let seg = self.cx.segs.seg(node.func);
             for e in seg.succs(node.value) {
-                if e.kind == EdgeKind::Transform && !spec.traverses_transforms {
+                if e.kind == EdgeKind::Transform && !self.cx.spec.traverses_transforms {
                     continue;
                 }
                 stack.push(Node {
@@ -404,22 +526,22 @@ impl<'a> Detector<'a> {
             // 3. Descend into callees through actual arguments.
             let arg_uses = seg.arg_uses.get(&node.value).cloned().unwrap_or_default();
             for au in arg_uses {
-                if node.depth >= self.config.max_ctx_depth {
+                if node.depth >= self.cx.config.max_ctx_depth {
                     continue;
                 }
-                let Some(gid) = self.module.func_by_name(&au.callee) else {
+                let Some(gid) = self.cx.module.func_by_name(&au.callee) else {
                     continue;
                 };
                 if gid == node.func {
                     continue; // direct recursion: summary-free (§4.2)
                 }
-                if let Some(s) = &self.summaries {
+                if let Some(s) = &self.cx.summaries {
                     if !s.descend_useful(gid, au.index) {
-                        self.stats.skipped_descents += 1;
+                        out.skipped_descents += 1;
                         continue; // VF summary: nothing reachable below
                     }
                 }
-                let g = self.module.func(gid);
+                let g = self.cx.module.func(gid);
                 let Some(&formal) = g.params.get(au.index) else {
                     continue;
                 };
@@ -471,9 +593,10 @@ impl<'a> Detector<'a> {
                             since: Some(site),
                         });
                     }
-                } else if node.depth < self.config.max_ctx_depth {
+                } else if node.depth < self.cx.config.max_ctx_depth {
                     // Unmatched: ascend to every caller (VF2-style).
                     let callers = self
+                        .cx
                         .segs
                         .callers
                         .get(&node.func)
@@ -512,10 +635,11 @@ impl<'a> Detector<'a> {
             // is a formal parameter of an un-entered frame, the callers'
             // actual arguments hold the same (dangerous) value after the
             // call — this is what a VF3 summary communicates upward.
-            if node.stack.is_empty() && node.depth < self.config.max_ctx_depth {
-                let f = self.module.func(node.func);
+            if node.stack.is_empty() && node.depth < self.cx.config.max_ctx_depth {
+                let f = self.cx.module.func(node.func);
                 if let Some(param_idx) = f.params.iter().position(|&p| p == node.value) {
                     let callers = self
+                        .cx
                         .segs
                         .callers
                         .get(&node.func)
@@ -526,7 +650,7 @@ impl<'a> Detector<'a> {
                             continue;
                         }
                         let Some((_, args, _)) =
-                            self.segs.seg(caller).call_sites.get(&site).cloned()
+                            self.cx.segs.seg(caller).call_sites.get(&site).cloned()
                         else {
                             continue;
                         };
@@ -556,6 +680,7 @@ impl<'a> Detector<'a> {
             }
             // 5. Global-cell channels.
             let stores: Vec<(pinpoint_ir::GlobalId, pinpoint_smt::TermId)> = self
+                .cx
                 .segs
                 .global_stores
                 .iter()
@@ -568,6 +693,7 @@ impl<'a> Detector<'a> {
                 .collect();
             for (g, store_cond) in stores {
                 let loads = self
+                    .cx
                     .segs
                     .global_loads
                     .get(&g)
@@ -594,34 +720,36 @@ impl<'a> Detector<'a> {
                 }
             }
         }
+        // Restore the pristine artefact state for the next source.
+        self.arena.truncate_to(mark);
+        self.symbols.rollback(ckpt);
+        out
     }
 
     fn receiver_at(&self, caller: FuncId, site: InstId, ret_idx: usize) -> Option<ValueId> {
-        let (_, _, dsts) = self.segs.seg(caller).call_sites.get(&site)?;
+        let (_, _, dsts) = self.cx.segs.seg(caller).call_sites.get(&site)?;
         dsts.get(ret_idx).copied()
     }
 
-    /// Builds the path condition of a candidate and solves it; returns a
-    /// report when satisfiable (or when solving is disabled).
-    #[allow(clippy::too_many_arguments)]
-    fn try_report(
+    /// Builds the path condition of a candidate and solves it; returns
+    /// the report when satisfiable (or when solving is disabled) plus
+    /// whether the linear-time solver alone would have refuted it.
+    fn evaluate(
         &mut self,
-        spec: &Spec,
-        kind: Option<CheckerKind>,
         source_func: FuncId,
         source: SourceSite,
         node: &Node,
         sink: SinkSite,
         ctxs: &mut CtxInterner,
-    ) -> Option<Report> {
-        let depth = self.config.cond.max_depth;
+    ) -> (Option<Report>, bool) {
+        let depth = self.cx.config.cond.max_depth;
         let mut cb = CondBuilder::new(
-            self.module,
-            self.segs,
-            self.symbols,
-            self.arena,
+            self.cx.module,
+            self.cx.segs,
+            &mut self.symbols,
+            &mut self.arena,
             ctxs,
-            self.config.cond,
+            self.cx.config.cond,
         );
         // CD of the source and the sink statements.
         cb.add_control_deps(source_func, source.site.block, ROOT, depth);
@@ -650,7 +778,7 @@ impl<'a> Detector<'a> {
                     if edge.kind != EdgeKind::Transform {
                         cb.add_flow_equality(*func, edge.dst, *ctx, *func, edge.src, *ctx);
                     }
-                    let f = self.module.func(*func);
+                    let f = self.cx.module.func(*func);
                     if let Some(def) = f.value(edge.dst).def {
                         cb.add_control_deps(*func, def.block, *ctx, depth);
                     }
@@ -674,7 +802,7 @@ impl<'a> Detector<'a> {
                     callee_ctx,
                     arg_index,
                 } => {
-                    let (_, args, _) = self.segs.seg(*caller).call_sites[site].clone();
+                    let (_, args, _) = self.cx.segs.seg(*caller).call_sites[site].clone();
                     cb.bind_params(*caller, *caller_ctx, *callee, *callee_ctx, &args, depth);
                     cb.add_control_deps(*caller, site.block, *caller_ctx, depth);
                     let arg = args[*arg_index];
@@ -696,11 +824,16 @@ impl<'a> Detector<'a> {
                     recv,
                 } => {
                     cb.add_flow_equality(
-                        *caller, *recv, *caller_ctx, *callee, *ret_value, *callee_ctx,
+                        *caller,
+                        *recv,
+                        *caller_ctx,
+                        *callee,
+                        *ret_value,
+                        *callee_ctx,
                     );
                     // Bind the call's actuals so callee-side constraints
                     // referring to formals are grounded (Eq. 2 ③).
-                    let (_, args, _) = self.segs.seg(*caller).call_sites[site].clone();
+                    let (_, args, _) = self.cx.segs.seg(*caller).call_sites[site].clone();
                     cb.bind_params(*caller, *caller_ctx, *callee, *callee_ctx, &args, depth);
                     cb.add_control_deps(*caller, site.block, *caller_ctx, depth);
                     steps.push(Step {
@@ -719,7 +852,7 @@ impl<'a> Detector<'a> {
                     site,
                     actual,
                 } => {
-                    let (_, args, _) = self.segs.seg(*caller).call_sites[site].clone();
+                    let (_, args, _) = self.cx.segs.seg(*caller).call_sites[site].clone();
                     cb.bind_params(*caller, *caller_ctx, *callee, *callee_ctx, &args, depth);
                     cb.add_control_deps(*caller, site.block, *caller_ctx, depth);
                     steps.push(Step {
@@ -759,39 +892,50 @@ impl<'a> Detector<'a> {
         let condition_size = cb.len();
         let cond = cb.condition();
         let mut witness = Vec::new();
-        if self.config.solve {
-            let (result, model) = self.smt.check_with_model(self.arena, cond);
+        if self.cx.config.solve {
+            let (result, model) = self.smt.check_with_model(&self.arena, cond);
             witness = model
                 .into_iter()
-                .filter_map(|(name, value)| {
-                    Some((self.friendly_var_name(&name)?, value))
-                })
+                .filter_map(|(name, value)| Some((self.friendly_var_name(&name)?, value)))
                 .collect();
             match result {
                 SmtResult::Unsat => {
-                    if self.config.measure_linear
-                        && self.linear.check(self.arena, cond)
-                            == pinpoint_smt::LinearVerdict::Unsat
-                    {
-                        self.stats.linear_refuted += 1;
-                    }
-                    return None;
+                    let linear_refuted = self.cx.config.measure_linear
+                        && self.linear.check(&self.arena, cond)
+                            == pinpoint_smt::LinearVerdict::Unsat;
+                    return (None, linear_refuted);
                 }
                 SmtResult::Sat => {}
             }
         }
-        Some(Report {
-            kind,
-            property: spec.name.clone(),
-            source_func,
-            source_site: source.site,
-            sink_func: node.func,
-            sink_site: sink.site,
-            sink_role: sink.role,
-            path: steps,
-            condition_size,
-            witness,
-        })
+        let module = self.cx.module;
+        let rendered: Vec<String> = steps
+            .iter()
+            .map(|s| {
+                let f = module.func(s.func);
+                format!("{}:{}", f.name, f.value(s.value).name)
+            })
+            .collect();
+        let property = self.cx.spec.name.clone();
+        let description = format!("[{}] {}", property, rendered.join(" → "));
+        (
+            Some(Report {
+                kind: self.cx.kind,
+                property,
+                source_func,
+                source_site: source.site,
+                sink_func: node.func,
+                sink_site: sink.site,
+                sink_role: sink.role,
+                path: steps,
+                condition_size,
+                witness,
+                source_func_name: module.func(source_func).name.clone(),
+                sink_func_name: module.func(node.func).name.clone(),
+                description,
+            }),
+            false,
+        )
     }
 
     /// Maps an internal variable name (`f3.v12` or `f3.v12|c7`) back to
@@ -802,7 +946,7 @@ impl<'a> Detector<'a> {
         let (fid_str, vid_str) = rest.split_once(".v")?;
         let fid: u32 = fid_str.parse().ok()?;
         let vid: u32 = vid_str.parse().ok()?;
-        let f = self.module.funcs.get(fid as usize)?;
+        let f = self.cx.module.funcs.get(fid as usize)?;
         let info = f.values.get(vid as usize)?;
         if info.name.starts_with("aux_") {
             return None; // connector plumbing, not user-visible
@@ -826,7 +970,7 @@ mod tests {
     use crate::spec::CheckerKind;
 
     fn check(src: &str, kind: CheckerKind) -> (Analysis, Vec<Report>) {
-        let mut a = Analysis::from_source(src).expect("compiles");
+        let a = Analysis::from_source(src).expect("compiles");
         let reports = a.check(kind);
         (a, reports)
     }
@@ -881,17 +1025,22 @@ mod tests {
     fn exclusive_branches_refuted_by_smt() {
         // free and use are on opposite arms of the same condition:
         // path condition c ∧ ¬c is unsatisfiable.
-        let (a, reports) = check(
+        let a = Analysis::from_source(
             "fn main(c: bool) {
                 let p: int* = malloc();
                 if (c) { free(p); }
                 if (!c) { let x: int = *p; print(x); }
                 return;
             }",
-            CheckerKind::UseAfterFree,
-        );
+        )
+        .expect("compiles");
+        let mut session = a.session();
+        let reports = session.check(CheckerKind::UseAfterFree);
         assert!(reports.is_empty(), "{reports:?}");
-        assert!(a.stats.detect.refuted > 0, "SMT must have refuted it");
+        assert!(
+            session.stats().detect.refuted > 0,
+            "SMT must have refuted it"
+        );
     }
 
     #[test]
@@ -1148,14 +1297,19 @@ mod tests {
             }",
             CheckerKind::UseAfterFree,
         );
-        let desc = reports[0].describe(&a.module);
+        // Names are resolved at creation: Display needs no module.
+        let desc = reports[0].to_string();
         assert!(desc.contains("use-after-free"));
         assert!(desc.contains("main:"), "{desc}");
+        // The deprecated wrapper stays equivalent.
+        #[allow(deprecated)]
+        let legacy = reports[0].describe(&a.module);
+        assert_eq!(legacy, desc);
     }
 
     #[test]
     fn detection_stats_populated() {
-        let (a, _r) = check(
+        let a = Analysis::from_source(
             "fn main() {
                 let p: int* = malloc();
                 free(p);
@@ -1163,11 +1317,15 @@ mod tests {
                 print(x);
                 return;
             }",
-            CheckerKind::UseAfterFree,
-        );
-        assert_eq!(a.stats.detect.sources, 1);
-        assert!(a.stats.detect.visited > 0);
-        assert_eq!(a.stats.detect.reports, 1);
+        )
+        .expect("compiles");
+        let mut session = a.session();
+        let reports = session.check(CheckerKind::UseAfterFree);
+        assert_eq!(reports.len(), 1);
+        let stats = session.stats();
+        assert_eq!(stats.detect.sources, 1);
+        assert!(stats.detect.visited > 0);
+        assert_eq!(stats.detect.reports, 1);
     }
 
     #[test]
@@ -1178,8 +1336,10 @@ mod tests {
             if (!c) { let x: int = *p; print(x); }
             return;
         }";
-        let mut a = Analysis::from_source(src).unwrap();
-        a.config.solve = false;
+        let a = crate::AnalysisBuilder::new()
+            .solve(false)
+            .build_source(src)
+            .unwrap();
         let reports = a.check(CheckerKind::UseAfterFree);
         assert_eq!(
             reports.len(),
@@ -1235,7 +1395,7 @@ mod witness_tests {
 
     #[test]
     fn witness_names_the_deciding_branch() {
-        let mut a = Analysis::from_source(
+        let a = Analysis::from_source(
             "fn main(enabled: bool) {
                 let p: int* = malloc();
                 if (enabled) { free(p); }
@@ -1255,7 +1415,7 @@ mod witness_tests {
 
     #[test]
     fn unconditional_bug_has_minimal_witness() {
-        let mut a = Analysis::from_source(
+        let a = Analysis::from_source(
             "fn main() {
                 let p: int* = malloc();
                 free(p);
@@ -1280,7 +1440,7 @@ mod ordering_tests {
     /// use ordered strictly before the call that frees cannot be a UAF.
     #[test]
     fn use_before_freeing_call_not_reported() {
-        let mut a = Analysis::from_source(
+        let a = Analysis::from_source(
             "fn release(x: int*) { free(x); return; }
              fn main() {
                 let p: int* = malloc();
@@ -1297,7 +1457,7 @@ mod ordering_tests {
     /// …but a use after the freeing call is reported.
     #[test]
     fn use_after_freeing_call_reported() {
-        let mut a = Analysis::from_source(
+        let a = Analysis::from_source(
             "fn release(x: int*) { free(x); return; }
              fn main() {
                 let p: int* = malloc();
@@ -1315,7 +1475,7 @@ mod ordering_tests {
     /// not dominated-before, so it must still be reported when feasible.
     #[test]
     fn non_dominating_order_still_reported() {
-        let mut a = Analysis::from_source(
+        let a = Analysis::from_source(
             "fn release(x: int*) { free(x); return; }
              fn main(c: bool) {
                 let p: int* = malloc();
@@ -1326,7 +1486,11 @@ mod ordering_tests {
         )
         .unwrap();
         let reports = a.check(CheckerKind::UseAfterFree);
-        assert_eq!(reports.len(), 1, "the join use follows the free: {reports:?}");
+        assert_eq!(
+            reports.len(),
+            1,
+            "the join use follows the free: {reports:?}"
+        );
     }
 
     /// The onset resets correctly through a returned value: a use of the
@@ -1334,7 +1498,7 @@ mod ordering_tests {
     /// before the call through a different value.
     #[test]
     fn onset_through_return_value() {
-        let mut a = Analysis::from_source(
+        let a = Analysis::from_source(
             "fn broken() -> int* {
                 let p: int* = malloc();
                 free(p);

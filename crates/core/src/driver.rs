@@ -3,13 +3,28 @@
 //! Mirrors the architecture figure of §4: Mod/Ref + local quasi points-to
 //! analysis → SEG building → compositional global value-flow analysis,
 //! with the linear-time solver embedded in the first stage and the SMT
-//! solver in the last.
+//! solver in the last. All three stages are parallel at function /
+//! source-site granularity (the paper's §6 scaling argument): workers own
+//! private term arenas and symbol interners and are merged
+//! deterministically, so results are byte-identical for any thread count.
+//!
+//! The public shape is a builder/artefact/session triple:
+//!
+//! * [`AnalysisBuilder`] — thread count, solver budgets, checker
+//!   selection; consumed by `build_source`/`build_module`;
+//! * [`Analysis`] — the immutable analyzed artefact (module, points-to,
+//!   SEGs, shared arena). Nothing in it mutates during querying, so it
+//!   can be shared across threads;
+//! * [`DetectSession`] — per-query scratch state (configuration override,
+//!   statistics). Sessions are created from `&Analysis`, so any number of
+//!   checkers can run concurrently.
 
-use crate::detect::{DetectConfig, DetectStats, Detector, Report};
+use crate::detect::{run_spec, DetectConfig, DetectStats, Report};
+use crate::error::PinpointError;
 use crate::seg::ModuleSeg;
 use crate::spec::CheckerKind;
 use pinpoint_ir::Module;
-use pinpoint_pta::{analyze_module, ModuleAnalysis, PtaStats};
+use pinpoint_pta::{analyze_module_par, ModuleAnalysis, PtaConfig, PtaStats};
 use pinpoint_smt::TermArena;
 use std::time::{Duration, Instant};
 
@@ -17,10 +32,29 @@ use std::time::{Duration, Instant};
 /// during incremental updates.
 fn blank_module_analysis() -> ModuleAnalysis {
     let mut empty = pinpoint_ir::Module::new();
-    analyze_module(&mut empty)
+    pinpoint_pta::analyze_module(&mut empty)
+}
+
+/// The number of workers used when none is configured.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses and lowers with typed errors (the facade's `compile` returns a
+/// boxed error; the pipeline wants [`PinpointError`] stages).
+fn compile_typed(src: &str) -> Result<Module, PinpointError> {
+    let program = pinpoint_ir::parser::parse(src)?;
+    let module = pinpoint_ir::lower::lower(&program)?;
+    Ok(module)
 }
 
 /// Stage timings and structural counters for the evaluation harness.
+///
+/// The copy held by [`Analysis`] covers the build stages (points-to,
+/// SEG); detection counters accumulate per [`DetectSession`] and are read
+/// through [`DetectSession::stats`].
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PipelineStats {
     /// Wall time of points-to + transformation.
@@ -41,7 +75,189 @@ pub struct PipelineStats {
     pub detect: DetectStats,
 }
 
-/// The Pinpoint analysis pipeline, ready to run checkers.
+/// Configures and builds an [`Analysis`].
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_core::{AnalysisBuilder, CheckerKind};
+///
+/// let src = "
+///     fn main() {
+///         let p: int* = malloc();
+///         free(p);
+///         let x: int = *p;
+///         print(x);
+///         return;
+///     }";
+/// let analysis = AnalysisBuilder::new().threads(2).build_source(src)?;
+/// let reports = analysis.check(CheckerKind::UseAfterFree);
+/// assert_eq!(reports.len(), 1);
+/// # Ok::<(), pinpoint_core::PinpointError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisBuilder {
+    threads: usize,
+    config: DetectConfig,
+    pta: PtaConfig,
+    checkers: Vec<CheckerKind>,
+    verify: bool,
+}
+
+impl Default for AnalysisBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnalysisBuilder {
+    /// A builder with default budgets, every built-in checker selected,
+    /// and [`default_threads`] workers.
+    pub fn new() -> Self {
+        AnalysisBuilder {
+            threads: default_threads(),
+            config: DetectConfig::default(),
+            pta: PtaConfig::default(),
+            checkers: CheckerKind::ALL.to_vec(),
+            verify: false,
+        }
+    }
+
+    /// Number of workers for every pipeline stage (clamped to ≥ 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Replaces the whole detection configuration.
+    pub fn detect_config(mut self, config: DetectConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enables or disables SMT filtering of candidates (the ablation
+    /// benchmarks disable it).
+    pub fn solve(mut self, on: bool) -> Self {
+        self.config.solve = on;
+        self
+    }
+
+    /// Maximum nesting of calling contexts (the paper uses six).
+    pub fn max_ctx_depth(mut self, depth: u32) -> Self {
+        self.config.max_ctx_depth = depth;
+        self
+    }
+
+    /// Search budget: explored vertices per source.
+    pub fn max_visited_per_source(mut self, budget: usize) -> Self {
+        self.config.max_visited_per_source = budget;
+        self
+    }
+
+    /// Solver budget: accumulated constraints per query.
+    pub fn max_constraints(mut self, budget: usize) -> Self {
+        self.config.cond.max_constraints = budget;
+        self
+    }
+
+    /// Enables or disables the §3.1.1 linear-time contradiction pruning
+    /// in the points-to stage.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.pta.prune = on;
+        self
+    }
+
+    /// Runs IR well-formedness verification after lowering, failing the
+    /// build with [`PinpointError::Verify`] on violations.
+    pub fn verify_ir(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Selects the checkers [`Analysis::check_configured`] runs.
+    pub fn checkers(mut self, kinds: impl IntoIterator<Item = CheckerKind>) -> Self {
+        self.checkers = kinds.into_iter().collect();
+        self
+    }
+
+    fn validate(&self) -> Result<(), PinpointError> {
+        if self.config.max_visited_per_source == 0 {
+            return Err(PinpointError::SolverBudget(
+                "max_visited_per_source must be at least 1 (a zero vertex budget makes every \
+                 search empty)"
+                    .into(),
+            ));
+        }
+        if self.config.cond.max_constraints == 0 {
+            return Err(PinpointError::SolverBudget(
+                "max_constraints must be at least 1 (a zero constraint budget drops every path \
+                 condition)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Compiles `src` and runs the points-to and SEG stages.
+    ///
+    /// # Errors
+    ///
+    /// [`PinpointError::Parse`] / [`PinpointError::Lower`] from the front
+    /// end, [`PinpointError::Verify`] under [`AnalysisBuilder::verify_ir`],
+    /// and [`PinpointError::SolverBudget`] for unusable budgets.
+    pub fn build_source(self, src: &str) -> Result<Analysis, PinpointError> {
+        let module = compile_typed(src)?;
+        self.build_module(module)
+    }
+
+    /// Runs the points-to and SEG stages over an existing module.
+    ///
+    /// # Errors
+    ///
+    /// [`PinpointError::Verify`] under [`AnalysisBuilder::verify_ir`] and
+    /// [`PinpointError::SolverBudget`] for unusable budgets.
+    pub fn build_module(self, mut module: Module) -> Result<Analysis, PinpointError> {
+        self.validate()?;
+        if self.verify {
+            let errors = pinpoint_ir::verify_module(&module);
+            if !errors.is_empty() {
+                return Err(PinpointError::Verify(errors));
+            }
+        }
+        let mut stats = PipelineStats::default();
+        let t0 = Instant::now();
+        let mut pta = analyze_module_par(&mut module, &self.pta, self.threads);
+        stats.pta_time = t0.elapsed();
+        stats.pta = pta.total_stats();
+        let t1 = Instant::now();
+        let mut arena = std::mem::take(&mut pta.arena);
+        let mut symbols = std::mem::take(&mut pta.symbols);
+        let segs = ModuleSeg::build_par(&module, &mut arena, &mut symbols, &pta.pta, self.threads);
+        pta.symbols = symbols;
+        stats.seg_time = t1.elapsed();
+        stats.seg_vertices = segs.vertex_count;
+        stats.seg_edges = segs.edge_count;
+        stats.terms = arena.len();
+        Ok(Analysis {
+            module,
+            pta,
+            segs,
+            arena,
+            config: self.config,
+            threads: self.threads,
+            checkers: self.checkers,
+            stats,
+        })
+    }
+}
+
+/// The immutable Pinpoint analysis artefact, ready to run checkers.
+///
+/// Built by [`AnalysisBuilder`]; all querying goes through `&self` (a
+/// [`DetectSession`] owns the per-query scratch state), so concurrent
+/// checkers are safe. The only mutating operation is
+/// [`Analysis::update_incremental`], which replaces the artefact for an
+/// edited program.
 ///
 /// # Examples
 ///
@@ -56,10 +272,10 @@ pub struct PipelineStats {
 ///         print(x);
 ///         return;
 ///     }";
-/// let mut analysis = Analysis::from_source(src)?;
+/// let analysis = Analysis::from_source(src)?;
 /// let reports = analysis.check(CheckerKind::UseAfterFree);
 /// assert_eq!(reports.len(), 1);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// # Ok::<(), pinpoint_core::PinpointError>(())
 /// ```
 #[derive(Debug)]
 pub struct Analysis {
@@ -71,70 +287,94 @@ pub struct Analysis {
     pub segs: ModuleSeg,
     /// Shared term arena.
     pub arena: TermArena,
-    /// Detection configuration.
-    pub config: DetectConfig,
-    /// Stage statistics.
+    /// Session-default detection configuration (from the builder).
+    config: DetectConfig,
+    /// Worker count (from the builder).
+    threads: usize,
+    /// Checker selection (from the builder).
+    checkers: Vec<CheckerKind>,
+    /// Build-stage statistics (detection counters stay zero here; see
+    /// [`DetectSession::stats`]).
     pub stats: PipelineStats,
 }
 
 impl Analysis {
-    /// Compiles `src` and runs the points-to and SEG stages.
+    /// Starts configuring an analysis.
+    pub fn builder() -> AnalysisBuilder {
+        AnalysisBuilder::new()
+    }
+
+    /// Compiles `src` with default configuration.
     ///
     /// # Errors
     ///
-    /// Returns parse or lowering errors from the front end.
-    pub fn from_source(src: &str) -> Result<Self, Box<dyn std::error::Error>> {
-        let module = pinpoint_ir::compile(src)?;
-        Ok(Self::from_module(module))
+    /// Returns typed parse or lowering errors from the front end.
+    pub fn from_source(src: &str) -> Result<Self, PinpointError> {
+        AnalysisBuilder::new().build_source(src)
     }
 
-    /// Runs the points-to and SEG stages over an existing module.
-    pub fn from_module(mut module: Module) -> Self {
-        let mut stats = PipelineStats::default();
-        let t0 = Instant::now();
-        let mut pta = analyze_module(&mut module);
-        stats.pta_time = t0.elapsed();
-        stats.pta = pta.total_stats();
-        let t1 = Instant::now();
-        let mut arena = std::mem::take(&mut pta.arena);
-        let mut symbols = std::mem::take(&mut pta.symbols);
-        let segs = ModuleSeg::build(&module, &mut arena, &mut symbols, &pta.pta);
-        pta.symbols = symbols;
-        stats.seg_time = t1.elapsed();
-        stats.seg_vertices = segs.vertex_count;
-        stats.seg_edges = segs.edge_count;
-        stats.terms = arena.len();
-        Analysis {
-            module,
-            pta,
-            segs,
-            arena,
-            config: DetectConfig::default(),
-            stats,
+    /// Analyzes an existing module with default configuration.
+    pub fn from_module(module: Module) -> Self {
+        AnalysisBuilder::new()
+            .build_module(module)
+            .expect("default configuration is always valid")
+    }
+
+    /// The detection configuration sessions start from.
+    pub fn config(&self) -> DetectConfig {
+        self.config
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The checkers [`Analysis::check_configured`] runs.
+    pub fn checkers(&self) -> &[CheckerKind] {
+        &self.checkers
+    }
+
+    /// Opens a detection session owning its scratch state. Sessions
+    /// borrow the artefact immutably, so several can run concurrently
+    /// (from separate threads) without synchronisation.
+    pub fn session(&self) -> DetectSession<'_> {
+        DetectSession {
+            analysis: self,
+            config: self.config,
+            threads: self.threads,
+            detect_time: Duration::ZERO,
+            detect: DetectStats::default(),
         }
     }
 
-    /// Runs one checker, returning its reports.
-    pub fn check(&mut self, kind: CheckerKind) -> Vec<Report> {
-        let t0 = Instant::now();
-        let mut detector = Detector::new(
-            &self.module,
-            &self.segs,
-            &mut self.pta.symbols,
-            &mut self.arena,
-            self.config,
-        );
-        let reports = detector.check(kind);
-        self.stats.detect_time += t0.elapsed();
-        self.stats.detect.sources += detector.stats.sources;
-        self.stats.detect.visited += detector.stats.visited;
-        self.stats.detect.candidates += detector.stats.candidates;
-        self.stats.detect.refuted += detector.stats.refuted;
-        self.stats.detect.linear_refuted += detector.stats.linear_refuted;
-        self.stats.detect.skipped_descents += detector.stats.skipped_descents;
-        self.stats.detect.reports += detector.stats.reports;
-        self.stats.terms = self.arena.len();
-        reports
+    /// Runs one checker with the artefact's default configuration,
+    /// discarding session statistics. Shorthand for
+    /// `self.session().check(kind)`.
+    pub fn check(&self, kind: CheckerKind) -> Vec<Report> {
+        self.session().check(kind)
+    }
+
+    /// Runs a user-defined property specification (see
+    /// [`crate::spec::Spec`]).
+    pub fn check_custom(&self, spec: &crate::spec::Spec) -> Vec<Report> {
+        self.session().check_custom(spec)
+    }
+
+    /// Runs every supported checker.
+    pub fn check_all(&self) -> Vec<Report> {
+        self.session().check_all()
+    }
+
+    /// Runs the checkers selected at build time
+    /// ([`AnalysisBuilder::checkers`]).
+    pub fn check_configured(&self) -> Vec<Report> {
+        self.session().check_configured()
+    }
+
+    /// Runs the memory-leak checker (see [`crate::leak`]).
+    pub fn check_leaks(&self) -> Vec<crate::leak::LeakReport> {
+        self.session().check_leaks()
     }
 
     /// Incrementally updates this analysis for an edited version of the
@@ -145,23 +385,19 @@ impl Analysis {
     ///
     /// # Errors
     ///
-    /// Returns front-end errors for the new source.
+    /// Returns typed front-end errors for the new source.
     pub fn update_incremental(
         &mut self,
         new_source: &str,
         changed: &[String],
-    ) -> Result<usize, Box<dyn std::error::Error>> {
-        let mut new_module = pinpoint_ir::compile(new_source)?;
+    ) -> Result<usize, PinpointError> {
+        let mut new_module = compile_typed(new_source)?;
         // Reassemble the ModuleAnalysis (the driver holds the arena
         // separately for detection-time term building).
         let mut old = std::mem::replace(&mut self.pta, blank_module_analysis());
         old.arena = std::mem::take(&mut self.arena);
-        let outcome = pinpoint_pta::analyze_module_incremental(
-            &mut new_module,
-            &self.module,
-            old,
-            changed,
-        );
+        let outcome =
+            pinpoint_pta::analyze_module_incremental(&mut new_module, &self.module, old, changed);
         let reanalyzed = outcome.reanalyzed.len();
         let dirty: std::collections::HashSet<pinpoint_ir::FuncId> = if outcome.fell_back {
             (0..new_module.funcs.len())
@@ -204,45 +440,6 @@ impl Analysis {
         Ok(reanalyzed)
     }
 
-    /// Runs a user-defined property specification (see
-    /// [`crate::spec::Spec`]).
-    pub fn check_custom(&mut self, spec: &crate::spec::Spec) -> Vec<Report> {
-        let t0 = Instant::now();
-        let mut detector = Detector::new(
-            &self.module,
-            &self.segs,
-            &mut self.pta.symbols,
-            &mut self.arena,
-            self.config,
-        );
-        let reports = detector.check_spec(spec);
-        self.stats.detect_time += t0.elapsed();
-        self.stats.detect.sources += detector.stats.sources;
-        self.stats.detect.visited += detector.stats.visited;
-        self.stats.detect.candidates += detector.stats.candidates;
-        self.stats.detect.refuted += detector.stats.refuted;
-        self.stats.detect.reports += detector.stats.reports;
-        reports
-    }
-
-    /// Runs the memory-leak checker (see [`crate::leak`]).
-    pub fn check_leaks(&mut self) -> Vec<crate::leak::LeakReport> {
-        crate::leak::check_leaks(
-            &self.module,
-            &self.segs,
-            &mut self.pta.symbols,
-            &mut self.arena,
-        )
-    }
-
-    /// Runs every supported checker.
-    pub fn check_all(&mut self) -> Vec<Report> {
-        CheckerKind::ALL
-            .into_iter()
-            .flat_map(|k| self.check(k))
-            .collect()
-    }
-
     /// A rough structural memory proxy in bytes: term arena + SEG edges +
     /// points-to facts. Used by the evaluation harness alongside the real
     /// allocator counter.
@@ -256,5 +453,256 @@ impl Analysis {
             .map(|p| p.points_to.values().map(|v| v.len() * 24).sum::<usize>())
             .sum();
         term_bytes + edge_bytes + pt_bytes
+    }
+}
+
+/// A detection session: per-query configuration and statistics over an
+/// immutable [`Analysis`].
+///
+/// Each `check*` call shards its sources over the session's worker count;
+/// workers own private arenas and solver instances, and their outcomes
+/// are merged in canonical `(function, site)` order, so reports are
+/// byte-identical for any thread count. Because the session only borrows
+/// the artefact, sessions on separate threads run fully concurrently.
+#[derive(Debug)]
+pub struct DetectSession<'a> {
+    analysis: &'a Analysis,
+    /// Detection configuration for this session's queries (starts from
+    /// the artefact's build-time configuration).
+    pub config: DetectConfig,
+    threads: usize,
+    detect_time: Duration,
+    detect: DetectStats,
+}
+
+impl<'a> DetectSession<'a> {
+    /// The artefact this session queries.
+    pub fn analysis(&self) -> &'a Analysis {
+        self.analysis
+    }
+
+    /// Overrides the worker count for this session.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Overrides the detection configuration for this session.
+    pub fn with_config(mut self, config: DetectConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs one checker, returning its reports.
+    pub fn check(&mut self, kind: CheckerKind) -> Vec<Report> {
+        let spec = kind.spec();
+        self.run(&spec, Some(kind))
+    }
+
+    /// Runs a user-defined property specification.
+    pub fn check_custom(&mut self, spec: &crate::spec::Spec) -> Vec<Report> {
+        self.run(spec, None)
+    }
+
+    /// Runs every supported checker.
+    pub fn check_all(&mut self) -> Vec<Report> {
+        CheckerKind::ALL
+            .into_iter()
+            .flat_map(|k| self.check(k))
+            .collect()
+    }
+
+    /// Runs the checkers selected at build time.
+    pub fn check_configured(&mut self) -> Vec<Report> {
+        self.analysis
+            .checkers
+            .clone()
+            .into_iter()
+            .flat_map(|k| self.check(k))
+            .collect()
+    }
+
+    /// Runs the memory-leak checker on session-private scratch copies of
+    /// the symbol cache and arena.
+    pub fn check_leaks(&mut self) -> Vec<crate::leak::LeakReport> {
+        let t0 = Instant::now();
+        let mut symbols = self.analysis.pta.symbols.clone();
+        let mut arena = self.analysis.arena.clone();
+        let reports = crate::leak::check_leaks(
+            &self.analysis.module,
+            &self.analysis.segs,
+            &mut symbols,
+            &mut arena,
+        );
+        self.detect_time += t0.elapsed();
+        reports
+    }
+
+    fn run(&mut self, spec: &crate::spec::Spec, kind: Option<CheckerKind>) -> Vec<Report> {
+        let t0 = Instant::now();
+        let (reports, stats) = run_spec(
+            &self.analysis.module,
+            &self.analysis.segs,
+            &self.analysis.pta.symbols,
+            &self.analysis.arena,
+            spec,
+            kind,
+            self.config,
+            self.threads,
+        );
+        self.detect_time += t0.elapsed();
+        self.detect.sources += stats.sources;
+        self.detect.visited += stats.visited;
+        self.detect.candidates += stats.candidates;
+        self.detect.refuted += stats.refuted;
+        self.detect.linear_refuted += stats.linear_refuted;
+        self.detect.skipped_descents += stats.skipped_descents;
+        self.detect.reports += stats.reports;
+        reports
+    }
+
+    /// Combined statistics: the artefact's build stages plus this
+    /// session's accumulated detection counters and time.
+    pub fn stats(&self) -> PipelineStats {
+        let mut s = self.analysis.stats;
+        s.detect = self.detect;
+        s.detect_time = self.detect_time;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CheckerKind;
+
+    const UAF: &str = "fn main() {
+        let p: int* = malloc();
+        free(p);
+        let x: int = *p;
+        print(x);
+        return;
+    }";
+
+    #[test]
+    fn builder_defaults_match_from_source() {
+        let a = Analysis::from_source(UAF).unwrap();
+        let b = AnalysisBuilder::new().build_source(UAF).unwrap();
+        assert_eq!(a.arena.len(), b.arena.len());
+        assert_eq!(
+            a.check(CheckerKind::UseAfterFree).len(),
+            b.check(CheckerKind::UseAfterFree).len()
+        );
+    }
+
+    #[test]
+    fn zero_budgets_rejected() {
+        let err = AnalysisBuilder::new()
+            .max_visited_per_source(0)
+            .build_source(UAF)
+            .unwrap_err();
+        assert!(matches!(err, PinpointError::SolverBudget(_)), "{err:?}");
+        let err = AnalysisBuilder::new()
+            .max_constraints(0)
+            .build_source(UAF)
+            .unwrap_err();
+        assert!(matches!(err, PinpointError::SolverBudget(_)), "{err:?}");
+    }
+
+    #[test]
+    fn verify_ir_accepts_wellformed_modules() {
+        let a = AnalysisBuilder::new().verify_ir(true).build_source(UAF);
+        assert!(a.is_ok(), "{:?}", a.err());
+    }
+
+    #[test]
+    fn session_accumulates_stats_across_checkers() {
+        let a = Analysis::from_source(UAF).unwrap();
+        let mut s = a.session();
+        let reports = s.check(CheckerKind::UseAfterFree);
+        assert_eq!(reports.len(), 1);
+        let after_one = s.stats().detect.sources;
+        assert!(after_one > 0);
+        s.check(CheckerKind::NullDeref);
+        assert!(s.stats().detect.sources >= after_one);
+        // The artefact's own stats never grow detection counters.
+        assert_eq!(a.stats.detect.sources, 0);
+    }
+
+    #[test]
+    fn checker_selection_drives_check_configured() {
+        let src = "fn main() {
+            let p: int* = malloc();
+            free(p);
+            let x: int = *p;
+            print(x);
+            let input: int = fgetc();
+            let h: int = fopen(input);
+            print(h);
+            return;
+        }";
+        let uaf_only = AnalysisBuilder::new()
+            .checkers([CheckerKind::UseAfterFree])
+            .build_source(src)
+            .unwrap();
+        let reports = uaf_only.check_configured();
+        assert!(reports
+            .iter()
+            .all(|r| r.kind == Some(CheckerKind::UseAfterFree)));
+        assert_eq!(reports.len(), 1);
+        let all = AnalysisBuilder::new().build_source(src).unwrap();
+        assert!(all.check_configured().len() > reports.len());
+    }
+
+    #[test]
+    fn concurrent_sessions_from_shared_artifact() {
+        // Two checkers run concurrently from separate threads through
+        // `&Analysis` — no locks, no `unsafe`.
+        let a = Analysis::from_source(
+            "fn main() {
+                let p: int* = malloc();
+                free(p);
+                let x: int = *p;
+                print(x);
+                let input: int = fgetc();
+                let h: int = fopen(input);
+                print(h);
+                return;
+            }",
+        )
+        .unwrap();
+        let a = &a;
+        let (uaf, taint) = std::thread::scope(|s| {
+            let h1 = s.spawn(move || a.session().check(CheckerKind::UseAfterFree));
+            let h2 = s.spawn(move || a.session().check(CheckerKind::PathTraversal));
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        assert_eq!(uaf.len(), 1);
+        assert_eq!(taint.len(), 1);
+        // Identical to what the same checkers report sequentially.
+        assert_eq!(
+            uaf[0].description,
+            a.check(CheckerKind::UseAfterFree)[0].description
+        );
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_reports() {
+        let src = "fn release(x: int*) { free(x); return; }
+            fn main(c: bool) {
+                let p: int* = malloc();
+                let q: int* = malloc();
+                if (c) { release(p); }
+                let x: int = *p;
+                print(x);
+                free(q);
+                free(q);
+                return;
+            }";
+        let seq = AnalysisBuilder::new().threads(1).build_source(src).unwrap();
+        let par = AnalysisBuilder::new().threads(4).build_source(src).unwrap();
+        let rs: Vec<String> = seq.check_all().iter().map(ToString::to_string).collect();
+        let rp: Vec<String> = par.check_all().iter().map(ToString::to_string).collect();
+        assert_eq!(rs, rp);
     }
 }

@@ -29,12 +29,7 @@ pub fn seg_to_dot(module: &Module, segs: &ModuleSeg, arena: &TermArena, fid: Fun
     vs.sort_unstable();
     vs.dedup();
     for v in &vs {
-        let _ = writeln!(
-            out,
-            "  v{} [label=\"{}\"];",
-            v.0,
-            escape(&f.value(*v).name)
-        );
+        let _ = writeln!(out, "  v{} [label=\"{}\"];", v.0, escape(&f.value(*v).name));
     }
     for edges in seg.out_edges.values() {
         for e in edges {

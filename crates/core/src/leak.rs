@@ -117,17 +117,14 @@ pub fn check_leaks(
                     if avoid.is_empty() {
                         continue;
                     }
-                    let not_freed: Vec<_> =
-                        avoid.into_iter().map(|c| arena.not(c)).collect();
+                    let not_freed: Vec<_> = avoid.into_iter().map(|c| arena.not(c)).collect();
                     let all_avoided = arena.and(not_freed);
                     let query = arena.and2(alloc_cond, all_avoided);
                     let (result, model) = smt.check_with_model(arena, query);
                     if result == SmtResult::Sat {
                         let witness = model
                             .into_iter()
-                            .filter_map(|(name, value)| {
-                                Some((friendly(module, &name)?, value))
-                            })
+                            .filter_map(|(name, value)| Some((friendly(module, &name)?, value)))
                             .collect();
                         reports.push(LeakReport {
                             func: fid,
@@ -153,12 +150,7 @@ enum Reachability {
 }
 
 /// Context-insensitive forward may-reach over the virtual global SEG.
-fn reachable_frees(
-    module: &Module,
-    segs: &ModuleSeg,
-    fid: FuncId,
-    value: ValueId,
-) -> Reachability {
+fn reachable_frees(module: &Module, segs: &ModuleSeg, fid: FuncId, value: ValueId) -> Reachability {
     let mut frees = Vec::new();
     let mut visited: HashSet<(FuncId, ValueId)> = HashSet::new();
     let mut stack = vec![(fid, value)];
@@ -263,7 +255,7 @@ mod tests {
     use crate::driver::Analysis;
 
     fn leaks(src: &str) -> (Analysis, Vec<LeakReport>) {
-        let mut a = Analysis::from_source(src).expect("compiles");
+        let a = Analysis::from_source(src).expect("compiles");
         let reports = a.check_leaks();
         (a, reports)
     }
@@ -305,9 +297,7 @@ mod tests {
         assert_eq!(r.len(), 1, "{r:?}");
         assert_eq!(r[0].kind, LeakKind::ConditionallyFreed);
         assert!(
-            r[0].witness
-                .iter()
-                .any(|(n, v)| n == "main:keep" && *v),
+            r[0].witness.iter().any(|(n, v)| n == "main:keep" && *v),
             "leak witness keeps the memory: {:?}",
             r[0].witness
         );

@@ -33,10 +33,10 @@
 //!         print(x);
 //!         return;
 //!     }";
-//! let mut analysis = Analysis::from_source(src)?;
+//! let analysis = Analysis::from_source(src)?;
 //! let reports = analysis.check(CheckerKind::UseAfterFree);
 //! assert_eq!(reports.len(), 1);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), pinpoint_core::PinpointError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -45,14 +45,16 @@
 pub mod cond;
 pub mod detect;
 pub mod driver;
+pub mod error;
 pub mod export;
 pub mod leak;
 pub mod seg;
 pub mod spec;
 pub mod summary;
 
-pub use detect::{DetectConfig, DetectStats, Detector, Report, Step};
+pub use detect::{DetectConfig, DetectStats, Report, Step};
+pub use driver::{default_threads, Analysis, AnalysisBuilder, DetectSession, PipelineStats};
+pub use error::PinpointError;
 pub use leak::{LeakKind, LeakReport};
-pub use driver::{Analysis, PipelineStats};
 pub use seg::{EdgeKind, ModuleSeg, Seg, SegEdge};
-pub use spec::{CheckerKind, SinkRole, SinkSite, SourceSite, SourceSpec, SinkSpec, Spec};
+pub use spec::{CheckerKind, SinkRole, SinkSite, SinkSpec, SourceSite, SourceSpec, Spec};

@@ -29,7 +29,7 @@ use pinpoint_ir::{
     PostDomTree, Terminator, ValueId,
 };
 use pinpoint_pta::{FuncPta, Symbols};
-use pinpoint_smt::{TermArena, TermId};
+use pinpoint_smt::{TermArena, TermId, TermTranslator};
 use std::collections::HashMap;
 
 /// Kind of a data-dependence edge.
@@ -288,16 +288,114 @@ impl ModuleSeg {
         };
         old_segs.resize_with(module.funcs.len(), || None);
         let mut segs = Vec::with_capacity(module.funcs.len());
-        let mut callers: HashMap<FuncId, Vec<(FuncId, InstId)>> = HashMap::new();
-        let mut global_stores: HashMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>> =
-            HashMap::new();
-        let mut global_loads: HashMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>> =
-            HashMap::new();
         for (fid, f) in module.iter_funcs() {
             let seg = match old_segs[fid.0 as usize].take() {
                 Some(seg) => seg,
                 None => Seg::build(arena, symbols, fid, f, &pta[fid.0 as usize]),
             };
+            segs.push(seg);
+        }
+        Self::assemble(module, segs, pta)
+    }
+
+    /// Builds every function's SEG with `threads` scoped workers.
+    ///
+    /// Per-function SEG construction is embarrassingly parallel: each
+    /// worker lowers its functions' gating conditions into a *fresh*
+    /// private arena and symbol interner, so results are bit-identical
+    /// regardless of sharding. The merge walks functions in id order,
+    /// re-derives the symbol cache against the shared arena and rebuilds
+    /// each locally-created edge condition through the translator's
+    /// smart constructors. Memory-edge conditions already live in the
+    /// shared arena (they come from the merged points-to result and are
+    /// never dereferenced during construction), so they pass through
+    /// untouched.
+    pub fn build_par(
+        module: &Module,
+        arena: &mut TermArena,
+        symbols: &mut Symbols,
+        pta: &[FuncPta],
+        threads: usize,
+    ) -> Self {
+        struct SegResult {
+            fid: FuncId,
+            seg: Seg,
+            arena: TermArena,
+            symbols: Symbols,
+        }
+        fn build_one(fid: FuncId, f: &Function, pta: &FuncPta) -> SegResult {
+            let mut arena = TermArena::new();
+            let mut symbols = Symbols::new();
+            let seg = Seg::build(&mut arena, &mut symbols, fid, f, pta);
+            SegResult {
+                fid,
+                seg,
+                arena,
+                symbols,
+            }
+        }
+
+        let threads = threads.max(1);
+        let work: Vec<(FuncId, &Function)> = module.iter_funcs().collect();
+        let results: Vec<SegResult> = if threads == 1 || work.len() <= 1 {
+            work.iter()
+                .map(|&(fid, f)| build_one(fid, f, &pta[fid.0 as usize]))
+                .collect()
+        } else {
+            let chunk = work.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = work
+                    .chunks(chunk)
+                    .map(|shard| {
+                        s.spawn(move || {
+                            shard
+                                .iter()
+                                .map(|&(fid, f)| build_one(fid, f, &pta[fid.0 as usize]))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("SEG worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut segs: Vec<Seg> = Vec::with_capacity(work.len());
+        for r in results {
+            let f = module.func(r.fid);
+            for v in r.symbols.cached_values(r.fid) {
+                symbols.value_term(arena, r.fid, f, v);
+            }
+            let mut tr = TermTranslator::new();
+            let mut seg = r.seg;
+            for edges in [&mut seg.out_edges, &mut seg.in_edges] {
+                let mut keys: Vec<ValueId> = edges.keys().copied().collect();
+                keys.sort_unstable();
+                for k in keys {
+                    for e in edges.get_mut(&k).expect("key just listed") {
+                        if e.kind != EdgeKind::Memory {
+                            e.cond = tr.translate(&r.arena, arena, e.cond);
+                        }
+                    }
+                }
+            }
+            segs.push(seg);
+        }
+        Self::assemble(module, segs, pta)
+    }
+
+    /// Computes the module-level indexes (callers, global channels,
+    /// vertex/edge totals) over finished per-function graphs.
+    fn assemble(module: &Module, segs: Vec<Seg>, pta: &[FuncPta]) -> Self {
+        let mut callers: HashMap<FuncId, Vec<(FuncId, InstId)>> = HashMap::new();
+        let mut global_stores: HashMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>> =
+            HashMap::new();
+        let mut global_loads: HashMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>> =
+            HashMap::new();
+        for (fid, _) in module.iter_funcs() {
+            let seg = &segs[fid.0 as usize];
             for (site, (callee, _, _)) in &seg.call_sites {
                 if let Some(target) = module.func_by_name(callee) {
                     callers.entry(target).or_default().push((fid, *site));
@@ -315,7 +413,6 @@ impl ModuleSeg {
                     .or_default()
                     .push((fid, ga.value, ga.cond));
             }
-            segs.push(seg);
         }
         let vertex_count = segs
             .iter()
@@ -496,6 +593,53 @@ mod tests {
         assert_eq!(ms.global_stores.len(), 1);
         assert_eq!(ms.global_loads.len(), 1);
         let _ = m;
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_across_thread_counts() {
+        let src = "global g: int*;
+             fn w(x: int*) { *g = x; return; }
+             fn callee(q: int**) { *q = null; return; }
+             fn f(c: bool, x: int*, y: int*) -> int* {
+                let p: int** = malloc();
+                *p = x;
+                callee(p);
+                let r: int* = null;
+                if (c) { r = x; } else { r = y; }
+                let l: int* = *p;
+                print(l);
+                return r;
+             }";
+        let built: Vec<_> = [1usize, 3, 8]
+            .iter()
+            .map(|&t| {
+                let mut m = compile(src).unwrap();
+                let mut a = pinpoint_pta::analyze_module_par(
+                    &mut m,
+                    &pinpoint_pta::PtaConfig::default(),
+                    t,
+                );
+                let mut arena = std::mem::take(&mut a.arena);
+                let mut symbols = std::mem::take(&mut a.symbols);
+                let ms = ModuleSeg::build_par(&m, &mut arena, &mut symbols, &a.pta, t);
+                (arena.len(), symbols.len(), ms, m)
+            })
+            .collect();
+        let (len0, sym0, ms0, m0) = &built[0];
+        for (len, sym, ms, _m) in &built[1..] {
+            assert_eq!(len0, len, "arena layouts diverge");
+            assert_eq!(sym0, sym);
+            assert_eq!(ms0.edge_count, ms.edge_count);
+            assert_eq!(ms0.vertex_count, ms.vertex_count);
+            for (fid, _) in m0.iter_funcs() {
+                let (s0, s1) = (ms0.seg(fid), ms.seg(fid));
+                let mut k0: Vec<_> = s0.out_edges.iter().collect();
+                let mut k1: Vec<_> = s1.out_edges.iter().collect();
+                k0.sort_by_key(|(v, _)| **v);
+                k1.sort_by_key(|(v, _)| **v);
+                assert_eq!(format!("{k0:?}"), format!("{k1:?}"));
+            }
+        }
     }
 
     #[test]

@@ -247,18 +247,17 @@ pub fn spec_sinks(spec: &Spec, f: &Function) -> Vec<SinkSite> {
     for (site, inst) in f.iter_insts() {
         match inst {
             Inst::Load { ptr, .. } | Inst::Store { ptr, .. }
-                if derefs && !is_connector_access(f, inst) => {
-                    out.push(SinkSite {
-                        value: *ptr,
-                        site,
-                        role: SinkRole::Deref,
-                    });
-                }
+                if derefs && !is_connector_access(f, inst) =>
+            {
+                out.push(SinkSite {
+                    value: *ptr,
+                    site,
+                    role: SinkRole::Deref,
+                });
+            }
             Inst::Call { callee, args, .. } => {
                 let role = match &spec.sink {
-                    SinkSpec::DerefsAndFrees if callee == intrinsics::FREE => {
-                        Some(SinkRole::Free)
-                    }
+                    SinkSpec::DerefsAndFrees if callee == intrinsics::FREE => Some(SinkRole::Free),
                     SinkSpec::Calls(names) if names.iter().any(|n| n == callee) => {
                         Some(SinkRole::TaintSink)
                     }
@@ -382,7 +381,7 @@ mod custom_spec_tests {
             sink: SinkSpec::Calls(vec!["api_requires_nonnull".into()]),
             traverses_transforms: false,
         };
-        let mut a = Analysis::from_source(
+        let a = Analysis::from_source(
             "fn api_requires_nonnull(p: int*) { let x: int = *p; print(x); return; }
              fn main(c: bool) {
                 let p: int* = malloc();
@@ -412,7 +411,7 @@ mod custom_spec_tests {
             sink: SinkSpec::Calls(vec!["audit_log".into()]),
             traverses_transforms: false,
         };
-        let mut a = Analysis::from_source(
+        let a = Analysis::from_source(
             "fn audit_log(p: int*) { print(p); return; }
              fn main() {
                 let p: int* = malloc();

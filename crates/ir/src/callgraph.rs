@@ -178,12 +178,7 @@ mod tests {
              fn top() { mid(); leaf(); return; }",
         );
         let names = name_map(&m);
-        let pos = |n: &str| {
-            cg.bottom_up
-                .iter()
-                .position(|f| *f == names[n])
-                .unwrap()
-        };
+        let pos = |n: &str| cg.bottom_up.iter().position(|f| *f == names[n]).unwrap();
         assert!(pos("leaf") < pos("mid"));
         assert!(pos("mid") < pos("top"));
     }

@@ -71,7 +71,7 @@ impl Cfg {
     pub fn reverse_postorder(&self, entry: BlockId) -> Vec<BlockId> {
         let mut order = Vec::new();
         let mut state = vec![0u8; self.len()]; // 0 unvisited, 1 open, 2 done
-        // Iterative DFS with an explicit stack of (block, child cursor).
+                                               // Iterative DFS with an explicit stack of (block, child cursor).
         let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
         state[entry.0 as usize] = 1;
         while let Some(&mut (b, ref mut cursor)) = stack.last_mut() {

@@ -95,11 +95,10 @@ impl Gating {
                     continue;
                 };
                 match &f.block(x).term {
-                    Terminator::Jump(s)
-                        if topo_pos[s.0 as usize] <= hi => {
-                            let prev = reach.remove(s);
-                            reach.insert(*s, Gate::or(prev, gx));
-                        }
+                    Terminator::Jump(s) if topo_pos[s.0 as usize] <= hi => {
+                        let prev = reach.remove(s);
+                        reach.insert(*s, Gate::or(prev, gx));
+                    }
                     Terminator::Branch {
                         cond,
                         then_bb,

@@ -248,8 +248,7 @@ impl Inst {
 }
 
 /// Block terminator.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),
@@ -300,7 +299,6 @@ pub struct Block {
     /// The terminator. [`Terminator::Unreachable`] while building.
     pub term: Terminator,
 }
-
 
 /// Metadata of one SSA value.
 #[derive(Debug, Clone)]
@@ -591,10 +589,13 @@ mod tests {
     fn def_sites_recorded() {
         let mut f = Function::new("t");
         let x = f.new_value("x", Type::Int);
-        let id = f.push_inst(f.entry(), Inst::Const {
-            dst: x,
-            value: Const::Int(3),
-        });
+        let id = f.push_inst(
+            f.entry(),
+            Inst::Const {
+                dst: x,
+                value: Const::Int(3),
+            },
+        );
         assert_eq!(f.value(x).def, Some(id));
     }
 

@@ -68,10 +68,7 @@ pub fn lower(program: &Program) -> Result<Module, LowerError> {
     let mut globals: HashMap<String, (GlobalId, Type)> = HashMap::new();
     for g in &program.globals {
         let id = module.add_global(&g.name, g.ty.clone());
-        if globals
-            .insert(g.name.clone(), (id, g.ty.clone()))
-            .is_some()
-        {
+        if globals.insert(g.name.clone(), (id, g.ty.clone())).is_some() {
             return Err(LowerError {
                 message: format!("duplicate global `{}`", g.name),
                 span: g.span,
@@ -279,7 +276,8 @@ impl<'a> FnLowerer<'a> {
                     ));
                 }
                 let named = self.f.new_value(name.clone(), ty.clone());
-                self.f.push_inst(self.cur, Inst::Copy { dst: named, src: v });
+                self.f
+                    .push_inst(self.cur, Inst::Copy { dst: named, src: v });
                 env.insert(name.clone(), named);
                 Ok(())
             }
@@ -297,7 +295,8 @@ impl<'a> FnLowerer<'a> {
                     ));
                 }
                 let named = self.f.new_value(name.clone(), old_ty);
-                self.f.push_inst(self.cur, Inst::Copy { dst: named, src: v });
+                self.f
+                    .push_inst(self.cur, Inst::Copy { dst: named, src: v });
                 env.insert(name.clone(), named);
                 Ok(())
             }
@@ -310,10 +309,7 @@ impl<'a> FnLowerer<'a> {
                 let p = self.lower_expr(ptr, env)?;
                 let pt = self.f.ty(p).clone();
                 let Some(target_ty) = pt.deref(*depth as usize) else {
-                    return Err(self.err(
-                        format!("cannot dereference {pt} {depth} time(s)"),
-                        *span,
-                    ));
+                    return Err(self.err(format!("cannot dereference {pt} {depth} time(s)"), *span));
                 };
                 let target_ty = target_ty.clone();
                 let v = self.lower_expr(value, env)?;
@@ -403,13 +399,21 @@ impl<'a> FnLowerer<'a> {
         self.cur = then_bb;
         self.terminated = false;
         self.lower_stmts(then_body, &mut then_env)?;
-        let then_exit = if self.terminated { None } else { Some(self.cur) };
+        let then_exit = if self.terminated {
+            None
+        } else {
+            Some(self.cur)
+        };
         // Else arm.
         let mut else_env = env.clone();
         self.cur = else_bb;
         self.terminated = false;
         self.lower_stmts(else_body, &mut else_env)?;
-        let else_exit = if self.terminated { None } else { Some(self.cur) };
+        let else_exit = if self.terminated {
+            None
+        } else {
+            Some(self.cur)
+        };
         // Join.
         match (then_exit, else_exit) {
             (None, None) => {
@@ -518,13 +522,8 @@ impl<'a> FnLowerer<'a> {
                 }
                 if let Some((gid, ty)) = self.globals.get(name) {
                     let dst = self.f.new_value(name.clone(), ty.clone().ptr_to());
-                    self.f.push_inst(
-                        self.cur,
-                        Inst::GlobalAddr {
-                            dst,
-                            global: *gid,
-                        },
-                    );
+                    self.f
+                        .push_inst(self.cur, Inst::GlobalAddr { dst, global: *gid });
                     return Ok(Some(dst));
                 }
                 Err(self.err(format!("unknown variable `{name}`"), *span))

@@ -148,38 +148,34 @@ pub fn fold_constants(f: &mut Function) -> OptStats {
     for blk in &mut f.blocks {
         for inst in &mut blk.insts {
             let folded: Option<(ValueId, Const)> = match inst {
-                Inst::Bin { dst, op, lhs, rhs } => {
-                    match (consts.get(lhs), consts.get(rhs)) {
-                        (Some(&Const::Int(a)), Some(&Const::Int(b))) => {
-                            let v = match op {
-                                BinOp::Add => Some(Const::Int(a.wrapping_add(b))),
-                                BinOp::Sub => Some(Const::Int(a.wrapping_sub(b))),
-                                BinOp::Mul => Some(Const::Int(a.wrapping_mul(b))),
-                                BinOp::Eq => Some(Const::Bool(a == b)),
-                                BinOp::Ne => Some(Const::Bool(a != b)),
-                                BinOp::Lt => Some(Const::Bool(a < b)),
-                                BinOp::Le => Some(Const::Bool(a <= b)),
-                                _ => None,
-                            };
-                            v.map(|v| (*dst, v))
-                        }
-                        (Some(&Const::Bool(a)), Some(&Const::Bool(b))) => {
-                            let v = match op {
-                                BinOp::And => Some(Const::Bool(a && b)),
-                                BinOp::Or => Some(Const::Bool(a || b)),
-                                BinOp::Eq => Some(Const::Bool(a == b)),
-                                BinOp::Ne => Some(Const::Bool(a != b)),
-                                _ => None,
-                            };
-                            v.map(|v| (*dst, v))
-                        }
-                        _ => None,
+                Inst::Bin { dst, op, lhs, rhs } => match (consts.get(lhs), consts.get(rhs)) {
+                    (Some(&Const::Int(a)), Some(&Const::Int(b))) => {
+                        let v = match op {
+                            BinOp::Add => Some(Const::Int(a.wrapping_add(b))),
+                            BinOp::Sub => Some(Const::Int(a.wrapping_sub(b))),
+                            BinOp::Mul => Some(Const::Int(a.wrapping_mul(b))),
+                            BinOp::Eq => Some(Const::Bool(a == b)),
+                            BinOp::Ne => Some(Const::Bool(a != b)),
+                            BinOp::Lt => Some(Const::Bool(a < b)),
+                            BinOp::Le => Some(Const::Bool(a <= b)),
+                            _ => None,
+                        };
+                        v.map(|v| (*dst, v))
                     }
-                }
+                    (Some(&Const::Bool(a)), Some(&Const::Bool(b))) => {
+                        let v = match op {
+                            BinOp::And => Some(Const::Bool(a && b)),
+                            BinOp::Or => Some(Const::Bool(a || b)),
+                            BinOp::Eq => Some(Const::Bool(a == b)),
+                            BinOp::Ne => Some(Const::Bool(a != b)),
+                            _ => None,
+                        };
+                        v.map(|v| (*dst, v))
+                    }
+                    _ => None,
+                },
                 Inst::Un { dst, op, operand } => match (op, consts.get(operand)) {
-                    (UnOp::Neg, Some(&Const::Int(a))) => {
-                        Some((*dst, Const::Int(a.wrapping_neg())))
-                    }
+                    (UnOp::Neg, Some(&Const::Int(a))) => Some((*dst, Const::Int(a.wrapping_neg()))),
                     (UnOp::Not, Some(&Const::Bool(a))) => Some((*dst, Const::Bool(!a))),
                     _ => None,
                 },
@@ -321,7 +317,13 @@ mod tests {
         let ret = f.return_values()[0];
         let def = f.value(ret).def.unwrap();
         assert!(
-            matches!(f.inst(def), Inst::Const { value: Const::Int(20), .. }),
+            matches!(
+                f.inst(def),
+                Inst::Const {
+                    value: Const::Int(20),
+                    ..
+                }
+            ),
             "return folds to 20"
         );
     }

@@ -106,7 +106,9 @@ impl Parser {
                 Tok::Eof => break,
                 Tok::Global => prog.globals.push(self.global()?),
                 Tok::Fn => prog.funcs.push(self.func()?),
-                other => return Err(self.error(format!("expected `fn` or `global`, found {other}"))),
+                other => {
+                    return Err(self.error(format!("expected `fn` or `global`, found {other}")))
+                }
             }
         }
         Ok(prog)

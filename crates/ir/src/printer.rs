@@ -80,16 +80,12 @@ fn print_inst(m: &Module, f: &Function, inst: &Inst) -> String {
         Inst::Un { dst, op, operand } => {
             format!("{} = {op}{}", vname(f, *dst), vname(f, *operand))
         }
-        Inst::Load { dst, ptr, depth } => format!(
-            "{} = load({}, {depth})",
-            vname(f, *dst),
-            vname(f, *ptr)
-        ),
-        Inst::Store { ptr, depth, src } => format!(
-            "store({}, {depth}) = {}",
-            vname(f, *ptr),
-            vname(f, *src)
-        ),
+        Inst::Load { dst, ptr, depth } => {
+            format!("{} = load({}, {depth})", vname(f, *dst), vname(f, *ptr))
+        }
+        Inst::Store { ptr, depth, src } => {
+            format!("store({}, {depth}) = {}", vname(f, *ptr), vname(f, *src))
+        }
         Inst::Alloc { dst } => format!("{} = malloc", vname(f, *dst)),
         Inst::GlobalAddr { dst, global } => format!(
             "{} = &{}",
@@ -115,12 +111,7 @@ fn print_term(f: &Function, t: &Terminator) -> String {
             cond,
             then_bb,
             else_bb,
-        } => format!(
-            "br {} ? bb{} : bb{}",
-            vname(f, *cond),
-            then_bb.0,
-            else_bb.0
-        ),
+        } => format!("br {} ? bb{} : bb{}", vname(f, *cond), then_bb.0, else_bb.0),
         Terminator::Return(vs) => {
             let vals: Vec<String> = vs.iter().map(|&v| vname(f, v)).collect();
             format!("return {{{}}}", vals.join(", "))
@@ -218,8 +209,16 @@ mod more_tests {
         let f = m.func(m.func_by_name("f").unwrap());
         let text = print_function(&m, f);
         for needle in [
-            "= const 1", "= malloc", "= &g", "store(", "= load(",
-            "call print(", "= call callee(", "= phi", "br ", "jump bb",
+            "= const 1",
+            "= malloc",
+            "= &g",
+            "store(",
+            "= load(",
+            "call print(",
+            "= call callee(",
+            "= phi",
+            "br ",
+            "jump bb",
             "return {",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");

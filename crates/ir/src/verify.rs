@@ -56,16 +56,25 @@ pub fn verify_function(module: &Module, f: &Function, errors: &mut Vec<VerifyErr
     for (id, inst) in f.iter_insts() {
         for d in inst.defs() {
             if !valid_value(d) {
-                err(errors, format!("instruction {id} defines unknown value {d:?}"));
+                err(
+                    errors,
+                    format!("instruction {id} defines unknown value {d:?}"),
+                );
                 continue;
             }
             if !defined.insert(d) {
-                err(errors, format!("value {d:?} defined more than once (at {id})"));
+                err(
+                    errors,
+                    format!("value {d:?} defined more than once (at {id})"),
+                );
             }
             if f.value(d).def != Some(id) {
                 err(
                     errors,
-                    format!("def-site of {d:?} is stale (recorded {:?}, actual {id})", f.value(d).def),
+                    format!(
+                        "def-site of {d:?} is stale (recorded {:?}, actual {id})",
+                        f.value(d).def
+                    ),
                 );
             }
         }
@@ -93,10 +102,9 @@ pub fn verify_function(module: &Module, f: &Function, errors: &mut Vec<VerifyErr
     let dom = DomTree::dominators(f, &cfg);
     for (id, inst) in f.iter_insts() {
         let uses: Vec<(ValueId, Option<crate::ir::BlockId>)> = match inst {
-            Inst::Phi { incomings, .. } => incomings
-                .iter()
-                .map(|&(pred, v)| (v, Some(pred)))
-                .collect(),
+            Inst::Phi { incomings, .. } => {
+                incomings.iter().map(|&(pred, v)| (v, Some(pred))).collect()
+            }
             other => other.uses().into_iter().map(|v| (v, None)).collect(),
         };
         for (v, phi_pred) in uses {
@@ -105,7 +113,10 @@ pub fn verify_function(module: &Module, f: &Function, errors: &mut Vec<VerifyErr
                 continue;
             }
             if !defined.contains(&v) {
-                err(errors, format!("instruction {id} uses undefined value {v:?}"));
+                err(
+                    errors,
+                    format!("instruction {id} uses undefined value {v:?}"),
+                );
                 continue;
             }
             let Some(def) = f.value(v).def else {
@@ -137,7 +148,9 @@ pub fn verify_function(module: &Module, f: &Function, errors: &mut Vec<VerifyErr
                     if !ok {
                         err(
                             errors,
-                            format!("use of {v:?} at {id} not dominated by its definition at {def}"),
+                            format!(
+                                "use of {v:?} at {id} not dominated by its definition at {def}"
+                            ),
                         );
                     }
                 }
@@ -195,7 +208,10 @@ pub fn verify_function(module: &Module, f: &Function, errors: &mut Vec<VerifyErr
         }
     }
     if returns != 1 {
-        err(errors, format!("expected exactly one return, found {returns}"));
+        err(
+            errors,
+            format!("expected exactly one return, found {returns}"),
+        );
     }
 
     // 5. Calls to known functions have matching arity (post-transform
@@ -340,8 +356,20 @@ mod tests {
         let f = m.func_mut(fid);
         let x = f.new_value("x", Type::Int);
         let entry = f.entry();
-        f.push_inst(entry, Inst::Const { dst: x, value: Const::Int(1) });
-        f.push_inst(entry, Inst::Const { dst: x, value: Const::Int(2) });
+        f.push_inst(
+            entry,
+            Inst::Const {
+                dst: x,
+                value: Const::Int(1),
+            },
+        );
+        f.push_inst(
+            entry,
+            Inst::Const {
+                dst: x,
+                value: Const::Int(2),
+            },
+        );
         let errs = verify_module(&m);
         assert!(
             errs.iter().any(|e| e.message.contains("more than once")),
@@ -359,7 +387,13 @@ mod tests {
         let entry = f.entry();
         // y = x before x is defined.
         f.push_inst(entry, Inst::Copy { dst: y, src: x });
-        f.push_inst(entry, Inst::Const { dst: x, value: Const::Int(1) });
+        f.push_inst(
+            entry,
+            Inst::Const {
+                dst: x,
+                value: Const::Int(1),
+            },
+        );
         let errs = verify_module(&m);
         assert!(
             errs.iter()
@@ -399,10 +433,7 @@ mod tests {
         let rb = f.return_block().unwrap();
         f.set_term(rb, Terminator::Return(vec![]));
         let errs = verify_module(&m);
-        assert!(
-            errs.iter().any(|e| e.message.contains("arity")),
-            "{errs:?}"
-        );
+        assert!(errs.iter().any(|e| e.message.contains("arity")), "{errs:?}");
     }
 
     #[test]

@@ -1,34 +1,59 @@
 //! Property tests over the front end and the CFG analyses.
 
 use pinpoint_ir::{Cfg, DomTree, Gating, PostDomTree};
-use proptest::prelude::*;
 
-proptest! {
-    /// The parser returns an error — never panics — on arbitrary input.
-    #[test]
-    fn parser_is_total_on_garbage(input in "\\PC{0,200}") {
-        let _ = pinpoint_ir::parser::parse(&input);
+/// Minimal SplitMix64 so the fuzz loops below are deterministic without
+/// an external PRNG dependency.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    /// Ditto for inputs made of plausible tokens (more likely to get deep
-    /// into the grammar before failing).
-    #[test]
-    fn parser_is_total_on_token_soup(
-        tokens in prop::collection::vec(
-            prop_oneof![
-                Just("fn"), Just("let"), Just("if"), Just("else"),
-                Just("while"), Just("return"), Just("global"),
-                Just("int"), Just("bool"), Just("malloc"), Just("null"),
-                Just("("), Just(")"), Just("{"), Just("}"),
-                Just(";"), Just(":"), Just(","), Just("="), Just("=="),
-                Just("*"), Just("+"), Just("->"), Just("x"), Just("y"),
-                Just("42"), Just("true"),
-            ],
-            0..60,
-        )
-    ) {
-        let source = tokens.join(" ");
-        let _ = pinpoint_ir::parser::parse(&source);
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// The parser returns an error — never panics — on arbitrary input.
+#[test]
+fn parser_is_total_on_garbage() {
+    let mut rng = Mix(0xF00D);
+    for _ in 0..512 {
+        let len = rng.below(200);
+        let input: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus a few newlines/tabs.
+                let c = rng.below(100) as u8;
+                if c < 95 {
+                    (c + 0x20) as char
+                } else {
+                    ['\n', '\t', 'λ', '∧', '→'][(c - 95) as usize]
+                }
+            })
+            .collect();
+        let _ = pinpoint_ir::parser::parse(&input);
+    }
+}
+
+/// Ditto for inputs made of plausible tokens (more likely to get deep
+/// into the grammar before failing).
+#[test]
+fn parser_is_total_on_token_soup() {
+    const TOKENS: &[&str] = &[
+        "fn", "let", "if", "else", "while", "return", "global", "int", "bool", "malloc", "null",
+        "(", ")", "{", "}", ";", ":", ",", "=", "==", "*", "+", "->", "x", "y", "42", "true",
+    ];
+    let mut rng = Mix(0xBEEF);
+    for _ in 0..512 {
+        let n = rng.below(60);
+        let soup: Vec<&str> = (0..n).map(|_| TOKENS[rng.below(TOKENS.len())]).collect();
+        let _ = pinpoint_ir::parser::parse(&soup.join(" "));
     }
 }
 

@@ -230,8 +230,7 @@ impl Builder {
             for (src, dst) in new_edges {
                 if copy_edges.entry(src).or_default().insert(dst) {
                     // Propagate immediately.
-                    let from: Vec<Node> =
-                        pt.get(&src).into_iter().flatten().copied().collect();
+                    let from: Vec<Node> = pt.get(&src).into_iter().flatten().copied().collect();
                     if !from.is_empty() {
                         let set = pt.entry(dst).or_default();
                         let mut changed = false;
@@ -245,12 +244,7 @@ impl Builder {
                 }
             }
             // Propagate along existing copy edges.
-            let succs: Vec<Node> = copy_edges
-                .get(&n)
-                .into_iter()
-                .flatten()
-                .copied()
-                .collect();
+            let succs: Vec<Node> = copy_edges.get(&n).into_iter().flatten().copied().collect();
             for s in succs {
                 let from: Vec<Node> = pt.get(&n).into_iter().flatten().copied().collect();
                 let set = pt.entry(s).or_default();

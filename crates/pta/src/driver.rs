@@ -17,8 +17,9 @@
 use crate::intra::{analyze_function_with, AuxParamBinding, FuncPta, PtaStats};
 use crate::symbols::Symbols;
 use crate::transform::{insert_connectors, rewrite_call_sites, AuxShape};
-use pinpoint_ir::{CallGraph, FuncId, Module};
-use pinpoint_smt::{LinearSolver, TermArena};
+use pinpoint_ir::{CallGraph, FuncId, Function, Module, ValueId};
+use pinpoint_smt::{LinearSolver, TermArena, TermTranslator};
+use std::collections::HashMap;
 
 /// Result of the whole-module pipeline.
 #[derive(Debug)]
@@ -100,7 +101,7 @@ pub fn analyze_module_with(module: &mut Module, config: &PtaConfig) -> ModuleAna
     let n = module.funcs.len();
     let mut shapes: Vec<AuxShape> = vec![AuxShape::default(); n];
     let mut pta: Vec<Option<FuncPta>> = (0..n).map(|_| None).collect();
-    let module_names: std::collections::HashMap<String, FuncId> = module
+    let module_names: HashMap<String, FuncId> = module
         .iter_funcs()
         .map(|(id, f)| (f.name.clone(), id))
         .collect();
@@ -158,6 +159,216 @@ pub fn analyze_module_with(module: &mut Module, config: &PtaConfig) -> ModuleAna
         callgraph,
         shapes,
         pta: pta.into_iter().map(|p| p.unwrap_or_default()).collect(),
+        linear,
+    }
+}
+
+/// Output of one function's worker analysis, carried in a private arena
+/// until the deterministic merge.
+struct FuncResult {
+    fid: FuncId,
+    shape: AuxShape,
+    pta: FuncPta,
+    arena: TermArena,
+    symbols: Symbols,
+    unsat: u64,
+    unknown: u64,
+}
+
+/// Analyzes one function against the finished callee `shapes` with a
+/// *fresh* private arena/interner/linear solver.
+///
+/// Because every function starts from an empty arena, its result is
+/// bit-identical no matter which worker runs it or how functions are
+/// sharded — determinism is then purely a property of the merge order.
+fn analyze_one(
+    fid: FuncId,
+    f: &mut Function,
+    shapes: &[AuxShape],
+    callgraph: &CallGraph,
+    names: &HashMap<String, FuncId>,
+    prune: bool,
+) -> FuncResult {
+    let mut arena = TermArena::new();
+    let mut symbols = Symbols::new();
+    let mut linear = LinearSolver::new();
+    {
+        let lookup = |name: &str| -> Option<&AuxShape> {
+            let target = *names.get(name)?;
+            if callgraph.same_scc(fid, target) {
+                return None; // recursion: summary unavailable (§4.2)
+            }
+            Some(&shapes[target.0 as usize])
+        };
+        rewrite_call_sites(f, lookup);
+    }
+    let pass1 = analyze_function_with(&mut arena, &mut symbols, &mut linear, fid, f, &[], prune);
+    let shape = insert_connectors(f, &pass1.refs, &pass1.mods);
+    let bindings: Vec<AuxParamBinding> = shape
+        .aux_params
+        .iter()
+        .map(|&(path, value)| AuxParamBinding { path, value })
+        .collect();
+    let pta = analyze_function_with(
+        &mut arena,
+        &mut symbols,
+        &mut linear,
+        fid,
+        f,
+        &bindings,
+        prune,
+    );
+    FuncResult {
+        fid,
+        shape,
+        pta,
+        arena,
+        symbols,
+        unsat: linear.unsat_count,
+        unknown: linear.unknown_count,
+    }
+}
+
+/// Runs the pipeline with function-level parallelism.
+///
+/// The call graph's SCC condensation is stratified into *levels*
+/// (`level(scc) = 1 + max(level of callee SCCs)`). Within a level no
+/// function depends on another's connector shape — cross-SCC callees sit
+/// strictly below, and same-SCC calls are summary-free (§4.2) — so each
+/// level fans out over `threads` scoped workers. Every worker analyzes
+/// its functions in fresh private arenas; results are merged back into
+/// the shared arena in bottom-up order, so the returned
+/// [`ModuleAnalysis`] is byte-identical for any thread count.
+///
+/// `threads == 1` exercises the same shard-and-merge machinery on a
+/// single worker, which is what makes that guarantee hold by
+/// construction rather than by accident.
+pub fn analyze_module_par(
+    module: &mut Module,
+    config: &PtaConfig,
+    threads: usize,
+) -> ModuleAnalysis {
+    let threads = threads.max(1);
+    let callgraph = CallGraph::new(module);
+    let n = module.funcs.len();
+    let mut arena = TermArena::new();
+    let mut symbols = Symbols::new();
+    let mut linear = LinearSolver::new();
+    let mut shapes: Vec<AuxShape> = vec![AuxShape::default(); n];
+    let mut pta: Vec<FuncPta> = (0..n).map(|_| FuncPta::default()).collect();
+    let names: HashMap<String, FuncId> = module
+        .iter_funcs()
+        .map(|(id, f)| (f.name.clone(), id))
+        .collect();
+
+    // Stratify the SCC condensation. `bottom_up` lists all members of a
+    // callee SCC before any member of a caller SCC, so one pass fixes
+    // every level.
+    let mut scc_level = vec![0usize; callgraph.sccs.len()];
+    for &f in &callgraph.bottom_up {
+        let sf = callgraph.scc_of[f.0 as usize];
+        for &c in &callgraph.callees[f.0 as usize] {
+            let sc = callgraph.scc_of[c.0 as usize];
+            if sc != sf {
+                scc_level[sf] = scc_level[sf].max(scc_level[sc] + 1);
+            }
+        }
+    }
+    let max_level = scc_level.iter().copied().max().unwrap_or(0);
+    let mut levels: Vec<Vec<FuncId>> = vec![Vec::new(); max_level + 1];
+    for &f in &callgraph.bottom_up {
+        levels[scc_level[callgraph.scc_of[f.0 as usize]]].push(f);
+    }
+
+    for level_fids in &levels {
+        // Detach the level's bodies so workers can transform them while
+        // the module stays borrowable for the spawn scope.
+        let mut work: Vec<(FuncId, Function)> = level_fids
+            .iter()
+            .map(|&fid| {
+                (
+                    fid,
+                    std::mem::replace(&mut module.funcs[fid.0 as usize], Function::new("")),
+                )
+            })
+            .collect();
+
+        let results: Vec<FuncResult> = if threads == 1 || work.len() <= 1 {
+            work.iter_mut()
+                .map(|(fid, f)| analyze_one(*fid, f, &shapes, &callgraph, &names, config.prune))
+                .collect()
+        } else {
+            let chunk = work.len().div_ceil(threads);
+            let shapes_ref = &shapes;
+            let cg = &callgraph;
+            let names_ref = &names;
+            let prune = config.prune;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = work
+                    .chunks_mut(chunk)
+                    .map(|shard| {
+                        s.spawn(move || {
+                            shard
+                                .iter_mut()
+                                .map(|(fid, f)| {
+                                    analyze_one(*fid, f, shapes_ref, cg, names_ref, prune)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("points-to worker panicked"))
+                    .collect()
+            })
+        };
+
+        for (fid, f) in work {
+            module.funcs[fid.0 as usize] = f;
+        }
+
+        // Deterministic merge, in the level's bottom-up order: re-derive
+        // the symbol cache against the shared arena (sorted value order),
+        // then rebuild every condition term through the translator's
+        // smart constructors so canonical child ordering is restored in
+        // the target arena.
+        for r in results {
+            let f = module.func(r.fid);
+            for v in r.symbols.cached_values(r.fid) {
+                symbols.value_term(&mut arena, r.fid, f, v);
+            }
+            let mut tr = TermTranslator::new();
+            let mut func_pta = r.pta;
+            for d in &mut func_pta.mem_deps {
+                d.cond = tr.translate(&r.arena, &mut arena, d.cond);
+            }
+            let mut keys: Vec<ValueId> = func_pta.points_to.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                for (_, c) in func_pta.points_to.get_mut(&k).expect("key just listed") {
+                    *c = tr.translate(&r.arena, &mut arena, *c);
+                }
+            }
+            for g in &mut func_pta.global_stores {
+                g.cond = tr.translate(&r.arena, &mut arena, g.cond);
+            }
+            for g in &mut func_pta.global_loads {
+                g.cond = tr.translate(&r.arena, &mut arena, g.cond);
+            }
+            shapes[r.fid.0 as usize] = r.shape;
+            pta[r.fid.0 as usize] = func_pta;
+            linear.unsat_count += r.unsat;
+            linear.unknown_count += r.unknown;
+        }
+    }
+
+    ModuleAnalysis {
+        arena,
+        symbols,
+        callgraph,
+        shapes,
+        pta,
         linear,
     }
 }
@@ -256,10 +467,10 @@ mod tests {
         // middle's rewritten call to inner makes middle itself modify
         // *(q,1), so middle gets an aux return too.
         assert!(
-            analysis
-                .shape(middle)
-                .aux_rets
-                .contains(&(AccessPath { root: 0, depth: 1 }, analysis.shape(middle).aux_rets[0].1)),
+            analysis.shape(middle).aux_rets.contains(&(
+                AccessPath { root: 0, depth: 1 },
+                analysis.shape(middle).aux_rets[0].1
+            )),
             "middle inherits the modification"
         );
         let outer = m.func_by_name("outer").unwrap();
@@ -310,6 +521,100 @@ mod tests {
         let stats = analysis.total_stats();
         assert!(stats.linear_checks > 0);
         assert!(stats.kept > 0);
+    }
+
+    const WAVEFRONT_SRC: &str = r#"
+        global gb: int;
+        fn foo(a: int*) {
+            let ptr: int** = malloc();
+            *ptr = a;
+            if (nondet_bool()) { bar(ptr); } else { qux(ptr); }
+            let f: int* = *ptr;
+            if (nondet_bool()) { print(*f); }
+            return;
+        }
+        fn bar(q: int**) {
+            let c: int* = malloc();
+            if (*q != null) { *q = c; free(c); }
+            else { if (nondet_bool()) { *q = gb; } }
+            return;
+        }
+        fn qux(r: int**) {
+            if (nondet_bool()) { *r = null; } else { *r = null; }
+            return;
+        }
+        fn even(n: int, q: int**) { odd(n - 1, q); *q = null; return; }
+        fn odd(n: int, q: int**) { even(n - 1, q); return; }
+        fn top(x: int*) {
+            let p: int** = malloc();
+            *p = x;
+            foo(x);
+            even(3, p);
+            return;
+        }
+        "#;
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        let mut m_seq = compile(WAVEFRONT_SRC).unwrap();
+        let mut m_par = compile(WAVEFRONT_SRC).unwrap();
+        let seq = analyze_module(&mut m_seq);
+        let par = analyze_module_par(&mut m_par, &PtaConfig::default(), 4);
+        for fid in 0..m_seq.funcs.len() {
+            let fid = pinpoint_ir::FuncId(fid as u32);
+            assert_eq!(
+                seq.shape(fid).aux_params,
+                par.shape(fid).aux_params,
+                "aux params of {}",
+                m_seq.func(fid).name
+            );
+            assert_eq!(seq.shape(fid).aux_rets, par.shape(fid).aux_rets);
+            assert_eq!(
+                seq.func_pta(fid).mem_deps.len(),
+                par.func_pta(fid).mem_deps.len(),
+                "mem-dep count of {}",
+                m_seq.func(fid).name
+            );
+        }
+        let (s, p) = (seq.total_stats(), par.total_stats());
+        assert_eq!(s.pruned, p.pruned);
+        assert_eq!(s.kept, p.kept);
+        assert_eq!(s.linear_checks, p.linear_checks);
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_across_thread_counts() {
+        let analyses: Vec<(Module, ModuleAnalysis)> = [1usize, 2, 4, 7]
+            .iter()
+            .map(|&t| {
+                let mut m = compile(WAVEFRONT_SRC).unwrap();
+                let a = analyze_module_par(&mut m, &PtaConfig::default(), t);
+                (m, a)
+            })
+            .collect();
+        let (m0, a0) = &analyses[0];
+        for (m, a) in &analyses[1..] {
+            // The transformed modules agree instruction-for-instruction.
+            for (fid, f) in m0.iter_funcs() {
+                assert_eq!(
+                    format!("{:?}", f.blocks),
+                    format!("{:?}", m.func(fid).blocks)
+                );
+            }
+            // The shared arenas have identical layouts, so every TermId
+            // in the results means the same term.
+            assert_eq!(a0.arena.len(), a.arena.len());
+            for fid in 0..m0.funcs.len() {
+                let fid = pinpoint_ir::FuncId(fid as u32);
+                assert_eq!(a0.func_pta(fid).mem_deps, a.func_pta(fid).mem_deps);
+                let mut p0: Vec<_> = a0.func_pta(fid).points_to.iter().collect();
+                let mut p1: Vec<_> = a.func_pta(fid).points_to.iter().collect();
+                p0.sort_by_key(|(v, _)| **v);
+                p1.sort_by_key(|(v, _)| **v);
+                assert_eq!(format!("{p0:?}"), format!("{p1:?}"));
+            }
+            assert_eq!(a0.symbols.len(), a.symbols.len());
+        }
     }
 
     #[test]

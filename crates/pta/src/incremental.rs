@@ -101,8 +101,7 @@ pub fn analyze_module_incremental(
     let mut shapes: Vec<AuxShape> = vec![AuxShape::default(); n];
     let mut pta: Vec<Option<crate::intra::FuncPta>> = (0..n).map(|_| None).collect();
     // Splice clean functions: transformed body + shape + points-to.
-    let mut old_pta: Vec<Option<crate::intra::FuncPta>> =
-        old_pta.into_iter().map(Some).collect();
+    let mut old_pta: Vec<Option<crate::intra::FuncPta>> = old_pta.into_iter().map(Some).collect();
     let mut reused = 0;
     for (i, shape) in old_shapes.into_iter().enumerate() {
         let fid = FuncId(i as u32);
@@ -220,12 +219,7 @@ mod tests {
         let src = edited_leaf_a();
         let mut new_module = pinpoint_ir::compile(&src).unwrap();
         // NOTE: old_module is post-transform; the splice source.
-        let out = analyze_module_incremental(
-            &mut new_module,
-            &old_module,
-            old,
-            &["leaf_a".into()],
-        );
+        let out = analyze_module_incremental(&mut new_module, &old_module, old, &["leaf_a".into()]);
         assert!(!out.fell_back);
         let names: Vec<&str> = out
             .reanalyzed
@@ -252,8 +246,7 @@ mod tests {
         let full = analyze_module(&mut full_module);
         // Incremental run.
         let mut inc_module = pinpoint_ir::compile(&src).unwrap();
-        let out =
-            analyze_module_incremental(&mut inc_module, &old_module, old, &["leaf_a".into()]);
+        let out = analyze_module_incremental(&mut inc_module, &old_module, old, &["leaf_a".into()]);
         // Shapes must agree function by function.
         for (fid, f) in full_module.iter_funcs() {
             let a = full.shape(fid);
@@ -284,12 +277,8 @@ mod tests {
         let old = analyze_module(&mut old_module);
         let src = format!("{BASE}\nfn brand_new() {{ return; }}");
         let mut new_module = pinpoint_ir::compile(&src).unwrap();
-        let out = analyze_module_incremental(
-            &mut new_module,
-            &old_module,
-            old,
-            &["brand_new".into()],
-        );
+        let out =
+            analyze_module_incremental(&mut new_module, &old_module, old, &["brand_new".into()]);
         assert!(out.fell_back);
         assert_eq!(out.reused, 0);
     }

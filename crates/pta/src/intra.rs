@@ -574,7 +574,10 @@ mod tests {
             .collect();
         assert_eq!(q_deps.len(), 1);
         assert_eq!(f.value(q_deps[0].src).name, "a");
-        assert!(pta.stats.pruned > 0, "the sibling store kill must be pruned");
+        assert!(
+            pta.stats.pruned > 0,
+            "the sibling store kill must be pruned"
+        );
     }
 
     #[test]

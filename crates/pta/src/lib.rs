@@ -50,9 +50,11 @@ pub mod reach;
 pub mod symbols;
 pub mod transform;
 
-pub use driver::{analyze_module, analyze_module_with, ModuleAnalysis, PtaConfig};
+pub use driver::{
+    analyze_module, analyze_module_par, analyze_module_with, ModuleAnalysis, PtaConfig,
+};
 pub use incremental::{analyze_module_incremental, IncrementalOutcome};
 pub use intra::{FuncPta, GlobalAccess, MemDep, PtaStats};
 pub use object::{AccessPath, Obj, MAX_PATH_DEPTH};
-pub use symbols::Symbols;
+pub use symbols::{Symbols, SymbolsMark};
 pub use transform::AuxShape;

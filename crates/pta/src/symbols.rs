@@ -18,16 +18,79 @@ use pinpoint_smt::{Sort, TermArena, TermId};
 use std::collections::HashMap;
 
 /// Caches value terms for a whole module.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Symbols {
     map: HashMap<(FuncId, ValueId), TermId>,
     origins: HashMap<TermId, (FuncId, ValueId)>,
+    /// Insertion journal for [`Symbols::checkpoint`]/[`Symbols::rollback`]:
+    /// every key added to `map` or `origins`, in order. Rolling back
+    /// removes exactly the journalled keys — a term-id threshold would be
+    /// wrong, because a post-checkpoint cache entry can map to a
+    /// *pre-existing* term and must still be evicted so a later
+    /// re-derivation replays the same arena insertions.
+    journal: Vec<JournalEntry>,
 }
+
+#[derive(Debug, Clone, Copy)]
+enum JournalEntry {
+    Map(FuncId, ValueId),
+    Origin(TermId),
+}
+
+/// Opaque checkpoint of a [`Symbols`] cache (see [`Symbols::checkpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolsMark(usize);
 
 impl Symbols {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Returns a checkpoint for [`Symbols::rollback`].
+    pub fn checkpoint(&self) -> SymbolsMark {
+        SymbolsMark(self.journal.len())
+    }
+
+    /// Removes every cache entry created after `mark`, restoring the cache
+    /// to exactly its checkpointed state. Pairs with
+    /// [`pinpoint_smt::TermArena::truncate_to`] so a detection query can
+    /// use shared state as private scratch.
+    pub fn rollback(&mut self, mark: SymbolsMark) {
+        while self.journal.len() > mark.0 {
+            match self.journal.pop().expect("journal length checked") {
+                JournalEntry::Map(f, v) => {
+                    self.map.remove(&(f, v));
+                }
+                JournalEntry::Origin(t) => {
+                    self.origins.remove(&t);
+                }
+            }
+        }
+    }
+
+    /// Number of cached value terms.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The values of `fid` with cached terms, sorted — the deterministic
+    /// iteration order the parallel merge uses to re-derive a worker's
+    /// symbols against the shared arena.
+    pub fn cached_values(&self, fid: FuncId) -> Vec<ValueId> {
+        let mut vs: Vec<ValueId> = self
+            .map
+            .keys()
+            .filter(|(f, _)| *f == fid)
+            .map(|&(_, v)| v)
+            .collect();
+        vs.sort_unstable();
+        vs
     }
 
     /// Drops every cached term of function `fid` — required when a
@@ -36,6 +99,10 @@ impl Symbols {
     pub fn invalidate_function(&mut self, fid: FuncId) {
         self.map.retain(|&(f, _), _| f != fid);
         self.origins.retain(|_, &mut (f, _)| f != fid);
+        // Bulk removal cannot be replayed entry-wise; outstanding
+        // checkpoints are void after an invalidation (none are held across
+        // incremental updates).
+        self.journal.clear();
     }
 
     /// The value whose opaque variable `t` is, if any. Terms with
@@ -78,12 +145,15 @@ impl Symbols {
         // is acyclic, but recursion depth stays bounded regardless).
         let term = self.build(arena, fid, f, v);
         self.map.insert((fid, v), term);
+        self.journal.push(JournalEntry::Map(fid, v));
         term
     }
 
     fn opaque(&mut self, arena: &mut TermArena, fid: FuncId, f: &Function, v: ValueId) -> TermId {
         let t = arena.var(Self::var_name(fid, v), Self::sort_of(f, v));
-        self.origins.insert(t, (fid, v));
+        if self.origins.insert(t, (fid, v)).is_none() {
+            self.journal.push(JournalEntry::Origin(t));
+        }
         t
     }
 
@@ -248,5 +318,63 @@ mod tests {
     #[test]
     fn names_qualified_by_function() {
         assert_eq!(Symbols::var_name(FuncId(3), ValueId(7)), "f3.v7");
+    }
+
+    #[test]
+    fn rollback_restores_cache_and_arena_replay() {
+        let m = compile(
+            "fn f(q: int**) -> bool {
+                let x: int* = *q;
+                let t: bool = x != null;
+                return t;
+            }",
+        )
+        .unwrap();
+        let fid = m.func_by_name("f").unwrap();
+        let f = m.func(fid);
+        let mut arena = TermArena::new();
+        let mut sym = Symbols::new();
+        // Base state: the parameter's term.
+        let base = sym.value_term(&mut arena, fid, f, f.params[0]);
+        let sym_mark = sym.checkpoint();
+        let arena_mark = arena.mark();
+        let arena_len = arena.len();
+        let cached = sym.len();
+        // Scratch: symbolise the return value (creates the load var and
+        // the comparison structure).
+        let ret = f.return_values()[0];
+        let t1 = sym.value_term(&mut arena, fid, f, ret);
+        let printed1 = arena.display(t1);
+        sym.rollback(sym_mark);
+        arena.truncate_to(arena_mark);
+        assert_eq!(sym.len(), cached);
+        assert_eq!(arena.len(), arena_len);
+        assert_eq!(sym.value_term(&mut arena, fid, f, f.params[0]), base);
+        // Re-derivation replays the identical layout: same term id, same
+        // structure. This is the invariant parallel detection relies on.
+        let t2 = sym.value_term(&mut arena, fid, f, ret);
+        assert_eq!(t1, t2);
+        assert_eq!(arena.display(t2), printed1);
+    }
+
+    #[test]
+    fn cached_values_sorted_per_function() {
+        let m = compile(
+            "fn a(x: int) -> int { return x + 1; }
+             fn b(y: int) -> int { return y + 2; }",
+        )
+        .unwrap();
+        let fa = m.func_by_name("a").unwrap();
+        let fb = m.func_by_name("b").unwrap();
+        let mut arena = TermArena::new();
+        let mut sym = Symbols::new();
+        for (fid, f) in m.iter_funcs() {
+            let ret = f.return_values()[0];
+            sym.value_term(&mut arena, fid, f, ret);
+        }
+        let va = sym.cached_values(fa);
+        assert!(!va.is_empty());
+        assert!(va.windows(2).all(|w| w[0] < w[1]), "sorted: {va:?}");
+        assert!(!sym.cached_values(fb).is_empty());
     }
 }

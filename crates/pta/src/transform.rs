@@ -62,7 +62,9 @@ pub fn insert_connectors(f: &mut Function, refs: &[AccessPath], mods: &[AccessPa
     sorted_refs.sort_unstable_by_key(|p| (p.depth, p.root));
     let mut entry_stores: Vec<Inst> = Vec::new();
     for path in sorted_refs {
-        let Some(ty) = path_ty(f, &path) else { continue };
+        let Some(ty) = path_ty(f, &path) else {
+            continue;
+        };
         let name = format!("aux_in_p{}d{}", path.root, path.depth);
         let fi = f.new_value(name, ty);
         f.params.push(fi);
@@ -81,7 +83,9 @@ pub fn insert_connectors(f: &mut Function, refs: &[AccessPath], mods: &[AccessPa
     let mut exit_loads: Vec<Inst> = Vec::new();
     let mut extra_rets: Vec<ValueId> = Vec::new();
     for path in sorted_mods {
-        let Some(ty) = path_ty(f, &path) else { continue };
+        let Some(ty) = path_ty(f, &path) else {
+            continue;
+        };
         let name = format!("aux_out_p{}d{}", path.root, path.depth);
         let rp = f.new_value(name, ty.clone());
         f.ret_tys.push(ty);
@@ -146,8 +150,7 @@ where
                 let Some(ty) = caller.ty(uj).deref(path.depth as usize).cloned() else {
                     // Should not happen on type-correct programs; pass a
                     // null-equivalent placeholder to keep arity aligned.
-                    let placeholder =
-                        caller.new_value("aux_arg_null", Type::Int.ptr_to());
+                    let placeholder = caller.new_value("aux_arg_null", Type::Int.ptr_to());
                     new_insts.push(Inst::Const {
                         dst: placeholder,
                         value: pinpoint_ir::Const::Null,
@@ -155,10 +158,7 @@ where
                     args.push(placeholder);
                     continue;
                 };
-                let ai = caller.new_value(
-                    format!("aux_arg_p{}d{}", path.root, path.depth),
-                    ty,
-                );
+                let ai = caller.new_value(format!("aux_arg_p{}d{}", path.root, path.depth), ty);
                 new_insts.push(Inst::Load {
                     dst: ai,
                     ptr: uj,
@@ -183,10 +183,7 @@ where
                     dsts.push(pad);
                     continue;
                 };
-                let cp = caller.new_value(
-                    format!("aux_recv_p{}d{}", path.root, path.depth),
-                    ty,
-                );
+                let cp = caller.new_value(format!("aux_recv_p{}d{}", path.root, path.depth), ty);
                 dsts.push(cp);
                 post_stores.push(Inst::Store {
                     ptr: uq,
@@ -207,10 +204,8 @@ pub fn rebuild_def_sites(f: &mut Function) {
     for v in &mut f.values {
         v.def = None;
     }
-    let ids: Vec<(pinpoint_ir::InstId, Vec<ValueId>)> = f
-        .iter_insts()
-        .map(|(id, inst)| (id, inst.defs()))
-        .collect();
+    let ids: Vec<(pinpoint_ir::InstId, Vec<ValueId>)> =
+        f.iter_insts().map(|(id, inst)| (id, inst.defs())).collect();
     for (id, defs) in ids {
         for d in defs {
             f.values[d.0 as usize].def = Some(id);
@@ -261,10 +256,7 @@ mod tests {
         );
         // Return block ends with R ← *(q,1).
         let rb = f.block(f.return_block().unwrap());
-        assert!(matches!(
-            rb.insts.last(),
-            Some(Inst::Load { depth: 1, .. })
-        ));
+        assert!(matches!(rb.insts.last(), Some(Inst::Load { depth: 1, .. })));
     }
 
     #[test]
@@ -320,9 +312,7 @@ mod tests {
         .unwrap();
         let fid = m.func_by_name("f").unwrap();
         let empty = AuxShape::default();
-        rewrite_call_sites(m.func_mut(fid), |name| {
-            (name == "g").then_some(&empty)
-        });
+        rewrite_call_sites(m.func_mut(fid), |name| (name == "g").then_some(&empty));
         let f = m.func(fid);
         let call = f
             .iter_insts()
@@ -346,11 +336,7 @@ mod tests {
         )
         .unwrap();
         let g = m.func_by_name("g").unwrap();
-        let shape = insert_connectors(
-            m.func_mut(g),
-            &[],
-            &[AccessPath { root: 0, depth: 1 }],
-        );
+        let shape = insert_connectors(m.func_mut(g), &[], &[AccessPath { root: 0, depth: 1 }]);
         assert_eq!(shape.ret_offset, 1);
         let f = m.func_by_name("f").unwrap();
         rewrite_call_sites(m.func_mut(f), |n| (n == "g").then_some(&shape));

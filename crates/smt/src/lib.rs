@@ -45,4 +45,4 @@ pub mod theory;
 
 pub use linear::{LinearSolver, LinearVerdict};
 pub use solver::{SmtResult, SmtSolver};
-pub use term::{Sort, TermArena, TermId, TermKind};
+pub use term::{Sort, TermArena, TermId, TermKind, TermMark, TermTranslator};

@@ -570,10 +570,7 @@ mod tests {
         for h in 0..3 {
             for p1 in 0..4 {
                 for p2 in (p1 + 1)..4 {
-                    s.add_clause(vec![
-                        Lit::new(x[p1][h], false),
-                        Lit::new(x[p2][h], false),
-                    ]);
+                    s.add_clause(vec![Lit::new(x[p1][h], false), Lit::new(x[p2][h], false)]);
                 }
             }
         }
@@ -602,7 +599,10 @@ mod tests {
             }
         }
         assert_eq!(s.solve(), SatResult::Unsat);
-        assert!(s.stats.conflicts > 0, "requires search, not just propagation");
+        assert!(
+            s.stats.conflicts > 0,
+            "requires search, not just propagation"
+        );
     }
 
     #[test]

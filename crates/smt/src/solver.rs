@@ -277,10 +277,9 @@ impl Encoder {
             .atom_vars
             .iter()
             .filter_map(|(&term, &bvar)| match arena.kind(term) {
-                TermKind::Var(name, crate::term::Sort::Bool) => self
-                    .sat
-                    .value(bvar)
-                    .map(|value| (name.clone(), value)),
+                TermKind::Var(name, crate::term::Sort::Bool) => {
+                    self.sat.value(bvar).map(|value| (name.clone(), value))
+                }
                 _ => None,
             })
             .collect();

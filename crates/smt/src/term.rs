@@ -443,6 +443,31 @@ impl TermArena {
             )
     }
 
+    /// Returns a checkpoint mark for [`TermArena::truncate_to`].
+    ///
+    /// Terms created after `mark()` can be dropped wholesale, restoring
+    /// the arena to exactly its current state. This is what lets the
+    /// detection stage give every source site a private scratch region in
+    /// an otherwise shared arena.
+    pub fn mark(&self) -> TermMark {
+        TermMark(self.terms.len())
+    }
+
+    /// Drops every term created after `mark`, including its hash-consing
+    /// entry. Cost is linear in the number of *dropped* terms, not the
+    /// arena size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` came from a different (or longer) arena.
+    pub fn truncate_to(&mut self, mark: TermMark) {
+        assert!(mark.0 <= self.terms.len(), "mark beyond arena length");
+        for kind in self.terms.drain(mark.0..) {
+            self.consed.remove(&kind);
+        }
+        self.sorts.truncate(mark.0);
+    }
+
     /// Pretty-prints a term as an S-expression.
     pub fn display(&self, t: TermId) -> String {
         let mut s = String::new();
@@ -508,6 +533,107 @@ impl TermArena {
         out.push(' ');
         self.write_sexpr(b, out);
         out.push(')');
+    }
+}
+
+/// Opaque checkpoint of a [`TermArena`] (see [`TermArena::mark`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TermMark(usize);
+
+/// Imports terms from one arena into another, structurally.
+///
+/// Translation rebuilds each term through the target arena's smart
+/// constructors rather than copying raw children: n-ary operators sort
+/// their children by [`TermId`], so a term's stored shape is relative to
+/// *its* arena's allocation order. Re-running the constructors
+/// re-canonicalises against the target's order, which is what makes the
+/// parallel pipeline deterministic — per-worker arenas can lay terms out
+/// in any order, and the merge still produces one canonical shared arena.
+///
+/// A memo table makes repeated translation of a shared sub-DAG `O(1)`.
+#[derive(Debug, Default)]
+pub struct TermTranslator {
+    memo: HashMap<TermId, TermId>,
+}
+
+impl TermTranslator {
+    /// Creates a translator with an empty memo table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Translates `t` from `src` into `dst`, returning the target id.
+    pub fn translate(&mut self, src: &TermArena, dst: &mut TermArena, t: TermId) -> TermId {
+        if let Some(&done) = self.memo.get(&t) {
+            return done;
+        }
+        let out = match src.kind(t).clone() {
+            TermKind::BoolConst(b) => dst.bool_const(b),
+            TermKind::IntConst(v) => dst.int(v),
+            TermKind::Var(name, sort) => dst.var(name, sort),
+            TermKind::Not(x) => {
+                let x = self.translate(src, dst, x);
+                dst.not(x)
+            }
+            TermKind::And(xs) => {
+                let xs: Vec<TermId> = xs
+                    .into_iter()
+                    .map(|x| self.translate(src, dst, x))
+                    .collect();
+                dst.and(xs)
+            }
+            TermKind::Or(xs) => {
+                let xs: Vec<TermId> = xs
+                    .into_iter()
+                    .map(|x| self.translate(src, dst, x))
+                    .collect();
+                dst.or(xs)
+            }
+            TermKind::Ite(c, a, b) => {
+                let c = self.translate(src, dst, c);
+                let a = self.translate(src, dst, a);
+                let b = self.translate(src, dst, b);
+                dst.ite(c, a, b)
+            }
+            TermKind::Eq(a, b) => {
+                let a = self.translate(src, dst, a);
+                let b = self.translate(src, dst, b);
+                dst.eq(a, b)
+            }
+            TermKind::Lt(a, b) => {
+                let a = self.translate(src, dst, a);
+                let b = self.translate(src, dst, b);
+                dst.lt(a, b)
+            }
+            TermKind::Le(a, b) => {
+                let a = self.translate(src, dst, a);
+                let b = self.translate(src, dst, b);
+                dst.le(a, b)
+            }
+            TermKind::Add(xs) => {
+                let xs: Vec<TermId> = xs
+                    .into_iter()
+                    .map(|x| self.translate(src, dst, x))
+                    .collect();
+                dst.add(xs)
+            }
+            TermKind::Sub(a, b) => {
+                let a = self.translate(src, dst, a);
+                let b = self.translate(src, dst, b);
+                dst.sub(a, b)
+            }
+            TermKind::Mul(a, b) => {
+                let a = self.translate(src, dst, a);
+                let b = self.translate(src, dst, b);
+                dst.mul(a, b)
+            }
+            TermKind::Neg(a) => {
+                let a = self.translate(src, dst, a);
+                dst.neg(a)
+            }
+        };
+        self.memo.insert(t, out);
+        out
     }
 }
 
@@ -628,5 +754,72 @@ mod tests {
         let zero = a.int(0);
         let atom = a.ne(x, zero);
         assert_eq!(a.display(atom), "(not (= x 0))");
+    }
+
+    #[test]
+    fn truncate_restores_exact_state() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let base = a.eq(x, zero);
+        let mark = a.mark();
+        let len = a.len();
+        let y = a.var("y", Sort::Int);
+        let _scratch = a.lt(y, zero);
+        assert!(a.len() > len);
+        a.truncate_to(mark);
+        assert_eq!(a.len(), len);
+        // Pre-mark terms survive and still hash-cons to the same ids.
+        assert_eq!(a.eq(x, zero), base);
+        // The dropped var is genuinely gone: re-creating it allocates at
+        // the old scratch position, proving the consed entry was removed.
+        let y2 = a.var("y", Sort::Int);
+        assert_eq!(y2.index(), len);
+    }
+
+    #[test]
+    fn truncate_is_idempotent_at_mark() {
+        let mut a = TermArena::new();
+        let _ = a.var("x", Sort::Int);
+        let mark = a.mark();
+        a.truncate_to(mark);
+        a.truncate_to(mark);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn translation_rebuilds_canonically() {
+        // Build the same conjunction in two arenas with opposite insertion
+        // orders; translation into a common target must unify them.
+        let mut a1 = TermArena::new();
+        let p1 = a1.var("p", Sort::Bool);
+        let q1 = a1.var("q", Sort::Bool);
+        let and1 = a1.and2(p1, q1);
+
+        let mut a2 = TermArena::new();
+        let q2 = a2.var("q", Sort::Bool);
+        let p2 = a2.var("p", Sort::Bool);
+        let and2 = a2.and2(p2, q2);
+
+        let mut target = TermArena::new();
+        let t1 = TermTranslator::new().translate(&a1, &mut target, and1);
+        let t2 = TermTranslator::new().translate(&a2, &mut target, and2);
+        assert_eq!(t1, t2, "cross-arena structural identity");
+    }
+
+    #[test]
+    fn translation_memo_reuses_shared_subterms() {
+        let mut src = TermArena::new();
+        let x = src.var("x", Sort::Int);
+        let zero = src.int(0);
+        let e = src.eq(x, zero);
+        let ne = src.not(e);
+        let both = src.and2(e, ne); // folds to false in src already
+        let mut dst = TermArena::new();
+        let mut tr = TermTranslator::new();
+        let t = tr.translate(&src, &mut dst, both);
+        assert!(dst.is_false(t));
+        let te = tr.translate(&src, &mut dst, e);
+        assert_eq!(dst.display(te), "(= x 0)");
     }
 }

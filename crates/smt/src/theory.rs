@@ -353,7 +353,7 @@ fn fm_feasible(mut ineqs: Vec<Ineq>) -> bool {
             let cl = -coeff_of(lo, v); // > 0
             for up in &upper {
                 let cu = coeff_of(up, v); // > 0
-                // cl*up + cu*lo eliminates v: (cu*lo + cl*up) ≤ 0.
+                                          // cl*up + cu*lo eliminates v: (cu*lo + cl*up) ≤ 0.
                 let combined = up.scale(cl).add(&lo.scale(cu));
                 debug_assert_eq!(coeff_of(&combined, v), 0);
                 if combined.is_const() {
@@ -599,10 +599,7 @@ mod tests {
         let x = a.var("x", Sort::Int);
         let zero = a.int(0);
         let eq = a.eq(x, zero);
-        assert_eq!(
-            check_conjunction(&a, &[neg(eq)]),
-            TheoryVerdict::Consistent
-        );
+        assert_eq!(check_conjunction(&a, &[neg(eq)]), TheoryVerdict::Consistent);
     }
 
     #[test]

@@ -5,8 +5,37 @@
 //! same assignment; the two must agree for every random assignment.
 
 use pinpoint_smt::{Sort, TermArena, TermId, TermKind};
-use proptest::prelude::*;
 use std::collections::HashMap;
+
+/// Minimal SplitMix64 so the property loops below are deterministic
+/// without an external PRNG dependency.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    fn bool4(&mut self) -> [bool; 4] {
+        std::array::from_fn(|_| self.below(2) == 1)
+    }
+
+    fn ints4(&mut self) -> [i64; 4] {
+        std::array::from_fn(|_| self.int_in(-3, 4))
+    }
+}
 
 /// Intended formulas, interpreted directly (no simplification).
 #[derive(Debug, Clone)]
@@ -27,25 +56,37 @@ enum CmpOp {
     Le,
 }
 
-fn formula_strategy() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        (0u8..4).prop_map(Formula::BVar),
-        ((0u8..4), (-3i64..4), prop_oneof![
-            Just(CmpOp::Eq),
-            Just(CmpOp::Lt),
-            Just(CmpOp::Le)
-        ])
-            .prop_map(|(v, k, op)| Formula::IVarCmp(v, k, op)),
-        any::<bool>().prop_map(Formula::BoolConst),
-        ((0u8..4), (0u8..4)).prop_map(|(a, b)| Formula::IffVars(a, b)),
-    ];
-    leaf.prop_recursive(4, 48, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::And),
-            prop::collection::vec(inner, 1..4).prop_map(Formula::Or),
-        ]
-    })
+fn random_leaf(rng: &mut Mix) -> Formula {
+    match rng.below(4) {
+        0 => Formula::BVar(rng.below(4) as u8),
+        1 => {
+            let v = rng.below(4) as u8;
+            let k = rng.int_in(-3, 4);
+            let op = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le][rng.below(3) as usize];
+            Formula::IVarCmp(v, k, op)
+        }
+        2 => Formula::BoolConst(rng.below(2) == 1),
+        _ => Formula::IffVars(rng.below(4) as u8, rng.below(4) as u8),
+    }
+}
+
+fn random_formula(rng: &mut Mix, depth: u32) -> Formula {
+    if depth == 0 || rng.below(3) == 0 {
+        return random_leaf(rng);
+    }
+    match rng.below(3) {
+        0 => Formula::Not(Box::new(random_formula(rng, depth - 1))),
+        1 => Formula::And(
+            (0..1 + rng.below(3))
+                .map(|_| random_formula(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Formula::Or(
+            (0..1 + rng.below(3))
+                .map(|_| random_formula(rng, depth - 1))
+                .collect(),
+        ),
+    }
 }
 
 /// Direct interpretation of the intended formula.
@@ -143,16 +184,13 @@ fn eval_term(
             }
         }
         TermKind::Eq(a, b) => i64::from(
-            eval_term(arena, *a, bools, ints, cache)
-                == eval_term(arena, *b, bools, ints, cache),
+            eval_term(arena, *a, bools, ints, cache) == eval_term(arena, *b, bools, ints, cache),
         ),
         TermKind::Lt(a, b) => i64::from(
-            eval_term(arena, *a, bools, ints, cache)
-                < eval_term(arena, *b, bools, ints, cache),
+            eval_term(arena, *a, bools, ints, cache) < eval_term(arena, *b, bools, ints, cache),
         ),
         TermKind::Le(a, b) => i64::from(
-            eval_term(arena, *a, bools, ints, cache)
-                <= eval_term(arena, *b, bools, ints, cache),
+            eval_term(arena, *a, bools, ints, cache) <= eval_term(arena, *b, bools, ints, cache),
         ),
         TermKind::Add(xs) => xs
             .iter()
@@ -168,46 +206,44 @@ fn eval_term(
     v
 }
 
-proptest! {
-    #[test]
-    fn simplification_preserves_semantics(
-        formula in formula_strategy(),
-        bools in prop::array::uniform4(any::<bool>()),
-        ints in prop::array::uniform4(-3i64..4),
-    ) {
+#[test]
+fn simplification_preserves_semantics() {
+    let mut rng = Mix(0x51A9);
+    for _ in 0..512 {
+        let formula = random_formula(&mut rng, 4);
+        let bools = rng.bool4();
+        let ints = rng.ints4();
         let mut arena = TermArena::new();
         let term = build_term(&mut arena, &formula);
         let expected = eval_formula(&formula, &bools, &ints);
         let mut cache = HashMap::new();
         let got = eval_term(&arena, term, &bools, &ints, &mut cache) != 0;
-        prop_assert_eq!(got, expected, "formula {:?}", formula);
+        assert_eq!(got, expected, "formula {formula:?}");
     }
+}
 
-    /// The SMT solver is a decision procedure for these formulas: if any
-    /// of a sample of assignments satisfies the formula, the solver must
-    /// say Sat; if the solver says Unsat, no sampled assignment may
-    /// satisfy it.
-    #[test]
-    fn solver_agrees_with_sampled_assignments(
-        formula in formula_strategy(),
-        samples in prop::collection::vec(
-            (prop::array::uniform4(any::<bool>()), prop::array::uniform4(-3i64..4)),
-            8,
-        ),
-    ) {
-        use pinpoint_smt::{SmtResult, SmtSolver};
+/// The SMT solver is a decision procedure for these formulas: if any
+/// of a sample of assignments satisfies the formula, the solver must
+/// say Sat; if the solver says Unsat, no sampled assignment may
+/// satisfy it.
+#[test]
+fn solver_agrees_with_sampled_assignments() {
+    use pinpoint_smt::{SmtResult, SmtSolver};
+    let mut rng = Mix(0x501E);
+    for _ in 0..256 {
+        let formula = random_formula(&mut rng, 4);
+        let samples: Vec<([bool; 4], [i64; 4])> =
+            (0..8).map(|_| (rng.bool4(), rng.ints4())).collect();
         let mut arena = TermArena::new();
         let term = build_term(&mut arena, &formula);
         let mut solver = SmtSolver::new();
         let verdict = solver.check(&arena, term);
-        let any_model = samples
-            .iter()
-            .any(|(b, i)| eval_formula(&formula, b, i));
+        let any_model = samples.iter().any(|(b, i)| eval_formula(&formula, b, i));
         if any_model {
-            prop_assert_eq!(verdict, SmtResult::Sat, "witnessed: {:?}", formula);
+            assert_eq!(verdict, SmtResult::Sat, "witnessed: {formula:?}");
         }
         if verdict == SmtResult::Unsat {
-            prop_assert!(!any_model, "solver unsat but model sampled: {:?}", formula);
+            assert!(!any_model, "solver unsat but model sampled: {formula:?}");
         }
     }
 }

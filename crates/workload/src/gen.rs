@@ -18,8 +18,7 @@
 //!   decoys; path-insensitive baselines warn, which is how the Table 1
 //!   false-positive-rate contrast is measured.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use std::fmt::Write;
 
 /// What kind of defect a ground-truth entry describes.
@@ -140,7 +139,11 @@ pub fn generate(config: &GenConfig) -> Generated {
     let mut id = 0;
     for kind in [BugKind::UseAfterFree, BugKind::DoubleFree] {
         for real in [true, false] {
-            let n = if real { config.real_bugs } else { config.decoys };
+            let n = if real {
+                config.real_bugs
+            } else {
+                config.decoys
+            };
             for _ in 0..n {
                 let marker = format!("bug{id}_");
                 emit_memory_bug(&mut out, &mut rng, kind, real, &marker);
@@ -157,7 +160,11 @@ pub fn generate(config: &GenConfig) -> Generated {
     if config.taint {
         for kind in [BugKind::PathTraversal, BugKind::DataTransmission] {
             for real in [true, false] {
-                let n = if real { config.real_bugs } else { config.decoys };
+                let n = if real {
+                    config.real_bugs
+                } else {
+                    config.decoys
+                };
                 for _ in 0..n {
                     let marker = format!("bug{id}_");
                     emit_taint_bug(&mut out, &mut rng, kind, real, &marker);
@@ -499,8 +506,7 @@ mod tests {
                 taint: true,
                 ..GenConfig::default()
             });
-            pinpoint_ir::compile(&g.source)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            pinpoint_ir::compile(&g.source).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 }

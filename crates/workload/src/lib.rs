@@ -19,6 +19,7 @@
 
 pub mod gen;
 pub mod juliet;
+pub mod rng;
 pub mod subjects;
 
 pub use gen::{generate, BugKind, GenConfig, Generated, InjectedBug};

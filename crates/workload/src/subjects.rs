@@ -22,36 +22,156 @@ pub struct Subject {
 
 /// The Table 1 subject list, ordered by program size.
 pub const SUBJECTS: &[Subject] = &[
-    Subject { name: "mcf", paper_kloc: 2, spec: true },
-    Subject { name: "bzip2", paper_kloc: 3, spec: true },
-    Subject { name: "gzip", paper_kloc: 6, spec: true },
-    Subject { name: "parser", paper_kloc: 8, spec: true },
-    Subject { name: "vpr", paper_kloc: 11, spec: true },
-    Subject { name: "crafty", paper_kloc: 13, spec: true },
-    Subject { name: "twolf", paper_kloc: 18, spec: true },
-    Subject { name: "eon", paper_kloc: 22, spec: true },
-    Subject { name: "webassembly", paper_kloc: 23, spec: false },
-    Subject { name: "darknet", paper_kloc: 24, spec: false },
-    Subject { name: "html5-parser", paper_kloc: 31, spec: false },
-    Subject { name: "gap", paper_kloc: 36, spec: true },
-    Subject { name: "tmux", paper_kloc: 40, spec: false },
-    Subject { name: "libssh", paper_kloc: 44, spec: false },
-    Subject { name: "goaccess", paper_kloc: 48, spec: false },
-    Subject { name: "vortex", paper_kloc: 49, spec: true },
-    Subject { name: "shadowsocks", paper_kloc: 53, spec: false },
-    Subject { name: "swoole", paper_kloc: 54, spec: false },
-    Subject { name: "libuv", paper_kloc: 62, spec: false },
-    Subject { name: "perlbmk", paper_kloc: 73, spec: true },
-    Subject { name: "transmission", paper_kloc: 88, spec: false },
-    Subject { name: "gcc", paper_kloc: 135, spec: true },
-    Subject { name: "git", paper_kloc: 185, spec: false },
-    Subject { name: "vim", paper_kloc: 333, spec: false },
-    Subject { name: "wrk", paper_kloc: 340, spec: false },
-    Subject { name: "libicu", paper_kloc: 537, spec: false },
-    Subject { name: "php", paper_kloc: 863, spec: false },
-    Subject { name: "ffmpeg", paper_kloc: 967, spec: false },
-    Subject { name: "mysql", paper_kloc: 2030, spec: false },
-    Subject { name: "firefox", paper_kloc: 7998, spec: false },
+    Subject {
+        name: "mcf",
+        paper_kloc: 2,
+        spec: true,
+    },
+    Subject {
+        name: "bzip2",
+        paper_kloc: 3,
+        spec: true,
+    },
+    Subject {
+        name: "gzip",
+        paper_kloc: 6,
+        spec: true,
+    },
+    Subject {
+        name: "parser",
+        paper_kloc: 8,
+        spec: true,
+    },
+    Subject {
+        name: "vpr",
+        paper_kloc: 11,
+        spec: true,
+    },
+    Subject {
+        name: "crafty",
+        paper_kloc: 13,
+        spec: true,
+    },
+    Subject {
+        name: "twolf",
+        paper_kloc: 18,
+        spec: true,
+    },
+    Subject {
+        name: "eon",
+        paper_kloc: 22,
+        spec: true,
+    },
+    Subject {
+        name: "webassembly",
+        paper_kloc: 23,
+        spec: false,
+    },
+    Subject {
+        name: "darknet",
+        paper_kloc: 24,
+        spec: false,
+    },
+    Subject {
+        name: "html5-parser",
+        paper_kloc: 31,
+        spec: false,
+    },
+    Subject {
+        name: "gap",
+        paper_kloc: 36,
+        spec: true,
+    },
+    Subject {
+        name: "tmux",
+        paper_kloc: 40,
+        spec: false,
+    },
+    Subject {
+        name: "libssh",
+        paper_kloc: 44,
+        spec: false,
+    },
+    Subject {
+        name: "goaccess",
+        paper_kloc: 48,
+        spec: false,
+    },
+    Subject {
+        name: "vortex",
+        paper_kloc: 49,
+        spec: true,
+    },
+    Subject {
+        name: "shadowsocks",
+        paper_kloc: 53,
+        spec: false,
+    },
+    Subject {
+        name: "swoole",
+        paper_kloc: 54,
+        spec: false,
+    },
+    Subject {
+        name: "libuv",
+        paper_kloc: 62,
+        spec: false,
+    },
+    Subject {
+        name: "perlbmk",
+        paper_kloc: 73,
+        spec: true,
+    },
+    Subject {
+        name: "transmission",
+        paper_kloc: 88,
+        spec: false,
+    },
+    Subject {
+        name: "gcc",
+        paper_kloc: 135,
+        spec: true,
+    },
+    Subject {
+        name: "git",
+        paper_kloc: 185,
+        spec: false,
+    },
+    Subject {
+        name: "vim",
+        paper_kloc: 333,
+        spec: false,
+    },
+    Subject {
+        name: "wrk",
+        paper_kloc: 340,
+        spec: false,
+    },
+    Subject {
+        name: "libicu",
+        paper_kloc: 537,
+        spec: false,
+    },
+    Subject {
+        name: "php",
+        paper_kloc: 863,
+        spec: false,
+    },
+    Subject {
+        name: "ffmpeg",
+        paper_kloc: 967,
+        spec: false,
+    },
+    Subject {
+        name: "mysql",
+        paper_kloc: 2030,
+        spec: false,
+    },
+    Subject {
+        name: "firefox",
+        paper_kloc: 7998,
+        spec: false,
+    },
 ];
 
 /// Default scale factor: generated subjects are 1/20th of the paper size

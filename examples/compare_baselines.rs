@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Pinpoint.
-    let mut analysis = Analysis::from_source(&project.source)?;
+    let analysis = Analysis::from_source(&project.source)?;
     let reports = analysis.check(CheckerKind::UseAfterFree);
     let hit = |marker: &str| {
         reports.iter().any(|r| {

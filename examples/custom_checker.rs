@@ -64,12 +64,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traverses_transforms: true,
     };
 
-    let mut analysis = Analysis::from_source(APP)?;
+    let analysis = Analysis::from_source(APP)?;
     let reports = analysis.check_custom(&spec);
 
-    println!("custom checker `{}`: {} report(s)", spec.name, reports.len());
+    println!(
+        "custom checker `{}`: {} report(s)",
+        spec.name,
+        reports.len()
+    );
     for r in &reports {
-        println!("  {}", r.describe(&analysis.module));
+        println!("  {r}");
         if !r.witness.is_empty() {
             let w: Vec<String> = r
                 .witness

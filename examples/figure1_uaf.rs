@@ -59,7 +59,7 @@ const FIGURE1: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut analysis = Analysis::from_source(FIGURE1)?;
+    let analysis = Analysis::from_source(FIGURE1)?;
 
     // The connector model at work: bar reads and writes *(q,1), so the
     // Fig. 3 transformation gave it an Aux formal parameter (X) and an
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reports = analysis.check(CheckerKind::UseAfterFree);
     println!("\nuse-after-free reports: {}", reports.len());
     for r in &reports {
-        println!("  {}", r.describe(&analysis.module));
+        println!("  {r}");
         println!(
             "  source in `{}`, sink in `{}`, path of {} steps, {} conjuncts solved",
             analysis.module.func(r.source_func).name,

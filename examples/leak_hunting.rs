@@ -57,7 +57,7 @@ const MANAGER: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut analysis = Analysis::from_source(MANAGER)?;
+    let analysis = Analysis::from_source(MANAGER)?;
     let leaks = analysis.check_leaks();
 
     println!("{} leak(s) found:\n", leaks.len());
@@ -65,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let f = analysis.module.func(l.func);
         match l.kind {
             LeakKind::NeverFreed => {
-                println!("  [never freed] allocation at {} in `{}`", l.alloc_site, f.name);
+                println!(
+                    "  [never freed] allocation at {} in `{}`",
+                    l.alloc_site, f.name
+                );
             }
             LeakKind::ConditionallyFreed => {
                 let witness: Vec<String> = l

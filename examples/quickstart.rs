@@ -4,7 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use pinpoint::{Analysis, CheckerKind};
+use pinpoint::{AnalysisBuilder, CheckerKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = r#"
@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     "#;
 
-    let mut analysis = Analysis::from_source(source)?;
+    // The builder configures the pipeline (worker count, solver budgets,
+    // checker selection); the artefact it produces is immutable and
+    // queried through `&self`.
+    let analysis = AnalysisBuilder::new().build_source(source)?;
     println!(
         "analysed {} functions / {} instructions ({} SEG edges, {} terms)\n",
         analysis.module.funcs.len(),
@@ -40,19 +43,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         analysis.stats.terms,
     );
 
+    // Per-query scratch state lives on a session, which also accumulates
+    // detection statistics across the checkers it runs.
+    let mut session = analysis.session();
     for kind in CheckerKind::ALL {
-        let reports = analysis.check(kind);
+        let reports = session.check(kind);
         println!("{kind}: {} report(s)", reports.len());
         for r in &reports {
-            println!("  {}", r.describe(&analysis.module));
+            println!("  {r}"); // reports are self-describing
         }
     }
 
+    let stats = session.stats();
     println!(
         "\nsearch: {} vertices visited, {} candidates, {} refuted by SMT",
-        analysis.stats.detect.visited,
-        analysis.stats.detect.candidates,
-        analysis.stats.detect.refuted,
+        stats.detect.visited, stats.detect.candidates, stats.detect.refuted,
     );
     Ok(())
 }

@@ -57,19 +57,20 @@ const SERVER: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut analysis = Analysis::from_source(SERVER)?;
+    let analysis = Analysis::from_source(SERVER)?;
+    let mut session = analysis.session();
 
-    let pt = analysis.check(CheckerKind::PathTraversal);
+    let pt = session.check(CheckerKind::PathTraversal);
     println!("path-traversal reports: {}", pt.len());
     for r in &pt {
-        println!("  {}", r.describe(&analysis.module));
+        println!("  {r}");
     }
     assert_eq!(pt.len(), 1, "recv → fopen across two functions");
 
-    let dt = analysis.check(CheckerKind::DataTransmission);
+    let dt = session.check(CheckerKind::DataTransmission);
     println!("\ndata-transmission reports: {}", dt.len());
     for r in &dt {
-        println!("  {}", r.describe(&analysis.module));
+        println!("  {r}");
     }
     assert_eq!(
         dt.len(),
@@ -80,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nSMT refuted {} infeasible candidate(s) — that is the path \
          sensitivity a layered checker gives up",
-        analysis.stats.detect.refuted
+        session.stats().detect.refuted
     );
     Ok(())
 }

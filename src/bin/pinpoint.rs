@@ -4,6 +4,7 @@
 //! pinpoint check program.pp                 # run every checker
 //! pinpoint check program.pp --checker uaf   # one checker
 //! pinpoint check program.pp --json          # machine-readable output
+//! pinpoint check program.pp --threads 8     # explicit worker count
 //! pinpoint leaks program.pp                 # memory-leak detection
 //! pinpoint dump-ir program.pp               # lowered SSA IR
 //! pinpoint dump-seg program.pp foo          # SEG of `foo` as Graphviz
@@ -13,7 +14,7 @@
 //! Exit codes: 0 = clean, 1 = reports found, 2 = usage or input error.
 
 use pinpoint::core::export::seg_to_dot;
-use pinpoint::{Analysis, CheckerKind, Report};
+use pinpoint::{Analysis, AnalysisBuilder, CheckerKind, PinpointError, Report};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -27,27 +28,59 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
             ExitCode::from(2)
         }
+        Err(CliError::Pipeline(err)) => {
+            // A typed pipeline failure is not a usage mistake: report the
+            // stage without echoing the usage banner.
+            eprintln!("error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Either a command-line mistake or a typed analysis failure.
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Pipeline(PinpointError),
+}
+
+impl From<PinpointError> for CliError {
+    fn from(e: PinpointError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_string())
     }
 }
 
 const USAGE: &str = "usage:
-  pinpoint check <file> [--checker uaf|taint-pt|taint-dt|null] [--json] [--no-solve] [--ctx-depth N]
-  pinpoint leaks <file> [--json]
+  pinpoint check <file> [--checker uaf|taint-pt|taint-dt|null] [--json] [--no-solve] [--ctx-depth N] [--threads N]
+  pinpoint leaks <file> [--json] [--threads N]
   pinpoint dump-ir <file>
-  pinpoint dump-seg <file> <function>
-  pinpoint stats <file>";
+  pinpoint dump-seg <file> <function> [--threads N]
+  pinpoint stats <file> [--threads N]
 
-fn run(args: &[String]) -> Result<bool, String> {
+  --threads N defaults to the available parallelism.";
+
+fn run(args: &[String]) -> Result<bool, CliError> {
     let cmd = args.first().ok_or("missing subcommand")?;
     let file = args.get(1).ok_or("missing input file")?;
-    let source =
-        std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
     match cmd.as_str() {
         "check" => check(&source, &args[2..]),
         "leaks" => leaks(&source, &args[2..]),
@@ -58,7 +91,8 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
         "dump-seg" => {
             let func = args.get(2).ok_or("missing function name")?;
-            let analysis = Analysis::from_source(&source).map_err(|e| e.to_string())?;
+            let threads = parse_threads(&args[3..])?;
+            let analysis = builder_with(threads).build_source(&source)?;
             let fid = analysis
                 .module
                 .func_by_name(func)
@@ -70,11 +104,14 @@ fn run(args: &[String]) -> Result<bool, String> {
             Ok(false)
         }
         "stats" => {
-            let mut analysis = Analysis::from_source(&source).map_err(|e| e.to_string())?;
-            let _ = analysis.check_all();
-            let s = analysis.stats;
+            let threads = parse_threads(&args[2..])?;
+            let analysis = builder_with(threads).build_source(&source)?;
+            let mut session = analysis.session();
+            let _ = session.check_all();
+            let s = session.stats();
             println!("functions:        {}", analysis.module.funcs.len());
             println!("instructions:     {}", analysis.module.inst_count());
+            println!("threads:          {}", analysis.threads());
             println!("SEG vertices:     {}", s.seg_vertices);
             println!("SEG edges:        {}", s.seg_edges);
             println!("terms:            {}", s.terms);
@@ -89,25 +126,53 @@ fn run(args: &[String]) -> Result<bool, String> {
             println!("reports:          {}", s.detect.reports);
             Ok(false)
         }
-        other => Err(format!("unknown subcommand `{other}`")),
+        other => Err(format!("unknown subcommand `{other}`").into()),
     }
 }
 
-fn parse_checker(name: &str) -> Result<CheckerKind, String> {
+fn builder_with(threads: Option<usize>) -> AnalysisBuilder {
+    let b = AnalysisBuilder::new();
+    match threads {
+        Some(n) => b.threads(n),
+        None => b,
+    }
+}
+
+/// Extracts a `--threads N` flag from trailing args (other flags are the
+/// subcommand's business).
+fn parse_threads(flags: &[String]) -> Result<Option<usize>, CliError> {
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--threads" {
+            let v = it.next().ok_or("--threads needs a value")?;
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("invalid --threads value `{v}`"))?;
+            if n == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            return Ok(Some(n));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_checker(name: &str) -> Result<CheckerKind, CliError> {
     match name {
         "uaf" | "use-after-free" => Ok(CheckerKind::UseAfterFree),
         "taint-pt" | "path-traversal" => Ok(CheckerKind::PathTraversal),
         "taint-dt" | "data-transmission" => Ok(CheckerKind::DataTransmission),
         "null" | "null-deref" => Ok(CheckerKind::NullDeref),
-        other => Err(format!("unknown checker `{other}`")),
+        other => Err(format!("unknown checker `{other}`").into()),
     }
 }
 
-fn check(source: &str, flags: &[String]) -> Result<bool, String> {
+fn check(source: &str, flags: &[String]) -> Result<bool, CliError> {
     let mut kinds: Vec<CheckerKind> = Vec::new();
     let mut json = false;
     let mut solve = true;
     let mut ctx_depth: Option<u32> = None;
+    let mut threads: Option<usize> = None;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -121,34 +186,37 @@ fn check(source: &str, flags: &[String]) -> Result<bool, String> {
                 let v = it.next().ok_or("--ctx-depth needs a value")?;
                 ctx_depth = Some(v.parse().map_err(|_| "invalid --ctx-depth")?);
             }
-            other => return Err(format!("unknown flag `{other}`")),
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid --threads value `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
+            other => return Err(format!("unknown flag `{other}`").into()),
         }
     }
     if kinds.is_empty() {
         kinds.extend(CheckerKind::ALL);
     }
-    let mut analysis = Analysis::from_source(source).map_err(|e| e.to_string())?;
-    analysis.config.solve = solve;
+    let mut builder = builder_with(threads).solve(solve).checkers(kinds);
     if let Some(d) = ctx_depth {
-        analysis.config.max_ctx_depth = d;
+        builder = builder.max_ctx_depth(d);
     }
-    let mut all: Vec<Report> = Vec::new();
-    for kind in kinds {
-        all.extend(analysis.check(kind));
-    }
+    let analysis = builder.build_source(source)?;
+    let all: Vec<Report> = analysis.check_configured();
     if json {
         println!("{}", reports_to_json(&analysis, &all));
     } else if all.is_empty() {
         println!("no defects found");
     } else {
         for r in &all {
-            println!("{}", r.describe(&analysis.module));
+            println!("{r}");
             if !r.witness.is_empty() {
-                let w: Vec<String> = r
-                    .witness
-                    .iter()
-                    .map(|(n, v)| format!("{n}={v}"))
-                    .collect();
+                let w: Vec<String> = r.witness.iter().map(|(n, v)| format!("{n}={v}")).collect();
                 println!("  witness: {}", w.join(" "));
             }
         }
@@ -157,9 +225,10 @@ fn check(source: &str, flags: &[String]) -> Result<bool, String> {
     Ok(!all.is_empty())
 }
 
-fn leaks(source: &str, flags: &[String]) -> Result<bool, String> {
+fn leaks(source: &str, flags: &[String]) -> Result<bool, CliError> {
     let json = flags.iter().any(|f| f == "--json");
-    let mut analysis = Analysis::from_source(source).map_err(|e| e.to_string())?;
+    let threads = parse_threads(flags)?;
+    let analysis = builder_with(threads).build_source(source)?;
     let reports = analysis.check_leaks();
     if json {
         let mut out = String::from("[");
@@ -221,8 +290,8 @@ fn reports_to_json(analysis: &Analysis, reports: &[Report]) -> String {
             out,
             "{{\"property\":\"{}\",\"source_function\":\"{}\",\"sink_function\":\"{}\",\"sink_role\":\"{:?}\",\"path\":[{}],\"witness\":[{}]}}",
             json_escape(&r.property),
-            json_escape(&analysis.module.func(r.source_func).name),
-            json_escape(&analysis.module.func(r.sink_func).name),
+            json_escape(&r.source_func_name),
+            json_escape(&r.sink_func_name),
             r.sink_role,
             path.join(","),
             witness.join(",")

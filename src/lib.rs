@@ -25,8 +25,15 @@
 //!
 //! # Quick start
 //!
+//! The pipeline is configured by [`AnalysisBuilder`] (worker count,
+//! solver budgets, checker selection) and produces an immutable
+//! [`Analysis`] artefact; queries go through `&self`, so concurrent
+//! checkers are safe. All three stages — points-to, SEG construction,
+//! detection — run on `threads` workers with deterministic merges:
+//! reports are byte-identical for any thread count.
+//!
 //! ```
-//! use pinpoint::{Analysis, CheckerKind};
+//! use pinpoint::{AnalysisBuilder, CheckerKind};
 //!
 //! let source = "
 //!     fn main() {
@@ -36,11 +43,22 @@
 //!         print(x);
 //!         return;
 //!     }";
-//! let mut analysis = Analysis::from_source(source)?;
+//! let analysis = AnalysisBuilder::new().threads(4).build_source(source)?;
 //! let reports = analysis.check(CheckerKind::UseAfterFree);
 //! assert_eq!(reports.len(), 1);
-//! println!("{}", reports[0].describe(&analysis.module));
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! println!("{}", reports[0]); // reports are self-describing
+//! # Ok::<(), pinpoint::PinpointError>(())
+//! ```
+//!
+//! Per-query configuration and statistics live on a [`DetectSession`]:
+//!
+//! ```
+//! # let source = "fn main() { let p: int* = malloc(); free(p); let x: int = *p; print(x); return; }";
+//! # let analysis = pinpoint::Analysis::from_source(source)?;
+//! let mut session = analysis.session();
+//! let reports = session.check(pinpoint::CheckerKind::UseAfterFree);
+//! assert_eq!(session.stats().detect.reports, reports.len() as u64);
+//! # Ok::<(), pinpoint::PinpointError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -52,5 +70,8 @@ pub use pinpoint_pta as pta;
 pub use pinpoint_smt as smt;
 pub use pinpoint_workload as workload;
 
-pub use pinpoint_core::{Analysis, CheckerKind, DetectConfig, Report};
+pub use pinpoint_core::{
+    default_threads, Analysis, AnalysisBuilder, CheckerKind, DetectConfig, DetectSession,
+    PinpointError, Report,
+};
 pub use pinpoint_ir::compile;

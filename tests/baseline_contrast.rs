@@ -20,7 +20,7 @@ fn project(seed: u64) -> pinpoint::workload::Generated {
 #[test]
 fn layered_overreports_pinpoint() {
     let p = project(31);
-    let mut analysis = Analysis::from_source(&p.source).unwrap();
+    let analysis = Analysis::from_source(&p.source).unwrap();
     let pinpoint_reports = analysis.check(CheckerKind::UseAfterFree).len();
     let module = pinpoint::compile(&p.source).unwrap();
     let g = Fsvfg::build(&module);
@@ -69,7 +69,7 @@ fn dense_misses_cross_function_bugs() {
         }";
     let module = pinpoint::compile(src).unwrap();
     assert!(dense_check(&module).is_empty(), "per-unit checker is blind");
-    let mut analysis = Analysis::from_source(src).unwrap();
+    let analysis = Analysis::from_source(src).unwrap();
     assert_eq!(
         analysis.check(CheckerKind::UseAfterFree).len(),
         1,
@@ -87,7 +87,7 @@ fn pinpoint_false_positive_rate_low_on_ground_truth() {
     let mut decoys_flagged = 0usize;
     for seed in [41, 42, 43] {
         let p = project(seed);
-        let mut analysis = Analysis::from_source(&p.source).unwrap();
+        let analysis = Analysis::from_source(&p.source).unwrap();
         let reports = analysis.check(CheckerKind::UseAfterFree);
         for b in &p.bugs {
             let hit = reports.iter().any(|r| {

@@ -147,7 +147,9 @@ fn no_solve_flag_admits_infeasible() {
         }";
     let (with_solve, _, code_solve) = run(&["check", "--checker", "uaf"], infeasible);
     assert_eq!(code_solve, 0, "SMT refutes: {with_solve}");
-    let (without, _, code_nosolve) =
-        run(&["check", "--checker", "uaf", "--no-solve"], infeasible);
-    assert_eq!(code_nosolve, 1, "without SMT the candidate leaks: {without}");
+    let (without, _, code_nosolve) = run(&["check", "--checker", "uaf", "--no-solve"], infeasible);
+    assert_eq!(
+        code_nosolve, 1,
+        "without SMT the candidate leaks: {without}"
+    );
 }

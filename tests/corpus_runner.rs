@@ -22,18 +22,13 @@ fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
 }
 
-fn parse_expectations(
-    source: &str,
-    file: &str,
-) -> (HashMap<CheckerKind, usize>, usize) {
+fn parse_expectations(source: &str, file: &str) -> (HashMap<CheckerKind, usize>, usize) {
     let header = source
         .lines()
         .find(|l| l.trim_start().starts_with("// expect:"))
         .unwrap_or_else(|| panic!("{file}: missing `// expect:` header"));
-    let mut out: HashMap<CheckerKind, usize> = CheckerKind::ALL
-        .into_iter()
-        .map(|k| (k, 0usize))
-        .collect();
+    let mut out: HashMap<CheckerKind, usize> =
+        CheckerKind::ALL.into_iter().map(|k| (k, 0usize)).collect();
     let mut leaks = 0usize;
     let spec = header.trim_start().trim_start_matches("// expect:");
     for part in spec.split_whitespace() {
@@ -62,7 +57,7 @@ fn parse_expectations(
 fn check_counts(
     label: &str,
     file: &str,
-    mut analysis: Analysis,
+    analysis: Analysis,
     expected: &HashMap<CheckerKind, usize>,
     expected_leaks: usize,
     failures: &mut Vec<String>,
@@ -70,7 +65,9 @@ fn check_counts(
     for (&kind, &want) in expected {
         let got = analysis.check(kind).len();
         if got != want {
-            failures.push(format!("{file} [{label}] {kind}: expected {want}, got {got}"));
+            failures.push(format!(
+                "{file} [{label}] {kind}: expected {want}, got {got}"
+            ));
         }
     }
     let got_leaks = analysis.check_leaks().len();

@@ -43,7 +43,7 @@ fn chain_program(n: usize) -> String {
 #[test]
 fn bug_across_six_functions_found_at_default_depth() {
     let src = chain_program(5); // 5 hops + main = 6 functions
-    let mut a = Analysis::from_source(&src).unwrap();
+    let a = Analysis::from_source(&src).unwrap();
     let reports = a.check(CheckerKind::UseAfterFree);
     assert_eq!(reports.len(), 1, "{reports:?}");
     // The path crosses from hop0 (the free) back out to main (the deref).
@@ -58,9 +58,10 @@ fn mysql_class_chain_found_with_deep_contexts() {
     // 36 functions like the paper's Bug #87203; needs a context budget
     // beyond the default 6.
     let src = chain_program(35);
-    let mut a = Analysis::from_source(&src).unwrap();
-    a.config.max_ctx_depth = 40;
-    let reports = a.check(CheckerKind::UseAfterFree);
+    let a = Analysis::from_source(&src).unwrap();
+    let mut session = a.session();
+    session.config.max_ctx_depth = 40;
+    let reports = session.check(CheckerKind::UseAfterFree);
     assert_eq!(reports.len(), 1, "{reports:?}");
     assert!(
         reports[0].path.len() > 35,
@@ -74,7 +75,7 @@ fn default_depth_misses_overdeep_chain() {
     // The soundiness trade-off is observable: at the default depth the
     // 35-hop chain is out of budget.
     let src = chain_program(35);
-    let mut a = Analysis::from_source(&src).unwrap();
+    let a = Analysis::from_source(&src).unwrap();
     let reports = a.check(CheckerKind::UseAfterFree);
     assert!(
         reports.is_empty(),
@@ -90,7 +91,10 @@ fn wide_fanout_remains_fast() {
     for i in 0..120 {
         let _ = writeln!(src, "fn noise{i}(p: int*) {{ print({i}); return; }}");
     }
-    let _ = writeln!(src, "fn hit(p: int*) {{ let x: int = *p; print(x); return; }}");
+    let _ = writeln!(
+        src,
+        "fn hit(p: int*) {{ let x: int = *p; print(x); return; }}"
+    );
     let mut main = String::from(
         "fn main() {
             let p: int* = malloc();
@@ -102,18 +106,20 @@ fn wide_fanout_remains_fast() {
     }
     main.push_str("    hit(p);\n    return;\n}\n");
     src.push_str(&main);
-    let mut a = Analysis::from_source(&src).unwrap();
-    let reports = a.check(CheckerKind::UseAfterFree);
+    let a = Analysis::from_source(&src).unwrap();
+    let mut session = a.session();
+    let reports = session.check(CheckerKind::UseAfterFree);
     assert_eq!(reports.len(), 1);
+    let det = session.stats().detect;
     assert!(
-        a.stats.detect.skipped_descents >= 120,
+        det.skipped_descents >= 120,
         "summaries skipped the noise: {}",
-        a.stats.detect.skipped_descents
+        det.skipped_descents
     );
     assert!(
-        a.stats.detect.visited < 30,
+        det.visited < 30,
         "search stayed on the bug path: {} visited",
-        a.stats.detect.visited
+        det.visited
     );
 }
 
@@ -132,7 +138,7 @@ fn incremental_update_preserves_verdicts() {
     let before: Vec<String> = analysis
         .check(CheckerKind::UseAfterFree)
         .iter()
-        .map(|r| r.describe(&analysis.module))
+        .map(|r| r.to_string())
         .collect();
     // Edit one filler function (no semantic change to any bug): insert
     // a harmless statement at the start of filler0's body.
@@ -157,7 +163,7 @@ fn incremental_update_preserves_verdicts() {
     let after: Vec<String> = analysis
         .check(CheckerKind::UseAfterFree)
         .iter()
-        .map(|r| r.describe(&analysis.module))
+        .map(|r| r.to_string())
         .collect();
     let mut b = before.clone();
     let mut a = after.clone();

@@ -24,7 +24,7 @@ fn all_real_memory_bugs_found_no_decoys_flagged() {
         taint: false,
         ..GenConfig::default().with_target_kloc(1.0)
     });
-    let mut analysis = Analysis::from_source(&project.source).expect("compiles");
+    let analysis = Analysis::from_source(&project.source).expect("compiles");
     let reports = analysis.check(CheckerKind::UseAfterFree);
     for bug in &project.bugs {
         let n = hits(&analysis, &reports, &bug.marker);
@@ -46,7 +46,7 @@ fn taint_bugs_found_decoys_refuted() {
         functions: 10,
         ..GenConfig::default()
     });
-    let mut analysis = Analysis::from_source(&project.source).expect("compiles");
+    let analysis = Analysis::from_source(&project.source).expect("compiles");
     let pt = analysis.check(CheckerKind::PathTraversal);
     let dt = analysis.check(CheckerKind::DataTransmission);
     for bug in &project.bugs {
@@ -72,11 +72,11 @@ fn analysis_is_deterministic() {
         ..GenConfig::default()
     });
     let run = || {
-        let mut a = Analysis::from_source(&project.source).unwrap();
+        let a = Analysis::from_source(&project.source).unwrap();
         let mut reports: Vec<String> = a
             .check(CheckerKind::UseAfterFree)
             .iter()
-            .map(|r| r.describe(&a.module))
+            .map(|r| r.to_string())
             .collect();
         reports.sort();
         reports
@@ -95,8 +95,8 @@ fn multiple_seeds_analyse_cleanly() {
             taint: true,
             ..GenConfig::default()
         });
-        let mut analysis = Analysis::from_source(&project.source)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let analysis =
+            Analysis::from_source(&project.source).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let reports = analysis.check_all();
         // Every real bug's marker appears; no panic, no runaway.
         let real = project.bugs.iter().filter(|b| b.real).count();
@@ -117,9 +117,10 @@ fn stats_are_consistent() {
         decoys: 1,
         ..GenConfig::default()
     });
-    let mut analysis = Analysis::from_source(&project.source).unwrap();
-    let reports = analysis.check(CheckerKind::UseAfterFree);
-    let s = analysis.stats;
+    let analysis = Analysis::from_source(&project.source).unwrap();
+    let mut session = analysis.session();
+    let reports = session.check(CheckerKind::UseAfterFree);
+    let s = session.stats();
     assert_eq!(s.detect.reports as usize, reports.len());
     assert_eq!(
         s.detect.candidates,

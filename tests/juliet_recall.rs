@@ -9,13 +9,21 @@ use pinpoint::{Analysis, CheckerKind};
 #[test]
 fn every_flaw_variant_detected() {
     let suite = generate_juliet(1); // one case per variant: 51 cases
-    let mut analysis = Analysis::from_source(&suite.source).expect("suite compiles");
+    let analysis = Analysis::from_source(&suite.source).expect("suite compiles");
     let reports = analysis.check(CheckerKind::UseAfterFree);
     let mut missed = Vec::new();
     for case in &suite.cases {
         let found = reports.iter().any(|r| {
-            analysis.module.func(r.source_func).name.contains(&case.marker)
-                || analysis.module.func(r.sink_func).name.contains(&case.marker)
+            analysis
+                .module
+                .func(r.source_func)
+                .name
+                .contains(&case.marker)
+                || analysis
+                    .module
+                    .func(r.sink_func)
+                    .name
+                    .contains(&case.marker)
         });
         if !found {
             missed.push((case.variant, case.marker.clone()));
@@ -30,7 +38,7 @@ fn every_flaw_variant_detected() {
 #[test]
 fn suite_reports_match_case_count_order() {
     let suite = generate_juliet(2);
-    let mut analysis = Analysis::from_source(&suite.source).expect("compiles");
+    let analysis = Analysis::from_source(&suite.source).expect("compiles");
     let reports = analysis.check(CheckerKind::UseAfterFree);
     // Every case is a real defect; reports must be at least one per case
     // (a case may yield more than one source/sink pairing).

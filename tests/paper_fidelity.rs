@@ -116,13 +116,13 @@ fn example_3_6_efficient_path_condition_of_return() {
 fn example_3_7_dd_closure_grounds_theta3() {
     // The original BAR: y = *q is a load through q, not through the
     // freed c; y itself is only printed. No use-after-free.
-    let mut analysis = Analysis::from_source(BAR).unwrap();
+    let analysis = Analysis::from_source(BAR).unwrap();
     let reports = analysis.check(CheckerKind::UseAfterFree);
     assert!(reports.is_empty(), "y is never dereferenced: {reports:?}");
 
     // With `print(*y)` the freed value is dereferenced under θ₃.
     let deref_src = BAR.replace("print(y);", "print(*y);");
-    let mut analysis = Analysis::from_source(&deref_src).unwrap();
+    let analysis = Analysis::from_source(&deref_src).unwrap();
     let reports = analysis.check(CheckerKind::UseAfterFree);
     assert_eq!(reports.len(), 1, "{reports:?}");
     assert!(
@@ -203,14 +203,19 @@ fn section_2_exactly_one_candidate() {
             if (nondet_bool()) { *r = null; } else { *r = null; }
             return;
         }";
-    let mut analysis = Analysis::from_source(src).unwrap();
-    let reports = analysis.check(CheckerKind::UseAfterFree);
+    let analysis = Analysis::from_source(src).unwrap();
+    let mut session = analysis.session();
+    let reports = session.check(CheckerKind::UseAfterFree);
     assert_eq!(reports.len(), 1);
-    assert_eq!(analysis.stats.detect.candidates, 1, "demand-driven: only the bug-related path is examined");
-    assert_eq!(analysis.stats.detect.refuted, 0);
+    let det = session.stats().detect;
+    assert_eq!(
+        det.candidates, 1,
+        "demand-driven: only the bug-related path is examined"
+    );
+    assert_eq!(det.refuted, 0);
     // The flow through qux (points-to targets d, e in the paper) is
     // pruned automatically: the report's path goes through bar.
-    let desc = reports[0].describe(&analysis.module);
+    let desc = reports[0].to_string();
     assert!(desc.contains("bar:"), "{desc}");
     assert!(!desc.contains("qux:"), "{desc}");
 }
@@ -235,7 +240,7 @@ fn section_3_1_1_pruning_happens_before_smt() {
 /// so the two receivers are constrained independently.
 #[test]
 fn cloning_keeps_call_sites_independent() {
-    let mut analysis = Analysis::from_source(
+    let analysis = Analysis::from_source(
         "fn pick(c: bool, a: int, b: int) -> int {
             let r: int = a;
             if (!c) { r = b; }

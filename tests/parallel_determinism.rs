@@ -1,0 +1,92 @@
+//! Thread-count invariance: the parallel pipeline's merges are
+//! deterministic, so the analysis must produce *byte-identical* reports
+//! — contents and order — for any worker count. Checked on a generated
+//! workload and on every program in the regression corpus.
+
+use pinpoint::workload::{generate, GenConfig};
+use pinpoint::{AnalysisBuilder, CheckerKind};
+use std::path::PathBuf;
+
+/// Renders every checker's reports (in checker order) to one string per
+/// report, preserving detection order — the exact user-visible output.
+fn all_reports(source: &str, threads: usize) -> Vec<String> {
+    let analysis = AnalysisBuilder::new()
+        .threads(threads)
+        .build_source(source)
+        .expect("source compiles");
+    let mut session = analysis.session();
+    let mut out = Vec::new();
+    for kind in CheckerKind::ALL {
+        out.extend(session.check(kind).iter().map(ToString::to_string));
+    }
+    out
+}
+
+#[test]
+fn generated_workload_reports_identical_across_thread_counts() {
+    let project = generate(&GenConfig {
+        seed: 17,
+        real_bugs: 3,
+        decoys: 3,
+        taint: true,
+        ..GenConfig::default().with_target_kloc(2.0)
+    });
+    let sequential = all_reports(&project.source, 1);
+    assert!(
+        !sequential.is_empty(),
+        "workload must produce reports for the comparison to mean anything"
+    );
+    let parallel = all_reports(&project.source, 4);
+    assert_eq!(
+        sequential, parallel,
+        "threads=4 must match threads=1 byte for byte, including order"
+    );
+}
+
+#[test]
+fn corpus_reports_identical_across_thread_counts() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pp"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    for path in &entries {
+        let file = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(path).expect("readable");
+        let sequential = all_reports(&source, 1);
+        let parallel = all_reports(&source, 4);
+        assert_eq!(
+            sequential, parallel,
+            "{file}: threads=4 diverges from threads=1"
+        );
+    }
+}
+
+#[test]
+fn stage_statistics_identical_across_thread_counts() {
+    // Not just the reports: the structural outputs of the parallel build
+    // (SEG sizes, term counts) must also be invariant.
+    let project = generate(&GenConfig {
+        seed: 29,
+        real_bugs: 2,
+        decoys: 2,
+        taint: false,
+        ..GenConfig::default().with_target_kloc(1.0)
+    });
+    let build = |threads: usize| {
+        AnalysisBuilder::new()
+            .threads(threads)
+            .build_source(&project.source)
+            .expect("compiles")
+    };
+    let a1 = build(1);
+    let a4 = build(4);
+    assert_eq!(a1.stats.seg_vertices, a4.stats.seg_vertices);
+    assert_eq!(a1.stats.seg_edges, a4.stats.seg_edges);
+    assert_eq!(a1.stats.terms, a4.stats.terms);
+    assert_eq!(a1.structural_bytes(), a4.structural_bytes());
+}

@@ -1,9 +1,28 @@
-//! Property-based tests on cross-crate invariants.
+//! Property-based tests on cross-crate invariants, driven by a
+//! deterministic SplitMix64 generator (the workspace vendors no external
+//! property-testing framework).
 
-use pinpoint::smt::{LinearSolver, LinearVerdict, Sort, SmtResult, SmtSolver, TermArena, TermId};
+use pinpoint::smt::{LinearSolver, LinearVerdict, SmtResult, SmtSolver, Sort, TermArena, TermId};
 use pinpoint::workload::{generate, GenConfig};
 use pinpoint::{Analysis, CheckerKind};
-use proptest::prelude::*;
+
+/// Minimal SplitMix64 so the fuzz loops below are deterministic without
+/// an external PRNG dependency.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 /// A small generator of random boolean conditions over a fixed pool of
 /// atoms, shaped like the analysis' path conditions.
@@ -15,17 +34,23 @@ enum CondTree {
     Or(Vec<CondTree>),
 }
 
-fn cond_strategy() -> impl Strategy<Value = CondTree> {
-    let leaf = prop_oneof![
-        (0u8..6).prop_map(CondTree::Atom),
-        (0u8..6).prop_map(CondTree::NotAtom),
-    ];
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 2..4).prop_map(CondTree::And),
-            prop::collection::vec(inner, 2..4).prop_map(CondTree::Or),
-        ]
-    })
+fn gen_tree(rng: &mut Mix, depth: usize) -> CondTree {
+    if depth == 0 || rng.below(3) == 0 {
+        let atom = rng.below(6) as u8;
+        if rng.below(2) == 0 {
+            CondTree::Atom(atom)
+        } else {
+            CondTree::NotAtom(atom)
+        }
+    } else {
+        let n = 2 + rng.below(2);
+        let children: Vec<CondTree> = (0..n).map(|_| gen_tree(rng, depth - 1)).collect();
+        if rng.below(2) == 0 {
+            CondTree::And(children)
+        } else {
+            CondTree::Or(children)
+        }
+    }
 }
 
 fn build(arena: &mut TermArena, t: &CondTree) -> TermId {
@@ -56,51 +81,59 @@ fn build(arena: &mut TermArena, t: &CondTree) -> TermId {
     }
 }
 
-proptest! {
-    /// The linear-time solver is sound: whenever it says Unsat, the full
-    /// SMT solver agrees. (This is the §3.1.1 contract: the cheap solver
-    /// may under-detect unsatisfiability but never over-detects.)
-    #[test]
-    fn linear_solver_unsat_implies_smt_unsat(tree in cond_strategy()) {
+/// The linear-time solver is sound: whenever it says Unsat, the full
+/// SMT solver agrees. (This is the §3.1.1 contract: the cheap solver
+/// may under-detect unsatisfiability but never over-detects.)
+#[test]
+fn linear_solver_unsat_implies_smt_unsat() {
+    let mut rng = Mix(0x51AC);
+    for _ in 0..256 {
+        let tree = gen_tree(&mut rng, 4);
         let mut arena = TermArena::new();
         let cond = build(&mut arena, &tree);
         let mut linear = LinearSolver::new();
         if linear.check(&arena, cond) == LinearVerdict::Unsat {
             let mut smt = SmtSolver::new();
-            prop_assert_eq!(smt.check(&arena, cond), SmtResult::Unsat);
+            assert_eq!(smt.check(&arena, cond), SmtResult::Unsat, "{tree:?}");
         }
     }
+}
 
-    /// Hash-consing invariant: building the same tree twice yields the
-    /// same term id.
-    #[test]
-    fn term_construction_is_canonical(tree in cond_strategy()) {
+/// Hash-consing invariant: building the same tree twice yields the
+/// same term id.
+#[test]
+fn term_construction_is_canonical() {
+    let mut rng = Mix(0xCAFE);
+    for _ in 0..256 {
+        let tree = gen_tree(&mut rng, 4);
         let mut arena = TermArena::new();
         let a = build(&mut arena, &tree);
         let b = build(&mut arena, &tree);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "{tree:?}");
     }
+}
 
-    /// De Morgan consistency through the simplifying constructors: the
-    /// SMT solver finds ¬(a ∧ b) ⟺ (¬a ∨ ¬b) valid for generated trees.
-    #[test]
-    fn negation_equisatisfiable(tree in cond_strategy()) {
+/// De Morgan consistency through the simplifying constructors: the
+/// SMT solver finds cond ∧ ¬cond unsatisfiable for generated trees.
+#[test]
+fn negation_equisatisfiable() {
+    let mut rng = Mix(0xDEAD);
+    for _ in 0..256 {
+        let tree = gen_tree(&mut rng, 4);
         let mut arena = TermArena::new();
         let cond = build(&mut arena, &tree);
         let neg = arena.not(cond);
         let both = arena.and2(cond, neg);
         let mut smt = SmtSolver::new();
-        prop_assert_eq!(smt.check(&arena, both), SmtResult::Unsat);
+        assert_eq!(smt.check(&arena, both), SmtResult::Unsat, "{tree:?}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Any generated project compiles and the full pipeline runs without
-    /// panicking; detection candidate accounting stays consistent.
-    #[test]
-    fn pipeline_total_on_generated_projects(seed in 0u64..500) {
+/// Any generated project compiles and the full pipeline runs without
+/// panicking; detection candidate accounting stays consistent.
+#[test]
+fn pipeline_total_on_generated_projects() {
+    for seed in 0u64..8 {
         let project = generate(&GenConfig {
             seed,
             functions: 12,
@@ -109,10 +142,11 @@ proptest! {
             decoys: 1,
             taint: true,
         });
-        let mut analysis = Analysis::from_source(&project.source)
-            .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}")))?;
-        let _ = analysis.check(CheckerKind::UseAfterFree);
-        let s = analysis.stats;
-        prop_assert_eq!(s.detect.candidates, s.detect.reports + s.detect.refuted);
+        let analysis =
+            Analysis::from_source(&project.source).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut session = analysis.session();
+        let _ = session.check(CheckerKind::UseAfterFree);
+        let s = session.stats();
+        assert_eq!(s.detect.candidates, s.detect.reports + s.detect.refuted);
     }
 }

@@ -5,7 +5,6 @@
 
 use pinpoint::ir::verify_module;
 use pinpoint::workload::{generate, generate_juliet, GenConfig};
-use proptest::prelude::*;
 
 #[test]
 fn transformation_preserves_wellformedness_on_figure1() {
@@ -42,11 +41,9 @@ fn juliet_suite_stays_wellformed() {
     assert!(errs.is_empty(), "{errs:?}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn generated_projects_stay_wellformed(seed in 0u64..1000) {
+#[test]
+fn generated_projects_stay_wellformed() {
+    for seed in (0u64..1000).step_by(83) {
         let project = generate(&GenConfig {
             seed,
             functions: 15,
@@ -55,12 +52,12 @@ proptest! {
             decoys: 1,
             taint: true,
         });
-        let mut module = pinpoint::compile(&project.source)
-            .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}")))?;
+        let mut module =
+            pinpoint::compile(&project.source).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let pre = verify_module(&module);
-        prop_assert!(pre.is_empty(), "pre-transform: {pre:?}");
+        assert!(pre.is_empty(), "pre-transform: {pre:?}");
         let _ = pinpoint::pta::analyze_module(&mut module);
         let post = verify_module(&module);
-        prop_assert!(post.is_empty(), "post-transform: {post:?}");
+        assert!(post.is_empty(), "post-transform: {post:?}");
     }
 }
