@@ -5,10 +5,11 @@
 //! the harness resets the peak between stages to attribute memory to each.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static TOUCHED: AtomicBool = AtomicBool::new(false);
 
 /// Counting allocator; install with `#[global_allocator]`.
 #[derive(Debug, Default, Clone, Copy)]
@@ -29,6 +30,14 @@ impl CountingAlloc {
     pub fn reset_peak() {
         PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
     }
+
+    /// Whether this allocator has ever serviced an allocation — i.e.
+    /// whether it is actually installed as the global allocator. When
+    /// false, `live`/`peak` are meaningless zeros and measurements must
+    /// not report them as real numbers.
+    pub fn installed() -> bool {
+        TOUCHED.load(Ordering::Relaxed)
+    }
 }
 
 // SAFETY: delegates all allocation to `System`, only adding counters.
@@ -36,6 +45,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
+            TOUCHED.store(true, Ordering::Relaxed);
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(live, Ordering::Relaxed);
         }

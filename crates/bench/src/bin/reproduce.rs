@@ -117,6 +117,15 @@ fn fmt_dur(d: Duration) -> String {
     }
 }
 
+/// Formats a measured peak as MiB, or `n/a` when the counting allocator
+/// was not installed and no real peak exists.
+fn fmt_mib(m: &Measurement) -> String {
+    match m.peak_mib() {
+        Some(mib) => format!("{mib:.1}"),
+        None => "n/a".into(),
+    }
+}
+
 /// Builds Pinpoint's SEG stage only (points-to + transformation + SEG).
 fn build_seg(source: &str) -> (Analysis, Measurement) {
     let module = pinpoint_ir::compile(source).expect("subject compiles");
@@ -166,7 +175,7 @@ fn fig7_fig8(opts: &Options, time_axis: bool) {
         let (ft, fm, note) = match &fsvfg {
             Some((_, g)) => (
                 fmt_dur(fs_m.time),
-                format!("{:.1}", fs_m.peak_mib()),
+                fmt_mib(&fs_m),
                 format!("{} edges", g.edge_count),
             ),
             None => {
@@ -175,17 +184,17 @@ fn fig7_fig8(opts: &Options, time_axis: bool) {
                 }
                 (
                     "TIMEOUT".into(),
-                    format!("{:.1}+", fs_m.peak_mib()),
+                    format!("{}+", fmt_mib(&fs_m)),
                     String::new(),
                 )
             }
         };
         println!(
-            "{:<14} {:>9.1} {:>12} {:>14.1} {:>12} {:>14}  {}",
+            "{:<14} {:>9.1} {:>12} {:>14} {:>12} {:>14}  {}",
             s.name,
             kloc,
             fmt_dur(seg_m.time),
-            seg_m.peak_mib(),
+            fmt_mib(&seg_m),
             ft,
             fm,
             note
@@ -222,17 +231,14 @@ fn fig9(opts: &Options) {
                 .map(|g| pinpoint_baseline::layered_check_uaf(&module, &g).len())
         });
         let (base_mem, note) = match layered {
-            Some(w) => (format!("{:.1}", base_m.peak_mib()), format!("{w} warnings")),
-            None => (
-                format!("{:.1}+ (TIMEOUT)", base_m.peak_mib()),
-                String::new(),
-            ),
+            Some(w) => (fmt_mib(&base_m), format!("{w} warnings")),
+            None => (format!("{}+ (TIMEOUT)", fmt_mib(&base_m)), String::new()),
         };
         println!(
-            "{:<14} {:>9.1} {:>16.1} {:>18}  pinpoint: {} reports {}",
+            "{:<14} {:>9.1} {:>16} {:>18}  pinpoint: {} reports {}",
             s.name,
             kloc,
-            pp_m.peak_mib(),
+            fmt_mib(&pp_m),
             base_mem,
             reports,
             note
@@ -255,30 +261,35 @@ fn fig10(opts: &Options) {
             let a = Analysis::from_source(&project.source).expect("compiles");
             a.check(CheckerKind::UseAfterFree).len()
         });
-        println!(
-            "{:>9.1} {:>12} {:>12.1}",
-            kloc,
-            fmt_dur(m.time),
-            m.peak_mib()
-        );
+        println!("{:>9.1} {:>12} {:>12}", kloc, fmt_dur(m.time), fmt_mib(&m));
         time_pts.push((kloc, m.time.as_secs_f64()));
-        mem_pts.push((kloc, m.peak_mib()));
+        if let Some(mib) = m.peak_mib() {
+            mem_pts.push((kloc, mib));
+        }
     }
     let tf = fit::linear_fit(&time_pts);
     let tq = fit::quadratic_fit(&time_pts);
-    let mf = fit::linear_fit(&mem_pts);
     println!(
         "time:   linear fit y = {:.4}x + {:.3}, R^2 = {:.3} (quadratic R^2 = {:.3})",
         tf.a, tf.b, tf.r2, tq.r2
     );
-    println!(
-        "memory: linear fit y = {:.4}x + {:.3}, R^2 = {:.3}",
-        mf.a, mf.b, mf.r2
-    );
-    println!(
-        "shape check: paper reports near-linear growth with R^2 > 0.9; measured linear R^2 = {:.3} (time), {:.3} (memory).",
-        tf.r2, mf.r2
-    );
+    if mem_pts.is_empty() {
+        println!("memory: no data (counting allocator not installed)");
+        println!(
+            "shape check: paper reports near-linear growth with R^2 > 0.9; measured linear R^2 = {:.3} (time).",
+            tf.r2
+        );
+    } else {
+        let mf = fit::linear_fit(&mem_pts);
+        println!(
+            "memory: linear fit y = {:.4}x + {:.3}, R^2 = {:.3}",
+            mf.a, mf.b, mf.r2
+        );
+        println!(
+            "shape check: paper reports near-linear growth with R^2 > 0.9; measured linear R^2 = {:.3} (time), {:.3} (memory).",
+            tf.r2, mf.r2
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -414,9 +425,9 @@ fn table2(opts: &Options) {
             (reports.len(), fp)
         });
         println!(
-            "{:<26} {:>12.1} {:>10} {:>9}/{}",
+            "{:<26} {:>12} {:>10} {:>9}/{}",
             label,
-            m.peak_mib(),
+            fmt_mib(&m),
             fmt_dur(m.time),
             fp,
             reports
@@ -509,12 +520,12 @@ fn juliet() {
     });
     let (total, missed) = result;
     println!(
-        "detected {}/{} cases ({} missed) in {} using {:.1} MiB",
+        "detected {}/{} cases ({} missed) in {} using {} MiB",
         total - missed.len(),
         total,
         missed.len(),
         fmt_dur(m.time),
-        m.peak_mib()
+        fmt_mib(&m)
     );
     println!("shape check: paper detects 1421/1421 (100% recall). missed variants: {missed:?}");
 }

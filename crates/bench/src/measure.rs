@@ -9,29 +9,45 @@ pub struct Measurement {
     /// Wall-clock time.
     pub time: Duration,
     /// Peak heap bytes observed during the stage (over the baseline live
-    /// size at stage entry).
-    pub peak_bytes: usize,
+    /// size at stage entry), or `None` when [`CountingAlloc`] is not the
+    /// process's global allocator and no real accounting happened.
+    pub peak_bytes: Option<usize>,
 }
 
 impl Measurement {
-    /// Formats the peak as mebibytes.
-    pub fn peak_mib(&self) -> f64 {
-        self.peak_bytes as f64 / (1024.0 * 1024.0)
+    /// Formats the peak as mebibytes; `None` when the peak is unknown.
+    pub fn peak_mib(&self) -> Option<f64> {
+        self.peak_bytes.map(|b| b as f64 / (1024.0 * 1024.0))
+    }
+
+    /// Publishes this measurement into the unified metrics schema as
+    /// `{stage}.time_ns` and, when real accounting happened,
+    /// `{stage}.peak_bytes`.
+    pub fn record_into(&self, metrics: &mut pinpoint_obs::MetricsRegistry, stage: &str) {
+        metrics.counter_add(&format!("{stage}.time_ns"), self.time.as_nanos() as u64);
+        if let Some(peak) = self.peak_bytes {
+            metrics.counter_add(&format!("{stage}.peak_bytes"), peak as u64);
+        }
     }
 }
 
 /// Runs `stage`, returning its result plus its time/memory cost.
 ///
 /// Peak accounting only reflects reality when [`CountingAlloc`] is
-/// installed as the global allocator (the `reproduce` binary does); under
-/// other allocators `peak_bytes` is zero.
+/// installed as the global allocator (the `reproduce` binary installs
+/// it); under any other allocator the counters never move, and
+/// `peak_bytes` is reported as `None` rather than a misleading zero.
 pub fn measure<T>(stage: impl FnOnce() -> T) -> (T, Measurement) {
     let live_before = CountingAlloc::live();
     CountingAlloc::reset_peak();
     let t0 = Instant::now();
     let out = stage();
     let time = t0.elapsed();
-    let peak = CountingAlloc::peak().saturating_sub(live_before);
+    let peak = if CountingAlloc::installed() {
+        Some(CountingAlloc::peak().saturating_sub(live_before))
+    } else {
+        None
+    };
     (
         out,
         Measurement {
@@ -62,8 +78,36 @@ mod tests {
     fn mib_conversion() {
         let m = Measurement {
             time: Duration::ZERO,
-            peak_bytes: 3 * 1024 * 1024,
+            peak_bytes: Some(3 * 1024 * 1024),
         };
-        assert!((m.peak_mib() - 3.0).abs() < 1e-9);
+        assert!((m.peak_mib().unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    // Unit tests run under the default system allocator, so the counting
+    // allocator never sees an allocation and the peak must be reported as
+    // unknown rather than zero.
+    #[test]
+    fn peak_is_none_without_counting_alloc() {
+        let (_, m) = measure(|| vec![0u8; 4096].len());
+        assert_eq!(m.peak_bytes, None);
+        assert_eq!(m.peak_mib(), None);
+    }
+
+    #[test]
+    fn record_into_skips_unknown_peak() {
+        let mut metrics = pinpoint_obs::MetricsRegistry::new();
+        let m = Measurement {
+            time: Duration::from_nanos(42),
+            peak_bytes: None,
+        };
+        m.record_into(&mut metrics, "bench");
+        assert_eq!(metrics.counter("bench.time_ns"), 42);
+        assert!(!metrics.counters().any(|(k, _)| k == "bench.peak_bytes"));
+        let m2 = Measurement {
+            time: Duration::from_nanos(1),
+            peak_bytes: Some(4096),
+        };
+        m2.record_into(&mut metrics, "bench");
+        assert_eq!(metrics.counter("bench.peak_bytes"), 4096);
     }
 }

@@ -18,8 +18,9 @@ use crate::cond::{CondBuilder, CondConfig, CtxId, CtxInterner, ROOT};
 use crate::seg::{EdgeKind, ModuleSeg, SegEdge};
 use crate::spec::{self, CheckerKind, SinkRole, SinkSite, SourceSite, Spec};
 use pinpoint_ir::{Cfg, DomTree, FuncId, InstId, Module, ValueId};
+use pinpoint_obs::{QueryCost, QueryOutcome, QueryRecord, TraceBuf};
 use pinpoint_pta::Symbols;
-use pinpoint_smt::{SmtResult, SmtSolver, TermArena};
+use pinpoint_smt::{LastQueryCost, SmtResult, SmtSolver, TermArena};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
@@ -105,18 +106,6 @@ pub struct Report {
     /// (`[property] func:value → …`), resolved at creation so the report
     /// is self-describing without the [`Module`].
     pub description: String,
-}
-
-impl Report {
-    /// Renders the path as `[property] func:value → …`.
-    ///
-    /// Names are resolved into the report when it is created, so the
-    /// `module` argument is no longer needed — use the [`fmt::Display`]
-    /// impl (`report.to_string()`) instead.
-    #[deprecated(note = "names are resolved at creation; use Display / `to_string()`")]
-    pub fn describe(&self, _module: &Module) -> String {
-        self.description.clone()
-    }
 }
 
 impl fmt::Display for Report {
@@ -235,6 +224,9 @@ struct CandidateEvent {
     /// Whether the linear-time solver alone would have refuted it
     /// (only computed under [`DetectConfig::measure_linear`]).
     linear_refuted: bool,
+    /// The DPLL(T) cost of evaluating this candidate's path condition
+    /// (all zero when solving was disabled or trivially short-circuited).
+    cost: LastQueryCost,
 }
 
 /// Everything one source's search produced.
@@ -291,6 +283,13 @@ struct Worker<'cx, 'a> {
 /// then replays all events in canonical source order against a global
 /// seen-set, counting candidates and emitting reports exactly as a
 /// single-threaded pass over the same per-source results would.
+///
+/// Besides reports and statistics, every evaluated candidate — including
+/// those a later dedup suppresses, since each was really solved — comes
+/// back as a [`QueryRecord`] with its solver cost, ids assigned in the
+/// replay order. When `trace` is recording, each source search gets a
+/// `detect.source` span (with nested `smt.query` spans per candidate) in
+/// a worker-private buffer merged at the join.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_spec(
     module: &Module,
@@ -301,7 +300,8 @@ pub(crate) fn run_spec(
     kind: Option<CheckerKind>,
     config: DetectConfig,
     threads: usize,
-) -> (Vec<Report>, DetectStats) {
+    trace: &mut TraceBuf,
+) -> (Vec<Report>, DetectStats, Vec<QueryRecord>) {
     let summaries = config
         .use_summaries
         .then(|| crate::summary::ParamSummaries::build(module, segs, spec));
@@ -333,34 +333,49 @@ pub(crate) fn run_spec(
 
     let threads = threads.max(1);
     let outcomes: Vec<SourceOutcome> = if threads == 1 || sources.len() <= 1 {
+        let mut lane = trace.fork(1);
         let mut w = Worker::new(&cx, symbols.clone(), arena.clone());
-        sources
+        let out = sources
             .iter()
-            .map(|&(fid, s)| w.run_source(fid, s))
-            .collect()
+            .map(|&(fid, s)| w.run_source(fid, s, &mut lane))
+            .collect();
+        trace.merge(lane);
+        out
     } else {
         let chunk = sources.len().div_ceil(threads);
         let cx_ref = &cx;
-        std::thread::scope(|sc| {
+        let trace_ref = &*trace;
+        let (out, lanes) = std::thread::scope(|sc| {
             let handles: Vec<_> = sources
                 .chunks(chunk)
-                .map(|shard| {
+                .enumerate()
+                .map(|(shard_idx, shard)| {
                     let symbols = symbols.clone();
                     let arena = arena.clone();
                     sc.spawn(move || {
+                        let mut lane = trace_ref.fork(shard_idx as u32 + 1);
                         let mut w = Worker::new(cx_ref, symbols, arena);
-                        shard
+                        let outcomes = shard
                             .iter()
-                            .map(|&(fid, s)| w.run_source(fid, s))
-                            .collect::<Vec<_>>()
+                            .map(|&(fid, s)| w.run_source(fid, s, &mut lane))
+                            .collect::<Vec<_>>();
+                        (outcomes, lane)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("detection worker panicked"))
-                .collect()
-        })
+            let mut out = Vec::new();
+            let mut lanes = Vec::new();
+            for h in handles {
+                let (outcomes, lane) = h.join().expect("detection worker panicked");
+                out.extend(outcomes);
+                lanes.push(lane);
+            }
+            (out, lanes)
+        });
+        for lane in lanes {
+            trace.merge(lane);
+        }
+        out
     };
 
     // Deterministic replay in canonical source order.
@@ -369,11 +384,35 @@ pub(crate) fn run_spec(
         ..DetectStats::default()
     };
     let mut reports = Vec::new();
+    let mut queries: Vec<QueryRecord> = Vec::new();
     let mut seen: HashSet<CandidateKey> = HashSet::new();
     for outcome in outcomes {
         stats.visited += outcome.visited;
         stats.skipped_descents += outcome.skipped_descents;
         for ev in outcome.events {
+            // Every evaluated candidate is attributed — its outcome is a
+            // pure function of the artefact, so the list (ids included)
+            // is replay-order deterministic.
+            queries.push(QueryRecord {
+                id: u32::try_from(queries.len()).expect("query count fits u32"),
+                checker: spec.name.clone(),
+                source_func: module.func(ev.key.0).name.clone(),
+                sink_func: module.func(ev.key.2).name.clone(),
+                outcome: match (&ev.report, ev.linear_refuted) {
+                    (Some(_), _) => QueryOutcome::Reported,
+                    (None, true) => QueryOutcome::LinearRefuted,
+                    (None, false) => QueryOutcome::SmtRefuted,
+                },
+                cost: QueryCost {
+                    solver_ns: ev.cost.solver_ns,
+                    conflicts: ev.cost.conflicts,
+                    learned: ev.cost.learned,
+                    propagations: ev.cost.propagations,
+                    decisions: ev.cost.decisions,
+                    theory_checks: ev.cost.theory_checks,
+                    theory_conflicts: ev.cost.theory_conflicts,
+                },
+            });
             if !seen.insert(ev.key) {
                 continue; // claimed by an earlier source
             }
@@ -395,7 +434,7 @@ pub(crate) fn run_spec(
             }
         }
     }
-    (reports, stats)
+    (reports, stats, queries)
 }
 
 impl<'cx, 'a> Worker<'cx, 'a> {
@@ -433,7 +472,21 @@ impl<'cx, 'a> Worker<'cx, 'a> {
     /// arena and symbol cache are restored afterwards, so every source is
     /// evaluated from the pristine artefact state.
     #[allow(clippy::too_many_lines)]
-    fn run_source(&mut self, source_func: FuncId, source: SourceSite) -> SourceOutcome {
+    fn run_source(
+        &mut self,
+        source_func: FuncId,
+        source: SourceSite,
+        lane: &mut TraceBuf,
+    ) -> SourceOutcome {
+        let source_span = lane.open(
+            "detect.source",
+            format!(
+                "{}@b{}.i{}",
+                self.cx.module.func(source_func).name,
+                source.site.block.0,
+                source.site.index
+            ),
+        );
         let mark = self.arena.mark();
         let ckpt = self.symbols.checkpoint();
         self.linear = pinpoint_smt::LinearSolver::new();
@@ -493,13 +546,24 @@ impl<'cx, 'a> Worker<'cx, 'a> {
                     local_seen.insert(m);
                     m
                 });
-                let (report, linear_refuted) =
+                let query_span = lane.open(
+                    "smt.query",
+                    format!(
+                        "{}@b{}.i{}",
+                        self.cx.module.func(node.func).name,
+                        sink.site.block.0,
+                        sink.site.index
+                    ),
+                );
+                let (report, linear_refuted, cost) =
                     self.evaluate(source_func, source, &node, sink, &mut ctxs);
+                lane.close(query_span);
                 out.events.push(CandidateEvent {
                     key,
                     mirror,
                     report,
                     linear_refuted,
+                    cost,
                 });
             }
             // 2. Local SEG edges.
@@ -723,6 +787,7 @@ impl<'cx, 'a> Worker<'cx, 'a> {
         // Restore the pristine artefact state for the next source.
         self.arena.truncate_to(mark);
         self.symbols.rollback(ckpt);
+        lane.close(source_span);
         out
     }
 
@@ -732,8 +797,9 @@ impl<'cx, 'a> Worker<'cx, 'a> {
     }
 
     /// Builds the path condition of a candidate and solves it; returns
-    /// the report when satisfiable (or when solving is disabled) plus
-    /// whether the linear-time solver alone would have refuted it.
+    /// the report when satisfiable (or when solving is disabled), whether
+    /// the linear-time solver alone would have refuted it, and the
+    /// solver's cost snapshot for attribution.
     fn evaluate(
         &mut self,
         source_func: FuncId,
@@ -741,7 +807,7 @@ impl<'cx, 'a> Worker<'cx, 'a> {
         node: &Node,
         sink: SinkSite,
         ctxs: &mut CtxInterner,
-    ) -> (Option<Report>, bool) {
+    ) -> (Option<Report>, bool, LastQueryCost) {
         let depth = self.cx.config.cond.max_depth;
         let mut cb = CondBuilder::new(
             self.cx.module,
@@ -892,8 +958,10 @@ impl<'cx, 'a> Worker<'cx, 'a> {
         let condition_size = cb.len();
         let cond = cb.condition();
         let mut witness = Vec::new();
+        let mut cost = LastQueryCost::default();
         if self.cx.config.solve {
             let (result, model) = self.smt.check_with_model(&self.arena, cond);
+            cost = self.smt.last_cost;
             witness = model
                 .into_iter()
                 .filter_map(|(name, value)| Some((self.friendly_var_name(&name)?, value)))
@@ -903,7 +971,7 @@ impl<'cx, 'a> Worker<'cx, 'a> {
                     let linear_refuted = self.cx.config.measure_linear
                         && self.linear.check(&self.arena, cond)
                             == pinpoint_smt::LinearVerdict::Unsat;
-                    return (None, linear_refuted);
+                    return (None, linear_refuted, cost);
                 }
                 SmtResult::Sat => {}
             }
@@ -935,6 +1003,7 @@ impl<'cx, 'a> Worker<'cx, 'a> {
                 description,
             }),
             false,
+            cost,
         )
     }
 
@@ -1288,7 +1357,7 @@ mod tests {
 
     #[test]
     fn report_description_is_readable() {
-        let (a, reports) = check(
+        let (_a, reports) = check(
             "fn main() {
                 let p: int* = malloc();
                 free(p);
@@ -1301,10 +1370,6 @@ mod tests {
         let desc = reports[0].to_string();
         assert!(desc.contains("use-after-free"));
         assert!(desc.contains("main:"), "{desc}");
-        // The deprecated wrapper stays equivalent.
-        #[allow(deprecated)]
-        let legacy = reports[0].describe(&a.module);
-        assert_eq!(legacy, desc);
     }
 
     #[test]

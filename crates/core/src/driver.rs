@@ -24,6 +24,7 @@ use crate::error::PinpointError;
 use crate::seg::ModuleSeg;
 use crate::spec::CheckerKind;
 use pinpoint_ir::Module;
+use pinpoint_obs::{queries_json, MetricsRegistry, ProfileTable, QueryRecord, TraceBuf};
 use pinpoint_pta::{analyze_module_par, ModuleAnalysis, PtaConfig, PtaStats};
 use pinpoint_smt::TermArena;
 use std::time::{Duration, Instant};
@@ -57,6 +58,10 @@ fn compile_typed(src: &str) -> Result<Module, PinpointError> {
 /// through [`DetectSession::stats`].
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PipelineStats {
+    /// Wall time of parsing + lowering (only populated by
+    /// [`AnalysisBuilder::build_source`]; zero when the module was built
+    /// elsewhere).
+    pub front_time: Duration,
     /// Wall time of points-to + transformation.
     pub pta_time: Duration,
     /// Wall time of SEG construction.
@@ -102,6 +107,7 @@ pub struct AnalysisBuilder {
     pta: PtaConfig,
     checkers: Vec<CheckerKind>,
     verify: bool,
+    trace: bool,
 }
 
 impl Default for AnalysisBuilder {
@@ -120,7 +126,17 @@ impl AnalysisBuilder {
             pta: PtaConfig::default(),
             checkers: CheckerKind::ALL.to_vec(),
             verify: false,
+            trace: false,
         }
+    }
+
+    /// Enables hierarchical span tracing across every pipeline stage
+    /// (exported through [`DetectSession::trace_json`]). Off by default:
+    /// a disabled recorder is a no-op enum variant, so the analysis pays
+    /// nothing for the instrumentation points.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
     }
 
     /// Number of workers for every pipeline stage (clamped to ≥ 1).
@@ -206,8 +222,15 @@ impl AnalysisBuilder {
     /// end, [`PinpointError::Verify`] under [`AnalysisBuilder::verify_ir`],
     /// and [`PinpointError::SolverBudget`] for unusable budgets.
     pub fn build_source(self, src: &str) -> Result<Analysis, PinpointError> {
+        let mut trace = self.make_trace();
+        let front_span = trace.open("frontend", "");
+        let t = Instant::now();
         let module = compile_typed(src)?;
-        self.build_module(module)
+        let front_time = t.elapsed();
+        trace.close(front_span);
+        let mut analysis = self.build_module_traced(module, trace)?;
+        analysis.stats.front_time = front_time;
+        Ok(analysis)
     }
 
     /// Runs the points-to and SEG stages over an existing module.
@@ -216,7 +239,24 @@ impl AnalysisBuilder {
     ///
     /// [`PinpointError::Verify`] under [`AnalysisBuilder::verify_ir`] and
     /// [`PinpointError::SolverBudget`] for unusable budgets.
-    pub fn build_module(self, mut module: Module) -> Result<Analysis, PinpointError> {
+    pub fn build_module(self, module: Module) -> Result<Analysis, PinpointError> {
+        let trace = self.make_trace();
+        self.build_module_traced(module, trace)
+    }
+
+    fn make_trace(&self) -> TraceBuf {
+        if self.trace {
+            TraceBuf::on()
+        } else {
+            TraceBuf::off()
+        }
+    }
+
+    fn build_module_traced(
+        self,
+        mut module: Module,
+        mut trace: TraceBuf,
+    ) -> Result<Analysis, PinpointError> {
         self.validate()?;
         if self.verify {
             let errors = pinpoint_ir::verify_module(&module);
@@ -226,13 +266,24 @@ impl AnalysisBuilder {
         }
         let mut stats = PipelineStats::default();
         let t0 = Instant::now();
-        let mut pta = analyze_module_par(&mut module, &self.pta, self.threads);
+        let pta_span = trace.open("pta", "");
+        let mut pta = analyze_module_par(&mut module, &self.pta, self.threads, &mut trace);
+        trace.close(pta_span);
         stats.pta_time = t0.elapsed();
         stats.pta = pta.total_stats();
         let t1 = Instant::now();
         let mut arena = std::mem::take(&mut pta.arena);
         let mut symbols = std::mem::take(&mut pta.symbols);
-        let segs = ModuleSeg::build_par(&module, &mut arena, &mut symbols, &pta.pta, self.threads);
+        let seg_span = trace.open("seg", "");
+        let segs = ModuleSeg::build_par(
+            &module,
+            &mut arena,
+            &mut symbols,
+            &pta.pta,
+            self.threads,
+            &mut trace,
+        );
+        trace.close(seg_span);
         pta.symbols = symbols;
         stats.seg_time = t1.elapsed();
         stats.seg_vertices = segs.vertex_count;
@@ -247,6 +298,7 @@ impl AnalysisBuilder {
             threads: self.threads,
             checkers: self.checkers,
             stats,
+            trace,
         })
     }
 }
@@ -296,6 +348,10 @@ pub struct Analysis {
     /// Build-stage statistics (detection counters stay zero here; see
     /// [`DetectSession::stats`]).
     pub stats: PipelineStats,
+    /// Build-stage spans (frontend, pta, seg), recorded when the builder
+    /// enabled [`AnalysisBuilder::trace`]; sessions extend a clone with
+    /// their detection spans.
+    trace: TraceBuf,
 }
 
 impl Analysis {
@@ -335,6 +391,12 @@ impl Analysis {
         &self.checkers
     }
 
+    /// The build-stage span trace ([`TraceBuf::Off`] unless the builder
+    /// enabled [`AnalysisBuilder::trace`]).
+    pub fn trace(&self) -> &TraceBuf {
+        &self.trace
+    }
+
     /// Opens a detection session owning its scratch state. Sessions
     /// borrow the artefact immutably, so several can run concurrently
     /// (from separate threads) without synchronisation.
@@ -345,6 +407,8 @@ impl Analysis {
             threads: self.threads,
             detect_time: Duration::ZERO,
             detect: DetectStats::default(),
+            trace: self.trace.clone(),
+            queries: Vec::new(),
         }
     }
 
@@ -473,6 +537,12 @@ pub struct DetectSession<'a> {
     threads: usize,
     detect_time: Duration,
     detect: DetectStats,
+    /// Build-stage spans (cloned from the artefact) extended with this
+    /// session's detection spans.
+    trace: TraceBuf,
+    /// Per-query solver attribution accumulated across this session's
+    /// checker runs, ids in deterministic replay order.
+    queries: Vec<QueryRecord>,
 }
 
 impl<'a> DetectSession<'a> {
@@ -526,6 +596,7 @@ impl<'a> DetectSession<'a> {
     /// the symbol cache and arena.
     pub fn check_leaks(&mut self) -> Vec<crate::leak::LeakReport> {
         let t0 = Instant::now();
+        let span = self.trace.open("detect", "memory-leak");
         let mut symbols = self.analysis.pta.symbols.clone();
         let mut arena = self.analysis.arena.clone();
         let reports = crate::leak::check_leaks(
@@ -534,13 +605,16 @@ impl<'a> DetectSession<'a> {
             &mut symbols,
             &mut arena,
         );
+        self.trace.close(span);
         self.detect_time += t0.elapsed();
         reports
     }
 
     fn run(&mut self, spec: &crate::spec::Spec, kind: Option<CheckerKind>) -> Vec<Report> {
         let t0 = Instant::now();
-        let (reports, stats) = run_spec(
+        let span = self.trace.open("detect", spec.name.clone());
+        let base_id = u32::try_from(self.queries.len()).expect("query count fits u32");
+        let (reports, stats, mut queries) = run_spec(
             &self.analysis.module,
             &self.analysis.segs,
             &self.analysis.pta.symbols,
@@ -549,7 +623,13 @@ impl<'a> DetectSession<'a> {
             kind,
             self.config,
             self.threads,
+            &mut self.trace,
         );
+        self.trace.close(span);
+        for q in &mut queries {
+            q.id += base_id;
+        }
+        self.queries.extend(queries);
         self.detect_time += t0.elapsed();
         self.detect.sources += stats.sources;
         self.detect.visited += stats.visited;
@@ -568,6 +648,108 @@ impl<'a> DetectSession<'a> {
         s.detect = self.detect;
         s.detect_time = self.detect_time;
         s
+    }
+
+    /// Per-query solver attribution accumulated so far (ids in the
+    /// deterministic replay order they were evaluated in).
+    pub fn queries(&self) -> &[QueryRecord] {
+        &self.queries
+    }
+
+    /// The session's span trace: build stages plus this session's
+    /// detection spans.
+    pub fn trace(&self) -> &TraceBuf {
+        &self.trace
+    }
+
+    /// Chrome trace-event JSON of the session's spans (Perfetto-loadable).
+    pub fn trace_json(&self) -> String {
+        self.trace.chrome_json()
+    }
+
+    /// Normalized trace (timings/lanes dropped, rows sorted) —
+    /// byte-identical across thread counts.
+    pub fn trace_canonical_json(&self) -> String {
+        self.trace.canonical_json()
+    }
+
+    /// The unified metrics registry covering all five stage families
+    /// (frontend, pta, seg, detect, smt), absorbing the per-crate stats
+    /// structs into the dotted-name schema.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        let s = self.stats();
+        m.counter_add("frontend.time_ns", s.front_time.as_nanos() as u64);
+        m.counter_add("frontend.funcs", self.analysis.module.funcs.len() as u64);
+        m.counter_add(
+            "frontend.insts",
+            self.analysis
+                .module
+                .funcs
+                .iter()
+                .map(|f| f.iter_insts().count() as u64)
+                .sum(),
+        );
+        m.counter_add("pta.time_ns", s.pta_time.as_nanos() as u64);
+        s.pta.record_into(&mut m);
+        m.counter_add("seg.time_ns", s.seg_time.as_nanos() as u64);
+        m.counter_add("seg.vertices", s.seg_vertices as u64);
+        m.counter_add("seg.edges", s.seg_edges as u64);
+        m.counter_add("seg.terms", s.terms as u64);
+        m.counter_add("detect.time_ns", s.detect_time.as_nanos() as u64);
+        m.counter_add("detect.sources", s.detect.sources);
+        m.counter_add("detect.visited", s.detect.visited);
+        m.counter_add("detect.candidates", s.detect.candidates);
+        m.counter_add("detect.refuted", s.detect.refuted);
+        m.counter_add("detect.linear_refuted", s.detect.linear_refuted);
+        m.counter_add("detect.skipped_descents", s.detect.skipped_descents);
+        m.counter_add("detect.reports", s.detect.reports);
+        // The SMT family is derived from per-query attribution, so the
+        // aggregate and the query rows can never disagree.
+        m.counter_add("smt.queries", self.queries.len() as u64);
+        for q in &self.queries {
+            m.counter_add("smt.solve_ns", q.cost.solver_ns);
+            m.counter_add("smt.conflicts", q.cost.conflicts);
+            m.counter_add("smt.learned", q.cost.learned);
+            m.counter_add("smt.propagations", q.cost.propagations);
+            m.counter_add("smt.decisions", q.cost.decisions);
+            m.counter_add("smt.theory_checks", q.cost.theory_checks);
+            m.counter_add("smt.theory_conflicts", q.cost.theory_conflicts);
+            m.hist_record("smt.query_ns", q.cost.solver_ns);
+            m.hist_record("smt.conflicts_per_query", q.cost.conflicts);
+        }
+        // Keep the family's keys present even with zero queries so the
+        // exported schema is shape-stable.
+        for key in [
+            "smt.solve_ns",
+            "smt.conflicts",
+            "smt.learned",
+            "smt.propagations",
+            "smt.decisions",
+            "smt.theory_checks",
+            "smt.theory_conflicts",
+        ] {
+            m.counter_add(key, 0);
+        }
+        m
+    }
+
+    /// The unified stats document (`pinpoint-stats-v1`): run metadata,
+    /// per-stage counters, histograms, and the per-query attribution
+    /// rows. `canonical` zeroes wall-clock values and omits run metadata,
+    /// making the bytes thread-count invariant.
+    pub fn stats_json(&self, canonical: bool) -> String {
+        self.metrics().stats_json(
+            &[("threads", self.threads as u64)],
+            Some(&queries_json(&self.queries, canonical)),
+            canonical,
+        )
+    }
+
+    /// Renders the top-`k` rows of the per-`(checker, function)` "where
+    /// did the time go" table.
+    pub fn profile(&self, k: usize) -> String {
+        ProfileTable::build(&self.queries).render(k)
     }
 }
 

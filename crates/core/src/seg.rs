@@ -310,12 +310,16 @@ impl ModuleSeg {
     /// shared arena (they come from the merged points-to result and are
     /// never dereferenced during construction), so they pass through
     /// untouched.
+    ///
+    /// When `trace` is recording, each function gets a `seg.func` span in
+    /// a worker-private buffer, merged back in shard order at the join.
     pub fn build_par(
         module: &Module,
         arena: &mut TermArena,
         symbols: &mut Symbols,
         pta: &[FuncPta],
         threads: usize,
+        trace: &mut pinpoint_obs::TraceBuf,
     ) -> Self {
         struct SegResult {
             fid: FuncId,
@@ -338,28 +342,54 @@ impl ModuleSeg {
         let threads = threads.max(1);
         let work: Vec<(FuncId, &Function)> = module.iter_funcs().collect();
         let results: Vec<SegResult> = if threads == 1 || work.len() <= 1 {
-            work.iter()
-                .map(|&(fid, f)| build_one(fid, f, &pta[fid.0 as usize]))
-                .collect()
+            let mut lane = trace.fork(1);
+            let out = work
+                .iter()
+                .map(|&(fid, f)| {
+                    let span = lane.open("seg.func", f.name.clone());
+                    let r = build_one(fid, f, &pta[fid.0 as usize]);
+                    lane.close(span);
+                    r
+                })
+                .collect();
+            trace.merge(lane);
+            out
         } else {
             let chunk = work.len().div_ceil(threads);
-            std::thread::scope(|s| {
+            let trace_ref = &*trace;
+            let (out, lanes) = std::thread::scope(|s| {
                 let handles: Vec<_> = work
                     .chunks(chunk)
-                    .map(|shard| {
+                    .enumerate()
+                    .map(|(shard_idx, shard)| {
                         s.spawn(move || {
-                            shard
+                            let mut lane = trace_ref.fork(shard_idx as u32 + 1);
+                            let results = shard
                                 .iter()
-                                .map(|&(fid, f)| build_one(fid, f, &pta[fid.0 as usize]))
-                                .collect::<Vec<_>>()
+                                .map(|&(fid, f)| {
+                                    let span = lane.open("seg.func", f.name.clone());
+                                    let r = build_one(fid, f, &pta[fid.0 as usize]);
+                                    lane.close(span);
+                                    r
+                                })
+                                .collect::<Vec<_>>();
+                            (results, lane)
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("SEG worker panicked"))
-                    .collect()
-            })
+                let mut out = Vec::new();
+                let mut lanes = Vec::new();
+                for h in handles {
+                    let (results, lane) = h.join().expect("SEG worker panicked");
+                    out.extend(results);
+                    lanes.push(lane);
+                }
+                (out, lanes)
+            });
+            for lane in lanes {
+                trace.merge(lane);
+            }
+            out
         };
 
         let mut segs: Vec<Seg> = Vec::with_capacity(work.len());
@@ -614,14 +644,16 @@ mod tests {
             .iter()
             .map(|&t| {
                 let mut m = compile(src).unwrap();
+                let mut trace = pinpoint_obs::TraceBuf::off();
                 let mut a = pinpoint_pta::analyze_module_par(
                     &mut m,
                     &pinpoint_pta::PtaConfig::default(),
                     t,
+                    &mut trace,
                 );
                 let mut arena = std::mem::take(&mut a.arena);
                 let mut symbols = std::mem::take(&mut a.symbols);
-                let ms = ModuleSeg::build_par(&m, &mut arena, &mut symbols, &a.pta, t);
+                let ms = ModuleSeg::build_par(&m, &mut arena, &mut symbols, &a.pta, t, &mut trace);
                 (arena.len(), symbols.len(), ms, m)
             })
             .collect();

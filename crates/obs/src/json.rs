@@ -1,0 +1,161 @@
+//! A minimal JSON writer.
+//!
+//! The workspace vendors no serialization framework, so the observability
+//! exporters build their documents through this module: string escaping
+//! plus small object/array builders that keep the punctuation bookkeeping
+//! in one place. Emission order is whatever the caller feeds in — the
+//! exporters feed `BTreeMap`s, so documents are deterministic.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental JSON object writer (`{"k":v,...}`).
+#[derive(Debug)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field (finite values only; non-finite becomes 0).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push('0');
+        }
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Closes the object and returns the document.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Incremental JSON array writer (`[v,...]`).
+#[derive(Debug)]
+pub struct Arr {
+    buf: String,
+    first: bool,
+}
+
+impl Arr {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        Arr {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    /// Appends an already-rendered JSON value.
+    pub fn raw(&mut self, v: &str) -> &mut Self {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Appends an unsigned integer.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.raw(&v.to_string())
+    }
+
+    /// Closes the array and returns the document.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for Arr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_and_array_compose() {
+        let mut inner = Arr::new();
+        inner.u64(1).u64(2);
+        let mut o = Obj::new();
+        o.str("name", "x").u64("n", 3).raw("xs", &inner.finish());
+        assert_eq!(o.finish(), r#"{"name":"x","n":3,"xs":[1,2]}"#);
+    }
+}

@@ -1,0 +1,32 @@
+//! Observability layer for the Pinpoint reproduction.
+//!
+//! Dependency-free instrumentation threaded through the analysis
+//! pipeline:
+//!
+//! * [`span::TraceBuf`] — hierarchical spans in per-thread lock-free
+//!   buffers, merged deterministically at pipeline joins, exported as
+//!   Chrome trace-event JSON (Perfetto-loadable);
+//! * [`metrics::MetricsRegistry`] — monotonic counters and log2
+//!   [`metrics::Histogram`]s under one dotted-name schema with a single
+//!   JSON serializer, superseding the per-crate ad-hoc `*Stats` structs;
+//! * [`attr`] — per-query solver attribution: each source→sink query the
+//!   detector evaluates carries an id and its DPLL(T) cost, aggregated
+//!   into a top-K "where did the time go" [`attr::ProfileTable`].
+//!
+//! Everything is behind enums/plain structs (no trait objects per
+//! event): a disabled [`span::TraceBuf::Off`] recorder is a branch and a
+//! return. Both the trace and the stats documents have *canonical*
+//! export forms with timings zeroed and lanes/run-metadata dropped,
+//! which are byte-identical across thread counts — the property the
+//! parallel-determinism suite asserts.
+
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use attr::{queries_json, ProfileTable, QueryCost, QueryOutcome, QueryRecord};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use span::{SpanId, SpanRecord, TraceBuf};

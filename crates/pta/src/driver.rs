@@ -18,6 +18,7 @@ use crate::intra::{analyze_function_with, AuxParamBinding, FuncPta, PtaStats};
 use crate::symbols::Symbols;
 use crate::transform::{insert_connectors, rewrite_call_sites, AuxShape};
 use pinpoint_ir::{CallGraph, FuncId, Function, Module, ValueId};
+use pinpoint_obs::TraceBuf;
 use pinpoint_smt::{LinearSolver, TermArena, TermTranslator};
 use std::collections::HashMap;
 
@@ -243,10 +244,16 @@ fn analyze_one(
 /// `threads == 1` exercises the same shard-and-merge machinery on a
 /// single worker, which is what makes that guarantee hold by
 /// construction rather than by accident.
+///
+/// When `trace` is recording, every function analysis gets a `pta.func`
+/// span captured in a worker-private buffer ([`TraceBuf::fork`]) and
+/// merged back at the level join in shard order — the same deterministic
+/// order the results themselves are merged in.
 pub fn analyze_module_par(
     module: &mut Module,
     config: &PtaConfig,
     threads: usize,
+    trace: &mut TraceBuf,
 ) -> ModuleAnalysis {
     let threads = threads.max(1);
     let callgraph = CallGraph::new(module);
@@ -294,34 +301,58 @@ pub fn analyze_module_par(
             .collect();
 
         let results: Vec<FuncResult> = if threads == 1 || work.len() <= 1 {
-            work.iter_mut()
-                .map(|(fid, f)| analyze_one(*fid, f, &shapes, &callgraph, &names, config.prune))
-                .collect()
+            let mut lane = trace.fork(1);
+            let out = work
+                .iter_mut()
+                .map(|(fid, f)| {
+                    let span = lane.open("pta.func", f.name.clone());
+                    let r = analyze_one(*fid, f, &shapes, &callgraph, &names, config.prune);
+                    lane.close(span);
+                    r
+                })
+                .collect();
+            trace.merge(lane);
+            out
         } else {
             let chunk = work.len().div_ceil(threads);
             let shapes_ref = &shapes;
             let cg = &callgraph;
             let names_ref = &names;
             let prune = config.prune;
-            std::thread::scope(|s| {
+            let trace_ref = &*trace;
+            let (out, lanes) = std::thread::scope(|s| {
                 let handles: Vec<_> = work
                     .chunks_mut(chunk)
-                    .map(|shard| {
+                    .enumerate()
+                    .map(|(shard_idx, shard)| {
                         s.spawn(move || {
-                            shard
+                            let mut lane = trace_ref.fork(shard_idx as u32 + 1);
+                            let results = shard
                                 .iter_mut()
                                 .map(|(fid, f)| {
-                                    analyze_one(*fid, f, shapes_ref, cg, names_ref, prune)
+                                    let span = lane.open("pta.func", f.name.clone());
+                                    let r = analyze_one(*fid, f, shapes_ref, cg, names_ref, prune);
+                                    lane.close(span);
+                                    r
                                 })
-                                .collect::<Vec<_>>()
+                                .collect::<Vec<_>>();
+                            (results, lane)
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("points-to worker panicked"))
-                    .collect()
-            })
+                let mut out = Vec::new();
+                let mut lanes = Vec::new();
+                for h in handles {
+                    let (results, lane) = h.join().expect("points-to worker panicked");
+                    out.extend(results);
+                    lanes.push(lane);
+                }
+                (out, lanes)
+            });
+            for lane in lanes {
+                trace.merge(lane);
+            }
+            out
         };
 
         for (fid, f) in work {
@@ -559,7 +590,7 @@ mod tests {
         let mut m_seq = compile(WAVEFRONT_SRC).unwrap();
         let mut m_par = compile(WAVEFRONT_SRC).unwrap();
         let seq = analyze_module(&mut m_seq);
-        let par = analyze_module_par(&mut m_par, &PtaConfig::default(), 4);
+        let par = analyze_module_par(&mut m_par, &PtaConfig::default(), 4, &mut TraceBuf::off());
         for fid in 0..m_seq.funcs.len() {
             let fid = pinpoint_ir::FuncId(fid as u32);
             assert_eq!(
@@ -588,7 +619,7 @@ mod tests {
             .iter()
             .map(|&t| {
                 let mut m = compile(WAVEFRONT_SRC).unwrap();
-                let a = analyze_module_par(&mut m, &PtaConfig::default(), t);
+                let a = analyze_module_par(&mut m, &PtaConfig::default(), t, &mut TraceBuf::off());
                 (m, a)
             })
             .collect();
@@ -615,6 +646,21 @@ mod tests {
             }
             assert_eq!(a0.symbols.len(), a.symbols.len());
         }
+    }
+
+    #[test]
+    fn trace_spans_are_thread_count_invariant() {
+        let run = |t: usize| {
+            let mut m = compile(WAVEFRONT_SRC).unwrap();
+            let mut trace = TraceBuf::on();
+            let _ = analyze_module_par(&mut m, &PtaConfig::default(), t, &mut trace);
+            (trace.records().len(), trace.canonical_json())
+        };
+        let (n1, c1) = run(1);
+        let (n4, c4) = run(4);
+        assert_eq!(n1, 6, "one pta.func span per function");
+        assert_eq!(n1, n4);
+        assert_eq!(c1, c4, "canonical trace is thread-count invariant");
     }
 
     #[test]

@@ -68,6 +68,16 @@ pub struct PtaStats {
     pub linear_checks: u64,
 }
 
+impl PtaStats {
+    /// Publishes the counters into the unified metrics registry under the
+    /// `pta.` stage prefix.
+    pub fn record_into(&self, metrics: &mut pinpoint_obs::MetricsRegistry) {
+        metrics.counter_add("pta.pruned", self.pruned);
+        metrics.counter_add("pta.kept", self.kept);
+        metrics.counter_add("pta.linear_checks", self.linear_checks);
+    }
+}
+
 /// Result of analysing one function.
 #[derive(Debug, Default)]
 pub struct FuncPta {

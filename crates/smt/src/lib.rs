@@ -44,5 +44,5 @@ pub mod term;
 pub mod theory;
 
 pub use linear::{LinearSolver, LinearVerdict};
-pub use solver::{SmtResult, SmtSolver};
+pub use solver::{LastQueryCost, SmtResult, SmtSolver};
 pub use term::{Sort, TermArena, TermId, TermKind, TermMark, TermTranslator};

@@ -85,6 +85,9 @@ pub struct SatStats {
     pub propagations: u64,
     /// Number of conflicts analysed.
     pub conflicts: u64,
+    /// Number of clauses learned from conflict analysis (unit learnts
+    /// included).
+    pub learned: u64,
     /// Number of restarts.
     pub restarts: u64,
 }
@@ -425,6 +428,7 @@ impl SatSolver {
                 let (clause, bt) = self.analyze(conflict);
                 self.backtrack_to(bt);
                 self.activity_inc *= 1.05;
+                self.stats.learned += 1;
                 let asserting = clause[0];
                 if clause.len() == 1 {
                     debug_assert_eq!(self.trail_lim.len(), 0);

@@ -36,6 +36,35 @@ pub struct SmtStats {
     pub theory_checks: u64,
     /// Blocking clauses added (propositional models refuted by theories).
     pub theory_conflicts: u64,
+    /// CDCL conflicts across all queries' SAT cores.
+    pub conflicts: u64,
+    /// Clauses learned across all queries' SAT cores.
+    pub learned: u64,
+    /// Unit propagations across all queries' SAT cores.
+    pub propagations: u64,
+    /// Branching decisions across all queries' SAT cores.
+    pub decisions: u64,
+}
+
+/// Cost snapshot of the most recent [`SmtSolver::check`] call, for
+/// per-query attribution. All counters are deterministic functions of
+/// the query; `solver_ns` is wall time and varies run to run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LastQueryCost {
+    /// Wall time of the check, nanoseconds.
+    pub solver_ns: u64,
+    /// CDCL conflicts.
+    pub conflicts: u64,
+    /// Learned clauses.
+    pub learned: u64,
+    /// Unit propagations.
+    pub propagations: u64,
+    /// Branching decisions.
+    pub decisions: u64,
+    /// Theory-consistency checks (DPLL(T) rounds).
+    pub theory_checks: u64,
+    /// Theory conflicts (blocking clauses).
+    pub theory_conflicts: u64,
 }
 
 /// A witness assignment for the boolean variables of a satisfiable query,
@@ -70,6 +99,8 @@ pub struct SmtSolver {
     /// Bound on DPLL(T) model-refutation rounds per query; exceeded bound
     /// conservatively answers `Sat` (a possibly-spurious bug report).
     pub max_rounds: u32,
+    /// Cost of the most recent query (zeroed at the start of each check).
+    pub last_cost: LastQueryCost,
 }
 
 impl SmtSolver {
@@ -78,6 +109,7 @@ impl SmtSolver {
         Self {
             stats: SmtStats::default(),
             max_rounds: 10_000,
+            last_cost: LastQueryCost::default(),
         }
     }
 
@@ -107,7 +139,23 @@ impl SmtSolver {
             "SMT query must be boolean"
         );
         self.stats.queries += 1;
-        let (result, model) = self.check_inner(arena, formula);
+        let theory_checks_before = self.stats.theory_checks;
+        let theory_conflicts_before = self.stats.theory_conflicts;
+        let started = std::time::Instant::now();
+        let (result, model, core) = self.check_inner(arena, formula);
+        self.last_cost = LastQueryCost {
+            solver_ns: started.elapsed().as_nanos() as u64,
+            conflicts: core.conflicts,
+            learned: core.learned,
+            propagations: core.propagations,
+            decisions: core.decisions,
+            theory_checks: self.stats.theory_checks - theory_checks_before,
+            theory_conflicts: self.stats.theory_conflicts - theory_conflicts_before,
+        };
+        self.stats.conflicts += core.conflicts;
+        self.stats.learned += core.learned;
+        self.stats.propagations += core.propagations;
+        self.stats.decisions += core.decisions;
         match result {
             SmtResult::Sat => self.stats.sat += 1,
             SmtResult::Unsat => self.stats.unsat += 1,
@@ -115,12 +163,20 @@ impl SmtSolver {
         (result, model)
     }
 
-    fn check_inner(&mut self, arena: &TermArena, formula: TermId) -> (SmtResult, BoolModel) {
+    fn check_inner(
+        &mut self,
+        arena: &TermArena,
+        formula: TermId,
+    ) -> (SmtResult, BoolModel, crate::sat::SatStats) {
         if arena.is_true(formula) {
-            return (SmtResult::Sat, Vec::new());
+            return (SmtResult::Sat, Vec::new(), crate::sat::SatStats::default());
         }
         if arena.is_false(formula) {
-            return (SmtResult::Unsat, Vec::new());
+            return (
+                SmtResult::Unsat,
+                Vec::new(),
+                crate::sat::SatStats::default(),
+            );
         }
         let mut enc = Encoder::new();
         let root = enc.encode(arena, formula);
@@ -128,7 +184,7 @@ impl SmtSolver {
         let mut rounds = 0u32;
         loop {
             match enc.sat.solve() {
-                CoreResult::Unsat => return (SmtResult::Unsat, Vec::new()),
+                CoreResult::Unsat => return (SmtResult::Unsat, Vec::new(), enc.sat.stats),
                 CoreResult::Sat => {
                     // Collect asserted theory literals from the model.
                     let mut lits: Vec<TheoryLit> = Vec::new();
@@ -153,14 +209,14 @@ impl SmtSolver {
                     match check_conjunction(arena, &lits) {
                         TheoryVerdict::Consistent => {
                             let model = enc.bool_model(arena);
-                            return (SmtResult::Sat, model);
+                            return (SmtResult::Sat, model, enc.sat.stats);
                         }
                         TheoryVerdict::Conflict => {
                             self.stats.theory_conflicts += 1;
                             if blocking.is_empty() {
                                 // No atoms to refute: should not happen, but
                                 // avoid an infinite loop.
-                                return (SmtResult::Unsat, Vec::new());
+                                return (SmtResult::Unsat, Vec::new(), enc.sat.stats);
                             }
                             enc.sat.add_clause(blocking);
                         }
@@ -171,7 +227,7 @@ impl SmtSolver {
             if rounds >= self.max_rounds {
                 // Give up: treat as satisfiable (conservative for bug
                 // finding — may yield a false positive, never lose a path).
-                return (SmtResult::Sat, Vec::new());
+                return (SmtResult::Sat, Vec::new(), enc.sat.stats);
             }
         }
     }
@@ -442,5 +498,31 @@ mod tests {
         assert_eq!(s.stats.queries, 2);
         assert_eq!(s.stats.sat, 1);
         assert_eq!(s.stats.unsat, 1);
+    }
+
+    #[test]
+    fn last_cost_is_per_query() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int(0);
+        let ten = a.int(10);
+        let five = a.int(5);
+        let l = a.lt(x, zero);
+        let r = a.gt(x, ten);
+        let lr = a.or2(l, r);
+        let x5 = a.eq(x, five);
+        let hard = a.and2(lr, x5);
+        let mut s = solver();
+        assert_eq!(s.check(&a, hard), SmtResult::Unsat);
+        let hard_cost = s.last_cost;
+        assert!(hard_cost.theory_checks > 0);
+        assert!(hard_cost.solver_ns > 0);
+        // A trivial constant query must reset the snapshot, not accumulate.
+        let t = a.tru();
+        assert_eq!(s.check(&a, t), SmtResult::Sat);
+        assert_eq!(s.last_cost.theory_checks, 0);
+        assert_eq!(s.last_cost.decisions, 0);
+        // Aggregates keep the totals.
+        assert_eq!(s.stats.theory_checks, hard_cost.theory_checks);
     }
 }

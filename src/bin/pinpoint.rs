@@ -9,7 +9,12 @@
 //! pinpoint dump-ir program.pp               # lowered SSA IR
 //! pinpoint dump-seg program.pp foo          # SEG of `foo` as Graphviz
 //! pinpoint stats program.pp                 # pipeline statistics
+//! pinpoint profile program.pp --top 10      # per-query solver attribution
 //! ```
+//!
+//! `check`, `leaks`, and `stats` additionally accept `--trace-out FILE`
+//! (Chrome trace-event JSON, loadable in Perfetto) and
+//! `--stats-json FILE` (the unified `pinpoint-stats-v1` document).
 //!
 //! Exit codes: 0 = clean, 1 = reports found, 2 = usage or input error.
 
@@ -69,13 +74,17 @@ impl From<&str> for CliError {
 }
 
 const USAGE: &str = "usage:
-  pinpoint check <file> [--checker uaf|taint-pt|taint-dt|null] [--json] [--no-solve] [--ctx-depth N] [--threads N]
-  pinpoint leaks <file> [--json] [--threads N]
+  pinpoint check <file> [--checker uaf|taint-pt|taint-dt|null] [--json] [--no-solve] [--ctx-depth N] [--threads N] [--trace-out FILE] [--stats-json FILE]
+  pinpoint leaks <file> [--json] [--threads N] [--trace-out FILE] [--stats-json FILE]
   pinpoint dump-ir <file>
   pinpoint dump-seg <file> <function> [--threads N]
-  pinpoint stats <file> [--threads N]
+  pinpoint stats <file> [--threads N] [--trace-out FILE] [--stats-json FILE]
+  pinpoint profile <file> [--top K] [--threads N]
 
-  --threads N defaults to the available parallelism.";
+  --threads N defaults to the available parallelism.
+  --trace-out writes hierarchical span data as Chrome trace-event JSON
+  (open in Perfetto / chrome://tracing); --stats-json writes the unified
+  pinpoint-stats-v1 metrics document including per-query attribution.";
 
 fn run(args: &[String]) -> Result<bool, CliError> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -84,6 +93,7 @@ fn run(args: &[String]) -> Result<bool, CliError> {
     match cmd.as_str() {
         "check" => check(&source, &args[2..]),
         "leaks" => leaks(&source, &args[2..]),
+        "profile" => profile(&source, &args[2..]),
         "dump-ir" => {
             let module = pinpoint::compile(&source).map_err(|e| e.to_string())?;
             print!("{}", pinpoint::ir::printer::print_module(&module));
@@ -104,10 +114,15 @@ fn run(args: &[String]) -> Result<bool, CliError> {
             Ok(false)
         }
         "stats" => {
-            let threads = parse_threads(&args[2..])?;
-            let analysis = builder_with(threads).build_source(&source)?;
+            let mut flags: Vec<String> = args[2..].to_vec();
+            let obs = extract_obs(&mut flags)?;
+            let threads = parse_threads(&flags)?;
+            let analysis = builder_with(threads)
+                .trace(obs.trace_out.is_some())
+                .build_source(&source)?;
             let mut session = analysis.session();
             let _ = session.check_all();
+            write_obs(&session, &obs)?;
             let s = session.stats();
             println!("functions:        {}", analysis.module.funcs.len());
             println!("instructions:     {}", analysis.module.inst_count());
@@ -128,6 +143,46 @@ fn run(args: &[String]) -> Result<bool, CliError> {
         }
         other => Err(format!("unknown subcommand `{other}`").into()),
     }
+}
+
+/// Observability output destinations shared by `check`, `leaks`, and
+/// `stats`.
+struct ObsFlags {
+    trace_out: Option<String>,
+    stats_json: Option<String>,
+}
+
+/// Removes `--trace-out FILE` / `--stats-json FILE` from `flags` so the
+/// per-subcommand parsers never see them.
+fn extract_obs(flags: &mut Vec<String>) -> Result<ObsFlags, CliError> {
+    Ok(ObsFlags {
+        trace_out: extract_value(flags, "--trace-out")?,
+        stats_json: extract_value(flags, "--stats-json")?,
+    })
+}
+
+fn extract_value(flags: &mut Vec<String>, name: &str) -> Result<Option<String>, CliError> {
+    let Some(i) = flags.iter().position(|f| f == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= flags.len() {
+        return Err(format!("{name} needs a value").into());
+    }
+    let v = flags.remove(i + 1);
+    flags.remove(i);
+    Ok(Some(v))
+}
+
+fn write_obs(session: &pinpoint::DetectSession, obs: &ObsFlags) -> Result<(), CliError> {
+    if let Some(path) = &obs.trace_out {
+        std::fs::write(path, session.trace_json())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if let Some(path) = &obs.stats_json {
+        std::fs::write(path, session.stats_json(false))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(())
 }
 
 fn builder_with(threads: Option<usize>) -> AnalysisBuilder {
@@ -168,6 +223,8 @@ fn parse_checker(name: &str) -> Result<CheckerKind, CliError> {
 }
 
 fn check(source: &str, flags: &[String]) -> Result<bool, CliError> {
+    let mut flags: Vec<String> = flags.to_vec();
+    let obs = extract_obs(&mut flags)?;
     let mut kinds: Vec<CheckerKind> = Vec::new();
     let mut json = false;
     let mut solve = true;
@@ -202,12 +259,17 @@ fn check(source: &str, flags: &[String]) -> Result<bool, CliError> {
     if kinds.is_empty() {
         kinds.extend(CheckerKind::ALL);
     }
-    let mut builder = builder_with(threads).solve(solve).checkers(kinds);
+    let mut builder = builder_with(threads)
+        .solve(solve)
+        .checkers(kinds)
+        .trace(obs.trace_out.is_some());
     if let Some(d) = ctx_depth {
         builder = builder.max_ctx_depth(d);
     }
     let analysis = builder.build_source(source)?;
-    let all: Vec<Report> = analysis.check_configured();
+    let mut session = analysis.session();
+    let all: Vec<Report> = session.check_configured();
+    write_obs(&session, &obs)?;
     if json {
         println!("{}", reports_to_json(&analysis, &all));
     } else if all.is_empty() {
@@ -226,10 +288,16 @@ fn check(source: &str, flags: &[String]) -> Result<bool, CliError> {
 }
 
 fn leaks(source: &str, flags: &[String]) -> Result<bool, CliError> {
+    let mut flags: Vec<String> = flags.to_vec();
+    let obs = extract_obs(&mut flags)?;
     let json = flags.iter().any(|f| f == "--json");
-    let threads = parse_threads(flags)?;
-    let analysis = builder_with(threads).build_source(source)?;
-    let reports = analysis.check_leaks();
+    let threads = parse_threads(&flags)?;
+    let analysis = builder_with(threads)
+        .trace(obs.trace_out.is_some())
+        .build_source(source)?;
+    let mut session = analysis.session();
+    let reports = session.check_leaks();
+    write_obs(&session, &obs)?;
     if json {
         let mut out = String::from("[");
         for (i, r) in reports.iter().enumerate() {
@@ -260,6 +328,34 @@ fn leaks(source: &str, flags: &[String]) -> Result<bool, CliError> {
         println!("{} leak(s)", reports.len());
     }
     Ok(!reports.is_empty())
+}
+
+/// `pinpoint profile <file>`: run every checker, then print the top-K
+/// "where did the time go" table bucketing solver cost per checker and
+/// per source function.
+fn profile(source: &str, flags: &[String]) -> Result<bool, CliError> {
+    let mut top = 10usize;
+    let threads = parse_threads(flags)?;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                top = v
+                    .parse()
+                    .map_err(|_| format!("invalid --top value `{v}`"))?;
+            }
+            "--threads" => {
+                it.next(); // consumed by parse_threads
+            }
+            other => return Err(format!("unknown flag `{other}`").into()),
+        }
+    }
+    let analysis = builder_with(threads).build_source(source)?;
+    let mut session = analysis.session();
+    let _ = session.check_all();
+    print!("{}", session.profile(top));
+    Ok(false)
 }
 
 fn reports_to_json(analysis: &Analysis, reports: &[Report]) -> String {

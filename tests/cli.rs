@@ -119,6 +119,60 @@ fn stats_subcommand() {
 }
 
 #[test]
+fn trace_and_stats_outputs() {
+    let out_dir = std::env::temp_dir();
+    let n = std::process::id();
+    let trace = out_dir.join(format!("pinpoint_cli_trace_{n}.json"));
+    let stats = out_dir.join(format!("pinpoint_cli_stats_{n}.json"));
+    let (stdout, stderr, code) = run(
+        &[
+            "check",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--stats-json",
+            stats.to_str().unwrap(),
+        ],
+        BUGGY,
+    );
+    assert_eq!(code, 1, "{stdout}{stderr}");
+    let trace_doc = std::fs::read_to_string(&trace).expect("trace written");
+    let stats_doc = std::fs::read_to_string(&stats).expect("stats written");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&stats);
+    assert!(trace_doc.starts_with("{\"traceEvents\":["), "{trace_doc}");
+    for span in ["frontend", "\"pta\"", "\"seg\"", "\"detect\"", "smt.query"] {
+        assert!(trace_doc.contains(span), "trace missing span {span}");
+    }
+    assert!(
+        stats_doc.contains("\"schema\":\"pinpoint-stats-v1\""),
+        "{stats_doc}"
+    );
+    for family in [
+        "\"frontend\"",
+        "\"pta\"",
+        "\"seg\"",
+        "\"detect\"",
+        "\"smt\"",
+    ] {
+        assert!(stats_doc.contains(family), "stats missing family {family}");
+    }
+    assert!(stats_doc.contains("\"queries\":["), "{stats_doc}");
+    assert!(
+        stats_doc.contains("\"checker\":\"use-after-free\""),
+        "{stats_doc}"
+    );
+}
+
+#[test]
+fn profile_subcommand() {
+    let (stdout, stderr, code) = run(&["profile", "--top", "3"], BUGGY);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stdout.contains("checker"), "{stdout}");
+    assert!(stdout.contains("use-after-free"), "{stdout}");
+    assert!(stdout.contains("main"), "{stdout}");
+}
+
+#[test]
 fn usage_error_exits_two() {
     let out = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
         .arg("frobnicate")

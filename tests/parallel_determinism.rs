@@ -66,6 +66,95 @@ fn corpus_reports_identical_across_thread_counts() {
     }
 }
 
+/// Runs every checker with tracing on and returns the canonical (timing-
+/// and lane-free) stats and trace JSON documents.
+fn canonical_obs(source: &str, threads: usize) -> (String, String) {
+    let analysis = AnalysisBuilder::new()
+        .threads(threads)
+        .trace(true)
+        .build_source(source)
+        .expect("source compiles");
+    let mut session = analysis.session();
+    let _ = session.check_all();
+    (session.stats_json(true), session.trace_canonical_json())
+}
+
+#[test]
+fn canonical_stats_and_trace_identical_across_thread_counts() {
+    // The observability layer must not perturb determinism: with
+    // wall-clock values zeroed and lanes dropped, the stats document
+    // (including per-query attribution ids/outcomes/conflict counts) and
+    // the span tree must be byte-identical at any worker count.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pp"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    let mut saw_queries = false;
+    for path in &entries {
+        let file = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(path).expect("readable");
+        let (stats1, trace1) = canonical_obs(&source, 1);
+        let (stats4, trace4) = canonical_obs(&source, 4);
+        assert_eq!(stats1, stats4, "{file}: canonical stats JSON diverges");
+        assert_eq!(trace1, trace4, "{file}: canonical trace JSON diverges");
+        saw_queries |= stats1.contains("\"checker\":");
+        for family in ["frontend", "\"pta\"", "\"seg\"", "detect", "smt"] {
+            assert!(
+                stats1.contains(family),
+                "{file}: stats JSON missing stage family {family}"
+            );
+        }
+    }
+    assert!(
+        saw_queries,
+        "at least one corpus program must exercise per-query attribution"
+    );
+}
+
+#[test]
+fn profile_table_identical_across_thread_counts() {
+    let project = generate(&GenConfig {
+        seed: 17,
+        real_bugs: 3,
+        decoys: 3,
+        taint: true,
+        ..GenConfig::default().with_target_kloc(2.0)
+    });
+    let profile = |threads: usize| {
+        let analysis = AnalysisBuilder::new()
+            .threads(threads)
+            .build_source(&project.source)
+            .expect("compiles");
+        let mut session = analysis.session();
+        let _ = session.check_all();
+        assert!(
+            !session.queries().is_empty(),
+            "workload must produce queries"
+        );
+        // The table is sorted by solver time, which varies run to run, so
+        // compare the sorted row *contents* minus the time column.
+        let mut rows: Vec<String> = session
+            .profile(usize::MAX)
+            .lines()
+            .skip(2)
+            .map(|l| {
+                l.rsplit_once(char::is_whitespace)
+                    .map_or(l, |(a, _)| a)
+                    .trim_end()
+                    .to_string()
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(profile(1), profile(4));
+}
+
 #[test]
 fn stage_statistics_identical_across_thread_counts() {
     // Not just the reports: the structural outputs of the parallel build
