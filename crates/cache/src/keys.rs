@@ -1,0 +1,140 @@
+//! Cache-key derivation.
+//!
+//! A function's artifact is valid exactly when every input of its
+//! analysis is unchanged. Those inputs are:
+//!
+//! * its own lowered body ([`pinpoint_ir::func_fingerprint`]);
+//! * the summary shapes of its transitive callees — covered by a
+//!   *transitive SCC fingerprint* folded bottom-up over the call-graph
+//!   condensation, so any edit below a function changes its key;
+//! * the configuration that shapes artifacts ([`config_fp`]: the
+//!   [`PtaConfig`] knobs, the access-path depth bound, and the on-disk
+//!   [`FORMAT_VERSION`]);
+//! * its `FuncId`. Persisted private arenas name opaque values
+//!   `f{fid}.v{vid}`, so an artifact is only byte-compatible at the same
+//!   function index. Including the id makes index shifts (function
+//!   insertions/deletions) conservative invalidations rather than wrong
+//!   splices.
+//!
+//! Detection-stage knobs (`DetectConfig`) are deliberately *excluded*:
+//! artifacts capture the points-to/SEG stages only, which detection
+//! consumes read-only.
+
+use crate::store::FORMAT_VERSION;
+use pinpoint_ir::fingerprint::Fnv128;
+use pinpoint_ir::{func_fingerprint, CallGraph, Module};
+use pinpoint_pta::{PtaConfig, MAX_PATH_DEPTH};
+
+/// Fingerprint of everything configuration-shaped that flows into
+/// artifacts: the points-to knobs, the path-depth bound, and the
+/// artifact format version.
+pub fn config_fp(config: &PtaConfig) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_u32(FORMAT_VERSION);
+    h.write_u32(config.prune as u32);
+    h.write_u32(MAX_PATH_DEPTH);
+    h.finish()
+}
+
+/// Derives the cache key of every function in `module` (indexed by
+/// `FuncId`), against the *pre-transform* module.
+///
+/// The transitive SCC fingerprint is computed bottom-up over the
+/// condensation: `tfp(scc) = H(sorted member fingerprints, sorted
+/// distinct callee-SCC tfps)`. Because call-graph edges are derived
+/// from callee *names* resolved against the module, adding or removing
+/// a function that changes any resolution changes the affected callers'
+/// edge sets and hence their keys.
+pub fn module_keys(module: &Module, config_fp: u128) -> Vec<u128> {
+    let cg = CallGraph::new(module);
+    let fps: Vec<u128> = module
+        .funcs
+        .iter()
+        .map(|f| func_fingerprint(f, &module.globals))
+        .collect();
+    // `sccs` is emitted in reverse topological order of the condensation
+    // (callee components first), so one forward pass sees every callee
+    // tfp before it is needed.
+    let mut scc_tfp = vec![0u128; cg.sccs.len()];
+    for (si, members) in cg.sccs.iter().enumerate() {
+        let mut member_fps: Vec<u128> = members.iter().map(|f| fps[f.0 as usize]).collect();
+        member_fps.sort_unstable();
+        let mut callee_tfps: Vec<u128> = members
+            .iter()
+            .flat_map(|f| cg.callees[f.0 as usize].iter())
+            .map(|c| cg.scc_of[c.0 as usize])
+            .filter(|&sc| sc != si)
+            .map(|sc| scc_tfp[sc])
+            .collect();
+        callee_tfps.sort_unstable();
+        callee_tfps.dedup();
+        let mut h = Fnv128::new();
+        h.write_u64(member_fps.len() as u64);
+        for fp in member_fps {
+            h.write_u128(fp);
+        }
+        h.write_u64(callee_tfps.len() as u64);
+        for fp in callee_tfps {
+            h.write_u128(fp);
+        }
+        scc_tfp[si] = h.finish();
+    }
+    (0..module.funcs.len())
+        .map(|i| {
+            let mut h = Fnv128::new();
+            h.write_u128(config_fp);
+            h.write_u128(scc_tfp[cg.scc_of[i]]);
+            h.write_u128(fps[i]);
+            h.write_u32(i as u32);
+            h.finish()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_of(src: &str) -> (Module, Vec<u128>) {
+        let m = pinpoint_ir::compile(src).unwrap();
+        let cfg = config_fp(&PtaConfig::default());
+        let keys = module_keys(&m, cfg);
+        (m, keys)
+    }
+
+    #[test]
+    fn callee_edit_invalidates_caller_chain_only() {
+        let base = "fn leaf() { return; }
+                    fn mid(p: int*) { leaf(); return; }
+                    fn top(p: int*) { mid(p); return; }
+                    fn lone(p: int*) { free(p); return; }";
+        let edited = "fn leaf() { let x: int = 1; print(x); return; }
+                      fn mid(p: int*) { leaf(); return; }
+                      fn top(p: int*) { mid(p); return; }
+                      fn lone(p: int*) { free(p); return; }";
+        let (m1, k1) = keys_of(base);
+        let (m2, k2) = keys_of(edited);
+        let idx = |m: &Module, n: &str| m.func_by_name(n).unwrap().0 as usize;
+        assert_ne!(k1[idx(&m1, "leaf")], k2[idx(&m2, "leaf")]);
+        assert_ne!(
+            k1[idx(&m1, "mid")],
+            k2[idx(&m2, "mid")],
+            "caller chain dirty"
+        );
+        assert_ne!(k1[idx(&m1, "top")], k2[idx(&m2, "top")]);
+        assert_eq!(
+            k1[idx(&m1, "lone")],
+            k2[idx(&m2, "lone")],
+            "untouched stays clean"
+        );
+    }
+
+    #[test]
+    fn config_changes_every_key() {
+        let src = "fn f(p: int*) { free(p); return; }";
+        let m = pinpoint_ir::compile(src).unwrap();
+        let a = module_keys(&m, config_fp(&PtaConfig { prune: true }));
+        let b = module_keys(&m, config_fp(&PtaConfig { prune: false }));
+        assert_ne!(a[0], b[0]);
+    }
+}

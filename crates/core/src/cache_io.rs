@@ -1,0 +1,376 @@
+//! Binary codec for persisted SEG artifacts, plus the adapter that backs
+//! [`SegStore`](crate::seg::SegStore) with the on-disk
+//! [`pinpoint_cache::CacheStore`].
+//!
+//! The artifact layout mirrors [`pinpoint_cache::codec`]: little-endian
+//! fixed-width scalars, length-prefixed sequences, maps sorted by key so
+//! encoding is deterministic. A [`SegArtifact`] frame is
+//!
+//! ```text
+//! arena · cached_values · out_edges · in_edges · control_deps ·
+//! arg_uses · receivers · ret_index · call_sites · edge_count
+//! ```
+//!
+//! Both edge maps are persisted even though they hold the same edges:
+//! `in_edges` groups them per *destination* in insertion order, which
+//! cannot be reconstructed from the per-source `out_edges` without
+//! changing per-vector order (and hence downstream iteration order).
+
+use crate::seg::{ArgUse, EdgeKind, RecvDef, Seg, SegArtifact, SegEdge, SegStore};
+use pinpoint_cache::codec::{get_arena, get_term_id, put_arena, put_term_id};
+use pinpoint_cache::{ByteReader, ByteWriter, CacheStore, DecodeError};
+use pinpoint_ir::{BlockId, InstId, ValueId};
+use std::collections::HashMap;
+
+type Result<T> = std::result::Result<T, DecodeError>;
+
+fn put_value_id(w: &mut ByteWriter, v: ValueId) {
+    w.u32(v.0);
+}
+
+fn get_value_id(r: &mut ByteReader) -> Result<ValueId> {
+    Ok(ValueId(r.u32()?))
+}
+
+fn put_inst_id(w: &mut ByteWriter, i: InstId) {
+    w.u32(i.block.0);
+    w.u32(i.index);
+}
+
+fn get_inst_id(r: &mut ByteReader) -> Result<InstId> {
+    let block = BlockId(r.u32()?);
+    let index = r.u32()?;
+    Ok(InstId { block, index })
+}
+
+fn put_edge(w: &mut ByteWriter, e: &SegEdge) {
+    put_value_id(w, e.src);
+    put_value_id(w, e.dst);
+    put_term_id(w, e.cond);
+    w.u8(match e.kind {
+        EdgeKind::Direct => 0,
+        EdgeKind::Memory => 1,
+        EdgeKind::Transform => 2,
+    });
+}
+
+fn get_edge(r: &mut ByteReader, arena_len: usize) -> Result<SegEdge> {
+    let src = get_value_id(r)?;
+    let dst = get_value_id(r)?;
+    let cond = get_term_id(r, arena_len)?;
+    let kind = match r.u8()? {
+        0 => EdgeKind::Direct,
+        1 => EdgeKind::Memory,
+        2 => EdgeKind::Transform,
+        _ => return Err(DecodeError("bad edge kind")),
+    };
+    Ok(SegEdge {
+        src,
+        dst,
+        cond,
+        kind,
+    })
+}
+
+fn put_edge_map(w: &mut ByteWriter, map: &HashMap<ValueId, Vec<SegEdge>>) {
+    let mut keys: Vec<ValueId> = map.keys().copied().collect();
+    keys.sort_unstable();
+    w.len(keys.len());
+    for k in keys {
+        put_value_id(w, k);
+        let edges = &map[&k];
+        w.len(edges.len());
+        for e in edges {
+            put_edge(w, e);
+        }
+    }
+}
+
+fn get_edge_map(r: &mut ByteReader, arena_len: usize) -> Result<HashMap<ValueId, Vec<SegEdge>>> {
+    let n = r.len()?;
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let k = get_value_id(r)?;
+        let m = r.len()?;
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            edges.push(get_edge(r, arena_len)?);
+        }
+        if map.insert(k, edges).is_some() {
+            return Err(DecodeError("duplicate edge-map key"));
+        }
+    }
+    Ok(map)
+}
+
+/// Encodes `artifact` into the payload bytes of a cache frame.
+pub fn encode_seg_artifact(artifact: &SegArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_arena(&mut w, &artifact.arena);
+    w.len(artifact.cached_values.len());
+    for &v in &artifact.cached_values {
+        put_value_id(&mut w, v);
+    }
+    let seg = &artifact.seg;
+    put_edge_map(&mut w, &seg.out_edges);
+    put_edge_map(&mut w, &seg.in_edges);
+    w.len(seg.control_deps.len());
+    for deps in &seg.control_deps {
+        w.len(deps.len());
+        for &(v, pol) in deps {
+            put_value_id(&mut w, v);
+            w.bool(pol);
+        }
+    }
+    let mut arg_keys: Vec<ValueId> = seg.arg_uses.keys().copied().collect();
+    arg_keys.sort_unstable();
+    w.len(arg_keys.len());
+    for k in arg_keys {
+        put_value_id(&mut w, k);
+        let uses = &seg.arg_uses[&k];
+        w.len(uses.len());
+        for u in uses {
+            put_inst_id(&mut w, u.site);
+            w.str(&u.callee);
+            w.u64(u.index as u64);
+        }
+    }
+    let mut recv_keys: Vec<ValueId> = seg.receivers.keys().copied().collect();
+    recv_keys.sort_unstable();
+    w.len(recv_keys.len());
+    for k in recv_keys {
+        put_value_id(&mut w, k);
+        let d = &seg.receivers[&k];
+        put_inst_id(&mut w, d.site);
+        w.str(&d.callee);
+        w.u64(d.index as u64);
+    }
+    let mut ret_keys: Vec<ValueId> = seg.ret_index.keys().copied().collect();
+    ret_keys.sort_unstable();
+    w.len(ret_keys.len());
+    for k in ret_keys {
+        put_value_id(&mut w, k);
+        w.u64(seg.ret_index[&k] as u64);
+    }
+    let mut site_keys: Vec<InstId> = seg.call_sites.keys().copied().collect();
+    site_keys.sort_unstable();
+    w.len(site_keys.len());
+    for k in site_keys {
+        put_inst_id(&mut w, k);
+        let (callee, args, recvs) = &seg.call_sites[&k];
+        w.str(callee);
+        w.len(args.len());
+        for &a in args {
+            put_value_id(&mut w, a);
+        }
+        w.len(recvs.len());
+        for &v in recvs {
+            put_value_id(&mut w, v);
+        }
+    }
+    w.u64(seg.edge_count as u64);
+    w.into_bytes()
+}
+
+/// Decodes a [`SegArtifact`] from cache-frame payload bytes, validating
+/// every structural invariant the warm path relies on.
+pub fn decode_seg_artifact(bytes: &[u8]) -> Result<SegArtifact> {
+    let mut r = ByteReader::new(bytes);
+    let arena = get_arena(&mut r)?;
+    let arena_len = arena.len();
+    let n = r.len()?;
+    let mut cached_values = Vec::with_capacity(n);
+    for _ in 0..n {
+        cached_values.push(get_value_id(&mut r)?);
+    }
+    let out_edges = get_edge_map(&mut r, arena_len)?;
+    let in_edges = get_edge_map(&mut r, arena_len)?;
+    let n = r.len()?;
+    let mut control_deps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = r.len()?;
+        let mut deps = Vec::with_capacity(m);
+        for _ in 0..m {
+            let v = get_value_id(&mut r)?;
+            let pol = r.bool()?;
+            deps.push((v, pol));
+        }
+        control_deps.push(deps);
+    }
+    let n = r.len()?;
+    let mut arg_uses = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let k = get_value_id(&mut r)?;
+        let m = r.len()?;
+        let mut uses = Vec::with_capacity(m);
+        for _ in 0..m {
+            let site = get_inst_id(&mut r)?;
+            let callee = r.str()?;
+            let index = r.u64()? as usize;
+            uses.push(ArgUse {
+                site,
+                callee,
+                index,
+            });
+        }
+        if arg_uses.insert(k, uses).is_some() {
+            return Err(DecodeError("duplicate arg-use key"));
+        }
+    }
+    let n = r.len()?;
+    let mut receivers = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let k = get_value_id(&mut r)?;
+        let site = get_inst_id(&mut r)?;
+        let callee = r.str()?;
+        let index = r.u64()? as usize;
+        if receivers
+            .insert(
+                k,
+                RecvDef {
+                    site,
+                    callee,
+                    index,
+                },
+            )
+            .is_some()
+        {
+            return Err(DecodeError("duplicate receiver key"));
+        }
+    }
+    let n = r.len()?;
+    let mut ret_index = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let k = get_value_id(&mut r)?;
+        let idx = r.u64()? as usize;
+        if ret_index.insert(k, idx).is_some() {
+            return Err(DecodeError("duplicate ret-index key"));
+        }
+    }
+    let n = r.len()?;
+    let mut call_sites = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let k = get_inst_id(&mut r)?;
+        let callee = r.str()?;
+        let m = r.len()?;
+        let mut args = Vec::with_capacity(m);
+        for _ in 0..m {
+            args.push(get_value_id(&mut r)?);
+        }
+        let m = r.len()?;
+        let mut recvs = Vec::with_capacity(m);
+        for _ in 0..m {
+            recvs.push(get_value_id(&mut r)?);
+        }
+        if call_sites.insert(k, (callee, args, recvs)).is_some() {
+            return Err(DecodeError("duplicate call-site key"));
+        }
+    }
+    let edge_count = r.u64()? as usize;
+    if !r.is_at_end() {
+        return Err(DecodeError("trailing bytes in seg artifact"));
+    }
+    Ok(SegArtifact {
+        seg: Seg {
+            out_edges,
+            in_edges,
+            control_deps,
+            arg_uses,
+            receivers,
+            ret_index,
+            call_sites,
+            edge_count,
+        },
+        arena,
+        cached_values,
+    })
+}
+
+/// Adapter implementing [`SegStore`] on top of the on-disk
+/// [`CacheStore`], under the `"seg"` stage prefix.
+#[derive(Debug)]
+pub struct SegCacheStore<'a> {
+    store: &'a mut CacheStore,
+}
+
+impl<'a> SegCacheStore<'a> {
+    /// Wraps `store` for the SEG stage.
+    pub fn new(store: &'a mut CacheStore) -> Self {
+        Self { store }
+    }
+}
+
+impl SegStore for SegCacheStore<'_> {
+    fn load(&mut self, key: u128) -> Option<SegArtifact> {
+        self.store
+            .load_with("seg", key, |bytes| decode_seg_artifact(bytes).ok())
+    }
+
+    fn store(&mut self, key: u128, artifact: &SegArtifact) {
+        self.store.store("seg", key, &encode_seg_artifact(artifact));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_pta::analyze_module;
+
+    fn build_artifact(src: &str, func: &str) -> SegArtifact {
+        let mut module = pinpoint_ir::compile(src).unwrap();
+        let analysis = analyze_module(&mut module);
+        let fid = module.func_by_name(func).unwrap();
+        let mut arena = pinpoint_smt::TermArena::new();
+        let mut symbols = pinpoint_pta::Symbols::new();
+        let f = &module.funcs[fid.0 as usize];
+        let seg = Seg::build(
+            &mut arena,
+            &mut symbols,
+            fid,
+            f,
+            &analysis.pta[fid.0 as usize],
+        );
+        SegArtifact {
+            seg: seg.without_memory_edges(),
+            arena,
+            cached_values: symbols.cached_values(fid),
+        }
+    }
+
+    #[test]
+    fn seg_artifact_roundtrips() {
+        let art = build_artifact(
+            "fn f(p: int*, c: int) {
+                let x: int = 1;
+                if (c < 3) { *p = x; } else { *p = 2; }
+                let y: int = *p;
+                print(y);
+                return;
+             }",
+            "f",
+        );
+        let bytes = encode_seg_artifact(&art);
+        let back = decode_seg_artifact(&bytes).unwrap();
+        assert_eq!(back.cached_values, art.cached_values);
+        assert_eq!(back.seg.edge_count, art.seg.edge_count);
+        assert_eq!(back.seg.control_deps, art.seg.control_deps);
+        assert_eq!(back.seg.out_edges, art.seg.out_edges);
+        assert_eq!(back.seg.in_edges, art.seg.in_edges);
+        assert_eq!(back.seg.ret_index, art.seg.ret_index);
+        assert_eq!(back.arena.len(), art.arena.len());
+        // Deterministic: re-encoding the decoded artifact is byte-identical.
+        assert_eq!(encode_seg_artifact(&back), bytes);
+    }
+
+    #[test]
+    fn truncated_artifact_is_rejected() {
+        let art = build_artifact("fn g(p: int*) { free(p); return; }", "g");
+        let bytes = encode_seg_artifact(&art);
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_seg_artifact(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode_seg_artifact(&extended).is_err());
+    }
+}

@@ -19,14 +19,19 @@
 //!   statistics). Sessions are created from `&Analysis`, so any number of
 //!   checkers can run concurrently.
 
+use crate::cache_io::SegCacheStore;
 use crate::detect::{run_spec, DetectConfig, DetectStats, Report};
 use crate::error::PinpointError;
 use crate::seg::ModuleSeg;
 use crate::spec::CheckerKind;
+use pinpoint_cache::{config_fp, module_keys, CacheStats, CacheStore, PtaArtifactStore};
 use pinpoint_ir::Module;
 use pinpoint_obs::{queries_json, MetricsRegistry, ProfileTable, QueryRecord, TraceBuf};
-use pinpoint_pta::{analyze_module_par, ModuleAnalysis, PtaConfig, PtaStats};
+use pinpoint_pta::{
+    analyze_module_cached, analyze_module_par, ModuleAnalysis, PtaConfig, PtaStats,
+};
 use pinpoint_smt::TermArena;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// An empty placeholder `ModuleAnalysis` used while swapping state
@@ -78,6 +83,9 @@ pub struct PipelineStats {
     pub pta: PtaStats,
     /// Detection statistics (accumulated over checkers).
     pub detect: DetectStats,
+    /// Persistent-cache counters (all zero unless the builder set
+    /// [`AnalysisBuilder::cache_dir`]).
+    pub cache: CacheStats,
 }
 
 /// Configures and builds an [`Analysis`].
@@ -108,6 +116,7 @@ pub struct AnalysisBuilder {
     checkers: Vec<CheckerKind>,
     verify: bool,
     trace: bool,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Default for AnalysisBuilder {
@@ -127,7 +136,19 @@ impl AnalysisBuilder {
             checkers: CheckerKind::ALL.to_vec(),
             verify: false,
             trace: false,
+            cache_dir: None,
         }
+    }
+
+    /// Persists per-function analysis artifacts under `dir` and reuses
+    /// them on later builds whose cache keys match, so a warm re-run
+    /// pays only for the edited functions and their callers. Results are
+    /// byte-identical to a cold build; a missing, corrupt, or unwritable
+    /// cache silently degrades to a cold run (see
+    /// [`PipelineStats::cache`] for hit/miss/invalidation counters).
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
     }
 
     /// Enables hierarchical span tracing across every pipeline stage
@@ -265,9 +286,32 @@ impl AnalysisBuilder {
             }
         }
         let mut stats = PipelineStats::default();
+        // A cache directory that fails to open (permissions, not a
+        // directory, …) silently degrades to a cold run.
+        let mut cache = self
+            .cache_dir
+            .as_deref()
+            .and_then(|dir| CacheStore::open(dir).ok());
+        let keys = cache
+            .as_ref()
+            .map(|_| module_keys(&module, config_fp(&self.pta)));
         let t0 = Instant::now();
         let pta_span = trace.open("pta", "");
-        let mut pta = analyze_module_par(&mut module, &self.pta, self.threads, &mut trace);
+        let mut pta = match (&mut cache, &keys) {
+            (Some(store), Some(keys)) => {
+                let mut adapter = PtaArtifactStore::new(store);
+                let (pta, _) = analyze_module_cached(
+                    &mut module,
+                    &self.pta,
+                    self.threads,
+                    &mut trace,
+                    keys,
+                    &mut adapter,
+                );
+                pta
+            }
+            _ => analyze_module_par(&mut module, &self.pta, self.threads, &mut trace),
+        };
         trace.close(pta_span);
         stats.pta_time = t0.elapsed();
         stats.pta = pta.total_stats();
@@ -275,15 +319,33 @@ impl AnalysisBuilder {
         let mut arena = std::mem::take(&mut pta.arena);
         let mut symbols = std::mem::take(&mut pta.symbols);
         let seg_span = trace.open("seg", "");
-        let segs = ModuleSeg::build_par(
-            &module,
-            &mut arena,
-            &mut symbols,
-            &pta.pta,
-            self.threads,
-            &mut trace,
-        );
+        let segs = match (&mut cache, &keys) {
+            (Some(store), Some(keys)) => {
+                let mut adapter = SegCacheStore::new(store);
+                ModuleSeg::build_par_cached(
+                    &module,
+                    &mut arena,
+                    &mut symbols,
+                    &pta.pta,
+                    self.threads,
+                    &mut trace,
+                    keys,
+                    &mut adapter,
+                )
+            }
+            _ => ModuleSeg::build_par(
+                &module,
+                &mut arena,
+                &mut symbols,
+                &pta.pta,
+                self.threads,
+                &mut trace,
+            ),
+        };
         trace.close(seg_span);
+        if let Some(store) = &cache {
+            stats.cache = store.stats();
+        }
         pta.symbols = symbols;
         stats.seg_time = t1.elapsed();
         stats.seg_vertices = segs.vertex_count;
@@ -696,6 +758,13 @@ impl<'a> DetectSession<'a> {
         m.counter_add("seg.vertices", s.seg_vertices as u64);
         m.counter_add("seg.edges", s.seg_edges as u64);
         m.counter_add("seg.terms", s.terms as u64);
+        // Always present (zero without a cache directory) so the exported
+        // schema is shape-stable.
+        m.counter_add("cache.hits", s.cache.hits);
+        m.counter_add("cache.misses", s.cache.misses);
+        m.counter_add("cache.invalidated", s.cache.invalidated);
+        m.counter_add("cache.load_ns", s.cache.load_ns);
+        m.counter_add("cache.store_ns", s.cache.store_ns);
         m.counter_add("detect.time_ns", s.detect_time.as_nanos() as u64);
         m.counter_add("detect.sources", s.detect.sources);
         m.counter_add("detect.visited", s.detect.visited);
@@ -866,6 +935,41 @@ mod tests {
             uaf[0].description,
             a.check(CheckerKind::UseAfterFree)[0].description
         );
+    }
+
+    #[test]
+    fn cache_warm_rebuild_is_identical_and_hits() {
+        let src = "fn release(x: int*) { free(x); return; }
+            fn main(c: bool) {
+                let p: int* = malloc();
+                if (c) { release(p); }
+                let x: int = *p;
+                print(x);
+                return;
+            }";
+        let dir = std::env::temp_dir().join(format!("pinpoint-drv-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = AnalysisBuilder::new()
+            .cache_dir(&dir)
+            .build_source(src)
+            .unwrap();
+        assert_eq!(cold.stats.cache.hits, 0);
+        assert!(cold.stats.cache.misses > 0);
+        let warm = AnalysisBuilder::new()
+            .cache_dir(&dir)
+            .build_source(src)
+            .unwrap();
+        // Every function is clean: both stages hit for every function.
+        assert_eq!(warm.stats.cache.misses, 0, "{:?}", warm.stats.cache);
+        assert_eq!(warm.stats.cache.hits, 2 * cold.module.funcs.len() as u64);
+        let plain = AnalysisBuilder::new().build_source(src).unwrap();
+        for a in [&cold, &warm] {
+            assert_eq!(a.arena.len(), plain.arena.len());
+            let ra: Vec<String> = a.check_all().iter().map(ToString::to_string).collect();
+            let rp: Vec<String> = plain.check_all().iter().map(ToString::to_string).collect();
+            assert_eq!(ra, rp);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

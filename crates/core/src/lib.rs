@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache_io;
 pub mod cond;
 pub mod detect;
 pub mod driver;
@@ -56,5 +57,5 @@ pub use detect::{DetectConfig, DetectStats, Report, Step};
 pub use driver::{default_threads, Analysis, AnalysisBuilder, DetectSession, PipelineStats};
 pub use error::PinpointError;
 pub use leak::{LeakKind, LeakReport};
-pub use seg::{EdgeKind, ModuleSeg, Seg, SegEdge};
+pub use seg::{EdgeKind, ModuleSeg, Seg, SegArtifact, SegEdge, SegStore};
 pub use spec::{CheckerKind, SinkRole, SinkSite, SinkSpec, SourceSite, SourceSpec, Spec};

@@ -80,7 +80,7 @@ pub struct RecvDef {
 }
 
 /// The symbolic expression graph of one function.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Seg {
     /// Outgoing data edges per source vertex.
     pub out_edges: HashMap<ValueId, Vec<SegEdge>>,
@@ -219,6 +219,45 @@ impl Seg {
         self.edge_count += 1;
     }
 
+    /// Returns a copy of this SEG with every memory edge removed.
+    ///
+    /// This is the *persisted* form: memory-edge conditions are
+    /// [`TermId`]s into the run's shared arena (they arrive pre-merged
+    /// from the points-to stage and are never rebuilt during SEG
+    /// construction), so they cannot survive a round-trip through a
+    /// private arena. [`Seg::readd_memory_edges`] restores them from the
+    /// current run's merged points-to result — [`Seg::build`] appends
+    /// memory edges after all locally-derived edges, so re-adding them
+    /// last reproduces the cold build's exact per-vertex edge order.
+    pub fn without_memory_edges(&self) -> Seg {
+        let mut out = self.clone();
+        let mut removed = 0usize;
+        for edges in [&mut out.out_edges, &mut out.in_edges] {
+            for v in edges.values_mut() {
+                v.retain(|e| e.kind != EdgeKind::Memory);
+            }
+            edges.retain(|_, v| !v.is_empty());
+        }
+        for v in self.out_edges.values() {
+            removed += v.iter().filter(|e| e.kind == EdgeKind::Memory).count();
+        }
+        out.edge_count = self.edge_count - removed;
+        out
+    }
+
+    /// Re-adds the memory edges of `pta` (see
+    /// [`Seg::without_memory_edges`]).
+    pub fn readd_memory_edges(&mut self, pta: &FuncPta) {
+        for dep in &pta.mem_deps {
+            self.add_edge(SegEdge {
+                src: dep.src,
+                dst: dep.dst,
+                cond: dep.cond,
+                kind: EdgeKind::Memory,
+            });
+        }
+    }
+
     /// Outgoing edges of `v`.
     pub fn succs(&self, v: ValueId) -> &[SegEdge] {
         self.out_edges.get(&v).map_or(&[], Vec::as_slice)
@@ -228,6 +267,55 @@ impl Seg {
     pub fn preds(&self, v: ValueId) -> &[SegEdge] {
         self.in_edges.get(&v).map_or(&[], Vec::as_slice)
     }
+}
+
+/// One worker's SEG construction output, in a private arena until the
+/// deterministic merge.
+struct SegResult {
+    fid: FuncId,
+    seg: Seg,
+    arena: TermArena,
+    symbols: Symbols,
+}
+
+/// Builds one function's SEG in a fresh private arena/interner, so the
+/// result is bit-identical no matter which worker runs it.
+fn build_one(fid: FuncId, f: &Function, pta: &FuncPta) -> SegResult {
+    let mut arena = TermArena::new();
+    let mut symbols = Symbols::new();
+    let seg = Seg::build(&mut arena, &mut symbols, fid, f, pta);
+    SegResult {
+        fid,
+        seg,
+        arena,
+        symbols,
+    }
+}
+
+/// A function's persisted SEG: the graph with memory edges stripped
+/// (their conditions live in the run's shared arena and are re-derived
+/// at load — see [`Seg::without_memory_edges`]), the private arena its
+/// remaining conditions index, and the interner's cached values for
+/// deterministic symbol re-derivation at merge.
+#[derive(Debug, Clone)]
+pub struct SegArtifact {
+    /// The memory-edge-stripped graph.
+    pub seg: Seg,
+    /// Private arena holding the non-memory edge conditions.
+    pub arena: TermArena,
+    /// Sorted values whose terms the merge re-derives, in order.
+    pub cached_values: Vec<ValueId>,
+}
+
+/// Where [`ModuleSeg::build_par_cached`] loads and stores per-function
+/// SEG artifacts; the same contract as
+/// [`pinpoint_pta::ArtifactStore`] — keys are fully identifying and
+/// store failures must degrade silently.
+pub trait SegStore {
+    /// Fetches the artifact stored under `key`, if any.
+    fn load(&mut self, key: u128) -> Option<SegArtifact>;
+    /// Persists `artifact` under `key`.
+    fn store(&mut self, key: u128, artifact: &SegArtifact);
 }
 
 /// The SEGs of a whole module plus the module-level indexes the global
@@ -321,27 +409,27 @@ impl ModuleSeg {
         threads: usize,
         trace: &mut pinpoint_obs::TraceBuf,
     ) -> Self {
-        struct SegResult {
-            fid: FuncId,
-            seg: Seg,
-            arena: TermArena,
-            symbols: Symbols,
-        }
-        fn build_one(fid: FuncId, f: &Function, pta: &FuncPta) -> SegResult {
-            let mut arena = TermArena::new();
-            let mut symbols = Symbols::new();
-            let seg = Seg::build(&mut arena, &mut symbols, fid, f, pta);
-            SegResult {
-                fid,
-                seg,
-                arena,
-                symbols,
-            }
-        }
-
-        let threads = threads.max(1);
         let work: Vec<(FuncId, &Function)> = module.iter_funcs().collect();
-        let results: Vec<SegResult> = if threads == 1 || work.len() <= 1 {
+        let results = Self::run_workers(&work, pta, threads, trace);
+
+        let mut segs: Vec<Seg> = Vec::with_capacity(work.len());
+        for r in results {
+            let seg = Self::merge_result(module, arena, symbols, r);
+            segs.push(seg);
+        }
+        Self::assemble(module, segs, pta)
+    }
+
+    /// Fans per-function SEG construction out over `threads` workers;
+    /// results come back in `work` order.
+    fn run_workers(
+        work: &[(FuncId, &Function)],
+        pta: &[FuncPta],
+        threads: usize,
+        trace: &mut pinpoint_obs::TraceBuf,
+    ) -> Vec<SegResult> {
+        let threads = threads.max(1);
+        if threads == 1 || work.len() <= 1 {
             let mut lane = trace.fork(1);
             let out = work
                 .iter()
@@ -390,27 +478,127 @@ impl ModuleSeg {
                 trace.merge(lane);
             }
             out
-        };
+        }
+    }
 
-        let mut segs: Vec<Seg> = Vec::with_capacity(work.len());
-        for r in results {
-            let f = module.func(r.fid);
-            for v in r.symbols.cached_values(r.fid) {
-                symbols.value_term(arena, r.fid, f, v);
+    /// Merges one worker's private-arena SEG into the shared arena:
+    /// re-derives the symbol cache (sorted value order), then rebuilds
+    /// every locally-created edge condition through the translator's
+    /// smart constructors. Memory-edge conditions already live in the
+    /// shared arena and pass through untouched.
+    fn merge_result(
+        module: &Module,
+        arena: &mut TermArena,
+        symbols: &mut Symbols,
+        r: SegResult,
+    ) -> Seg {
+        let f = module.func(r.fid);
+        for v in r.symbols.cached_values(r.fid) {
+            symbols.value_term(arena, r.fid, f, v);
+        }
+        Self::translate_seg(module, arena, symbols, r.fid, r.seg, &r.arena, None)
+    }
+
+    /// The shared translation step of [`ModuleSeg::merge_result`] and the
+    /// cached splice path: re-derive `cached_values` (when the private
+    /// symbol interner is not at hand), translate every non-memory edge
+    /// condition over sorted vertex keys, and return the merged graph.
+    #[allow(clippy::too_many_arguments)]
+    fn translate_seg(
+        module: &Module,
+        arena: &mut TermArena,
+        symbols: &mut Symbols,
+        fid: FuncId,
+        mut seg: Seg,
+        src_arena: &TermArena,
+        cached_values: Option<&[ValueId]>,
+    ) -> Seg {
+        if let Some(values) = cached_values {
+            let f = module.func(fid);
+            for &v in values {
+                symbols.value_term(arena, fid, f, v);
             }
-            let mut tr = TermTranslator::new();
-            let mut seg = r.seg;
-            for edges in [&mut seg.out_edges, &mut seg.in_edges] {
-                let mut keys: Vec<ValueId> = edges.keys().copied().collect();
-                keys.sort_unstable();
-                for k in keys {
-                    for e in edges.get_mut(&k).expect("key just listed") {
-                        if e.kind != EdgeKind::Memory {
-                            e.cond = tr.translate(&r.arena, arena, e.cond);
-                        }
+        }
+        let mut tr = TermTranslator::new();
+        for edges in [&mut seg.out_edges, &mut seg.in_edges] {
+            let mut keys: Vec<ValueId> = edges.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                for e in edges.get_mut(&k).expect("key just listed") {
+                    if e.kind != EdgeKind::Memory {
+                        e.cond = tr.translate(src_arena, arena, e.cond);
                     }
                 }
             }
+        }
+        seg
+    }
+
+    /// Builds SEGs against a persistent artifact store.
+    ///
+    /// `keys[fid]` is the same content key the points-to stage used (the
+    /// persisted SEG depends only on the transformed body, which that key
+    /// covers). A hit splices the stored graph: its locally-derived edge
+    /// conditions are translated from the persisted private arena exactly
+    /// as a cold merge would, and its memory edges are re-derived from
+    /// the *current* merged points-to result — which for a clean function
+    /// is identical to the cold run's. A miss builds the function fresh
+    /// and writes the (memory-edge-stripped) artifact back. Both paths
+    /// merge in function-id order, so the result is byte-identical to
+    /// [`ModuleSeg::build_par`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_par_cached(
+        module: &Module,
+        arena: &mut TermArena,
+        symbols: &mut Symbols,
+        pta: &[FuncPta],
+        threads: usize,
+        trace: &mut pinpoint_obs::TraceBuf,
+        keys: &[u128],
+        store: &mut dyn SegStore,
+    ) -> Self {
+        assert_eq!(keys.len(), module.funcs.len(), "one cache key per function");
+        let mut loaded: HashMap<FuncId, SegArtifact> = HashMap::new();
+        let mut work: Vec<(FuncId, &Function)> = Vec::new();
+        for (fid, f) in module.iter_funcs() {
+            match store.load(keys[fid.0 as usize]) {
+                Some(art) => {
+                    loaded.insert(fid, art);
+                }
+                None => work.push((fid, f)),
+            }
+        }
+
+        let results = Self::run_workers(&work, pta, threads, trace);
+        let mut built: HashMap<FuncId, SegResult> = HashMap::new();
+        for r in results {
+            let art = SegArtifact {
+                seg: r.seg.without_memory_edges(),
+                arena: r.arena.clone(),
+                cached_values: r.symbols.cached_values(r.fid),
+            };
+            store.store(keys[r.fid.0 as usize], &art);
+            built.insert(r.fid, r);
+        }
+
+        let mut segs: Vec<Seg> = Vec::with_capacity(module.funcs.len());
+        for (fid, _) in module.iter_funcs() {
+            let seg = if let Some(r) = built.remove(&fid) {
+                Self::merge_result(module, arena, symbols, r)
+            } else {
+                let art = loaded.remove(&fid).expect("function loaded or built");
+                let mut seg = Self::translate_seg(
+                    module,
+                    arena,
+                    symbols,
+                    fid,
+                    art.seg,
+                    &art.arena,
+                    Some(&art.cached_values),
+                );
+                seg.readd_memory_edges(&pta[fid.0 as usize]);
+                seg
+            };
             segs.push(seg);
         }
         Self::assemble(module, segs, pta)

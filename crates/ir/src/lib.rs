@@ -37,6 +37,7 @@ pub mod callgraph;
 pub mod cfg;
 pub mod controldep;
 pub mod dom;
+pub mod fingerprint;
 pub mod gating;
 pub mod ir;
 pub mod lexer;
@@ -51,11 +52,12 @@ pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use controldep::{ControlDep, ControlDeps};
 pub use dom::{DomTree, PostDomTree};
+pub use fingerprint::func_fingerprint;
 pub use gating::{Gate, Gating};
 pub use ir::intrinsics;
 pub use ir::{
-    BinOp, Block, BlockId, Const, FuncId, Function, GlobalId, Inst, InstId, Module, Terminator,
-    UnOp, ValueId,
+    BinOp, Block, BlockId, Const, FuncId, Function, Global, GlobalId, Inst, InstId, Module,
+    Terminator, UnOp, ValueId,
 };
 pub use opt::{optimize_module, OptStats};
 pub use types::Type;

@@ -230,6 +230,136 @@ fn analyze_one(
     }
 }
 
+/// Stratifies the SCC condensation of `callgraph` into parallel levels
+/// (`level(scc) = 1 + max(level of callee SCCs)`); within a level no
+/// function depends on another's connector shape. `bottom_up` lists all
+/// members of a callee SCC before any member of a caller SCC, so one
+/// pass fixes every level, and each level keeps bottom-up order.
+fn stratify_levels(callgraph: &CallGraph) -> Vec<Vec<FuncId>> {
+    let mut scc_level = vec![0usize; callgraph.sccs.len()];
+    for &f in &callgraph.bottom_up {
+        let sf = callgraph.scc_of[f.0 as usize];
+        for &c in &callgraph.callees[f.0 as usize] {
+            let sc = callgraph.scc_of[c.0 as usize];
+            if sc != sf {
+                scc_level[sf] = scc_level[sf].max(scc_level[sc] + 1);
+            }
+        }
+    }
+    let max_level = scc_level.iter().copied().max().unwrap_or(0);
+    let mut levels: Vec<Vec<FuncId>> = vec![Vec::new(); max_level + 1];
+    for &f in &callgraph.bottom_up {
+        levels[scc_level[callgraph.scc_of[f.0 as usize]]].push(f);
+    }
+    levels
+}
+
+/// Fans one level's detached bodies out over `threads` scoped workers.
+/// Results come back in `work` order regardless of sharding, and each
+/// worker's `pta.func` trace spans are merged back in shard order.
+fn run_level(
+    work: &mut [(FuncId, Function)],
+    shapes: &[AuxShape],
+    callgraph: &CallGraph,
+    names: &HashMap<String, FuncId>,
+    prune: bool,
+    threads: usize,
+    trace: &mut TraceBuf,
+) -> Vec<FuncResult> {
+    if threads == 1 || work.len() <= 1 {
+        let mut lane = trace.fork(1);
+        let out = work
+            .iter_mut()
+            .map(|(fid, f)| {
+                let span = lane.open("pta.func", f.name.clone());
+                let r = analyze_one(*fid, f, shapes, callgraph, names, prune);
+                lane.close(span);
+                r
+            })
+            .collect();
+        trace.merge(lane);
+        out
+    } else {
+        let chunk = work.len().div_ceil(threads);
+        let trace_ref = &*trace;
+        let (out, lanes) = std::thread::scope(|s| {
+            let handles: Vec<_> = work
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(shard_idx, shard)| {
+                    s.spawn(move || {
+                        let mut lane = trace_ref.fork(shard_idx as u32 + 1);
+                        let results = shard
+                            .iter_mut()
+                            .map(|(fid, f)| {
+                                let span = lane.open("pta.func", f.name.clone());
+                                let r = analyze_one(*fid, f, shapes, callgraph, names, prune);
+                                lane.close(span);
+                                r
+                            })
+                            .collect::<Vec<_>>();
+                        (results, lane)
+                    })
+                })
+                .collect();
+            let mut out = Vec::new();
+            let mut lanes = Vec::new();
+            for h in handles {
+                let (results, lane) = h.join().expect("points-to worker panicked");
+                out.extend(results);
+                lanes.push(lane);
+            }
+            (out, lanes)
+        });
+        for lane in lanes {
+            trace.merge(lane);
+        }
+        out
+    }
+}
+
+/// Merges one function's private-arena result into the shared state:
+/// re-derives the symbol cache against the shared arena (sorted value
+/// order), then rebuilds every condition term through the translator's
+/// smart constructors so canonical child ordering is restored in the
+/// target arena.
+#[allow(clippy::too_many_arguments)]
+fn merge_one(
+    fid: FuncId,
+    f: &Function,
+    shape: AuxShape,
+    mut func_pta: FuncPta,
+    src_arena: &TermArena,
+    cached_values: &[ValueId],
+    arena: &mut TermArena,
+    symbols: &mut Symbols,
+    shapes: &mut [AuxShape],
+    pta: &mut [FuncPta],
+) {
+    for &v in cached_values {
+        symbols.value_term(arena, fid, f, v);
+    }
+    let mut tr = TermTranslator::new();
+    for d in &mut func_pta.mem_deps {
+        d.cond = tr.translate(src_arena, arena, d.cond);
+    }
+    let mut keys: Vec<ValueId> = func_pta.points_to.keys().copied().collect();
+    keys.sort_unstable();
+    for k in keys {
+        for (_, c) in func_pta.points_to.get_mut(&k).expect("key just listed") {
+            *c = tr.translate(src_arena, arena, *c);
+        }
+    }
+    for g in &mut func_pta.global_stores {
+        g.cond = tr.translate(src_arena, arena, g.cond);
+    }
+    for g in &mut func_pta.global_loads {
+        g.cond = tr.translate(src_arena, arena, g.cond);
+    }
+    shapes[fid.0 as usize] = shape;
+    pta[fid.0 as usize] = func_pta;
+}
+
 /// Runs the pipeline with function-level parallelism.
 ///
 /// The call graph's SCC condensation is stratified into *levels*
@@ -268,24 +398,7 @@ pub fn analyze_module_par(
         .map(|(id, f)| (f.name.clone(), id))
         .collect();
 
-    // Stratify the SCC condensation. `bottom_up` lists all members of a
-    // callee SCC before any member of a caller SCC, so one pass fixes
-    // every level.
-    let mut scc_level = vec![0usize; callgraph.sccs.len()];
-    for &f in &callgraph.bottom_up {
-        let sf = callgraph.scc_of[f.0 as usize];
-        for &c in &callgraph.callees[f.0 as usize] {
-            let sc = callgraph.scc_of[c.0 as usize];
-            if sc != sf {
-                scc_level[sf] = scc_level[sf].max(scc_level[sc] + 1);
-            }
-        }
-    }
-    let max_level = scc_level.iter().copied().max().unwrap_or(0);
-    let mut levels: Vec<Vec<FuncId>> = vec![Vec::new(); max_level + 1];
-    for &f in &callgraph.bottom_up {
-        levels[scc_level[callgraph.scc_of[f.0 as usize]]].push(f);
-    }
+    let levels = stratify_levels(&callgraph);
 
     for level_fids in &levels {
         // Detach the level's bodies so workers can transform them while
@@ -300,95 +413,35 @@ pub fn analyze_module_par(
             })
             .collect();
 
-        let results: Vec<FuncResult> = if threads == 1 || work.len() <= 1 {
-            let mut lane = trace.fork(1);
-            let out = work
-                .iter_mut()
-                .map(|(fid, f)| {
-                    let span = lane.open("pta.func", f.name.clone());
-                    let r = analyze_one(*fid, f, &shapes, &callgraph, &names, config.prune);
-                    lane.close(span);
-                    r
-                })
-                .collect();
-            trace.merge(lane);
-            out
-        } else {
-            let chunk = work.len().div_ceil(threads);
-            let shapes_ref = &shapes;
-            let cg = &callgraph;
-            let names_ref = &names;
-            let prune = config.prune;
-            let trace_ref = &*trace;
-            let (out, lanes) = std::thread::scope(|s| {
-                let handles: Vec<_> = work
-                    .chunks_mut(chunk)
-                    .enumerate()
-                    .map(|(shard_idx, shard)| {
-                        s.spawn(move || {
-                            let mut lane = trace_ref.fork(shard_idx as u32 + 1);
-                            let results = shard
-                                .iter_mut()
-                                .map(|(fid, f)| {
-                                    let span = lane.open("pta.func", f.name.clone());
-                                    let r = analyze_one(*fid, f, shapes_ref, cg, names_ref, prune);
-                                    lane.close(span);
-                                    r
-                                })
-                                .collect::<Vec<_>>();
-                            (results, lane)
-                        })
-                    })
-                    .collect();
-                let mut out = Vec::new();
-                let mut lanes = Vec::new();
-                for h in handles {
-                    let (results, lane) = h.join().expect("points-to worker panicked");
-                    out.extend(results);
-                    lanes.push(lane);
-                }
-                (out, lanes)
-            });
-            for lane in lanes {
-                trace.merge(lane);
-            }
-            out
-        };
+        let results = run_level(
+            &mut work,
+            &shapes,
+            &callgraph,
+            &names,
+            config.prune,
+            threads,
+            trace,
+        );
 
         for (fid, f) in work {
             module.funcs[fid.0 as usize] = f;
         }
 
-        // Deterministic merge, in the level's bottom-up order: re-derive
-        // the symbol cache against the shared arena (sorted value order),
-        // then rebuild every condition term through the translator's
-        // smart constructors so canonical child ordering is restored in
-        // the target arena.
+        // Deterministic merge, in the level's bottom-up order.
         for r in results {
-            let f = module.func(r.fid);
-            for v in r.symbols.cached_values(r.fid) {
-                symbols.value_term(&mut arena, r.fid, f, v);
-            }
-            let mut tr = TermTranslator::new();
-            let mut func_pta = r.pta;
-            for d in &mut func_pta.mem_deps {
-                d.cond = tr.translate(&r.arena, &mut arena, d.cond);
-            }
-            let mut keys: Vec<ValueId> = func_pta.points_to.keys().copied().collect();
-            keys.sort_unstable();
-            for k in keys {
-                for (_, c) in func_pta.points_to.get_mut(&k).expect("key just listed") {
-                    *c = tr.translate(&r.arena, &mut arena, *c);
-                }
-            }
-            for g in &mut func_pta.global_stores {
-                g.cond = tr.translate(&r.arena, &mut arena, g.cond);
-            }
-            for g in &mut func_pta.global_loads {
-                g.cond = tr.translate(&r.arena, &mut arena, g.cond);
-            }
-            shapes[r.fid.0 as usize] = r.shape;
-            pta[r.fid.0 as usize] = func_pta;
+            let cached_values = r.symbols.cached_values(r.fid);
+            merge_one(
+                r.fid,
+                module.func(r.fid),
+                r.shape,
+                r.pta,
+                &r.arena,
+                &cached_values,
+                &mut arena,
+                &mut symbols,
+                &mut shapes,
+                &mut pta,
+            );
             linear.unsat_count += r.unsat;
             linear.unknown_count += r.unknown;
         }
@@ -402,6 +455,177 @@ pub fn analyze_module_par(
         pta,
         linear,
     }
+}
+
+/// A function's complete per-function analysis output in its private
+/// term arena — everything needed to splice the function into a later
+/// run without re-analyzing it. This is the unit the persistent cache
+/// stores and loads.
+///
+/// Because every worker analysis starts from a fresh private arena, the
+/// artifact of a function whose content (and callee-summary cone) is
+/// unchanged is bit-identical across runs; replaying the deterministic
+/// merge over loaded artifacts therefore reconstructs the exact shared
+/// state a cold run would have produced.
+#[derive(Debug)]
+pub struct FuncArtifact {
+    /// The transformed (post-connector, call-site-rewritten) body.
+    pub body: Function,
+    /// Connector shape.
+    pub shape: AuxShape,
+    /// Points-to result, with conditions in [`FuncArtifact::arena`].
+    pub pta: FuncPta,
+    /// The private term arena all conditions refer into.
+    pub arena: TermArena,
+    /// Sorted values the symbol interner cached for this function; the
+    /// merge re-derives their terms against the shared arena in exactly
+    /// this order.
+    pub cached_values: Vec<ValueId>,
+    /// Linear-solver unsat verdicts attributed to this function.
+    pub unsat: u64,
+    /// Linear-solver unknown verdicts attributed to this function.
+    pub unknown: u64,
+}
+
+/// Where [`analyze_module_cached`] loads and stores per-function
+/// artifacts. Implementations must treat `key` as fully identifying:
+/// a `load` hit is spliced into the run *without verification*, so a
+/// store must never return an artifact for a key it was not stored
+/// under.
+pub trait ArtifactStore {
+    /// Fetches the artifact stored under `key`, if any.
+    fn load(&mut self, key: u128) -> Option<FuncArtifact>;
+    /// Persists `artifact` under `key`. Failures must be swallowed
+    /// (degrading to a miss on the next run), not surfaced.
+    fn store(&mut self, key: u128, artifact: &FuncArtifact);
+}
+
+/// Outcome counters of a cached run (see [`analyze_module_cached`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Functions spliced from the store.
+    pub hits: u64,
+    /// Functions analyzed fresh (and written back).
+    pub misses: u64,
+}
+
+/// Runs the parallel pipeline against a persistent artifact store.
+///
+/// `keys[fid]` must be a content key that changes whenever function
+/// `fid`'s analysis inputs change (its own body, its callee-summary
+/// cone, the configuration, or the artifact format). For each function,
+/// a store hit splices the persisted transformed body and private-arena
+/// result; a miss analyzes the function exactly as
+/// [`analyze_module_par`] would and writes the artifact back. Hits and
+/// misses then flow through the same deterministic bottom-up merge, so
+/// the result is byte-identical to a cold run.
+pub fn analyze_module_cached(
+    module: &mut Module,
+    config: &PtaConfig,
+    threads: usize,
+    trace: &mut TraceBuf,
+    keys: &[u128],
+    store: &mut dyn ArtifactStore,
+) -> (ModuleAnalysis, CacheOutcome) {
+    let threads = threads.max(1);
+    let callgraph = CallGraph::new(module);
+    let n = module.funcs.len();
+    assert_eq!(keys.len(), n, "one cache key per function");
+    let mut arena = TermArena::new();
+    let mut symbols = Symbols::new();
+    let mut linear = LinearSolver::new();
+    let mut shapes: Vec<AuxShape> = vec![AuxShape::default(); n];
+    let mut pta: Vec<FuncPta> = (0..n).map(|_| FuncPta::default()).collect();
+    let names: HashMap<String, FuncId> = module
+        .iter_funcs()
+        .map(|(id, f)| (f.name.clone(), id))
+        .collect();
+    let mut outcome = CacheOutcome::default();
+
+    let levels = stratify_levels(&callgraph);
+
+    for level_fids in &levels {
+        // Probe the store first; hits splice their transformed body into
+        // the module immediately so caller levels rewrite against it.
+        let mut artifacts: HashMap<FuncId, FuncArtifact> = HashMap::new();
+        let mut work: Vec<(FuncId, Function)> = Vec::new();
+        for &fid in level_fids {
+            match store.load(keys[fid.0 as usize]) {
+                Some(art) => {
+                    outcome.hits += 1;
+                    module.funcs[fid.0 as usize] = art.body.clone();
+                    artifacts.insert(fid, art);
+                }
+                None => {
+                    outcome.misses += 1;
+                    work.push((
+                        fid,
+                        std::mem::replace(&mut module.funcs[fid.0 as usize], Function::new("")),
+                    ));
+                }
+            }
+        }
+
+        let results = run_level(
+            &mut work,
+            &shapes,
+            &callgraph,
+            &names,
+            config.prune,
+            threads,
+            trace,
+        );
+
+        for (fid, f) in work {
+            module.funcs[fid.0 as usize] = f;
+        }
+
+        for r in results {
+            let art = FuncArtifact {
+                body: module.func(r.fid).clone(),
+                shape: r.shape,
+                pta: r.pta,
+                arena: r.arena,
+                cached_values: r.symbols.cached_values(r.fid),
+                unsat: r.unsat,
+                unknown: r.unknown,
+            };
+            store.store(keys[r.fid.0 as usize], &art);
+            artifacts.insert(r.fid, art);
+        }
+
+        // Uniform deterministic merge over hits and misses alike, in the
+        // level's bottom-up order — the same order a cold run uses.
+        for &fid in level_fids {
+            let art = artifacts.remove(&fid).expect("level function analyzed");
+            merge_one(
+                fid,
+                module.func(fid),
+                art.shape,
+                art.pta,
+                &art.arena,
+                &art.cached_values,
+                &mut arena,
+                &mut symbols,
+                &mut shapes,
+                &mut pta,
+            );
+            linear.unsat_count += art.unsat;
+            linear.unknown_count += art.unknown;
+        }
+    }
+
+    (
+        ModuleAnalysis {
+            arena,
+            symbols,
+            callgraph,
+            shapes,
+            pta,
+            linear,
+        },
+        outcome,
+    )
 }
 
 #[cfg(test)]

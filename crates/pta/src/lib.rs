@@ -51,7 +51,8 @@ pub mod symbols;
 pub mod transform;
 
 pub use driver::{
-    analyze_module, analyze_module_par, analyze_module_with, ModuleAnalysis, PtaConfig,
+    analyze_module, analyze_module_cached, analyze_module_par, analyze_module_with, ArtifactStore,
+    CacheOutcome, FuncArtifact, ModuleAnalysis, PtaConfig,
 };
 pub use incremental::{analyze_module_incremental, IncrementalOutcome};
 pub use intra::{FuncPta, GlobalAccess, MemDep, PtaStats};

@@ -45,4 +45,4 @@ pub mod theory;
 
 pub use linear::{LinearSolver, LinearVerdict};
 pub use solver::{LastQueryCost, SmtResult, SmtSolver};
-pub use term::{Sort, TermArena, TermId, TermKind, TermMark, TermTranslator};
+pub use term::{RawTermError, Sort, TermArena, TermId, TermKind, TermMark, TermTranslator};

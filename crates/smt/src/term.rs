@@ -35,6 +35,18 @@ impl TermId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a `TermId` from a raw index, e.g. when decoding a
+    /// persisted arena. The caller is responsible for only using the id
+    /// with an arena in which that index is populated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        TermId(u32::try_from(index).expect("term index overflow"))
+    }
 }
 
 impl fmt::Display for TermId {
@@ -125,6 +137,53 @@ impl TermArena {
     /// Returns the sort of `t`.
     pub fn sort(&self, t: TermId) -> Sort {
         self.sorts[t.index()]
+    }
+
+    /// Iterates over every term in insertion (id) order as `(kind, sort)`
+    /// pairs. This is the serialization view of the arena: replaying the
+    /// sequence through [`TermArena::push_raw`] reconstructs a bit-identical
+    /// arena, because ids are dense indices assigned in insertion order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&TermKind, Sort)> {
+        self.terms
+            .iter()
+            .zip(self.sorts.iter())
+            .map(|(k, &s)| (k, s))
+    }
+
+    /// Appends a term with an explicit structure, for rebuilding an arena
+    /// from a persisted [`TermArena::kinds`] stream. Unlike the smart
+    /// constructors this performs *no* simplification: the term is stored
+    /// exactly as given, so a replayed stream reproduces the original ids.
+    ///
+    /// Returns an error (leaving the arena untouched) if the term refers
+    /// to children at indices not yet populated, or if a structurally
+    /// equal term already exists — either would break the hash-consing
+    /// invariant that every id has a unique structure.
+    pub fn push_raw(&mut self, kind: TermKind, sort: Sort) -> Result<TermId, RawTermError> {
+        let len = self.terms.len();
+        let ok = |t: TermId| t.index() < len;
+        let children_ok = match &kind {
+            TermKind::BoolConst(_) | TermKind::IntConst(_) | TermKind::Var(..) => true,
+            TermKind::Not(x) | TermKind::Neg(x) => ok(*x),
+            TermKind::And(xs) | TermKind::Or(xs) | TermKind::Add(xs) => xs.iter().all(|&x| ok(x)),
+            TermKind::Ite(c, a, b) => ok(*c) && ok(*a) && ok(*b),
+            TermKind::Eq(a, b)
+            | TermKind::Lt(a, b)
+            | TermKind::Le(a, b)
+            | TermKind::Sub(a, b)
+            | TermKind::Mul(a, b) => ok(*a) && ok(*b),
+        };
+        if !children_ok {
+            return Err(RawTermError::ForwardReference);
+        }
+        if self.consed.contains_key(&kind) {
+            return Err(RawTermError::Duplicate);
+        }
+        let id = TermId(u32::try_from(len).expect("term arena overflow"));
+        self.terms.push(kind.clone());
+        self.sorts.push(sort);
+        self.consed.insert(kind, id);
+        Ok(id)
     }
 
     fn intern(&mut self, kind: TermKind, sort: Sort) -> TermId {
@@ -539,6 +598,24 @@ impl TermArena {
 /// Opaque checkpoint of a [`TermArena`] (see [`TermArena::mark`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TermMark(usize);
+
+/// Rejection reasons for [`TermArena::push_raw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawTermError {
+    /// The term references a child index that is not yet populated.
+    ForwardReference,
+    /// A structurally equal term already exists in the arena.
+    Duplicate,
+}
+
+impl fmt::Display for RawTermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RawTermError::ForwardReference => write!(f, "term references an unpopulated child"),
+            RawTermError::Duplicate => write!(f, "structurally duplicate term"),
+        }
+    }
+}
 
 /// Imports terms from one arena into another, structurally.
 ///

@@ -9,7 +9,7 @@
 
 use pinpoint::baseline::{dense_check, layered_check_uaf, Fsvfg};
 use pinpoint::workload::{generate, GenConfig};
-use pinpoint::{Analysis, CheckerKind};
+use pinpoint::{AnalysisBuilder, CheckerKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let project = generate(&GenConfig {
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Pinpoint.
-    let analysis = Analysis::from_source(&project.source)?;
+    let analysis = AnalysisBuilder::new().build_source(&project.source)?;
     let reports = analysis.check(CheckerKind::UseAfterFree);
     let hit = |marker: &str| {
         reports.iter().any(|r| {

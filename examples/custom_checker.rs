@@ -12,7 +12,7 @@
 //! ```
 
 use pinpoint::core::spec::{SinkSpec, SourceSpec, Spec};
-use pinpoint::Analysis;
+use pinpoint::AnalysisBuilder;
 
 const APP: &str = r#"
     // The project's own API surface (ordinary functions).
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traverses_transforms: true,
     };
 
-    let analysis = Analysis::from_source(APP)?;
+    let analysis = AnalysisBuilder::new().build_source(APP)?;
     let reports = analysis.check_custom(&spec);
 
     println!(

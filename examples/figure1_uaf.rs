@@ -14,7 +14,7 @@
 //! cargo run --example figure1_uaf
 //! ```
 
-use pinpoint::{Analysis, CheckerKind};
+use pinpoint::{AnalysisBuilder, CheckerKind};
 
 const FIGURE1: &str = r#"
     global gb: int;
@@ -59,7 +59,7 @@ const FIGURE1: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analysis = Analysis::from_source(FIGURE1)?;
+    let analysis = AnalysisBuilder::new().build_source(FIGURE1)?;
 
     // The connector model at work: bar reads and writes *(q,1), so the
     // Fig. 3 transformation gave it an Aux formal parameter (X) and an

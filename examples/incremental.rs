@@ -8,12 +8,20 @@
 //! its callees' connector shapes — so an edit dirties exactly its
 //! transitive caller chain.
 //!
+//! Two mechanisms deliver that, demonstrated below:
+//!
+//! 1. **in-process** — [`Analysis::update_incremental`] splices the new
+//!    functions into a live artefact;
+//! 2. **cross-run** — [`AnalysisBuilder::cache_dir`] persists
+//!    per-function artifacts keyed by content fingerprints, so even a
+//!    fresh process re-analyzes only what changed.
+//!
 //! ```sh
 //! cargo run --release --example incremental
 //! ```
 
 use pinpoint::workload::{generate, GenConfig};
-use pinpoint::{Analysis, CheckerKind};
+use pinpoint::{AnalysisBuilder, CheckerKind};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Full analysis.
     let t0 = Instant::now();
-    let mut analysis = Analysis::from_source(&project.source)?;
+    let mut analysis = AnalysisBuilder::new().build_source(&project.source)?;
     let full_time = t0.elapsed();
     let baseline: usize = analysis.check(CheckerKind::UseAfterFree).len();
     println!("full analysis: {full_time:?}, {baseline} reports");
@@ -66,5 +74,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reanalyzed,
         total
     );
+
+    // The same reuse across *runs*: a persistent cache keyed by content
+    // fingerprints. The first build populates it; a later build (here,
+    // of the edited source — imagine a fresh process after the edit)
+    // loads every clean function's artifacts from disk.
+    let dir = std::env::temp_dir().join(format!("pinpoint-example-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let t2 = Instant::now();
+    let cold = AnalysisBuilder::new()
+        .cache_dir(&dir)
+        .build_source(&project.source)?;
+    let populate_time = t2.elapsed();
+    let t3 = Instant::now();
+    let warm = AnalysisBuilder::new()
+        .cache_dir(&dir)
+        .build_source(&edited)?;
+    let warm_time = t3.elapsed();
+    let c = warm.stats.cache;
+    println!(
+        "\npersistent cache ({}):\n  populate run: {populate_time:?} ({} artifacts stored)\n  \
+         warm run after the edit: {warm_time:?} — {} hits, {} misses ({:.1}% reuse)",
+        dir.display(),
+        cold.stats.cache.misses,
+        c.hits,
+        c.misses,
+        100.0 * c.hits as f64 / (c.hits + c.misses) as f64,
+    );
+    assert_eq!(
+        warm.check(CheckerKind::UseAfterFree).len(),
+        baseline,
+        "warm verdicts identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

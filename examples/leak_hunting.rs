@@ -7,7 +7,7 @@
 //! ```
 
 use pinpoint::core::LeakKind;
-use pinpoint::Analysis;
+use pinpoint::AnalysisBuilder;
 
 const MANAGER: &str = r#"
     // A connection manager: sessions are pooled, buffers are scratch.
@@ -57,7 +57,7 @@ const MANAGER: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analysis = Analysis::from_source(MANAGER)?;
+    let analysis = AnalysisBuilder::new().build_source(MANAGER)?;
     let leaks = analysis.check_leaks();
 
     println!("{} leak(s) found:\n", leaks.len());

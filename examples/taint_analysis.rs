@@ -5,7 +5,7 @@
 //! cargo run --example taint_analysis
 //! ```
 
-use pinpoint::{Analysis, CheckerKind};
+use pinpoint::{AnalysisBuilder, CheckerKind};
 
 const SERVER: &str = r#"
     // A request handler: reads a path component from the network,
@@ -57,7 +57,7 @@ const SERVER: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analysis = Analysis::from_source(SERVER)?;
+    let analysis = AnalysisBuilder::new().build_source(SERVER)?;
     let mut session = analysis.session();
 
     let pt = session.check(CheckerKind::PathTraversal);

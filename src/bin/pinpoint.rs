@@ -10,7 +10,12 @@
 //! pinpoint dump-seg program.pp foo          # SEG of `foo` as Graphviz
 //! pinpoint stats program.pp                 # pipeline statistics
 //! pinpoint profile program.pp --top 10      # per-query solver attribution
+//! pinpoint cache info .pinpoint-cache       # persistent-cache maintenance
 //! ```
+//!
+//! `check`, `leaks`, and `stats` accept `--cache-dir DIR` to persist
+//! per-function analysis artifacts across runs: warm re-runs re-analyze
+//! only edited functions and their callers, with byte-identical results.
 //!
 //! `check`, `leaks`, and `stats` additionally accept `--trace-out FILE`
 //! (Chrome trace-event JSON, loadable in Perfetto) and
@@ -74,20 +79,28 @@ impl From<&str> for CliError {
 }
 
 const USAGE: &str = "usage:
-  pinpoint check <file> [--checker uaf|taint-pt|taint-dt|null] [--json] [--no-solve] [--ctx-depth N] [--threads N] [--trace-out FILE] [--stats-json FILE]
-  pinpoint leaks <file> [--json] [--threads N] [--trace-out FILE] [--stats-json FILE]
+  pinpoint check <file> [--checker uaf|taint-pt|taint-dt|null] [--json] [--no-solve] [--ctx-depth N] [--threads N] [--cache-dir DIR] [--trace-out FILE] [--stats-json FILE]
+  pinpoint leaks <file> [--json] [--threads N] [--cache-dir DIR] [--trace-out FILE] [--stats-json FILE]
   pinpoint dump-ir <file>
   pinpoint dump-seg <file> <function> [--threads N]
-  pinpoint stats <file> [--threads N] [--trace-out FILE] [--stats-json FILE]
+  pinpoint stats <file> [--threads N] [--cache-dir DIR] [--trace-out FILE] [--stats-json FILE]
   pinpoint profile <file> [--top K] [--threads N]
+  pinpoint cache info|clear|verify <dir>
 
   --threads N defaults to the available parallelism.
+  --cache-dir persists per-function analysis artifacts keyed by content
+  fingerprints, so a warm re-run only re-analyzes edited functions and
+  their callers (results stay byte-identical; a corrupt or missing cache
+  degrades to a cold run).
   --trace-out writes hierarchical span data as Chrome trace-event JSON
   (open in Perfetto / chrome://tracing); --stats-json writes the unified
   pinpoint-stats-v1 metrics document including per-query attribution.";
 
 fn run(args: &[String]) -> Result<bool, CliError> {
     let cmd = args.first().ok_or("missing subcommand")?;
+    if cmd == "cache" {
+        return cache_cmd(&args[1..]);
+    }
     let file = args.get(1).ok_or("missing input file")?;
     let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
     match cmd.as_str() {
@@ -116,10 +129,13 @@ fn run(args: &[String]) -> Result<bool, CliError> {
         "stats" => {
             let mut flags: Vec<String> = args[2..].to_vec();
             let obs = extract_obs(&mut flags)?;
+            let cache_dir = extract_value(&mut flags, "--cache-dir")?;
             let threads = parse_threads(&flags)?;
-            let analysis = builder_with(threads)
-                .trace(obs.trace_out.is_some())
-                .build_source(&source)?;
+            let mut builder = builder_with(threads).trace(obs.trace_out.is_some());
+            if let Some(dir) = &cache_dir {
+                builder = builder.cache_dir(dir);
+            }
+            let analysis = builder.build_source(&source)?;
             let mut session = analysis.session();
             let _ = session.check_all();
             write_obs(&session, &obs)?;
@@ -139,9 +155,49 @@ fn run(args: &[String]) -> Result<bool, CliError> {
             println!("candidates:       {}", s.detect.candidates);
             println!("SMT-refuted:      {}", s.detect.refuted);
             println!("reports:          {}", s.detect.reports);
+            if cache_dir.is_some() {
+                println!("cache hits:       {}", s.cache.hits);
+                println!("cache misses:     {}", s.cache.misses);
+                println!("cache invalid:    {}", s.cache.invalidated);
+            }
             Ok(false)
         }
         other => Err(format!("unknown subcommand `{other}`").into()),
+    }
+}
+
+/// `pinpoint cache info|clear|verify <dir>`: maintenance for a
+/// `--cache-dir` store.
+fn cache_cmd(args: &[String]) -> Result<bool, CliError> {
+    use pinpoint::cache::CacheStore;
+    let action = args.first().ok_or("missing cache action")?;
+    let dir = std::path::Path::new(args.get(1).ok_or("missing cache directory")?);
+    match action.as_str() {
+        "info" => {
+            let info = CacheStore::info(dir).map_err(|e| format!("cannot read cache: {e}"))?;
+            println!("entries:     {}", info.entries);
+            println!("bytes:       {}", info.bytes);
+            println!("temp files:  {}", info.temp_files);
+            Ok(false)
+        }
+        "clear" => {
+            let removed = CacheStore::clear(dir).map_err(|e| format!("cannot clear cache: {e}"))?;
+            println!("removed {removed} entries");
+            Ok(false)
+        }
+        "verify" => {
+            let outcome =
+                CacheStore::verify(dir).map_err(|e| format!("cannot verify cache: {e}"))?;
+            println!("ok:          {}", outcome.ok);
+            println!("corrupt:     {}", outcome.corrupt.len());
+            for p in &outcome.corrupt {
+                println!("  {}", p.display());
+            }
+            // Corrupt entries are reported through the exit code like
+            // reports are: 1 = findings.
+            Ok(!outcome.corrupt.is_empty())
+        }
+        other => Err(format!("unknown cache action `{other}`").into()),
     }
 }
 
@@ -225,6 +281,7 @@ fn parse_checker(name: &str) -> Result<CheckerKind, CliError> {
 fn check(source: &str, flags: &[String]) -> Result<bool, CliError> {
     let mut flags: Vec<String> = flags.to_vec();
     let obs = extract_obs(&mut flags)?;
+    let cache_dir = extract_value(&mut flags, "--cache-dir")?;
     let mut kinds: Vec<CheckerKind> = Vec::new();
     let mut json = false;
     let mut solve = true;
@@ -266,6 +323,9 @@ fn check(source: &str, flags: &[String]) -> Result<bool, CliError> {
     if let Some(d) = ctx_depth {
         builder = builder.max_ctx_depth(d);
     }
+    if let Some(dir) = &cache_dir {
+        builder = builder.cache_dir(dir);
+    }
     let analysis = builder.build_source(source)?;
     let mut session = analysis.session();
     let all: Vec<Report> = session.check_configured();
@@ -290,11 +350,14 @@ fn check(source: &str, flags: &[String]) -> Result<bool, CliError> {
 fn leaks(source: &str, flags: &[String]) -> Result<bool, CliError> {
     let mut flags: Vec<String> = flags.to_vec();
     let obs = extract_obs(&mut flags)?;
+    let cache_dir = extract_value(&mut flags, "--cache-dir")?;
     let json = flags.iter().any(|f| f == "--json");
     let threads = parse_threads(&flags)?;
-    let analysis = builder_with(threads)
-        .trace(obs.trace_out.is_some())
-        .build_source(source)?;
+    let mut builder = builder_with(threads).trace(obs.trace_out.is_some());
+    if let Some(dir) = &cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let analysis = builder.build_source(source)?;
     let mut session = analysis.session();
     let reports = session.check_leaks();
     write_obs(&session, &obs)?;

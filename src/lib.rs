@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub use pinpoint_baseline as baseline;
+pub use pinpoint_cache as cache;
 pub use pinpoint_core as core;
 pub use pinpoint_ir as ir;
 pub use pinpoint_obs as obs;

@@ -1,0 +1,203 @@
+//! Crash-safety tests for the persistent analysis cache: every corrupted
+//! or torn on-disk state must degrade to a correct cold run — identical
+//! reports, bumped `invalidated`/`misses` counters, never a panic or a
+//! wrong result.
+
+use pinpoint::cache::{CacheStore, HEADER_LEN};
+use pinpoint::{Analysis, AnalysisBuilder};
+use std::path::{Path, PathBuf};
+
+const SRC: &str = "fn release(x: int*) { free(x); return; }
+fn main(c: bool) {
+    let p: int* = malloc();
+    if (c) { release(p); }
+    let x: int = *p;
+    print(x);
+    return;
+}";
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pinpoint-corrupt-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn build(cache: Option<&Path>) -> Analysis {
+    let mut b = AnalysisBuilder::new().threads(1);
+    if let Some(dir) = cache {
+        b = b.cache_dir(dir);
+    }
+    b.build_source(SRC).unwrap()
+}
+
+fn render(analysis: &Analysis) -> String {
+    let mut out: Vec<String> = analysis
+        .check_all()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    out.push(format!("terms={}", analysis.arena.len()));
+    out.join("\n")
+}
+
+fn object_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir.join("objects"))
+        .expect("objects dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "cache must have been primed");
+    files
+}
+
+/// Primes a cache, corrupts it via `mutate`, and asserts the warm run
+/// still matches the cold baseline while counting invalidations.
+fn corruption_degrades_to_cold(tag: &str, mutate: impl Fn(&Path)) -> pinpoint::cache::CacheStats {
+    let dir = temp_cache(tag);
+    build(Some(&dir));
+    for f in object_files(&dir) {
+        mutate(&f);
+    }
+    let warm = build(Some(&dir));
+    let cold = build(None);
+    assert_eq!(
+        render(&warm),
+        render(&cold),
+        "{tag}: reports must match cold run"
+    );
+    let stats = warm.stats.cache;
+    let _ = std::fs::remove_dir_all(&dir);
+    stats
+}
+
+#[test]
+fn truncated_files_fall_back_cold() {
+    let stats = corruption_degrades_to_cold("truncate", |f| {
+        let bytes = std::fs::read(f).unwrap();
+        // Cut inside the payload (checksum catches it) — and for tiny
+        // files, inside the header (length check catches it).
+        let keep = (bytes.len() * 2 / 3).min(bytes.len().saturating_sub(1));
+        std::fs::write(f, &bytes[..keep]).unwrap();
+    });
+    assert!(stats.invalidated > 0, "{stats:?}");
+    assert!(stats.misses > 0, "{stats:?}");
+    assert_eq!(stats.hits, 0, "{stats:?}");
+}
+
+#[test]
+fn header_shorter_than_frame_falls_back_cold() {
+    let stats = corruption_degrades_to_cold("tiny", |f| {
+        std::fs::write(f, [0xAAu8; HEADER_LEN - 1]).unwrap();
+    });
+    assert!(stats.invalidated > 0, "{stats:?}");
+    assert_eq!(stats.hits, 0, "{stats:?}");
+}
+
+#[test]
+fn flipped_version_byte_falls_back_cold() {
+    let stats = corruption_degrades_to_cold("version", |f| {
+        let mut bytes = std::fs::read(f).unwrap();
+        bytes[4] ^= 0xFF; // first byte of the little-endian format version
+        std::fs::write(f, &bytes).unwrap();
+    });
+    assert!(stats.invalidated > 0, "{stats:?}");
+    assert_eq!(stats.hits, 0, "{stats:?}");
+}
+
+#[test]
+fn flipped_key_echo_falls_back_cold() {
+    let stats = corruption_degrades_to_cold("keyecho", |f| {
+        let mut bytes = std::fs::read(f).unwrap();
+        bytes[8] ^= 0x01; // first byte of the key echo
+        std::fs::write(f, &bytes).unwrap();
+    });
+    assert!(stats.invalidated > 0, "{stats:?}");
+    assert_eq!(stats.hits, 0, "{stats:?}");
+}
+
+#[test]
+fn flipped_payload_byte_falls_back_cold() {
+    let stats = corruption_degrades_to_cold("payload", |f| {
+        let mut bytes = std::fs::read(f).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(f, &bytes).unwrap();
+    });
+    assert!(stats.invalidated > 0, "{stats:?}");
+    assert_eq!(stats.hits, 0, "{stats:?}");
+}
+
+/// A crash mid-write leaves a `.tmp-` file but never a partially
+/// renamed object: the warm run ignores the debris and hits normally,
+/// and `verify` reports the store healthy.
+#[test]
+fn interrupted_write_debris_is_ignored() {
+    let dir = temp_cache("torn");
+    build(Some(&dir));
+    std::fs::write(dir.join("objects/.tmp-deadbeef-42"), b"partial write").unwrap();
+    let warm = build(Some(&dir));
+    let cold = build(None);
+    assert_eq!(render(&warm), render(&cold));
+    assert_eq!(warm.stats.cache.misses, 0, "{:?}", warm.stats.cache);
+    assert!(warm.stats.cache.hits > 0);
+    let info = CacheStore::info(&dir).unwrap();
+    assert_eq!(info.temp_files, 1);
+    let outcome = CacheStore::verify(&dir).unwrap();
+    assert!(outcome.corrupt.is_empty(), "{outcome:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `verify` pinpoints exactly the corrupted entries.
+#[test]
+fn verify_reports_corrupt_entries() {
+    let dir = temp_cache("verify");
+    build(Some(&dir));
+    let files = object_files(&dir);
+    let victim = &files[0];
+    let mut bytes = std::fs::read(victim).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(victim, &bytes).unwrap();
+    let outcome = CacheStore::verify(&dir).unwrap();
+    assert_eq!(outcome.corrupt, vec![victim.clone()]);
+    assert_eq!(outcome.ok as usize, files.len() - 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cache primed from *different* source shares no keys: every probe
+/// is a clean miss (no invalidations — the entries are valid, just for
+/// other fingerprints), and the run equals cold.
+#[test]
+fn stale_fingerprints_miss_cleanly() {
+    let dir = temp_cache("stale");
+    let other = "fn main() { let x: int = 1; print(x); return; }";
+    AnalysisBuilder::new()
+        .threads(1)
+        .cache_dir(&dir)
+        .build_source(other)
+        .unwrap();
+    let warm = build(Some(&dir));
+    let cold = build(None);
+    assert_eq!(render(&warm), render(&cold));
+    assert_eq!(warm.stats.cache.hits, 0, "{:?}", warm.stats.cache);
+    assert_eq!(warm.stats.cache.invalidated, 0, "{:?}", warm.stats.cache);
+    assert!(warm.stats.cache.misses > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unwritable cache directory degrades the whole build to cold
+/// without failing it.
+#[test]
+fn unopenable_cache_dir_degrades_to_cold() {
+    let dir = temp_cache("unopenable");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A *file* where the objects directory should be makes open() fail.
+    std::fs::write(dir.join("objects"), b"not a directory").unwrap();
+    let warm = build(Some(&dir));
+    let cold = build(None);
+    assert_eq!(render(&warm), render(&cold));
+    assert_eq!(warm.stats.cache, Default::default());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -129,6 +129,264 @@ fn negation_equisatisfiable() {
     }
 }
 
+// ---- Brute-force enumeration oracle vs DPLL(T) ------------------------
+
+/// Number of boolean / integer variables in oracle formulas. Total
+/// distinct atoms stay ≤ 12, so exhaustive enumeration is cheap.
+const NB: usize = 3;
+const NI: usize = 3;
+/// Enumeration domain for integer variables. Family-A atoms compare a
+/// variable against constants in `0..=3`, so any satisfying assignment
+/// over ℤ can be clamped into this domain without changing any atom's
+/// truth value — making enumeration a *complete* oracle there.
+const DOM: [i64; 6] = [-1, 0, 1, 2, 3, 4];
+
+#[derive(Debug, Clone, Copy)]
+enum CmpOp {
+    Lt,
+    Le,
+    Eq,
+    Ne,
+}
+
+#[derive(Debug, Clone)]
+enum IntExpr {
+    Var(usize),
+    Const(i64),
+    Add(Box<IntExpr>, Box<IntExpr>),
+    Sub(Box<IntExpr>, Box<IntExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum Formula {
+    BVar(usize),
+    Cmp(CmpOp, IntExpr, IntExpr),
+    Not(Box<Formula>),
+    And(Box<Formula>, Box<Formula>),
+    Or(Box<Formula>, Box<Formula>),
+}
+
+fn eval_expr(e: &IntExpr, xs: &[i64]) -> i64 {
+    match e {
+        IntExpr::Var(i) => xs[*i],
+        IntExpr::Const(c) => *c,
+        IntExpr::Add(a, b) => eval_expr(a, xs) + eval_expr(b, xs),
+        IntExpr::Sub(a, b) => eval_expr(a, xs) - eval_expr(b, xs),
+    }
+}
+
+fn eval_formula(f: &Formula, bs: &[bool], xs: &[i64]) -> bool {
+    match f {
+        Formula::BVar(i) => bs[*i],
+        Formula::Cmp(op, a, b) => {
+            let (a, b) = (eval_expr(a, xs), eval_expr(b, xs));
+            match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+            }
+        }
+        Formula::Not(x) => !eval_formula(x, bs, xs),
+        Formula::And(a, b) => eval_formula(a, bs, xs) && eval_formula(b, bs, xs),
+        Formula::Or(a, b) => eval_formula(a, bs, xs) || eval_formula(b, bs, xs),
+    }
+}
+
+fn term_of_expr(arena: &mut TermArena, e: &IntExpr) -> TermId {
+    match e {
+        IntExpr::Var(i) => arena.var(format!("ox{i}"), Sort::Int),
+        IntExpr::Const(c) => arena.int(*c),
+        IntExpr::Add(a, b) => {
+            let (a, b) = (term_of_expr(arena, a), term_of_expr(arena, b));
+            arena.add2(a, b)
+        }
+        IntExpr::Sub(a, b) => {
+            let (a, b) = (term_of_expr(arena, a), term_of_expr(arena, b));
+            arena.sub(a, b)
+        }
+    }
+}
+
+fn term_of_formula(arena: &mut TermArena, f: &Formula) -> TermId {
+    match f {
+        Formula::BVar(i) => arena.var(format!("ob{i}"), Sort::Bool),
+        Formula::Cmp(op, a, b) => {
+            let (a, b) = (term_of_expr(arena, a), term_of_expr(arena, b));
+            match op {
+                CmpOp::Lt => arena.lt(a, b),
+                CmpOp::Le => arena.le(a, b),
+                CmpOp::Eq => arena.eq(a, b),
+                CmpOp::Ne => arena.ne(a, b),
+            }
+        }
+        Formula::Not(x) => {
+            let t = term_of_formula(arena, x);
+            arena.not(t)
+        }
+        Formula::And(a, b) => {
+            let (a, b) = (term_of_formula(arena, a), term_of_formula(arena, b));
+            arena.and2(a, b)
+        }
+        Formula::Or(a, b) => {
+            let (a, b) = (term_of_formula(arena, a), term_of_formula(arena, b));
+            arena.or2(a, b)
+        }
+    }
+}
+
+/// Exhaustively checks satisfiability over `NB` booleans and `NI`
+/// integers drawn from [`DOM`], honouring fixed boolean assignments
+/// (from a solver model).
+fn enumerate_sat(f: &Formula, fixed: &[(usize, bool)]) -> bool {
+    for bits in 0..(1u32 << NB) {
+        let bs: Vec<bool> = (0..NB).map(|i| bits & (1 << i) != 0).collect();
+        if fixed.iter().any(|&(i, v)| bs[i] != v) {
+            continue;
+        }
+        for &x0 in &DOM {
+            for &x1 in &DOM {
+                for &x2 in &DOM {
+                    if eval_formula(f, &bs, &[x0, x1, x2]) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+fn gen_cmp_op(rng: &mut Mix) -> CmpOp {
+    match rng.below(4) {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Eq,
+        _ => CmpOp::Ne,
+    }
+}
+
+/// Family A leaves: booleans and `var ⊲ const` atoms with constants in
+/// `0..=3` — the clamp-complete fragment.
+fn gen_leaf_a(rng: &mut Mix) -> Formula {
+    if rng.below(2) == 0 {
+        Formula::BVar(rng.below(NB))
+    } else {
+        Formula::Cmp(
+            gen_cmp_op(rng),
+            IntExpr::Var(rng.below(NI)),
+            IntExpr::Const(rng.below(4) as i64),
+        )
+    }
+}
+
+/// Family B leaves add variable–variable comparisons and ±arithmetic,
+/// where enumeration is only a sound (one-directional) oracle.
+fn gen_leaf_b(rng: &mut Mix) -> Formula {
+    let lhs = match rng.below(3) {
+        0 => IntExpr::Var(rng.below(NI)),
+        1 => IntExpr::Add(
+            Box::new(IntExpr::Var(rng.below(NI))),
+            Box::new(IntExpr::Var(rng.below(NI))),
+        ),
+        _ => IntExpr::Sub(
+            Box::new(IntExpr::Var(rng.below(NI))),
+            Box::new(IntExpr::Var(rng.below(NI))),
+        ),
+    };
+    let rhs = if rng.below(2) == 0 {
+        IntExpr::Var(rng.below(NI))
+    } else {
+        IntExpr::Const(rng.below(4) as i64)
+    };
+    if rng.below(4) == 0 {
+        Formula::BVar(rng.below(NB))
+    } else {
+        Formula::Cmp(gen_cmp_op(rng), lhs, rhs)
+    }
+}
+
+fn gen_formula(rng: &mut Mix, depth: usize, leaf: &dyn Fn(&mut Mix) -> Formula) -> Formula {
+    if depth == 0 || rng.below(4) == 0 {
+        let l = leaf(rng);
+        if rng.below(3) == 0 {
+            Formula::Not(Box::new(l))
+        } else {
+            l
+        }
+    } else {
+        let a = Box::new(gen_formula(rng, depth - 1, leaf));
+        let b = Box::new(gen_formula(rng, depth - 1, leaf));
+        if rng.below(2) == 0 {
+            Formula::And(a, b)
+        } else {
+            Formula::Or(a, b)
+        }
+    }
+}
+
+/// Parses a solver boolean model (`ob{i}` names) back into indices.
+fn fixed_bools(model: &[(String, bool)]) -> Vec<(usize, bool)> {
+    model
+        .iter()
+        .filter_map(|(name, v)| {
+            name.strip_prefix("ob")
+                .and_then(|i| i.parse::<usize>().ok())
+                .map(|i| (i, *v))
+        })
+        .collect()
+}
+
+/// Family A: on the clamp-complete fragment, the DPLL(T) verdict must
+/// agree *exactly* with exhaustive enumeration, and every `Sat` model's
+/// boolean assignment must extend to a full satisfying assignment.
+#[test]
+fn smt_agrees_with_enumeration_oracle_exactly() {
+    let mut rng = Mix(0x0A11);
+    for round in 0..160 {
+        let f = gen_formula(&mut rng, 3, &gen_leaf_a);
+        let mut arena = TermArena::new();
+        let t = term_of_formula(&mut arena, &f);
+        let expected = enumerate_sat(&f, &[]);
+        let mut smt = SmtSolver::new();
+        let (got, model) = smt.check_with_model(&arena, t);
+        assert_eq!(
+            got == SmtResult::Sat,
+            expected,
+            "round {round}: oracle disagrees on {f:?}"
+        );
+        if got == SmtResult::Sat {
+            assert!(
+                enumerate_sat(&f, &fixed_bools(&model)),
+                "round {round}: model {model:?} does not extend to a witness of {f:?}"
+            );
+        }
+    }
+}
+
+/// Family B: with variable–variable atoms and arithmetic, enumeration
+/// over a finite domain is still a sound oracle — any witness it finds
+/// is a real witness over ℤ, so the solver must never answer `Unsat`
+/// for an enumeration-satisfiable formula.
+#[test]
+fn smt_never_refutes_enumeration_witness() {
+    let mut rng = Mix(0x0B22);
+    for round in 0..160 {
+        let f = gen_formula(&mut rng, 3, &gen_leaf_b);
+        let mut arena = TermArena::new();
+        let t = term_of_formula(&mut arena, &f);
+        let mut smt = SmtSolver::new();
+        let got = smt.check(&arena, t);
+        if enumerate_sat(&f, &[]) {
+            assert_eq!(
+                got,
+                SmtResult::Sat,
+                "round {round}: solver refuted a formula with a finite witness: {f:?}"
+            );
+        }
+    }
+}
+
 /// Any generated project compiles and the full pipeline runs without
 /// panicking; detection candidate accounting stays consistent.
 #[test]
