@@ -1,0 +1,95 @@
+//! Warm-workspace benchmarks: the cost of answering a check after a
+//! one-function edit through a long-lived [`Workspace`] versus rebuilding
+//! and re-checking from scratch.
+//!
+//! The workspace reuses work at two layers — artefact splicing for clean
+//! functions, and cached per-source query outcomes whose search cones the
+//! edit did not touch — so the warm row's cost approaches re-lowering the
+//! source text plus re-running the few dirtied queries.
+
+use pinpoint_bench::harness::{bench, smoke_mode};
+use pinpoint_core::{AnalysisBuilder, Workspace};
+use pinpoint_workload::{generate, GenConfig};
+
+/// Inserts a harmless statement at the start of `func`'s body.
+fn edit_function(source: &str, func: &str, marker: u32) -> String {
+    let needle = format!("fn {func}(");
+    let start = source.find(&needle).expect("function exists");
+    let brace = source[start..].find('{').unwrap() + start + 1;
+    format!(
+        "{}\n    let bench_pad: int = {marker};\n    print(bench_pad);{}",
+        &source[..brace],
+        &source[brace..]
+    )
+}
+
+fn bench_workspace() {
+    println!("# group: workspace");
+    let kloc = if smoke_mode() { 1.0 } else { 10.0 };
+    let project = generate(&GenConfig {
+        seed: 13,
+        real_bugs: 2,
+        decoys: 2,
+        taint: true,
+        ..GenConfig::default().with_target_kloc(kloc)
+    });
+
+    // Cold baseline: full build + every checker, from scratch.
+    bench(&format!("cold-check/{kloc}kloc"), 5, || {
+        let mut ws = AnalysisBuilder::new()
+            .threads(1)
+            .open_workspace(&project.source)
+            .unwrap();
+        ws.check_all().len()
+    });
+
+    // Warm: one primed workspace absorbs an alternating one-function
+    // edit each iteration and re-answers every checker.
+    let mut ws = AnalysisBuilder::new()
+        .threads(1)
+        .open_workspace(&project.source)
+        .unwrap();
+    let cold_reports: Vec<String> = ws.check_all().iter().map(ToString::to_string).collect();
+    let edits = [
+        edit_function(&project.source, "filler1", 1),
+        edit_function(&project.source, "filler2", 2),
+    ];
+    let mut i = 0usize;
+    bench(&format!("warm-check/{kloc}kloc/1-func-edit"), 5, || {
+        let edited = &edits[i % edits.len()];
+        i += 1;
+        ws.update_source(edited).unwrap();
+        ws.check_all().len()
+    });
+    let c = ws.counters();
+    let total = c.queries_reused + c.queries_rerun;
+    println!(
+        "# workspace reuse: {}/{} source queries answered from cache ({:.1}%), \
+         {} funcs re-analysed vs {} spliced",
+        c.queries_reused,
+        total,
+        100.0 * c.queries_reused as f64 / total.max(1) as f64,
+        c.funcs_dirty,
+        c.funcs_reused
+    );
+    assert!(c.queries_reused > 0, "warm checks must reuse queries");
+
+    // Warm results must match a cold build of the same (last-edited)
+    // program.
+    let last = &edits[(i + edits.len() - 1) % edits.len()];
+    ws.update_source(last).unwrap();
+    let warm_reports: Vec<String> = ws.check_all().iter().map(ToString::to_string).collect();
+    let fresh: Vec<String> = Workspace::open(last)
+        .unwrap()
+        .check_all()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    assert_eq!(warm_reports, fresh, "warm reports equal a cold build");
+    // The pad-only edits do not change any verdict.
+    assert_eq!(warm_reports, cold_reports, "verdicts stable across edits");
+}
+
+fn main() {
+    bench_workspace();
+}

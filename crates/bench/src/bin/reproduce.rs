@@ -691,15 +691,15 @@ fn ablations() {
             &inc_project.source[brace..]
         )
     };
-    let (reanalyzed, inc_m) = measure(|| {
+    let (outcome, inc_m) = measure(|| {
         analysis
-            .update_incremental(&edited, &["filler1".into()])
+            .update_incremental(&edited)
             .expect("incremental update")
     });
     println!(
         "incremental: 1-function edit on {} functions → {} re-analysed; full build {} vs incremental update {}",
         analysis.module.funcs.len(),
-        reanalyzed,
+        outcome.reanalyzed,
         fmt_dur(full_m.time),
         fmt_dur(inc_m.time)
     );

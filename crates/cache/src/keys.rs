@@ -22,7 +22,7 @@
 
 use crate::store::FORMAT_VERSION;
 use pinpoint_ir::fingerprint::Fnv128;
-use pinpoint_ir::{func_fingerprint, CallGraph, Module};
+use pinpoint_ir::{module_fingerprints, CallGraph, Module};
 use pinpoint_pta::{PtaConfig, MAX_PATH_DEPTH};
 
 /// Fingerprint of everything configuration-shaped that flows into
@@ -47,11 +47,7 @@ pub fn config_fp(config: &PtaConfig) -> u128 {
 /// edge sets and hence their keys.
 pub fn module_keys(module: &Module, config_fp: u128) -> Vec<u128> {
     let cg = CallGraph::new(module);
-    let fps: Vec<u128> = module
-        .funcs
-        .iter()
-        .map(|f| func_fingerprint(f, &module.globals))
-        .collect();
+    let fps = module_fingerprints(module);
     // `sccs` is emitted in reverse topological order of the condensation
     // (callee components first), so one forward pass sees every callee
     // tfp before it is needed.

@@ -132,6 +132,11 @@ pub struct DetectStats {
     /// Call-site descents skipped because the callee's VF summary proved
     /// the parameter fruitless.
     pub skipped_descents: u64,
+    /// Source searches that exhausted [`DetectConfig::max_visited_per_source`]
+    /// and stopped early — their outcomes are truncated, not complete.
+    /// Surfaced (rather than silently dropped) so a zero here certifies
+    /// that every search ran to completion.
+    pub budget_exhausted: u64,
     /// Reports emitted.
     pub reports: u64,
 }
@@ -212,7 +217,7 @@ type CandidateKey = (FuncId, InstId, FuncId, InstId);
 /// One candidate found during a worker's search, in per-source discovery
 /// order. Recorded instead of immediately reported so the merge can
 /// replay cross-source deduplication deterministically.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CandidateEvent {
     key: CandidateKey,
     /// The mirrored key a free→free pair also suppresses (double-free
@@ -230,11 +235,30 @@ struct CandidateEvent {
 }
 
 /// Everything one source's search produced.
-#[derive(Debug)]
+///
+/// Besides the candidate events and counters the merge replays, the
+/// outcome records the *dependency cone* of the search: every function a
+/// node of the search lived in (`cone`), every function whose caller
+/// list the search consulted for an unmatched or parameter ascent
+/// (`callers_consulted`), and every global whose load list fed a
+/// global-cell channel (`globals_consulted`). Together with the
+/// transitive per-function fingerprint keys, these determine the search
+/// result completely (see [`cone_fingerprint`]), which is what makes
+/// per-source caching across edits sound.
+#[derive(Debug, Clone)]
 struct SourceOutcome {
     events: Vec<CandidateEvent>,
     visited: u64,
     skipped_descents: u64,
+    /// The search stopped early on the vertex budget.
+    truncated: bool,
+    /// Sorted, deduplicated functions visited (always contains the
+    /// source's function).
+    cone: Vec<FuncId>,
+    /// Sorted functions whose `ModuleSeg::callers` lists were read.
+    callers_consulted: Vec<FuncId>,
+    /// Sorted globals whose `ModuleSeg::global_loads` lists were read.
+    globals_consulted: Vec<pinpoint_ir::GlobalId>,
 }
 
 /// Property-wide read-only state shared by every worker.
@@ -249,6 +273,179 @@ struct SpecContext<'a> {
     sink_index: HashMap<FuncId, HashMap<ValueId, Vec<SinkSite>>>,
     /// Interface summaries of the property being checked (§3.3.2).
     summaries: Option<crate::summary::ParamSummaries>,
+}
+
+impl<'a> SpecContext<'a> {
+    fn build(
+        module: &'a Module,
+        segs: &'a ModuleSeg,
+        spec: &'a Spec,
+        kind: Option<CheckerKind>,
+        config: DetectConfig,
+    ) -> Self {
+        let summaries = config
+            .use_summaries
+            .then(|| crate::summary::ParamSummaries::build(module, segs, spec));
+        let mut sink_index: HashMap<FuncId, HashMap<ValueId, Vec<SinkSite>>> = HashMap::new();
+        for (fid, f) in module.iter_funcs() {
+            let mut by_value: HashMap<ValueId, Vec<SinkSite>> = HashMap::new();
+            for s in spec::spec_sinks(spec, f) {
+                by_value.entry(s.value).or_default().push(s);
+            }
+            sink_index.insert(fid, by_value);
+        }
+        SpecContext {
+            module,
+            segs,
+            spec,
+            kind,
+            config,
+            sink_index,
+            summaries,
+        }
+    }
+}
+
+/// Enumerates the property's sources in canonical module order — the
+/// order the merge replays and the query cache is keyed in.
+fn enumerate_sources(module: &Module, spec: &Spec) -> Vec<(FuncId, SourceSite)> {
+    module
+        .iter_funcs()
+        .flat_map(|(fid, f)| {
+            spec::spec_sources(spec, f)
+                .into_iter()
+                .map(move |s| (fid, s))
+        })
+        .collect()
+}
+
+/// Runs the given sources through worker searches, sharded contiguously
+/// over `threads`, returning one outcome per source in input order.
+fn run_sources(
+    cx: &SpecContext<'_>,
+    sources: &[(FuncId, SourceSite)],
+    symbols: &Symbols,
+    arena: &TermArena,
+    threads: usize,
+    trace: &mut TraceBuf,
+) -> Vec<SourceOutcome> {
+    if sources.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1);
+    if threads == 1 || sources.len() <= 1 {
+        let mut lane = trace.fork(1);
+        let mut w = Worker::new(cx, symbols.clone(), arena.clone());
+        let out = sources
+            .iter()
+            .map(|&(fid, s)| w.run_source(fid, s, &mut lane))
+            .collect();
+        trace.merge(lane);
+        return out;
+    }
+    let chunk = sources.len().div_ceil(threads);
+    let trace_ref = &*trace;
+    let (out, lanes) = std::thread::scope(|sc| {
+        let handles: Vec<_> = sources
+            .chunks(chunk)
+            .enumerate()
+            .map(|(shard_idx, shard)| {
+                let symbols = symbols.clone();
+                let arena = arena.clone();
+                sc.spawn(move || {
+                    let mut lane = trace_ref.fork(shard_idx as u32 + 1);
+                    let mut w = Worker::new(cx, symbols, arena);
+                    let outcomes = shard
+                        .iter()
+                        .map(|&(fid, s)| w.run_source(fid, s, &mut lane))
+                        .collect::<Vec<_>>();
+                    (outcomes, lane)
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        let mut lanes = Vec::new();
+        for h in handles {
+            let (outcomes, lane) = h.join().expect("detection worker panicked");
+            out.extend(outcomes);
+            lanes.push(lane);
+        }
+        (out, lanes)
+    });
+    for lane in lanes {
+        trace.merge(lane);
+    }
+    out
+}
+
+/// Replays per-source outcomes in canonical source order against a global
+/// seen-set, producing reports, statistics, and query attribution exactly
+/// as a single-threaded pass over the same results would. A pure function
+/// of the outcomes, so replaying a mix of cached and freshly-computed
+/// outcomes is byte-identical to replaying all-fresh ones.
+fn merge_outcomes(
+    module: &Module,
+    spec: &Spec,
+    source_count: usize,
+    outcomes: Vec<SourceOutcome>,
+) -> (Vec<Report>, DetectStats, Vec<QueryRecord>) {
+    let mut stats = DetectStats {
+        sources: source_count as u64,
+        ..DetectStats::default()
+    };
+    let mut reports = Vec::new();
+    let mut queries: Vec<QueryRecord> = Vec::new();
+    let mut seen: HashSet<CandidateKey> = HashSet::new();
+    for outcome in outcomes {
+        stats.visited += outcome.visited;
+        stats.skipped_descents += outcome.skipped_descents;
+        stats.budget_exhausted += u64::from(outcome.truncated);
+        for ev in outcome.events {
+            // Every evaluated candidate is attributed — its outcome is a
+            // pure function of the artefact, so the list (ids included)
+            // is replay-order deterministic.
+            queries.push(QueryRecord {
+                id: u32::try_from(queries.len()).expect("query count fits u32"),
+                checker: spec.name.clone(),
+                source_func: module.func(ev.key.0).name.clone(),
+                sink_func: module.func(ev.key.2).name.clone(),
+                outcome: match (&ev.report, ev.linear_refuted) {
+                    (Some(_), _) => QueryOutcome::Reported,
+                    (None, true) => QueryOutcome::LinearRefuted,
+                    (None, false) => QueryOutcome::SmtRefuted,
+                },
+                cost: QueryCost {
+                    solver_ns: ev.cost.solver_ns,
+                    conflicts: ev.cost.conflicts,
+                    learned: ev.cost.learned,
+                    propagations: ev.cost.propagations,
+                    decisions: ev.cost.decisions,
+                    theory_checks: ev.cost.theory_checks,
+                    theory_conflicts: ev.cost.theory_conflicts,
+                },
+            });
+            if !seen.insert(ev.key) {
+                continue; // claimed by an earlier source
+            }
+            if let Some(m) = ev.mirror {
+                seen.insert(m);
+            }
+            stats.candidates += 1;
+            match ev.report {
+                Some(r) => {
+                    stats.reports += 1;
+                    reports.push(r);
+                }
+                None => {
+                    stats.refuted += 1;
+                    if ev.linear_refuted {
+                        stats.linear_refuted += 1;
+                    }
+                }
+            }
+        }
+    }
+    (reports, stats, queries)
 }
 
 /// One detection worker: owns private copies of the condition vocabulary
@@ -302,139 +499,232 @@ pub(crate) fn run_spec(
     threads: usize,
     trace: &mut TraceBuf,
 ) -> (Vec<Report>, DetectStats, Vec<QueryRecord>) {
-    let summaries = config
-        .use_summaries
-        .then(|| crate::summary::ParamSummaries::build(module, segs, spec));
-    let mut sink_index: HashMap<FuncId, HashMap<ValueId, Vec<SinkSite>>> = HashMap::new();
-    for (fid, f) in module.iter_funcs() {
-        let mut by_value: HashMap<ValueId, Vec<SinkSite>> = HashMap::new();
-        for s in spec::spec_sinks(spec, f) {
-            by_value.entry(s.value).or_default().push(s);
-        }
-        sink_index.insert(fid, by_value);
+    let cx = SpecContext::build(module, segs, spec, kind, config);
+    let sources = enumerate_sources(module, spec);
+    let outcomes = run_sources(&cx, &sources, symbols, arena, threads, trace);
+    merge_outcomes(module, spec, sources.len(), outcomes)
+}
+
+/// How many source queries a cached run answered from the cache vs.
+/// re-searched.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct QueryReuse {
+    /// Sources whose cached outcome was spliced into the merge.
+    pub reused: u64,
+    /// Sources whose search was re-run.
+    pub rerun: u64,
+}
+
+/// One cached per-source search result, with the cone fingerprint it was
+/// computed under.
+#[derive(Debug, Clone)]
+struct CachedSource {
+    cone_fp: u128,
+    outcome: SourceOutcome,
+}
+
+/// An in-memory cache of per-source search outcomes, keyed by
+/// `(spec fingerprint, source function, source site, source value)`.
+///
+/// An entry is valid while its recomputed [`cone_fingerprint`] matches:
+/// the search would consult exactly the same data, so it would unfold
+/// identically. Entries whose cone intersects an edit's dirty closure get
+/// a different fingerprint and are transparently re-run. The cache must
+/// be cleared whenever the artefact is rebuilt from scratch (full
+/// fallback): term ids are only comparable within one append-only arena
+/// lineage.
+#[derive(Debug, Default)]
+pub(crate) struct QueryCache {
+    entries: HashMap<(u128, FuncId, InstId, ValueId), CachedSource>,
+}
+
+impl QueryCache {
+    /// Drops every cached outcome.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
-    let cx = SpecContext {
-        module,
-        segs,
-        spec,
-        kind,
-        config,
-        sink_index,
-        summaries,
-    };
-    let sources: Vec<(FuncId, SourceSite)> = module
-        .iter_funcs()
-        .flat_map(|(fid, f)| {
-            spec::spec_sources(spec, f)
-                .into_iter()
-                .map(move |s| (fid, s))
-        })
-        .collect();
 
-    let threads = threads.max(1);
-    let outcomes: Vec<SourceOutcome> = if threads == 1 || sources.len() <= 1 {
-        let mut lane = trace.fork(1);
-        let mut w = Worker::new(&cx, symbols.clone(), arena.clone());
-        let out = sources
-            .iter()
-            .map(|&(fid, s)| w.run_source(fid, s, &mut lane))
-            .collect();
-        trace.merge(lane);
-        out
-    } else {
-        let chunk = sources.len().div_ceil(threads);
-        let cx_ref = &cx;
-        let trace_ref = &*trace;
-        let (out, lanes) = std::thread::scope(|sc| {
-            let handles: Vec<_> = sources
-                .chunks(chunk)
-                .enumerate()
-                .map(|(shard_idx, shard)| {
-                    let symbols = symbols.clone();
-                    let arena = arena.clone();
-                    sc.spawn(move || {
-                        let mut lane = trace_ref.fork(shard_idx as u32 + 1);
-                        let mut w = Worker::new(cx_ref, symbols, arena);
-                        let outcomes = shard
-                            .iter()
-                            .map(|&(fid, s)| w.run_source(fid, s, &mut lane))
-                            .collect::<Vec<_>>();
-                        (outcomes, lane)
-                    })
-                })
-                .collect();
-            let mut out = Vec::new();
-            let mut lanes = Vec::new();
-            for h in handles {
-                let (outcomes, lane) = h.join().expect("detection worker panicked");
-                out.extend(outcomes);
-                lanes.push(lane);
+    /// Number of cached source outcomes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Fingerprint of everything that selects and parameterises a property's
+/// searches: the spec itself plus every detection knob that can change a
+/// search or its evaluation.
+pub(crate) fn spec_fingerprint(spec: &Spec, config: &DetectConfig) -> u128 {
+    use pinpoint_ir::fingerprint::Fnv128;
+    let mut h = Fnv128::new();
+    h.write_str(&spec.name);
+    match &spec.source {
+        spec::SourceSpec::CallReceiver(names) => {
+            h.write_u32(0);
+            h.write_u64(names.len() as u64);
+            for n in names {
+                h.write_str(n);
             }
-            (out, lanes)
-        });
-        for lane in lanes {
-            trace.merge(lane);
         }
-        out
-    };
+        spec::SourceSpec::FreeArgument => h.write_u32(1),
+        spec::SourceSpec::NullConstant => h.write_u32(2),
+    }
+    match &spec.sink {
+        spec::SinkSpec::DerefsAndFrees => h.write_u32(0),
+        spec::SinkSpec::Derefs => h.write_u32(1),
+        spec::SinkSpec::Calls(names) => {
+            h.write_u32(2);
+            h.write_u64(names.len() as u64);
+            for n in names {
+                h.write_str(n);
+            }
+        }
+    }
+    h.write_u32(spec.traverses_transforms as u32);
+    h.write_u32(config.max_ctx_depth);
+    h.write_u64(config.max_visited_per_source as u64);
+    h.write_u32(config.cond.max_depth);
+    h.write_u64(config.cond.max_constraints as u64);
+    h.write_u32(config.solve as u32);
+    h.write_u32(config.measure_linear as u32);
+    h.write_u32(config.use_summaries as u32);
+    h.finish()
+}
 
-    // Deterministic replay in canonical source order.
-    let mut stats = DetectStats {
-        sources: sources.len() as u64,
-        ..DetectStats::default()
-    };
-    let mut reports = Vec::new();
-    let mut queries: Vec<QueryRecord> = Vec::new();
-    let mut seen: HashSet<CandidateKey> = HashSet::new();
-    for outcome in outcomes {
-        stats.visited += outcome.visited;
-        stats.skipped_descents += outcome.skipped_descents;
-        for ev in outcome.events {
-            // Every evaluated candidate is attributed — its outcome is a
-            // pure function of the artefact, so the list (ids included)
-            // is replay-order deterministic.
-            queries.push(QueryRecord {
-                id: u32::try_from(queries.len()).expect("query count fits u32"),
-                checker: spec.name.clone(),
-                source_func: module.func(ev.key.0).name.clone(),
-                sink_func: module.func(ev.key.2).name.clone(),
-                outcome: match (&ev.report, ev.linear_refuted) {
-                    (Some(_), _) => QueryOutcome::Reported,
-                    (None, true) => QueryOutcome::LinearRefuted,
-                    (None, false) => QueryOutcome::SmtRefuted,
-                },
-                cost: QueryCost {
-                    solver_ns: ev.cost.solver_ns,
-                    conflicts: ev.cost.conflicts,
-                    learned: ev.cost.learned,
-                    propagations: ev.cost.propagations,
-                    decisions: ev.cost.decisions,
-                    theory_checks: ev.cost.theory_checks,
-                    theory_conflicts: ev.cost.theory_conflicts,
-                },
-            });
-            if !seen.insert(ev.key) {
-                continue; // claimed by an earlier source
-            }
-            if let Some(m) = ev.mirror {
-                seen.insert(m);
-            }
-            stats.candidates += 1;
-            match ev.report {
-                Some(r) => {
-                    stats.reports += 1;
-                    reports.push(r);
-                }
-                None => {
-                    stats.refuted += 1;
-                    if ev.linear_refuted {
-                        stats.linear_refuted += 1;
+/// Combined fingerprint of every artefact datum a source's search
+/// consulted, recomputed against the *current* artefact:
+///
+/// * per cone member: its transitive per-function key (covers the
+///   member's body, its SEG/sinks/dominators, and — because the keys
+///   fold callee fingerprints over the call-graph condensation — the
+///   bodies and connector shapes of everything it can call, which is
+///   what sink checks, local edges, descents, summary consultations, and
+///   matched ascents read);
+/// * per callers-list consultation (unmatched and parameter ascents):
+///   the list's entries together with each caller's call-site record
+///   (callee name, actuals, receivers) — exactly the caller-side data an
+///   ascent reads before the caller itself becomes a cone member;
+/// * per global-channel consultation: the global's load list, including
+///   the hash-consed condition term ids (content addresses within one
+///   arena lineage).
+///
+/// Equal fingerprints therefore imply the search would unfold
+/// identically and produce the same [`SourceOutcome`]. Returns `None`
+/// when an id is out of range for the current artefact (stale entry
+/// after a shape change — callers treat that as a miss).
+fn cone_fingerprint(out: &SourceOutcome, segs: &ModuleSeg, keys: &[u128]) -> Option<u128> {
+    use pinpoint_ir::fingerprint::Fnv128;
+    let mut h = Fnv128::new();
+    h.write_u64(out.cone.len() as u64);
+    for &fid in &out.cone {
+        h.write_u32(fid.0);
+        h.write_u128(*keys.get(fid.0 as usize)?);
+    }
+    h.write_u64(out.callers_consulted.len() as u64);
+    for &fid in &out.callers_consulted {
+        h.write_u32(fid.0);
+        let callers = segs.callers.get(&fid).map(Vec::as_slice).unwrap_or(&[]);
+        h.write_u64(callers.len() as u64);
+        for &(caller, site) in callers {
+            h.write_u32(caller.0);
+            h.write_u32(site.block.0);
+            h.write_u64(site.index as u64);
+            match segs.seg(caller).call_sites.get(&site) {
+                Some((callee, args, dsts)) => {
+                    h.write_u32(1);
+                    h.write_str(callee);
+                    h.write_u64(args.len() as u64);
+                    for a in args {
+                        h.write_u32(a.0);
+                    }
+                    h.write_u64(dsts.len() as u64);
+                    for d in dsts {
+                        h.write_u32(d.0);
                     }
                 }
+                None => h.write_u32(0),
             }
         }
     }
-    (reports, stats, queries)
+    h.write_u64(out.globals_consulted.len() as u64);
+    for &g in &out.globals_consulted {
+        h.write_u32(g.0);
+        let loads = segs.global_loads.get(&g).map(Vec::as_slice).unwrap_or(&[]);
+        h.write_u64(loads.len() as u64);
+        for &(lf, lv, cond) in loads {
+            h.write_u32(lf.0);
+            h.write_u32(lv.0);
+            h.write_u64(cond.index() as u64);
+        }
+    }
+    Some(h.finish())
+}
+
+/// [`run_spec`] with a per-source query cache: sources whose recomputed
+/// cone fingerprint still matches their cached entry are answered from
+/// the cache; only the rest are re-searched. All outcomes — cached and
+/// fresh — feed the same canonical merge, so the reports, statistics,
+/// and query attribution are byte-identical to an uncached run.
+///
+/// `keys` are the current per-function transitive fingerprint keys of
+/// the *pre-transform* module (`pinpoint_cache::module_keys` order).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_spec_cached(
+    module: &Module,
+    segs: &ModuleSeg,
+    symbols: &Symbols,
+    arena: &TermArena,
+    spec: &Spec,
+    kind: Option<CheckerKind>,
+    config: DetectConfig,
+    threads: usize,
+    trace: &mut TraceBuf,
+    keys: &[u128],
+    cache: &mut QueryCache,
+) -> (Vec<Report>, DetectStats, Vec<QueryRecord>, QueryReuse) {
+    let spec_fp = spec_fingerprint(spec, &config);
+    let sources = enumerate_sources(module, spec);
+    let mut slots: Vec<Option<SourceOutcome>> = Vec::with_capacity(sources.len());
+    let mut rerun: Vec<(usize, (FuncId, SourceSite))> = Vec::new();
+    for (i, &(fid, s)) in sources.iter().enumerate() {
+        let key = (spec_fp, fid, s.site, s.value);
+        let hit = cache.entries.get(&key).and_then(|e| {
+            (cone_fingerprint(&e.outcome, segs, keys) == Some(e.cone_fp)).then(|| e.outcome.clone())
+        });
+        match hit {
+            Some(outcome) => slots.push(Some(outcome)),
+            None => {
+                slots.push(None);
+                rerun.push((i, (fid, s)));
+            }
+        }
+    }
+    let reuse = QueryReuse {
+        reused: (sources.len() - rerun.len()) as u64,
+        rerun: rerun.len() as u64,
+    };
+    if !rerun.is_empty() {
+        let cx = SpecContext::build(module, segs, spec, kind, config);
+        let rerun_sources: Vec<(FuncId, SourceSite)> = rerun.iter().map(|&(_, src)| src).collect();
+        let fresh = run_sources(&cx, &rerun_sources, symbols, arena, threads, trace);
+        for ((slot, (fid, s)), outcome) in rerun.into_iter().zip(fresh) {
+            if let Some(fp) = cone_fingerprint(&outcome, segs, keys) {
+                cache.entries.insert(
+                    (spec_fp, fid, s.site, s.value),
+                    CachedSource {
+                        cone_fp: fp,
+                        outcome: outcome.clone(),
+                    },
+                );
+            }
+            slots[slot] = Some(outcome);
+        }
+    }
+    let outcomes: Vec<SourceOutcome> = slots
+        .into_iter()
+        .map(|s| s.expect("every source slot filled"))
+        .collect();
+    let (reports, stats, queries) = merge_outcomes(module, spec, sources.len(), outcomes);
+    (reports, stats, queries, reuse)
 }
 
 impl<'cx, 'a> Worker<'cx, 'a> {
@@ -494,7 +784,19 @@ impl<'cx, 'a> Worker<'cx, 'a> {
             events: Vec::new(),
             visited: 0,
             skipped_descents: 0,
+            truncated: false,
+            cone: Vec::new(),
+            callers_consulted: Vec::new(),
+            globals_consulted: Vec::new(),
         };
+        // The consultation record: every function whose artefact data this
+        // search reads (its *cone*), plus the caller lists and global load
+        // lists it consults outside the cone. Together these determine the
+        // search, which is what makes the outcome cacheable.
+        let mut cone: HashSet<FuncId> = HashSet::new();
+        cone.insert(source_func);
+        let mut callers_consulted: HashSet<FuncId> = HashSet::new();
+        let mut globals_consulted: HashSet<pinpoint_ir::GlobalId> = HashSet::new();
         // Local deduplication only; the cross-source pass happens at the
         // merge replay.
         let mut local_seen: HashSet<CandidateKey> = HashSet::new();
@@ -511,12 +813,14 @@ impl<'cx, 'a> Worker<'cx, 'a> {
         }];
         while let Some(node) = stack.pop() {
             if visited.len() > self.cx.config.max_visited_per_source {
+                out.truncated = true;
                 break;
             }
             if !visited.insert((node.func, node.value, node.ctx)) {
                 continue;
             }
             out.visited += 1;
+            cone.insert(node.func);
             // 1. Sink checks at this vertex.
             let sinks: Vec<SinkSite> = self
                 .cx
@@ -659,6 +963,7 @@ impl<'cx, 'a> Worker<'cx, 'a> {
                     }
                 } else if node.depth < self.cx.config.max_ctx_depth {
                     // Unmatched: ascend to every caller (VF2-style).
+                    callers_consulted.insert(node.func);
                     let callers = self
                         .cx
                         .segs
@@ -702,6 +1007,7 @@ impl<'cx, 'a> Worker<'cx, 'a> {
             if node.stack.is_empty() && node.depth < self.cx.config.max_ctx_depth {
                 let f = self.cx.module.func(node.func);
                 if let Some(param_idx) = f.params.iter().position(|&p| p == node.value) {
+                    callers_consulted.insert(node.func);
                     let callers = self
                         .cx
                         .segs
@@ -756,6 +1062,7 @@ impl<'cx, 'a> Worker<'cx, 'a> {
                 })
                 .collect();
             for (g, store_cond) in stores {
+                globals_consulted.insert(g);
                 let loads = self
                     .cx
                     .segs
@@ -788,6 +1095,12 @@ impl<'cx, 'a> Worker<'cx, 'a> {
         self.arena.truncate_to(mark);
         self.symbols.rollback(ckpt);
         lane.close(source_span);
+        out.cone = cone.into_iter().collect();
+        out.cone.sort_unstable();
+        out.callers_consulted = callers_consulted.into_iter().collect();
+        out.callers_consulted.sort_unstable();
+        out.globals_consulted = globals_consulted.into_iter().collect();
+        out.globals_consulted.sort_unstable();
         out
     }
 

@@ -50,7 +50,7 @@ pub fn default_threads() -> usize {
 
 /// Parses and lowers with typed errors (the facade's `compile` returns a
 /// boxed error; the pipeline wants [`PinpointError`] stages).
-fn compile_typed(src: &str) -> Result<Module, PinpointError> {
+pub(crate) fn compile_typed(src: &str) -> Result<Module, PinpointError> {
     let program = pinpoint_ir::parser::parse(src)?;
     let module = pinpoint_ir::lower::lower(&program)?;
     Ok(module)
@@ -292,25 +292,28 @@ impl AnalysisBuilder {
             .cache_dir
             .as_deref()
             .and_then(|dir| CacheStore::open(dir).ok());
-        let keys = cache
-            .as_ref()
-            .map(|_| module_keys(&module, config_fp(&self.pta)));
+        // Per-function transitive fingerprint keys of the *pre-transform*
+        // module: the persistent cache validates stored artifacts against
+        // them, and the incremental paths ([`Analysis::update_incremental`],
+        // the query cache of [`crate::workspace::Workspace`]) diff them to
+        // find what an edit dirtied.
+        let func_keys = module_keys(&module, config_fp(&self.pta));
         let t0 = Instant::now();
         let pta_span = trace.open("pta", "");
-        let mut pta = match (&mut cache, &keys) {
-            (Some(store), Some(keys)) => {
+        let mut pta = match &mut cache {
+            Some(store) => {
                 let mut adapter = PtaArtifactStore::new(store);
                 let (pta, _) = analyze_module_cached(
                     &mut module,
                     &self.pta,
                     self.threads,
                     &mut trace,
-                    keys,
+                    &func_keys,
                     &mut adapter,
                 );
                 pta
             }
-            _ => analyze_module_par(&mut module, &self.pta, self.threads, &mut trace),
+            None => analyze_module_par(&mut module, &self.pta, self.threads, &mut trace),
         };
         trace.close(pta_span);
         stats.pta_time = t0.elapsed();
@@ -319,8 +322,8 @@ impl AnalysisBuilder {
         let mut arena = std::mem::take(&mut pta.arena);
         let mut symbols = std::mem::take(&mut pta.symbols);
         let seg_span = trace.open("seg", "");
-        let segs = match (&mut cache, &keys) {
-            (Some(store), Some(keys)) => {
+        let segs = match &mut cache {
+            Some(store) => {
                 let mut adapter = SegCacheStore::new(store);
                 ModuleSeg::build_par_cached(
                     &module,
@@ -329,11 +332,11 @@ impl AnalysisBuilder {
                     &pta.pta,
                     self.threads,
                     &mut trace,
-                    keys,
+                    &func_keys,
                     &mut adapter,
                 )
             }
-            _ => ModuleSeg::build_par(
+            None => ModuleSeg::build_par(
                 &module,
                 &mut arena,
                 &mut symbols,
@@ -357,12 +360,27 @@ impl AnalysisBuilder {
             segs,
             arena,
             config: self.config,
+            pta_config: self.pta,
             threads: self.threads,
             checkers: self.checkers,
+            func_keys,
             stats,
             trace,
         })
     }
+}
+
+/// What [`Analysis::update_incremental`] reused versus recomputed.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateOutcome {
+    /// Functions whose points-to/SEG artefacts were re-analysed (the
+    /// edited functions plus their transitive callers).
+    pub reanalyzed: usize,
+    /// Functions whose artefacts were spliced from the previous run.
+    pub reused: usize,
+    /// `true` when the incremental path was abandoned for a full rebuild
+    /// (the function set changed shape).
+    pub fell_back: bool,
 }
 
 /// The immutable Pinpoint analysis artefact, ready to run checkers.
@@ -403,10 +421,18 @@ pub struct Analysis {
     pub arena: TermArena,
     /// Session-default detection configuration (from the builder).
     config: DetectConfig,
+    /// Points-to configuration (from the builder) — needed to recompute
+    /// fingerprint keys after incremental updates.
+    pta_config: PtaConfig,
     /// Worker count (from the builder).
     threads: usize,
     /// Checker selection (from the builder).
     checkers: Vec<CheckerKind>,
+    /// Per-function transitive fingerprint keys of the pre-transform
+    /// module ([`pinpoint_cache::module_keys`] order, indexed by
+    /// `FuncId`). Kept current across incremental updates; the query
+    /// cache validates cone fingerprints against them.
+    pub(crate) func_keys: Vec<u128>,
     /// Build-stage statistics (detection counters stay zero here; see
     /// [`DetectSession::stats`]).
     pub stats: PipelineStats,
@@ -504,26 +530,56 @@ impl Analysis {
     }
 
     /// Incrementally updates this analysis for an edited version of the
-    /// program (see [`pinpoint_pta::incremental`]): only the `changed`
-    /// functions and their transitive callers are re-analysed; everything
-    /// else — transformed bodies, points-to results, hash-consed terms —
-    /// is reused. Returns the number of functions re-analysed.
+    /// program (see [`pinpoint_pta::incremental`]). The edit is detected
+    /// automatically: the new module's per-function fingerprint keys are
+    /// diffed against the previous build's, and exactly the functions
+    /// whose keys changed — the edited ones plus, because keys are
+    /// transitive over the call graph, their transitive callers — are
+    /// re-analysed. Everything else (transformed bodies, points-to
+    /// results, SEGs, hash-consed terms) is spliced from the previous
+    /// artefact.
     ///
     /// # Errors
     ///
     /// Returns typed front-end errors for the new source.
-    pub fn update_incremental(
-        &mut self,
-        new_source: &str,
-        changed: &[String],
-    ) -> Result<usize, PinpointError> {
-        let mut new_module = compile_typed(new_source)?;
+    pub fn update_incremental(&mut self, new_source: &str) -> Result<UpdateOutcome, PinpointError> {
+        let new_module = compile_typed(new_source)?;
+        Ok(self.update_module_incremental(new_module))
+    }
+
+    /// [`Analysis::update_incremental`] over an already-compiled
+    /// (pre-transform) module.
+    pub fn update_module_incremental(&mut self, mut new_module: Module) -> UpdateOutcome {
+        let new_keys = module_keys(&new_module, config_fp(&self.pta_config));
+        // Key diffs are caller-closed: an edit anywhere below a function
+        // changes that function's transitive key, so the dirty set needs
+        // no further closure. A shape change (different function count)
+        // dirties everything; `analyze_module_incremental_dirty` then
+        // falls back to a full run via its own shape check.
+        let key_dirty: std::collections::HashSet<pinpoint_ir::FuncId> =
+            if new_keys.len() == self.func_keys.len() {
+                new_keys
+                    .iter()
+                    .zip(&self.func_keys)
+                    .enumerate()
+                    .filter(|(_, (n, o))| n != o)
+                    .map(|(i, _)| pinpoint_ir::FuncId(i as u32))
+                    .collect()
+            } else {
+                (0..new_module.funcs.len())
+                    .map(|i| pinpoint_ir::FuncId(i as u32))
+                    .collect()
+            };
         // Reassemble the ModuleAnalysis (the driver holds the arena
         // separately for detection-time term building).
         let mut old = std::mem::replace(&mut self.pta, blank_module_analysis());
         old.arena = std::mem::take(&mut self.arena);
-        let outcome =
-            pinpoint_pta::analyze_module_incremental(&mut new_module, &self.module, old, changed);
+        let outcome = pinpoint_pta::analyze_module_incremental_dirty(
+            &mut new_module,
+            &self.module,
+            old,
+            &key_dirty,
+        );
         let reanalyzed = outcome.reanalyzed.len();
         let dirty: std::collections::HashSet<pinpoint_ir::FuncId> = if outcome.fell_back {
             (0..new_module.funcs.len())
@@ -563,20 +619,36 @@ impl Analysis {
         self.stats.seg_vertices = self.segs.vertex_count;
         self.stats.seg_edges = self.segs.edge_count;
         self.stats.terms = self.arena.len();
-        Ok(reanalyzed)
+        let reused = self.module.funcs.len().saturating_sub(reanalyzed);
+        self.func_keys = new_keys;
+        UpdateOutcome {
+            reanalyzed,
+            reused,
+            fell_back: outcome.fell_back,
+        }
     }
 
     /// A rough structural memory proxy in bytes: term arena + SEG edges +
     /// points-to facts. Used by the evaluation harness alongside the real
     /// allocator counter.
     pub fn structural_bytes(&self) -> usize {
-        let term_bytes = self.arena.len() * 48;
+        // A term is one kind plus one sort entry in the arena's parallel
+        // vectors; a points-to fact is one `(Obj, TermId)` pair.
+        let per_term = std::mem::size_of::<pinpoint_smt::TermKind>()
+            + std::mem::size_of::<pinpoint_smt::Sort>();
+        let per_fact = std::mem::size_of::<(pinpoint_pta::Obj, pinpoint_smt::TermId)>();
+        let term_bytes = self.arena.len() * per_term;
         let edge_bytes = self.stats.seg_edges * std::mem::size_of::<crate::seg::SegEdge>();
         let pt_bytes: usize = self
             .pta
             .pta
             .iter()
-            .map(|p| p.points_to.values().map(|v| v.len() * 24).sum::<usize>())
+            .map(|p| {
+                p.points_to
+                    .values()
+                    .map(|v| v.len() * per_fact)
+                    .sum::<usize>()
+            })
             .sum();
         term_bytes + edge_bytes + pt_bytes
     }
@@ -693,13 +765,7 @@ impl<'a> DetectSession<'a> {
         }
         self.queries.extend(queries);
         self.detect_time += t0.elapsed();
-        self.detect.sources += stats.sources;
-        self.detect.visited += stats.visited;
-        self.detect.candidates += stats.candidates;
-        self.detect.refuted += stats.refuted;
-        self.detect.linear_refuted += stats.linear_refuted;
-        self.detect.skipped_descents += stats.skipped_descents;
-        self.detect.reports += stats.reports;
+        accumulate_detect(&mut self.detect, &stats);
         reports
     }
 
@@ -739,68 +805,7 @@ impl<'a> DetectSession<'a> {
     /// (frontend, pta, seg, detect, smt), absorbing the per-crate stats
     /// structs into the dotted-name schema.
     pub fn metrics(&self) -> MetricsRegistry {
-        let mut m = MetricsRegistry::new();
-        let s = self.stats();
-        m.counter_add("frontend.time_ns", s.front_time.as_nanos() as u64);
-        m.counter_add("frontend.funcs", self.analysis.module.funcs.len() as u64);
-        m.counter_add(
-            "frontend.insts",
-            self.analysis
-                .module
-                .funcs
-                .iter()
-                .map(|f| f.iter_insts().count() as u64)
-                .sum(),
-        );
-        m.counter_add("pta.time_ns", s.pta_time.as_nanos() as u64);
-        s.pta.record_into(&mut m);
-        m.counter_add("seg.time_ns", s.seg_time.as_nanos() as u64);
-        m.counter_add("seg.vertices", s.seg_vertices as u64);
-        m.counter_add("seg.edges", s.seg_edges as u64);
-        m.counter_add("seg.terms", s.terms as u64);
-        // Always present (zero without a cache directory) so the exported
-        // schema is shape-stable.
-        m.counter_add("cache.hits", s.cache.hits);
-        m.counter_add("cache.misses", s.cache.misses);
-        m.counter_add("cache.invalidated", s.cache.invalidated);
-        m.counter_add("cache.load_ns", s.cache.load_ns);
-        m.counter_add("cache.store_ns", s.cache.store_ns);
-        m.counter_add("detect.time_ns", s.detect_time.as_nanos() as u64);
-        m.counter_add("detect.sources", s.detect.sources);
-        m.counter_add("detect.visited", s.detect.visited);
-        m.counter_add("detect.candidates", s.detect.candidates);
-        m.counter_add("detect.refuted", s.detect.refuted);
-        m.counter_add("detect.linear_refuted", s.detect.linear_refuted);
-        m.counter_add("detect.skipped_descents", s.detect.skipped_descents);
-        m.counter_add("detect.reports", s.detect.reports);
-        // The SMT family is derived from per-query attribution, so the
-        // aggregate and the query rows can never disagree.
-        m.counter_add("smt.queries", self.queries.len() as u64);
-        for q in &self.queries {
-            m.counter_add("smt.solve_ns", q.cost.solver_ns);
-            m.counter_add("smt.conflicts", q.cost.conflicts);
-            m.counter_add("smt.learned", q.cost.learned);
-            m.counter_add("smt.propagations", q.cost.propagations);
-            m.counter_add("smt.decisions", q.cost.decisions);
-            m.counter_add("smt.theory_checks", q.cost.theory_checks);
-            m.counter_add("smt.theory_conflicts", q.cost.theory_conflicts);
-            m.hist_record("smt.query_ns", q.cost.solver_ns);
-            m.hist_record("smt.conflicts_per_query", q.cost.conflicts);
-        }
-        // Keep the family's keys present even with zero queries so the
-        // exported schema is shape-stable.
-        for key in [
-            "smt.solve_ns",
-            "smt.conflicts",
-            "smt.learned",
-            "smt.propagations",
-            "smt.decisions",
-            "smt.theory_checks",
-            "smt.theory_conflicts",
-        ] {
-            m.counter_add(key, 0);
-        }
-        m
+        build_metrics(self.analysis, &self.stats(), &self.queries)
     }
 
     /// The unified stats document (`pinpoint-stats-v1`): run metadata,
@@ -820,6 +825,92 @@ impl<'a> DetectSession<'a> {
     pub fn profile(&self, k: usize) -> String {
         ProfileTable::build(&self.queries).render(k)
     }
+}
+
+/// Field-by-field accumulation of detection counters across checker runs
+/// (shared by [`DetectSession`] and [`crate::workspace::Workspace`]).
+pub(crate) fn accumulate_detect(total: &mut DetectStats, stats: &DetectStats) {
+    total.sources += stats.sources;
+    total.visited += stats.visited;
+    total.candidates += stats.candidates;
+    total.refuted += stats.refuted;
+    total.linear_refuted += stats.linear_refuted;
+    total.skipped_descents += stats.skipped_descents;
+    total.budget_exhausted += stats.budget_exhausted;
+    total.reports += stats.reports;
+}
+
+/// Builds the unified metrics registry for one artefact + accumulated
+/// detection state. Shared by [`DetectSession::metrics`] and
+/// [`crate::workspace::Workspace::metrics`] so both export the same
+/// `pinpoint-stats-v1` families.
+pub(crate) fn build_metrics(
+    analysis: &Analysis,
+    s: &PipelineStats,
+    queries: &[QueryRecord],
+) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    m.counter_add("frontend.time_ns", s.front_time.as_nanos() as u64);
+    m.counter_add("frontend.funcs", analysis.module.funcs.len() as u64);
+    m.counter_add(
+        "frontend.insts",
+        analysis
+            .module
+            .funcs
+            .iter()
+            .map(|f| f.iter_insts().count() as u64)
+            .sum(),
+    );
+    m.counter_add("pta.time_ns", s.pta_time.as_nanos() as u64);
+    s.pta.record_into(&mut m);
+    m.counter_add("seg.time_ns", s.seg_time.as_nanos() as u64);
+    m.counter_add("seg.vertices", s.seg_vertices as u64);
+    m.counter_add("seg.edges", s.seg_edges as u64);
+    m.counter_add("seg.terms", s.terms as u64);
+    // Always present (zero without a cache directory) so the exported
+    // schema is shape-stable.
+    m.counter_add("cache.hits", s.cache.hits);
+    m.counter_add("cache.misses", s.cache.misses);
+    m.counter_add("cache.invalidated", s.cache.invalidated);
+    m.counter_add("cache.load_ns", s.cache.load_ns);
+    m.counter_add("cache.store_ns", s.cache.store_ns);
+    m.counter_add("detect.time_ns", s.detect_time.as_nanos() as u64);
+    m.counter_add("detect.sources", s.detect.sources);
+    m.counter_add("detect.visited", s.detect.visited);
+    m.counter_add("detect.candidates", s.detect.candidates);
+    m.counter_add("detect.refuted", s.detect.refuted);
+    m.counter_add("detect.linear_refuted", s.detect.linear_refuted);
+    m.counter_add("detect.skipped_descents", s.detect.skipped_descents);
+    m.counter_add("detect.budget_exhausted", s.detect.budget_exhausted);
+    m.counter_add("detect.reports", s.detect.reports);
+    // The SMT family is derived from per-query attribution, so the
+    // aggregate and the query rows can never disagree.
+    m.counter_add("smt.queries", queries.len() as u64);
+    for q in queries {
+        m.counter_add("smt.solve_ns", q.cost.solver_ns);
+        m.counter_add("smt.conflicts", q.cost.conflicts);
+        m.counter_add("smt.learned", q.cost.learned);
+        m.counter_add("smt.propagations", q.cost.propagations);
+        m.counter_add("smt.decisions", q.cost.decisions);
+        m.counter_add("smt.theory_checks", q.cost.theory_checks);
+        m.counter_add("smt.theory_conflicts", q.cost.theory_conflicts);
+        m.hist_record("smt.query_ns", q.cost.solver_ns);
+        m.hist_record("smt.conflicts_per_query", q.cost.conflicts);
+    }
+    // Keep the family's keys present even with zero queries so the
+    // exported schema is shape-stable.
+    for key in [
+        "smt.solve_ns",
+        "smt.conflicts",
+        "smt.learned",
+        "smt.propagations",
+        "smt.decisions",
+        "smt.theory_checks",
+        "smt.theory_conflicts",
+    ] {
+        m.counter_add(key, 0);
+    }
+    m
 }
 
 #[cfg(test)]

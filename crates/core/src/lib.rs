@@ -52,10 +52,14 @@ pub mod leak;
 pub mod seg;
 pub mod spec;
 pub mod summary;
+pub mod workspace;
 
 pub use detect::{DetectConfig, DetectStats, Report, Step};
-pub use driver::{default_threads, Analysis, AnalysisBuilder, DetectSession, PipelineStats};
+pub use driver::{
+    default_threads, Analysis, AnalysisBuilder, DetectSession, PipelineStats, UpdateOutcome,
+};
 pub use error::PinpointError;
 pub use leak::{LeakKind, LeakReport};
 pub use seg::{EdgeKind, ModuleSeg, Seg, SegArtifact, SegEdge, SegStore};
 pub use spec::{CheckerKind, SinkRole, SinkSite, SinkSpec, SourceSite, SourceSpec, Spec};
+pub use workspace::{Workspace, WorkspaceCounters};

@@ -1,0 +1,413 @@
+//! A long-lived, incrementally-updatable analysis engine.
+//!
+//! [`Workspace`] owns an [`Analysis`] across edits and reuses work at two
+//! layers when the program changes:
+//!
+//! 1. **Artefact layer** — [`Workspace::update_source`] diffs the new
+//!    module's per-function transitive fingerprint keys
+//!    ([`pinpoint_cache::module_keys`]) against the previous build's and
+//!    re-analyses exactly the functions whose keys changed (the edited
+//!    ones plus their transitive callers; keys fold callee fingerprints
+//!    over the call-graph condensation, so the diff is caller-closed by
+//!    construction). Clean functions' transformed bodies, points-to
+//!    facts, SEGs, and hash-consed terms are spliced from the previous
+//!    artefact.
+//! 2. **Query layer** — each `check*` call caches every per-source
+//!    search outcome keyed by `(spec fingerprint, source site)` together
+//!    with a *cone fingerprint*: a hash of every artefact datum the
+//!    search consulted (the keys of all functions it visited, the caller
+//!    lists it ascended through, the global load lists it followed). On
+//!    a warm check, a source whose recomputed cone fingerprint still
+//!    matches is answered from the cache; only sources whose cone
+//!    intersects the edit's dirty set re-run.
+//!
+//! # Determinism
+//!
+//! Warm results are byte-identical to a cold build at any thread count:
+//!
+//! * a cached outcome is replayed only when its cone fingerprint
+//!   matches, i.e. when every input the search would read is unchanged —
+//!   so the cached [`SourceOutcome`](crate::detect) equals what a
+//!   re-search would produce;
+//! * reports, statistics, and per-query attribution are produced by one
+//!   canonical merge over per-source outcomes in source order — a pure
+//!   function of those outcomes — so mixing cached and fresh outcomes
+//!   cannot change the result;
+//! * the only warm-vs-cold difference is the term arena's *length*
+//!   (append-only splicing keeps dead terms alive), which affects no
+//!   report, witness, or counter other than the `terms` gauge.
+//!
+//! On a full fallback (the function set changed shape) the artefact —
+//! including the term arena — is rebuilt from scratch, so the query
+//! cache is cleared: term ids are only comparable within one arena
+//! lineage.
+//!
+//! # Examples
+//!
+//! ```
+//! use pinpoint_core::{CheckerKind, Workspace};
+//!
+//! let mut ws = Workspace::open(
+//!     "fn main() {
+//!         let p: int* = malloc();
+//!         free(p);
+//!         let x: int = *p;
+//!         print(x);
+//!         return;
+//!     }",
+//! )?;
+//! assert_eq!(ws.check(CheckerKind::UseAfterFree).len(), 1);
+//! // Fix the bug; only the edited function re-runs.
+//! ws.update_source(
+//!     "fn main() {
+//!         let p: int* = malloc();
+//!         let x: int = *p;
+//!         print(x);
+//!         free(p);
+//!         return;
+//!     }",
+//! )?;
+//! assert_eq!(ws.check(CheckerKind::UseAfterFree).len(), 0);
+//! # Ok::<(), pinpoint_core::PinpointError>(())
+//! ```
+
+use crate::detect::{run_spec_cached, DetectStats, QueryCache, Report};
+use crate::driver::{
+    accumulate_detect, build_metrics, Analysis, AnalysisBuilder, PipelineStats, UpdateOutcome,
+};
+use crate::error::PinpointError;
+use crate::spec::CheckerKind;
+use pinpoint_obs::{queries_json, MetricsRegistry, QueryRecord, TraceBuf};
+use std::time::{Duration, Instant};
+
+/// Cumulative reuse counters across a workspace's lifetime.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkspaceCounters {
+    /// Source queries answered from the query cache.
+    pub queries_reused: u64,
+    /// Source queries whose search was (re-)run.
+    pub queries_rerun: u64,
+    /// Functions re-analysed by [`Workspace::update_source`] calls.
+    pub funcs_dirty: u64,
+    /// Functions spliced from the previous artefact by
+    /// [`Workspace::update_source`] calls.
+    pub funcs_reused: u64,
+}
+
+/// A long-lived analysis engine: owns the artefact, accepts edits, and
+/// answers checks incrementally (see the [module docs](self)).
+#[derive(Debug)]
+pub struct Workspace {
+    analysis: Analysis,
+    cache: QueryCache,
+    counters: WorkspaceCounters,
+    detect: DetectStats,
+    detect_time: Duration,
+    queries: Vec<QueryRecord>,
+    trace: TraceBuf,
+}
+
+impl Workspace {
+    /// Opens a workspace over `src` with default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns typed parse or lowering errors from the front end.
+    pub fn open(src: &str) -> Result<Self, PinpointError> {
+        AnalysisBuilder::new().open_workspace(src)
+    }
+
+    /// Wraps an already-built artefact in a workspace.
+    pub fn from_analysis(analysis: Analysis) -> Self {
+        let trace = analysis.trace().clone();
+        Workspace {
+            analysis,
+            cache: QueryCache::default(),
+            counters: WorkspaceCounters::default(),
+            detect: DetectStats::default(),
+            detect_time: Duration::ZERO,
+            queries: Vec::new(),
+            trace,
+        }
+    }
+
+    /// The current artefact (replaced in place by
+    /// [`Workspace::update_source`]).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Cumulative reuse counters.
+    pub fn counters(&self) -> WorkspaceCounters {
+        self.counters
+    }
+
+    /// Number of per-source outcomes currently cached.
+    pub fn cached_queries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Replaces the program with an edited version, reusing the previous
+    /// artefact for everything the edit did not dirty (layer 1 of the
+    /// [module docs](self)). The query cache survives — entries are
+    /// validated per source on the next check — except on a full
+    /// fallback, which rebuilds the term arena and therefore clears it.
+    ///
+    /// # Errors
+    ///
+    /// Returns typed front-end errors for the new source; the workspace
+    /// is unchanged when it does.
+    pub fn update_source(&mut self, new_source: &str) -> Result<UpdateOutcome, PinpointError> {
+        let outcome = self.analysis.update_incremental(new_source)?;
+        if outcome.fell_back {
+            // The artefact (term arena included) was rebuilt from
+            // scratch: cached outcomes reference the dead arena lineage.
+            self.cache.clear();
+        }
+        self.counters.funcs_dirty += outcome.reanalyzed as u64;
+        self.counters.funcs_reused += outcome.reused as u64;
+        Ok(outcome)
+    }
+
+    /// Runs one checker, reusing cached per-source outcomes where valid.
+    pub fn check(&mut self, kind: CheckerKind) -> Vec<Report> {
+        let spec = kind.spec();
+        self.run(&spec, Some(kind))
+    }
+
+    /// Runs a user-defined property specification with query reuse.
+    pub fn check_custom(&mut self, spec: &crate::spec::Spec) -> Vec<Report> {
+        self.run(spec, None)
+    }
+
+    /// Runs every supported checker with query reuse.
+    pub fn check_all(&mut self) -> Vec<Report> {
+        CheckerKind::ALL
+            .into_iter()
+            .flat_map(|k| self.check(k))
+            .collect()
+    }
+
+    /// Runs the memory-leak checker. Leak checking is a whole-module
+    /// graph reachability pass without per-source structure, so it is
+    /// not query-cached; it is still incremental through layer 1 (it
+    /// reads the spliced SEGs).
+    pub fn check_leaks(&mut self) -> Vec<crate::leak::LeakReport> {
+        let t0 = Instant::now();
+        let span = self.trace.open("detect", "memory-leak");
+        let mut symbols = self.analysis.pta.symbols.clone();
+        let mut arena = self.analysis.arena.clone();
+        let reports = crate::leak::check_leaks(
+            &self.analysis.module,
+            &self.analysis.segs,
+            &mut symbols,
+            &mut arena,
+        );
+        self.trace.close(span);
+        self.detect_time += t0.elapsed();
+        reports
+    }
+
+    fn run(&mut self, spec: &crate::spec::Spec, kind: Option<CheckerKind>) -> Vec<Report> {
+        let t0 = Instant::now();
+        let span = self.trace.open("detect", spec.name.clone());
+        let base_id = u32::try_from(self.queries.len()).expect("query count fits u32");
+        let config = self.analysis.config();
+        let threads = self.analysis.threads();
+        let (reports, stats, mut queries, reuse) = run_spec_cached(
+            &self.analysis.module,
+            &self.analysis.segs,
+            &self.analysis.pta.symbols,
+            &self.analysis.arena,
+            spec,
+            kind,
+            config,
+            threads,
+            &mut self.trace,
+            &self.analysis.func_keys,
+            &mut self.cache,
+        );
+        self.trace.close(span);
+        for q in &mut queries {
+            q.id += base_id;
+        }
+        self.queries.extend(queries);
+        self.detect_time += t0.elapsed();
+        accumulate_detect(&mut self.detect, &stats);
+        self.counters.queries_reused += reuse.reused;
+        self.counters.queries_rerun += reuse.rerun;
+        reports
+    }
+
+    /// Combined statistics: the artefact's build stages plus the
+    /// workspace's accumulated detection counters and time.
+    pub fn stats(&self) -> PipelineStats {
+        let mut s = self.analysis.stats;
+        s.detect = self.detect;
+        s.detect_time = self.detect_time;
+        s
+    }
+
+    /// Per-query solver attribution accumulated so far. Cached sources
+    /// replay their recorded events, so warm attribution is identical to
+    /// a cold run's.
+    pub fn queries(&self) -> &[QueryRecord] {
+        &self.queries
+    }
+
+    /// The unified metrics registry: the standard five stage families
+    /// plus the `workspace.*` reuse counters.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = build_metrics(&self.analysis, &self.stats(), &self.queries);
+        m.counter_add("workspace.queries.reused", self.counters.queries_reused);
+        m.counter_add("workspace.queries.rerun", self.counters.queries_rerun);
+        m.counter_add("workspace.funcs.dirty", self.counters.funcs_dirty);
+        m.counter_add("workspace.funcs.reused", self.counters.funcs_reused);
+        m
+    }
+
+    /// The unified stats document (`pinpoint-stats-v1`) including the
+    /// `workspace` stage family. `canonical` zeroes wall-clock values
+    /// and omits run metadata.
+    pub fn stats_json(&self, canonical: bool) -> String {
+        self.metrics().stats_json(
+            &[("threads", self.analysis.threads() as u64)],
+            Some(&queries_json(&self.queries, canonical)),
+            canonical,
+        )
+    }
+}
+
+impl AnalysisBuilder {
+    /// Builds the artefact for `src` and wraps it in a [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalysisBuilder::build_source`].
+    pub fn open_workspace(self, src: &str) -> Result<Workspace, PinpointError> {
+        Ok(Workspace::from_analysis(self.build_source(src)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UAF: &str = "fn helper(q: int*) { free(q); return; }
+        fn main() {
+            let p: int* = malloc();
+            helper(p);
+            let x: int = *p;
+            print(x);
+            return;
+        }";
+
+    #[test]
+    fn warm_check_reuses_untouched_queries() {
+        let mut ws = Workspace::open(UAF).unwrap();
+        let cold = ws.check_all();
+        assert!(!cold.is_empty());
+        let rerun_cold = ws.counters().queries_rerun;
+        assert!(rerun_cold > 0);
+        assert_eq!(ws.counters().queries_reused, 0);
+        // Unchanged program: every query replays from the cache.
+        let warm = ws.check_all();
+        assert_eq!(
+            cold.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            warm.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+        assert_eq!(ws.counters().queries_rerun, rerun_cold);
+        assert_eq!(ws.counters().queries_reused, rerun_cold);
+    }
+
+    #[test]
+    fn edit_invalidates_only_affected_cones() {
+        let base = "fn freer(q: int*) { free(q); return; }
+            fn lone(c: bool) {
+                let v: int* = malloc();
+                if (c) { free(v); }
+                let y: int = *v;
+                print(y);
+                return;
+            }
+            fn main() {
+                let p: int* = malloc();
+                freer(p);
+                let x: int = *p;
+                print(x);
+                return;
+            }";
+        // Edit only `lone`; the freer/main cone stays clean.
+        let edited = "fn freer(q: int*) { free(q); return; }
+            fn lone(c: bool) {
+                let v: int* = malloc();
+                let pad: int = 7;
+                print(pad);
+                if (c) { free(v); }
+                let y: int = *v;
+                print(y);
+                return;
+            }
+            fn main() {
+                let p: int* = malloc();
+                freer(p);
+                let x: int = *p;
+                print(x);
+                return;
+            }";
+        let mut ws = Workspace::open(base).unwrap();
+        let cold: Vec<String> = ws.check_all().iter().map(ToString::to_string).collect();
+        let outcome = ws.update_source(edited).unwrap();
+        assert!(!outcome.fell_back);
+        assert!(outcome.reused > 0, "{outcome:?}");
+        let before = ws.counters();
+        let warm: Vec<String> = ws.check_all().iter().map(ToString::to_string).collect();
+        let after = ws.counters();
+        assert!(
+            after.queries_reused > before.queries_reused,
+            "clean cones must replay from cache: {after:?}"
+        );
+        // The edited function's sources re-ran.
+        assert!(after.queries_rerun > before.queries_rerun, "{after:?}");
+        // Warm reports equal a cold build of the edited program.
+        let fresh = Workspace::open(edited).unwrap().check_all();
+        let fresh: Vec<String> = fresh.iter().map(ToString::to_string).collect();
+        assert_eq!(warm, fresh);
+        let _ = cold;
+    }
+
+    #[test]
+    fn shape_change_falls_back_and_clears_cache() {
+        let mut ws = Workspace::open(UAF).unwrap();
+        ws.check_all();
+        assert!(ws.cached_queries() > 0);
+        let with_extra = format!("{UAF}\nfn extra() {{ return; }}");
+        let outcome = ws.update_source(&with_extra).unwrap();
+        assert!(outcome.fell_back);
+        assert_eq!(ws.cached_queries(), 0, "stale arena lineage must drop");
+        // Still correct after the fallback.
+        let warm: Vec<String> = ws.check_all().iter().map(ToString::to_string).collect();
+        let fresh: Vec<String> = Workspace::open(&with_extra)
+            .unwrap()
+            .check_all()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(warm, fresh);
+    }
+
+    #[test]
+    fn stats_json_exports_workspace_family() {
+        let mut ws = Workspace::open(UAF).unwrap();
+        ws.check_all();
+        ws.check_all();
+        let json = ws.stats_json(true);
+        // Families are nested by their first dot segment in the document.
+        assert!(json.contains("\"workspace\":{"), "{json}");
+        assert!(json.contains("\"queries.reused\""), "{json}");
+        assert!(json.contains("\"queries.rerun\""), "{json}");
+        assert!(json.contains("\"funcs.dirty\""), "{json}");
+        assert!(json.contains("\"funcs.reused\""), "{json}");
+        assert!(json.contains("\"budget_exhausted\""), "{json}");
+    }
+}

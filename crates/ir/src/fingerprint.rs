@@ -253,10 +253,36 @@ pub fn func_fingerprint(f: &Function, globals: &[Global]) -> u128 {
     h.finish()
 }
 
+/// Computes [`func_fingerprint`] for every function of `module`, indexed
+/// by `FuncId`.
+///
+/// This is the single dirtying primitive every reuse layer shares: the
+/// persistent cache folds these into transitive cache keys
+/// (`pinpoint-cache`), and the in-memory incremental paths diff them to
+/// discover edited functions automatically instead of trusting a
+/// caller-supplied change list.
+pub fn module_fingerprints(module: &crate::Module) -> Vec<u128> {
+    module
+        .funcs
+        .iter()
+        .map(|f| func_fingerprint(f, &module.globals))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compile;
+
+    #[test]
+    fn module_fingerprints_index_by_func_id() {
+        let m = compile("fn a() { return; } fn b(x: int) -> int { return x; }").unwrap();
+        let fps = module_fingerprints(&m);
+        assert_eq!(fps.len(), m.funcs.len());
+        for (i, f) in m.funcs.iter().enumerate() {
+            assert_eq!(fps[i], func_fingerprint(f, &m.globals));
+        }
+    }
 
     #[test]
     fn fingerprint_is_stable_and_content_sensitive() {

@@ -52,7 +52,7 @@ pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use controldep::{ControlDep, ControlDeps};
 pub use dom::{DomTree, PostDomTree};
-pub use fingerprint::func_fingerprint;
+pub use fingerprint::{func_fingerprint, module_fingerprints};
 pub use gating::{Gate, Gating};
 pub use ir::intrinsics;
 pub use ir::{

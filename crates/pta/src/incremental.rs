@@ -46,41 +46,18 @@ pub struct IncrementalOutcome {
     pub fell_back: bool,
 }
 
-/// Incrementally re-analyses `module` (freshly lowered, untransformed)
-/// against the previous `old` analysis of `old_module`.
+/// Closes a seed set of dirty functions under transitive callers: a
+/// caller's call sites must be re-rewritten against possibly-changed
+/// callee shapes, so any function above an edit is dirty too.
 ///
-/// `changed` lists edited function names. If the function name sets of
-/// the two modules differ (additions/removals), the function falls back
-/// to a full analysis.
-pub fn analyze_module_incremental(
-    module: &mut Module,
-    old_module: &Module,
-    old: ModuleAnalysis,
-    changed: &[String],
-) -> IncrementalOutcome {
-    // The incremental path requires a stable function set and order.
-    let same_shape = module.funcs.len() == old_module.funcs.len()
-        && module
-            .iter_funcs()
-            .zip(old_module.iter_funcs())
-            .all(|((_, a), (_, b))| a.name == b.name);
-    if !same_shape {
-        let analysis = analyze_module_with(module, &PtaConfig::default());
-        let n = module.funcs.len();
-        return IncrementalOutcome {
-            analysis,
-            reanalyzed: (0..n).map(|i| FuncId(i as u32)).collect(),
-            reused: 0,
-            fell_back: true,
-        };
-    }
-    // Dirty set: edited functions plus all transitive callers (their call
-    // sites must be re-rewritten against possibly-changed shapes).
-    let callgraph = CallGraph::new(module);
-    let mut dirty: HashSet<FuncId> = changed
-        .iter()
-        .filter_map(|n| module.func_by_name(n))
-        .collect();
+/// This is the one dirtying rule both incremental entry points share;
+/// idempotent, so feeding it an already-closed set (e.g. one derived
+/// from the transitive fingerprint keys of `pinpoint-cache`) is a no-op.
+pub fn dirty_closure(
+    callgraph: &CallGraph,
+    seeds: impl IntoIterator<Item = FuncId>,
+) -> HashSet<FuncId> {
+    let mut dirty: HashSet<FuncId> = seeds.into_iter().collect();
     let mut work: Vec<FuncId> = dirty.iter().copied().collect();
     while let Some(f) = work.pop() {
         for &caller in &callgraph.callers[f.0 as usize] {
@@ -89,6 +66,85 @@ pub fn analyze_module_incremental(
             }
         }
     }
+    dirty
+}
+
+/// `true` when the two modules have the same function names in the same
+/// order — the precondition for splicing per-function artifacts.
+fn same_shape(module: &Module, old_module: &Module) -> bool {
+    module.funcs.len() == old_module.funcs.len()
+        && module
+            .iter_funcs()
+            .zip(old_module.iter_funcs())
+            .all(|((_, a), (_, b))| a.name == b.name)
+}
+
+/// The full-reanalysis fallback used when the function set changed.
+fn full_fallback(module: &mut Module) -> IncrementalOutcome {
+    let analysis = analyze_module_with(module, &PtaConfig::default());
+    let n = module.funcs.len();
+    IncrementalOutcome {
+        analysis,
+        reanalyzed: (0..n).map(|i| FuncId(i as u32)).collect(),
+        reused: 0,
+        fell_back: true,
+    }
+}
+
+/// Incrementally re-analyses `module` (freshly lowered, untransformed)
+/// against the previous `old` analysis of `old_module`.
+///
+/// `changed` lists edited function names (as a build system reports
+/// them). If the function name sets of the two modules differ
+/// (additions/removals), the function falls back to a full analysis.
+pub fn analyze_module_incremental(
+    module: &mut Module,
+    old_module: &Module,
+    old: ModuleAnalysis,
+    changed: &[String],
+) -> IncrementalOutcome {
+    if !same_shape(module, old_module) {
+        return full_fallback(module);
+    }
+    let callgraph = CallGraph::new(module);
+    let seeds: Vec<FuncId> = changed
+        .iter()
+        .filter_map(|n| module.func_by_name(n))
+        .collect();
+    let dirty = dirty_closure(&callgraph, seeds);
+    reanalyze_dirty(module, old_module, old, callgraph, dirty)
+}
+
+/// Like [`analyze_module_incremental`], but driven by an explicit set of
+/// dirty [`FuncId`]s — typically derived by diffing
+/// [`pinpoint_ir::module_fingerprints`]-based keys rather than trusting a
+/// hand-written change list. The set is re-closed under transitive
+/// callers ([`dirty_closure`]), so passing an already caller-closed set
+/// (as fingerprint-key diffs are) costs nothing.
+pub fn analyze_module_incremental_dirty(
+    module: &mut Module,
+    old_module: &Module,
+    old: ModuleAnalysis,
+    dirty: &HashSet<FuncId>,
+) -> IncrementalOutcome {
+    if !same_shape(module, old_module) {
+        return full_fallback(module);
+    }
+    let callgraph = CallGraph::new(module);
+    let dirty = dirty_closure(&callgraph, dirty.iter().copied());
+    reanalyze_dirty(module, old_module, old, callgraph, dirty)
+}
+
+/// Shared core: splices clean functions from the previous run and
+/// re-analyses the dirty set bottom-up. `dirty` must already be closed
+/// under transitive callers.
+fn reanalyze_dirty(
+    module: &mut Module,
+    old_module: &Module,
+    old: ModuleAnalysis,
+    callgraph: CallGraph,
+    dirty: HashSet<FuncId>,
+) -> IncrementalOutcome {
     let ModuleAnalysis {
         mut arena,
         mut symbols,
@@ -269,6 +325,35 @@ mod tests {
         // The transformed modules must verify.
         let errs = pinpoint_ir::verify_module(&inc_module);
         assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn dirty_set_entry_point_expands_to_caller_chain() {
+        // The automatic path: diff pre-transform fingerprints instead of
+        // naming the edited function, then let the closure find callers.
+        let mut old_module = pinpoint_ir::compile(BASE).unwrap();
+        let old_pristine = pinpoint_ir::compile(BASE).unwrap();
+        let old = analyze_module(&mut old_module);
+        let src = edited_leaf_a();
+        let mut new_module = pinpoint_ir::compile(&src).unwrap();
+        let before = pinpoint_ir::module_fingerprints(&old_pristine);
+        let after = pinpoint_ir::module_fingerprints(&new_module);
+        let dirty: HashSet<FuncId> = (0..after.len())
+            .filter(|&i| before[i] != after[i])
+            .map(|i| FuncId(i as u32))
+            .collect();
+        assert_eq!(dirty.len(), 1, "only leaf_a's body changed");
+        let out = analyze_module_incremental_dirty(&mut new_module, &old_module, old, &dirty);
+        assert!(!out.fell_back);
+        let names: Vec<&str> = out
+            .reanalyzed
+            .iter()
+            .map(|&f| new_module.func(f).name.as_str())
+            .collect();
+        assert!(names.contains(&"leaf_a"), "{names:?}");
+        assert!(names.contains(&"mid"), "{names:?}");
+        assert!(names.contains(&"top"), "{names:?}");
+        assert_eq!(out.reused, 2, "leaf_b and unrelated spliced");
     }
 
     #[test]

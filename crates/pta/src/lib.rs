@@ -54,7 +54,9 @@ pub use driver::{
     analyze_module, analyze_module_cached, analyze_module_par, analyze_module_with, ArtifactStore,
     CacheOutcome, FuncArtifact, ModuleAnalysis, PtaConfig,
 };
-pub use incremental::{analyze_module_incremental, IncrementalOutcome};
+pub use incremental::{
+    analyze_module_incremental, analyze_module_incremental_dirty, dirty_closure, IncrementalOutcome,
+};
 pub use intra::{FuncPta, GlobalAccess, MemDep, PtaStats};
 pub use object::{AccessPath, Obj, MAX_PATH_DEPTH};
 pub use symbols::{Symbols, SymbolsMark};

@@ -10,8 +10,11 @@
 //!
 //! Two mechanisms deliver that, demonstrated below:
 //!
-//! 1. **in-process** — [`Analysis::update_incremental`] splices the new
-//!    functions into a live artefact;
+//! 1. **in-process** — a long-lived [`Workspace`] accepts edits, detects
+//!    what changed by diffing content fingerprints, splices the clean
+//!    functions' artefacts, and re-answers checks reusing every cached
+//!    per-source query whose *cone* (the set of functions its search
+//!    visited) the edit did not touch;
 //! 2. **cross-run** — [`AnalysisBuilder::cache_dir`] persists
 //!    per-function artifacts keyed by content fingerprints, so even a
 //!    fresh process re-analyzes only what changed.
@@ -21,7 +24,7 @@
 //! ```
 
 use pinpoint::workload::{generate, GenConfig};
-use pinpoint::{AnalysisBuilder, CheckerKind};
+use pinpoint::{AnalysisBuilder, CheckerKind, Workspace};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,12 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         project.source.matches("fn ").count()
     );
 
-    // Full analysis.
+    // Open a workspace: full analysis once, then live across edits.
     let t0 = Instant::now();
-    let mut analysis = AnalysisBuilder::new().build_source(&project.source)?;
+    let mut ws = Workspace::open(&project.source)?;
     let full_time = t0.elapsed();
-    let baseline: usize = analysis.check(CheckerKind::UseAfterFree).len();
-    println!("full analysis: {full_time:?}, {baseline} reports");
+    let baseline: usize = ws.check(CheckerKind::UseAfterFree).len();
+    println!("cold open + check: {full_time:?}, {baseline} reports");
 
     // Edit one leaf-ish filler function.
     let edited = {
@@ -57,21 +60,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
     };
     let t1 = Instant::now();
-    let reanalyzed = analysis.update_incremental(&edited, &["filler1".into()])?;
-    let inc_time = t1.elapsed();
-    let after = analysis.check(CheckerKind::UseAfterFree).len();
-    let total = analysis.module.funcs.len();
+    // No need to say what changed: the workspace diffs per-function
+    // fingerprints and dirties exactly the edit's caller chain.
+    let outcome = ws.update_source(&edited)?;
+    let after = ws.check(CheckerKind::UseAfterFree).len();
+    let warm_time = t1.elapsed();
+    let total = ws.analysis().module.funcs.len();
+    let c = ws.counters();
     println!(
-        "incremental update: {inc_time:?}, {reanalyzed}/{total} functions re-analysed, {after} reports"
+        "warm update + check: {warm_time:?}, {}/{total} functions re-analysed, \
+         {}/{} source queries answered from cache, {after} reports",
+        outcome.reanalyzed,
+        c.queries_reused,
+        c.queries_reused + c.queries_rerun,
     );
     assert_eq!(baseline, after, "verdicts stable across the edit");
-    assert!(reanalyzed < total / 4, "most of the project was reused");
+    assert!(outcome.reanalyzed < total / 4, "most of the project reused");
+    assert!(c.queries_reused > 0, "warm check replayed cached queries");
     println!(
         "\nend-to-end speedup: ~{:.1}x (the floor is re-lowering the edited\n\
          source text; the analysis stages themselves — points-to,\n\
          transformation, SEG construction — ran for {}/{} functions only)",
-        full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9),
-        reanalyzed,
+        full_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9),
+        outcome.reanalyzed,
         total
     );
 

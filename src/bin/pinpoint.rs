@@ -11,7 +11,13 @@
 //! pinpoint stats program.pp                 # pipeline statistics
 //! pinpoint profile program.pp --top 10      # per-query solver attribution
 //! pinpoint cache info .pinpoint-cache       # persistent-cache maintenance
+//! pinpoint serve                            # incremental workspace on stdio
 //! ```
+//!
+//! `serve` speaks line-delimited JSON on stdin/stdout: `open` a program,
+//! `update` it after edits, and `check` repeatedly — the long-lived
+//! workspace re-analyzes only what each edit dirtied and answers
+//! untouched source queries from its cache.
 //!
 //! `check`, `leaks`, and `stats` accept `--cache-dir DIR` to persist
 //! per-function analysis artifacts across runs: warm re-runs re-analyze
@@ -24,7 +30,7 @@
 //! Exit codes: 0 = clean, 1 = reports found, 2 = usage or input error.
 
 use pinpoint::core::export::seg_to_dot;
-use pinpoint::{Analysis, AnalysisBuilder, CheckerKind, PinpointError, Report};
+use pinpoint::{Analysis, AnalysisBuilder, CheckerKind, PinpointError, Report, Workspace};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -86,6 +92,17 @@ const USAGE: &str = "usage:
   pinpoint stats <file> [--threads N] [--cache-dir DIR] [--trace-out FILE] [--stats-json FILE]
   pinpoint profile <file> [--top K] [--threads N]
   pinpoint cache info|clear|verify <dir>
+  pinpoint serve [--threads N] [--no-solve]
+
+  serve reads line-delimited JSON commands on stdin and answers one JSON
+  object per line on stdout:
+    {\"cmd\":\"open\",\"path\":\"prog.pp\"}     or {\"cmd\":\"open\",\"source\":\"...\"}
+    {\"cmd\":\"update\",\"path\":\"prog.pp\"}   re-analyzes only what changed
+    {\"cmd\":\"check\"}                      every checker (or \"checker\":\"uaf\")
+    {\"cmd\":\"stats\"}                      pinpoint-stats-v1 document
+    {\"cmd\":\"quit\"}
+  Warm checks reuse cached per-source queries whose searched functions
+  the edit did not touch; results are byte-identical to a cold run.
 
   --threads N defaults to the available parallelism.
   --cache-dir persists per-function analysis artifacts keyed by content
@@ -100,6 +117,9 @@ fn run(args: &[String]) -> Result<bool, CliError> {
     let cmd = args.first().ok_or("missing subcommand")?;
     if cmd == "cache" {
         return cache_cmd(&args[1..]);
+    }
+    if cmd == "serve" {
+        return serve(&args[1..]);
     }
     let file = args.get(1).ok_or("missing input file")?;
     let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
@@ -154,6 +174,7 @@ fn run(args: &[String]) -> Result<bool, CliError> {
             println!("search visited:   {}", s.detect.visited);
             println!("candidates:       {}", s.detect.candidates);
             println!("SMT-refuted:      {}", s.detect.refuted);
+            println!("budget exhausted: {}", s.detect.budget_exhausted);
             println!("reports:          {}", s.detect.reports);
             if cache_dir.is_some() {
                 println!("cache hits:       {}", s.cache.hits);
@@ -199,6 +220,221 @@ fn cache_cmd(args: &[String]) -> Result<bool, CliError> {
         }
         other => Err(format!("unknown cache action `{other}`").into()),
     }
+}
+
+/// `pinpoint serve`: a long-lived incremental workspace speaking
+/// line-delimited JSON on stdin/stdout. Each request is one flat JSON
+/// object; each response is one line, `{"ok":true,...}` or
+/// `{"ok":false,"error":"..."}`. Protocol errors keep the session alive;
+/// only `quit` or end-of-input end it.
+fn serve(flags: &[String]) -> Result<bool, CliError> {
+    use std::io::{BufRead, Write};
+    let threads = parse_threads(flags)?;
+    let mut solve = true;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => {
+                it.next(); // consumed by parse_threads
+            }
+            "--no-solve" => solve = false,
+            other => return Err(format!("unknown flag `{other}`").into()),
+        }
+    }
+    let mut ws: Option<Workspace> = None;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serve_line(&line, &mut ws, threads, solve) {
+            Ok(Some(resp)) => resp,
+            Ok(None) => {
+                let mut out = stdout.lock();
+                let _ = writeln!(out, "{{\"ok\":true,\"event\":\"bye\"}}");
+                break;
+            }
+            Err(msg) => format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(&msg)),
+        };
+        let mut out = stdout.lock();
+        writeln!(out, "{response}").map_err(|e| format!("cannot write stdout: {e}"))?;
+        out.flush()
+            .map_err(|e| format!("cannot write stdout: {e}"))?;
+    }
+    Ok(false)
+}
+
+/// Handles one serve request line. `Ok(None)` means `quit`.
+fn serve_line(
+    line: &str,
+    ws: &mut Option<Workspace>,
+    threads: Option<usize>,
+    solve: bool,
+) -> Result<Option<String>, String> {
+    let fields = parse_json_object(line)?;
+    let get = |k: &str| {
+        fields
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| v.as_str())
+    };
+    let load_source = || -> Result<String, String> {
+        if let Some(s) = get("source") {
+            Ok(s.to_string())
+        } else if let Some(p) = get("path") {
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))
+        } else {
+            Err("open/update needs \"source\" or \"path\"".to_string())
+        }
+    };
+    match get("cmd").ok_or("missing \"cmd\" field")? {
+        "open" => {
+            let src = load_source()?;
+            let w = builder_with(threads)
+                .solve(solve)
+                .open_workspace(&src)
+                .map_err(|e| e.to_string())?;
+            let funcs = w.analysis().module.funcs.len();
+            *ws = Some(w);
+            Ok(Some(format!(
+                "{{\"ok\":true,\"event\":\"opened\",\"funcs\":{funcs}}}"
+            )))
+        }
+        "update" => {
+            let w = ws.as_mut().ok_or("no workspace open (send `open` first)")?;
+            let src = load_source()?;
+            let o = w.update_source(&src).map_err(|e| e.to_string())?;
+            Ok(Some(format!(
+                "{{\"ok\":true,\"event\":\"updated\",\"reanalyzed\":{},\"reused\":{},\"fell_back\":{}}}",
+                o.reanalyzed, o.reused, o.fell_back
+            )))
+        }
+        "check" => {
+            let w = ws.as_mut().ok_or("no workspace open (send `open` first)")?;
+            let before = w.counters();
+            let reports = match get("checker") {
+                Some(name) => {
+                    let kind =
+                        parse_checker(name).map_err(|_| format!("unknown checker `{name}`"))?;
+                    w.check(kind)
+                }
+                None => w.check_all(),
+            };
+            let after = w.counters();
+            let body = reports_to_json(w.analysis(), &reports);
+            Ok(Some(format!(
+                "{{\"ok\":true,\"event\":\"reports\",\"reports\":{body},\"queries_reused\":{},\"queries_rerun\":{}}}",
+                after.queries_reused - before.queries_reused,
+                after.queries_rerun - before.queries_rerun
+            )))
+        }
+        "stats" => {
+            let w = ws.as_ref().ok_or("no workspace open (send `open` first)")?;
+            Ok(Some(format!(
+                "{{\"ok\":true,\"event\":\"stats\",\"stats\":{}}}",
+                w.stats_json(false)
+            )))
+        }
+        "quit" => Ok(None),
+        other => Err(format!("unknown cmd `{other}`")),
+    }
+}
+
+/// Parses one *flat* JSON object (`{"k":"v",...}`) into key/value pairs.
+/// String values are unescaped; numbers, booleans, and `null` are kept
+/// as their literal text. Enough JSON for the serve protocol — nested
+/// objects and arrays are rejected.
+fn parse_json_object(line: &str) -> Result<Vec<(String, String)>, String> {
+    type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+    fn skip_ws(chars: &mut Chars) {
+        while matches!(chars.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            chars.next();
+        }
+    }
+    fn parse_string(chars: &mut Chars) -> Result<String, String> {
+        if chars.next() != Some('"') {
+            return Err("expected string".to_string());
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(s),
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + c.to_digit(16).ok_or("invalid \\u escape")?;
+                        }
+                        s.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    _ => return Err("unsupported escape".to_string()),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+    let mut chars: Chars = line.chars().peekable();
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected a JSON object".to_string());
+    }
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected `:` after key \"{key}\""));
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some('"') => parse_string(&mut chars)?,
+                Some('{' | '[') => return Err("nested values are not supported".to_string()),
+                _ => {
+                    // Bare literal: number, true/false, null.
+                    let mut v = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c == ',' || c == '}' {
+                            break;
+                        }
+                        v.push(c);
+                        chars.next();
+                    }
+                    let v = v.trim().to_string();
+                    if v.is_empty() {
+                        return Err(format!("missing value for key \"{key}\""));
+                    }
+                    v
+                }
+            };
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                _ => return Err("expected `,` or `}`".to_string()),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after object".to_string());
+    }
+    Ok(fields)
 }
 
 /// Observability output destinations shared by `check`, `leaks`, and

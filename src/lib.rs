@@ -74,6 +74,6 @@ pub use pinpoint_workload as workload;
 
 pub use pinpoint_core::{
     default_threads, Analysis, AnalysisBuilder, CheckerKind, DetectConfig, DetectSession,
-    PinpointError, Report,
+    PinpointError, Report, UpdateOutcome, Workspace, WorkspaceCounters,
 };
 pub use pinpoint_ir::compile;

@@ -207,3 +207,70 @@ fn no_solve_flag_admits_infeasible() {
         "without SMT the candidate leaks: {without}"
     );
 }
+
+#[test]
+fn serve_session_reuses_warm_queries() {
+    use std::process::Stdio;
+    // An open → check → check → update → check → stats → quit session:
+    // the second check of the unchanged program must answer every source
+    // query from the workspace cache.
+    let base = BUGGY;
+    let edited = BUGGY.replace(
+        "let x: int = *p;",
+        "let pad: int = 9; print(pad);\n            let x: int = *p;",
+    );
+    let mut src_file = tempfile_path();
+    std::fs::write(&src_file.0, base).expect("write source");
+    let requests = format!(
+        concat!(
+            "{{\"cmd\":\"check\"}}\n",
+            "{{\"cmd\":\"open\",\"path\":\"{file}\"}}\n",
+            "{{\"cmd\":\"check\"}}\n",
+            "{{\"cmd\":\"check\"}}\n",
+            "{{\"cmd\":\"update\",\"source\":\"{edited}\"}}\n",
+            "{{\"cmd\":\"check\",\"checker\":\"uaf\"}}\n",
+            "{{\"cmd\":\"stats\"}}\n",
+            "{{\"cmd\":\"quit\"}}\n",
+        ),
+        file = src_file.0,
+        edited = edited
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n"),
+    );
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .args(["serve", "--threads", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(requests.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits");
+    src_file.1 = true;
+    let _ = std::fs::remove_file(&src_file.0);
+    assert_eq!(out.status.code(), Some(0), "serve exits cleanly");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 8, "one response per request: {stdout}");
+    // check before open is a protocol error, not a crash.
+    assert!(lines[0].contains("\"ok\":false"), "{}", lines[0]);
+    assert!(lines[1].contains("\"event\":\"opened\""), "{}", lines[1]);
+    // Cold check runs every query…
+    assert!(lines[2].contains("\"queries_reused\":0"), "{}", lines[2]);
+    assert!(lines[2].contains("\"use-after-free\""), "{}", lines[2]);
+    // …the repeat check replays all of them from the cache.
+    assert!(lines[3].contains("\"queries_rerun\":0"), "{}", lines[3]);
+    assert!(!lines[3].contains("\"queries_reused\":0"), "{}", lines[3]);
+    assert!(lines[4].contains("\"event\":\"updated\""), "{}", lines[4]);
+    assert!(lines[4].contains("\"fell_back\":false"), "{}", lines[4]);
+    assert!(lines[5].contains("\"event\":\"reports\""), "{}", lines[5]);
+    assert!(lines[6].contains("pinpoint-stats-v1"), "{}", lines[6]);
+    assert!(lines[6].contains("\"workspace\""), "{}", lines[6]);
+    assert!(lines[7].contains("\"event\":\"bye\""), "{}", lines[7]);
+}

@@ -152,9 +152,8 @@ fn incremental_update_preserves_verdicts() {
             &project.source[brace..]
         )
     };
-    let reanalyzed = analysis
-        .update_incremental(&edited, &["filler0".into()])
-        .unwrap();
+    let outcome = analysis.update_incremental(&edited).unwrap();
+    let reanalyzed = outcome.reanalyzed;
     let total = analysis.module.funcs.len();
     assert!(
         reanalyzed < total / 2,

@@ -1,11 +1,18 @@
-//! Differential tests for the persistent analysis cache: a warm run
-//! (artifacts primed from a previous build) must produce byte-identical
-//! reports to a cold run of the same source, across seeded edit sets —
-//! body edits, connector-shape edits, added and deleted functions — and
-//! across thread counts.
+//! Differential tests for the two incremental-reuse layers:
+//!
+//! * the **persistent analysis cache** — a warm run (artifacts primed
+//!   from a previous build) must produce byte-identical reports to a
+//!   cold run of the same source;
+//! * the **in-memory workspace** — a long-lived [`Workspace`] absorbing
+//!   the same edits through `update_source` must report byte-identically
+//!   to a cold build, while answering untouched source queries from its
+//!   query cache.
+//!
+//! Both across seeded edit sets — body edits, connector-shape edits,
+//! added and deleted functions — and across thread counts.
 
 use pinpoint::workload::{generate, GenConfig};
-use pinpoint::{Analysis, AnalysisBuilder};
+use pinpoint::{Analysis, AnalysisBuilder, Workspace};
 use std::path::{Path, PathBuf};
 
 /// Minimal SplitMix64 (the workspace vendors no PRNG dependency).
@@ -51,6 +58,40 @@ fn render(analysis: &Analysis) -> String {
         ));
     }
     out.push_str(&format!("terms={}\n", analysis.arena.len()));
+    out
+}
+
+/// [`render`] without the trailing `terms=` line: warm in-memory updates
+/// keep an append-only arena whose *length* (dead terms included)
+/// legitimately differs from a cold build's, while every user-visible
+/// report stays byte-identical.
+fn render_reports(analysis: &Analysis) -> String {
+    let full = render(analysis);
+    let cut = full.rfind("terms=").unwrap();
+    full[..cut].to_string()
+}
+
+/// The workspace-side twin of [`render_reports`]: same format, produced
+/// through the query-cached check path.
+fn render_workspace(ws: &mut Workspace) -> String {
+    let mut out = String::new();
+    for r in ws.check_all() {
+        out.push_str(&r.to_string());
+        for (name, value) in &r.witness {
+            out.push_str(&format!(" {name}={value}"));
+        }
+        out.push('\n');
+    }
+    let leaks = ws.check_leaks();
+    let module = &ws.analysis().module;
+    for l in leaks {
+        out.push_str(&format!(
+            "[leak:{:?}] {} in {}\n",
+            l.kind,
+            l.alloc_site,
+            module.func(l.func).name
+        ));
+    }
     out
 }
 
@@ -204,4 +245,109 @@ fn one_function_edit_reuses_90_percent() {
         reuse * 100.0
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The in-memory twin of `warm_runs_byte_identical_across_seeded_edits`:
+/// a live [`Workspace`] absorbing each seeded edit through
+/// `update_source` must report byte-identically to a cold build of the
+/// edited source, at 1 and 4 threads. Same-shape edits (body,
+/// connector) must additionally answer some untouched source queries
+/// from the query cache; shape changes (added/deleted function) fall
+/// back to a full rebuild and legitimately drop it.
+#[test]
+fn workspace_updates_byte_identical_across_seeded_edits() {
+    let project = generate(&GenConfig {
+        seed: 21,
+        functions: 24,
+        stmts_per_function: 8,
+        real_bugs: 2,
+        decoys: 2,
+        taint: true,
+    });
+    let mut rng = Mix(0xE511);
+    for (name, primed, edited) in edit_set(&project.source, &mut rng) {
+        let same_shape = matches!(name, "body-edit" | "connector-edit");
+        for threads in [1usize, 4] {
+            let mut ws = AnalysisBuilder::new()
+                .threads(threads)
+                .open_workspace(&primed)
+                .expect("generated source compiles");
+            // Populate the query cache from the pre-edit program.
+            let _ = render_workspace(&mut ws);
+            let outcome = ws.update_source(&edited).expect("edited source compiles");
+            assert_eq!(
+                outcome.fell_back, !same_shape,
+                "{name}: fallback iff the function set changed shape"
+            );
+            let before = ws.counters();
+            let warm = render_workspace(&mut ws);
+            let after = ws.counters();
+            let cold = build(&edited, threads, None);
+            assert_eq!(
+                warm,
+                render_reports(&cold),
+                "{name} at {threads} threads must be byte-identical"
+            );
+            if same_shape {
+                assert!(
+                    after.queries_reused > before.queries_reused,
+                    "{name} at {threads} threads: expected query reuse, got {after:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The headline workspace acceptance property: after a one-function
+/// edit of a ~20-kLoC generated project, a warm `check` re-runs only
+/// the source queries whose search cone the edit touched (≥ 90%
+/// answered from the cache) and still reports byte-identically to a
+/// cold build, at 1 and 4 threads.
+#[test]
+fn warm_workspace_check_reruns_only_affected_queries() {
+    let project = generate(&GenConfig {
+        seed: 33,
+        real_bugs: 2,
+        decoys: 2,
+        taint: true,
+        ..GenConfig::default().with_target_kloc(20.0)
+    });
+    // Bug drivers are uncalled roots: editing one dirties only itself.
+    let edited = edit_in_func(
+        &project.source,
+        "fn bug0_driver(",
+        "fn bug0_driver(g: bool) {\n",
+        "fn bug0_driver(g: bool) {\n    let edit_pad: int = 1;\n    print(edit_pad);\n",
+    );
+    for threads in [1usize, 4] {
+        let mut ws = AnalysisBuilder::new()
+            .threads(threads)
+            .open_workspace(&project.source)
+            .expect("generated source compiles");
+        let _ = render_workspace(&mut ws);
+        let outcome = ws.update_source(&edited).expect("edited source compiles");
+        assert!(!outcome.fell_back);
+        assert!(
+            outcome.reused > outcome.reanalyzed,
+            "one-function edit splices most artefacts: {outcome:?}"
+        );
+        let before = ws.counters();
+        let warm = render_workspace(&mut ws);
+        let after = ws.counters();
+        let cold = build(&edited, threads, None);
+        assert_eq!(
+            warm,
+            render_reports(&cold),
+            "warm workspace reports must equal a cold build at {threads} threads"
+        );
+        let reused = after.queries_reused - before.queries_reused;
+        let rerun = after.queries_rerun - before.queries_rerun;
+        let ratio = reused as f64 / (reused + rerun) as f64;
+        assert!(
+            ratio >= 0.9,
+            "expected ≥90% query reuse after one-function edit at {threads} threads, \
+             got {:.1}% ({reused} reused / {rerun} rerun)",
+            ratio * 100.0
+        );
+    }
 }
