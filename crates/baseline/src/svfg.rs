@@ -26,6 +26,14 @@ pub struct Fsvfg {
     pub edge_count: usize,
     /// The underlying points-to analysis (kept for accounting).
     pub points_to_facts: usize,
+    /// Object → sites that dereference a pointer targeting it: every
+    /// level of a k-level load/store chain plus `free` arguments. The
+    /// checker needs this object layer because a deep access like
+    /// `**w` dereferences *loaded* pointer values that never appear as
+    /// SSA vertices of the graph.
+    pub deref_sites: HashMap<Node, Vec<(FuncId, InstId)>>,
+    /// Every `free` site with the objects its argument may point to.
+    pub freed_objects: Vec<(Vertex, InstId, Vec<Node>)>,
 }
 
 impl Fsvfg {
@@ -78,7 +86,7 @@ impl Fsvfg {
         let mut stores_of: HashMap<Node, Vec<Vertex>> = HashMap::new();
         let mut loads_of: HashMap<Node, Vec<Vertex>> = HashMap::new();
         for (fid, f) in module.iter_funcs() {
-            for (_, inst) in f.iter_insts() {
+            for (site, inst) in f.iter_insts() {
                 match inst {
                     Inst::Copy { dst, src } => g.add_edge((fid, *src), (fid, *dst)),
                     Inst::Phi { dst, incomings } => {
@@ -86,14 +94,39 @@ impl Fsvfg {
                             g.add_edge((fid, v), (fid, *dst));
                         }
                     }
-                    Inst::Load { dst, ptr, .. } => {
-                        for o in pt.pt(fid, *ptr) {
-                            loads_of.entry(o).or_default().push((fid, *dst));
+                    Inst::Load { dst, ptr, depth } => {
+                        // A k-level load reads a cell at every level of
+                        // its chain; value flow into `dst` is attributed
+                        // to each read over-approximately.
+                        for objs in chain_objects(pt, fid, *ptr, *depth) {
+                            for &o in &objs {
+                                loads_of.entry(o).or_default().push((fid, *dst));
+                                g.deref_sites.entry(o).or_default().push((fid, site));
+                            }
                         }
                     }
-                    Inst::Store { ptr, src, .. } => {
-                        for o in pt.pt(fid, *ptr) {
-                            stores_of.entry(o).or_default().push((fid, *src));
+                    Inst::Store { ptr, src, depth } => {
+                        let levels = chain_objects(pt, fid, *ptr, *depth);
+                        if let Some(last) = levels.last() {
+                            for &o in last {
+                                stores_of.entry(o).or_default().push((fid, *src));
+                            }
+                        }
+                        for objs in &levels {
+                            for &o in objs {
+                                g.deref_sites.entry(o).or_default().push((fid, site));
+                            }
+                        }
+                    }
+                    Inst::Call { callee, args, .. } if callee == intrinsics::FREE => {
+                        if let Some(&p) = args.first() {
+                            let mut objs: Vec<Node> = pt.pt(fid, p).collect();
+                            objs.sort_unstable();
+                            objs.dedup();
+                            for &o in &objs {
+                                g.deref_sites.entry(o).or_default().push((fid, site));
+                            }
+                            g.freed_objects.push(((fid, p), site, objs));
                         }
                     }
                     Inst::Call { dsts, callee, args } => {
@@ -142,6 +175,10 @@ impl Fsvfg {
                 }
             }
         }
+        for v in g.deref_sites.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
         Some(g)
     }
 
@@ -159,6 +196,29 @@ impl Fsvfg {
     pub fn structural_bytes(&self) -> usize {
         self.edge_count * std::mem::size_of::<Vertex>() * 2 + self.points_to_facts * 24
     }
+}
+
+/// Objects whose cells are read at each level of dereferencing `ptr`
+/// `depth` times: level 1 reads the cells of `pt(ptr)`, level k the
+/// cells of the (flow-insensitive) contents of level k−1.
+fn chain_objects(pt: &Andersen, f: FuncId, ptr: ValueId, depth: u32) -> Vec<Vec<Node>> {
+    let mut cur: Vec<Node> = pt.pt(f, ptr).collect();
+    cur.sort_unstable();
+    cur.dedup();
+    let mut levels = Vec::with_capacity(depth as usize);
+    for _ in 0..depth {
+        levels.push(cur.clone());
+        let mut next: Vec<Node> = cur
+            .iter()
+            .filter_map(|o| pt.points_to.get(o))
+            .flatten()
+            .copied()
+            .collect();
+        next.sort_unstable();
+        next.dedup();
+        cur = next;
+    }
+    levels
 }
 
 /// A warning from the layered checker.
@@ -224,6 +284,27 @@ pub fn check_uaf(module: &Module, g: &Fsvfg) -> Vec<LayeredWarning> {
             stack.extend(g.succs(v).iter().copied());
         }
     }
+    // Object layer: with no flow to prune anything, every site that
+    // dereferences a pointer targeting a freed object is a warning —
+    // including deep-chain reads whose intermediate pointer values are
+    // not SSA vertices of the graph.
+    for (src, site, objs) in &g.freed_objects {
+        for o in objs {
+            for &(sf, u) in g.deref_sites.get(o).map_or(&[][..], Vec::as_slice) {
+                if sf == src.0 && u == *site {
+                    continue; // the free itself
+                }
+                warnings.push(LayeredWarning {
+                    source_func: src.0,
+                    source_site: *site,
+                    sink_func: sf,
+                    sink_site: u,
+                });
+            }
+        }
+    }
+    warnings.sort_unstable_by_key(|w| (w.source_func, w.source_site, w.sink_func, w.sink_site));
+    warnings.dedup();
     warnings
 }
 

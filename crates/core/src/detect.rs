@@ -502,7 +502,33 @@ pub(crate) fn run_spec(
     let cx = SpecContext::build(module, segs, spec, kind, config);
     let sources = enumerate_sources(module, spec);
     let outcomes = run_sources(&cx, &sources, symbols, arena, threads, trace);
-    merge_outcomes(module, spec, sources.len(), outcomes)
+    let (mut reports, stats, queries) = merge_outcomes(module, spec, sources.len(), outcomes);
+    if threads > 1 && faults::drop_last_report_mt() {
+        reports.pop();
+    }
+    (reports, stats, queries)
+}
+
+/// Test-only fault injection points.
+///
+/// These exist so the differential fuzzing subsystem (`pinpoint-fuzz`)
+/// can prove its oracles catch real detect-layer bug classes: a test
+/// flips a toggle, runs the fuzz loop, and asserts the corresponding
+/// oracle reports (and shrinks) the planted bug. All toggles default to
+/// off and must never be set outside tests.
+#[doc(hidden)]
+pub mod faults {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// When set, [`super::run_spec`] silently drops the last merged
+    /// report — but only when running with more than one worker. This
+    /// models a lost report in a racy merge, the bug class the
+    /// 1-vs-N-thread byte-identity oracle exists to catch.
+    pub static DROP_LAST_REPORT_MT: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn drop_last_report_mt() -> bool {
+        DROP_LAST_REPORT_MT.load(Ordering::Relaxed)
+    }
 }
 
 /// How many source queries a cached run answered from the cache vs.

@@ -614,6 +614,10 @@ impl ModuleSeg {
             HashMap::new();
         for (fid, _) in module.iter_funcs() {
             let seg = &segs[fid.0 as usize];
+            // `call_sites` is a HashMap, so its iteration order is not
+            // deterministic; the per-callee lists are sorted below so the
+            // detection search (and every fingerprint hashed over them)
+            // sees one canonical order.
             for (site, (callee, _, _)) in &seg.call_sites {
                 if let Some(target) = module.func_by_name(callee) {
                     callers.entry(target).or_default().push((fid, *site));
@@ -631,6 +635,9 @@ impl ModuleSeg {
                     .or_default()
                     .push((fid, ga.value, ga.cond));
             }
+        }
+        for v in callers.values_mut() {
+            v.sort_unstable();
         }
         let vertex_count = segs
             .iter()

@@ -1,0 +1,268 @@
+//! Delta-debugging minimizer for failing programs.
+//!
+//! Given a program and a predicate ("does this still fail the same
+//! way?"), the shrinker greedily applies three reduction levels until a
+//! fixpoint:
+//!
+//! 1. **function-level** — drop whole top-level items (`fn …` bodies,
+//!    `global` declarations);
+//! 2. **statement-level** — drop individual lines;
+//! 3. **operand-level** — simplify in place: branch/loop conditions
+//!    become `true`/`false`, `let` initializers become the simplest
+//!    constant of their declared type.
+//!
+//! Every predicate evaluation is counted into `steps` (reported as
+//! `fuzz.shrink_steps`), and the whole process is capped so a
+//! pathological predicate cannot stall a fuzz run. Invalid candidates
+//! need no special handling: a program that no longer compiles fails
+//! the oracle *differently* (or not at all), so the predicate rejects
+//! it and the shrinker keeps the previous form.
+
+/// Minimizes `src` while `pred` keeps returning `true`.
+///
+/// `steps` is incremented once per predicate evaluation; the function
+/// returns early if it reaches `max_steps`.
+pub fn shrink(
+    src: &str,
+    pred: &mut dyn FnMut(&str) -> bool,
+    steps: &mut u64,
+    max_steps: u64,
+) -> String {
+    let mut cur = src.to_string();
+    loop {
+        let before = cur.len();
+        cur = pass_items(&cur, pred, steps, max_steps);
+        cur = pass_lines(&cur, pred, steps, max_steps);
+        cur = pass_operands(&cur, pred, steps, max_steps);
+        if cur.len() >= before || *steps >= max_steps {
+            return cur;
+        }
+    }
+}
+
+/// Spans of top-level items: a `fn` line through its column-0 closing
+/// brace, a single `global` line, or any other single line.
+fn item_spans(lines: &[&str]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].starts_with("fn ") {
+            let mut j = i;
+            while j < lines.len() && lines[j].trim_end() != "}" {
+                j += 1;
+            }
+            let end = j.min(lines.len() - 1);
+            spans.push((i, end));
+            i = end + 1;
+        } else {
+            spans.push((i, i));
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn pass_items(
+    src: &str,
+    pred: &mut dyn FnMut(&str) -> bool,
+    steps: &mut u64,
+    max_steps: u64,
+) -> String {
+    let mut cur = src.to_string();
+    let mut changed = true;
+    while changed && *steps < max_steps {
+        changed = false;
+        let lines: Vec<&str> = cur.lines().collect();
+        let spans = item_spans(&lines);
+        // Remove later items first: helpers only call forward, so the
+        // tail is the least depended-upon.
+        for &(a, b) in spans.iter().rev() {
+            if *steps >= max_steps {
+                break;
+            }
+            let candidate: String = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < a || *i > b)
+                .map(|(_, l)| format!("{l}\n"))
+                .collect();
+            *steps += 1;
+            if pred(&candidate) {
+                cur = candidate;
+                changed = true;
+                break; // spans are stale; rescan
+            }
+        }
+    }
+    cur
+}
+
+fn pass_lines(
+    src: &str,
+    pred: &mut dyn FnMut(&str) -> bool,
+    steps: &mut u64,
+    max_steps: u64,
+) -> String {
+    let mut cur = src.to_string();
+    let mut changed = true;
+    while changed && *steps < max_steps {
+        changed = false;
+        let lines: Vec<String> = cur.lines().map(str::to_string).collect();
+        for i in (0..lines.len()).rev() {
+            if *steps >= max_steps {
+                break;
+            }
+            let candidate: String = lines
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, l)| format!("{l}\n"))
+                .collect();
+            *steps += 1;
+            if pred(&candidate) {
+                cur = candidate;
+                changed = true;
+                break;
+            }
+        }
+    }
+    cur
+}
+
+/// In-place line simplifications tried by the operand pass.
+fn simplified(line: &str) -> Vec<String> {
+    let indent_len = line.len() - line.trim_start().len();
+    let (indent, rest) = line.split_at(indent_len);
+    let mut out = Vec::new();
+    if rest.starts_with("if (") || rest.starts_with("while (") {
+        let keyword = if rest.starts_with("if") {
+            "if"
+        } else {
+            "while"
+        };
+        let tail = if rest.trim_end().ends_with('{') {
+            " {"
+        } else {
+            ""
+        };
+        for c in ["true", "false"] {
+            let cand = format!("{indent}{keyword} ({c}){tail}");
+            if cand != line.trim_end() {
+                out.push(cand);
+            }
+        }
+    } else if let Some((head, _)) = rest.split_once('=') {
+        if let Some(decl) = head.strip_prefix("let ") {
+            // `let name: ty = …;` → simplest constant of `ty`.
+            let replacement = if decl.contains("int*") {
+                "malloc()"
+            } else if decl.contains("bool") {
+                "nondet_bool()"
+            } else {
+                "0"
+            };
+            out.push(format!("{indent}{} = {replacement};", head.trim_end()));
+        }
+    }
+    out
+}
+
+fn pass_operands(
+    src: &str,
+    pred: &mut dyn FnMut(&str) -> bool,
+    steps: &mut u64,
+    max_steps: u64,
+) -> String {
+    let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+    for i in 0..lines.len() {
+        if *steps >= max_steps {
+            break;
+        }
+        for cand_line in simplified(&lines[i]) {
+            if cand_line == lines[i] {
+                continue;
+            }
+            let mut cand_lines = lines.clone();
+            cand_lines[i] = cand_line;
+            let candidate: String = cand_lines.iter().map(|l| format!("{l}\n")).collect();
+            *steps += 1;
+            if pred(&candidate) {
+                lines = cand_lines;
+                break;
+            }
+        }
+    }
+    lines.iter().map(|l| format!("{l}\n")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Predicate: program still contains both a `free(` and a deref of
+    /// the freed name — a stand-in for "still triggers the UAF bug".
+    fn still_has_uaf(src: &str) -> bool {
+        pinpoint_ir::compile(src).is_ok() && src.contains("free(p0)") && src.contains("*p0")
+    }
+
+    #[test]
+    fn shrinks_to_the_core() {
+        let src = "\
+global gi0: int;
+fn helper(a: int, b: int) -> int {
+    let s: int = a + b;
+    return s;
+}
+fn main() {
+    let v: int = 3;
+    let p0: int* = malloc();
+    let q: int* = malloc();
+    *q = 9;
+    free(p0);
+    let x: int = *p0;
+    print(x);
+    print(v);
+    return;
+}
+";
+        let mut steps = 0;
+        let small = shrink(src, &mut |s| still_has_uaf(s), &mut steps, 2_000);
+        assert!(still_has_uaf(&small));
+        assert!(steps > 0);
+        // The helper, the global, and the unrelated statements must go.
+        assert!(!small.contains("helper"), "{small}");
+        assert!(!small.contains("global"), "{small}");
+        assert!(!small.contains("*q = 9"), "{small}");
+        assert!(small.lines().count() <= 8, "{small}");
+    }
+
+    #[test]
+    fn operand_pass_simplifies_conditions() {
+        let src = "\
+fn main() {
+    let p0: int* = malloc();
+    let c: bool = nondet_bool();
+    if (c && 1 < 2) {
+        free(p0);
+    }
+    print(*p0);
+    return;
+}
+";
+        let mut steps = 0;
+        let small = shrink(src, &mut |s| still_has_uaf(s), &mut steps, 2_000);
+        assert!(still_has_uaf(&small));
+        assert!(
+            !small.contains("c && 1 < 2") || small.lines().count() < src.lines().count(),
+            "{small}"
+        );
+    }
+
+    #[test]
+    fn respects_step_cap() {
+        let src = "fn main() {\n    let x: int = 1;\n    print(x);\n    return;\n}\n";
+        let mut steps = 0;
+        let _ = shrink(src, &mut |_| false, &mut steps, 7);
+        assert!(steps <= 7);
+    }
+}

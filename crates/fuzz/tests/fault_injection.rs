@@ -1,0 +1,51 @@
+//! The fuzz subsystem must *catch* planted bugs, not just pass on clean
+//! builds. This test flips the detect-layer fault toggle (drop the last
+//! merged report when running multi-threaded — a modelled merge race),
+//! runs the thread-determinism oracle, and asserts the bug is found and
+//! shrunk to a small reproducer.
+
+use pinpoint_core::detect::faults::DROP_LAST_REPORT_MT;
+use pinpoint_fuzz::{run_fuzz, FindingKind, FuzzConfig, OracleKind};
+use std::sync::atomic::Ordering;
+
+#[test]
+fn injected_merge_bug_is_caught_and_shrunk() {
+    let out_dir = std::env::temp_dir().join("pinpoint-fuzz-fault-test");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    DROP_LAST_REPORT_MT.store(true, Ordering::SeqCst);
+    let outcome = run_fuzz(&FuzzConfig {
+        seed: 5,
+        iters: 40,
+        oracles: vec![OracleKind::Threads],
+        threads: 3,
+        out_dir: Some(out_dir.clone()),
+        ..FuzzConfig::default()
+    });
+    DROP_LAST_REPORT_MT.store(false, Ordering::SeqCst);
+
+    assert!(
+        outcome.discrepancies > 0,
+        "the threads oracle must catch the planted merge bug"
+    );
+    let finding = outcome
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::Discrepancy && f.oracle == OracleKind::Threads)
+        .expect("a deduplicated finding");
+    let program = finding.program.as_deref().expect("program-based finding");
+    assert!(
+        program.lines().count() <= 15,
+        "reproducer must shrink to <= 15 lines, got {}:\n{program}",
+        program.lines().count()
+    );
+    assert!(finding.shrink_steps > 0);
+    assert!(outcome.shrink_steps > 0);
+    // The reproducer landed on disk, corpus-ready (.pp with a reference
+    // `// expect:` header) since the single-threaded reference analysis
+    // of the minimized program is healthy.
+    let path = finding.reproducer.as_ref().expect("reproducer written");
+    let body = std::fs::read_to_string(path).unwrap();
+    assert!(body.contains("// fuzz-regression: oracle=threads"));
+    assert!(body.contains("// expect: "));
+    let _ = std::fs::remove_dir_all(&out_dir);
+}

@@ -1,0 +1,46 @@
+//! Fixed-seed differential smoke: all five oracles must be clean over
+//! a batch of generated programs. This is a faster in-tree mirror of
+//! the CI `fuzz-smoke` job (`pinpoint fuzz --seed 5 --iters 300`).
+
+use pinpoint_fuzz::{run_fuzz, FuzzConfig, OracleKind};
+
+#[test]
+fn all_oracles_clean_on_fixed_seed() {
+    let outcome = run_fuzz(&FuzzConfig {
+        seed: 5,
+        iters: 25,
+        oracles: OracleKind::ALL.to_vec(),
+        threads: 3,
+        ..FuzzConfig::default()
+    });
+    assert_eq!(outcome.iters, 25);
+    assert!(
+        outcome.findings.is_empty(),
+        "oracle failures:\n{:#?}",
+        outcome
+            .findings
+            .iter()
+            .map(|f| format!(
+                "[{}] {:?} at iter {}: {}\n{}",
+                f.oracle.name(),
+                f.kind,
+                f.iteration,
+                f.detail,
+                f.program.as_deref().unwrap_or("<no program>")
+            ))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(outcome.discrepancies + outcome.crashes, 0);
+}
+
+#[test]
+fn time_budget_stops_early() {
+    let outcome = run_fuzz(&FuzzConfig {
+        seed: 1,
+        iters: 1_000_000,
+        time_budget: Some(std::time::Duration::from_millis(200)),
+        oracles: vec![OracleKind::Verify],
+        ..FuzzConfig::default()
+    });
+    assert!(outcome.iters < 1_000_000);
+}

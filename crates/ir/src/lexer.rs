@@ -144,6 +144,52 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
             }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated block comment".into(),
+                                span,
+                            })
+                        }
+                        Some(b'*') if bytes.get(i + 1) == Some(&b'/') => {
+                            i += 2;
+                            break;
+                        }
+                        Some(b'\n') => {
+                            line += 1;
+                            i += 1;
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+            }
+            b'"' => {
+                // The language has no string type, but a stray quote must
+                // produce a diagnostic, not cascade into "unexpected
+                // character" errors on every byte of the literal's body.
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                span,
+                            })
+                        }
+                        Some(b'\\') => i += 2,
+                        Some(b'"') => {
+                            return Err(LexError {
+                                message: "string literals are not supported".into(),
+                                span,
+                            })
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+            }
             b'(' => {
                 out.push(Token {
                     tok: Tok::LParen,
@@ -418,6 +464,34 @@ mod tests {
     #[test]
     fn rejects_stray_ampersand() {
         assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn block_comments_skip_and_track_lines() {
+        let toks = lex("/* one\n * two\n */ fn").unwrap();
+        assert_eq!(toks[0].tok, Tok::Fn);
+        assert_eq!(toks[0].span.line, 3);
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        let err = lex("fn main() { /* oops").unwrap_err();
+        assert!(err.message.contains("unterminated block comment"), "{err}");
+        // The span points at the comment opener, not end-of-input.
+        assert_eq!(err.span.offset, 12);
+    }
+
+    #[test]
+    fn string_literals_error_cleanly() {
+        let err = lex("let s = \"hello\";").unwrap_err();
+        assert!(err.message.contains("not supported"), "{err}");
+        let err = lex("let s = \"runaway").unwrap_err();
+        assert!(err.message.contains("unterminated string"), "{err}");
+        let err = lex("let s = \"multi\nline\"").unwrap_err();
+        assert!(err.message.contains("unterminated string"), "{err}");
+        // A trailing backslash must not index past end-of-input.
+        let err = lex("\"esc\\").unwrap_err();
+        assert!(err.message.contains("unterminated string"), "{err}");
     }
 
     #[test]

@@ -47,13 +47,26 @@ impl From<LexError> for ParseError {
 /// ```
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     p.program()
 }
+
+/// Maximum statement/expression nesting depth. The parser is recursive
+/// descent, so without a bound a hostile input like `((((…))))` would
+/// overflow the stack; past this depth it returns a [`ParseError`]
+/// instead. Far above anything a real program needs, while keeping the
+/// worst-case stack usage (each level costs several unoptimized frames,
+/// statement nesting the most) inside a 2 MiB test-thread stack.
+const MAX_NESTING_DEPTH: usize = 128;
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -87,6 +100,24 @@ impl Parser {
             message,
             span: self.span(),
         }
+    }
+
+    /// Bumps the recursion depth, failing once the input nests deeper
+    /// than [`MAX_NESTING_DEPTH`]. Every recursive production calls this
+    /// on entry and [`Parser::leave`] on exit.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            Err(self.error(format!(
+                "nesting too deep (more than {MAX_NESTING_DEPTH} levels)"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
@@ -184,6 +215,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let result = self.stmt_inner();
+        self.leave();
+        result
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         let span = self.span();
         match self.peek().clone() {
             Tok::Let => {
@@ -281,7 +319,10 @@ impl Parser {
 
     // Precedence climbing: or < and < cmp < add < mul < unary < primary.
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.or_expr()
+        self.enter()?;
+        let result = self.or_expr();
+        self.leave();
+        result
     }
 
     fn or_expr(&mut self) -> Result<Expr, ParseError> {
@@ -355,6 +396,13 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.unary_inner();
+        self.leave();
+        result
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         let span = self.span();
         match self.peek() {
             Tok::Minus => {
@@ -536,5 +584,47 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn deep_paren_nesting_errors_instead_of_overflowing() {
+        let src = format!(
+            "fn f() -> int {{ return {}1{}; }}",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn deep_unary_nesting_errors_instead_of_overflowing() {
+        let src = format!("fn f() -> int {{ return {}1; }}", "-".repeat(10_000));
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn deep_statement_nesting_errors_instead_of_overflowing() {
+        let mut src = String::from("fn f(c: bool) {\n");
+        for _ in 0..10_000 {
+            src.push_str("if (c) {\n");
+        }
+        src.push_str(&"}\n".repeat(10_000));
+        src.push_str("return;\n}");
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        // Each paren level passes through both the expr and the unary
+        // guard, so 50 levels consume 100 of the 128-deep budget.
+        let src = format!(
+            "fn f() -> int {{ return {}1{}; }}",
+            "(".repeat(50),
+            ")".repeat(50)
+        );
+        assert!(parse(&src).is_ok());
     }
 }

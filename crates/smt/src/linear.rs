@@ -126,6 +126,11 @@ pub struct LinearSolver {
     pub unsat_count: u64,
     /// Number of `check` calls answered `Unknown`.
     pub unknown_count: u64,
+    /// Number of `check` calls that degraded to `Unknown` because the
+    /// condition contained a malformed connective (an empty `Or`, which
+    /// the smart constructors never build but a replayed
+    /// [`TermArena::push_raw`] stream can contain).
+    pub degraded_count: u64,
 }
 
 impl LinearSolver {
@@ -135,25 +140,39 @@ impl LinearSolver {
     }
 
     /// Checks `c` for an apparent contradiction.
+    ///
+    /// A condition the `P`/`N` rules cannot soundly describe (an empty
+    /// disjunction, possible only in a replayed raw term stream) degrades
+    /// to `Unknown` — handing the decision to the full solver — rather
+    /// than panicking mid-analysis.
     pub fn check(&mut self, arena: &TermArena, c: TermId) -> LinearVerdict {
         if arena.is_false(c) {
             self.unsat_count += 1;
             return LinearVerdict::Unsat;
         }
-        let (p, n) = self.sets(arena, c);
-        if overlaps(&p, &n) {
-            self.unsat_count += 1;
-            LinearVerdict::Unsat
-        } else {
-            self.unknown_count += 1;
-            LinearVerdict::Unknown
+        match self.sets(arena, c) {
+            Some((p, n)) if overlaps(&p, &n) => {
+                self.unsat_count += 1;
+                LinearVerdict::Unsat
+            }
+            Some(_) => {
+                self.unknown_count += 1;
+                LinearVerdict::Unknown
+            }
+            None => {
+                self.degraded_count += 1;
+                self.unknown_count += 1;
+                LinearVerdict::Unknown
+            }
         }
     }
 
     /// Returns `(P(c), N(c))`, computing and memoising as needed.
-    fn sets(&mut self, arena: &TermArena, c: TermId) -> (AtomSet, AtomSet) {
+    /// `None` means the condition is structurally malformed for the
+    /// `P`/`N` rules (empty `Or`).
+    fn sets(&mut self, arena: &TermArena, c: TermId) -> Option<(AtomSet, AtomSet)> {
         if let Some(cached) = self.cache.get(&c) {
-            return cached.clone();
+            return Some(cached.clone());
         }
         // Explicit stack: conditions can be deeply nested on long paths.
         let mut stack = vec![c];
@@ -194,8 +213,11 @@ impl LinearSolver {
                     (p, n)
                 }
                 TermKind::Or(xs) => {
+                    // The smart constructors simplify `or []` away, but a
+                    // term rebuilt via `push_raw` can carry one; there is
+                    // no sound `(P, N)` for it, so degrade.
                     let mut iter = xs.iter();
-                    let first = iter.next().expect("or is never empty after simplify");
+                    let first = iter.next()?;
                     let (mut p, mut n) = self.cache[first].clone();
                     for x in iter {
                         let (cp, cn) = &self.cache[x];
@@ -210,7 +232,7 @@ impl LinearSolver {
             };
             self.cache.insert(top, entry);
         }
-        self.cache[&c].clone()
+        Some(self.cache[&c].clone())
     }
 }
 
@@ -302,6 +324,34 @@ mod tests {
         let f = arena.fls();
         let mut s = LinearSolver::new();
         assert_eq!(s.check(&arena, f), LinearVerdict::Unsat);
+    }
+
+    #[test]
+    fn empty_or_degrades_to_unknown() {
+        use crate::term::TermKind;
+        // The smart constructors never produce `or []`, but a replayed
+        // raw term stream (the persistent cache path) can hand one to the
+        // solver; it must degrade, not panic.
+        let mut arena = TermArena::new();
+        let a = arena.var("a", Sort::Bool);
+        let empty_or = arena
+            .push_raw(TermKind::Or(Vec::new()), Sort::Bool)
+            .expect("fresh raw term");
+        let mut s = LinearSolver::new();
+        assert_eq!(s.check(&arena, empty_or), LinearVerdict::Unknown);
+        assert_eq!(s.degraded_count, 1);
+        // Nested inside a conjunction it degrades the same way…
+        let cond = arena
+            .push_raw(TermKind::And(vec![a, empty_or]), Sort::Bool)
+            .expect("fresh raw term");
+        assert_eq!(s.check(&arena, cond), LinearVerdict::Unknown);
+        assert_eq!(s.degraded_count, 2);
+        // …and the solver still answers healthy queries afterwards.
+        let na = arena.not(a);
+        let contra = arena
+            .push_raw(TermKind::And(vec![a, na]), Sort::Bool)
+            .expect("fresh raw term");
+        assert_eq!(s.check(&arena, contra), LinearVerdict::Unsat);
     }
 
     #[test]

@@ -404,16 +404,22 @@ impl TermArena {
     }
 
     /// N-ary integer addition with flattening and constant folding.
+    ///
+    /// Constants are accumulated exactly (in `i128`): the term algebra
+    /// models unbounded integers, matching the linear theory, so a sum
+    /// like `i64::MAX + 1` must *not* wrap to `i64::MIN`. When the exact
+    /// constant does not fit in one `i64` literal it is kept as several
+    /// in-range literals whose exact sum is the accumulated value.
     pub fn add(&mut self, ts: impl IntoIterator<Item = TermId>) -> TermId {
         let mut flat: Vec<TermId> = Vec::new();
-        let mut konst: i64 = 0;
+        let mut konst: i128 = 0;
         for t in ts {
             match self.kind(t) {
-                TermKind::IntConst(v) => konst = konst.wrapping_add(*v),
+                TermKind::IntConst(v) => konst += i128::from(*v),
                 TermKind::Add(children) => {
                     for &c in children {
                         if let TermKind::IntConst(v) = self.kind(c) {
-                            konst = konst.wrapping_add(*v);
+                            konst += i128::from(*v);
                         } else {
                             flat.push(c);
                         }
@@ -422,8 +428,21 @@ impl TermArena {
                 _ => flat.push(t),
             }
         }
-        if konst != 0 || flat.is_empty() {
-            let k = self.int(konst);
+        let mut consts: Vec<i64> = Vec::new();
+        while konst > i128::from(i64::MAX) {
+            consts.push(i64::MAX);
+            konst -= i128::from(i64::MAX);
+        }
+        while konst < i128::from(i64::MIN) {
+            consts.push(i64::MIN);
+            konst -= i128::from(i64::MIN);
+        }
+        let rem = konst as i64;
+        if rem != 0 || (flat.is_empty() && consts.is_empty()) {
+            consts.push(rem);
+        }
+        for c in consts {
+            let k = self.int(c);
             flat.push(k);
         }
         flat.sort_unstable();
@@ -439,13 +458,19 @@ impl TermArena {
     }
 
     /// Integer subtraction with constant folding and `a - a = 0`.
+    ///
+    /// A constant difference that would leave the `i64` literal range is
+    /// left symbolic (the linear theory evaluates it exactly in `i128`)
+    /// rather than folded with wraparound.
     pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
         if a == b {
             return self.int(0);
         }
         if let (TermKind::IntConst(x), TermKind::IntConst(y)) = (self.kind(a), self.kind(b)) {
-            let v = x.wrapping_sub(*y);
-            return self.int(v);
+            if let Some(v) = x.checked_sub(*y) {
+                return self.int(v);
+            }
+            return self.intern(TermKind::Sub(a, b), Sort::Int);
         }
         if let TermKind::IntConst(0) = self.kind(b) {
             return a;
@@ -454,10 +479,17 @@ impl TermArena {
     }
 
     /// Integer multiplication with constant folding and unit/zero laws.
+    ///
+    /// An out-of-range constant product stays symbolic instead of
+    /// wrapping, keeping folds consistent with the theory's exact
+    /// arithmetic.
     pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
         if let (TermKind::IntConst(x), TermKind::IntConst(y)) = (self.kind(a), self.kind(b)) {
-            let v = x.wrapping_mul(*y);
-            return self.int(v);
+            if let Some(v) = x.checked_mul(*y) {
+                return self.int(v);
+            }
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            return self.intern(TermKind::Mul(a, b), Sort::Int);
         }
         for (k, other) in [(a, b), (b, a)] {
             match self.kind(k) {
@@ -470,13 +502,14 @@ impl TermArena {
         self.intern(TermKind::Mul(a, b), Sort::Int)
     }
 
-    /// Integer negation with folding.
+    /// Integer negation with folding. `-i64::MIN` has no `i64`
+    /// representation and stays symbolic.
     pub fn neg(&mut self, a: TermId) -> TermId {
         match self.kind(a) {
-            TermKind::IntConst(v) => {
-                let v = v.wrapping_neg();
-                self.int(v)
-            }
+            TermKind::IntConst(v) => match v.checked_neg() {
+                Some(v) => self.int(v),
+                None => self.intern(TermKind::Neg(a), Sort::Int),
+            },
             TermKind::Neg(inner) => *inner,
             _ => self.intern(TermKind::Neg(a), Sort::Int),
         }
@@ -782,6 +815,37 @@ mod tests {
         assert_eq!(a.mul(zero, x), a.int(0));
         let one = a.int(1);
         assert_eq!(a.mul(one, x), x);
+    }
+
+    #[test]
+    fn boundary_folds_never_wrap() {
+        // The term algebra models unbounded integers (as the linear
+        // theory evaluates them); folding must not wrap at the i64
+        // literal boundary.
+        let mut a = TermArena::new();
+        let max = a.int(i64::MAX);
+        let min = a.int(i64::MIN);
+        let one = a.int(1);
+        let two = a.int(2);
+        // MAX + 1 stays exact (an Add of in-range literals), not MIN.
+        let over = a.add2(max, one);
+        assert_ne!(over, min);
+        assert!(matches!(a.kind(over), TermKind::Add(_)));
+        // MIN - 1 stays symbolic, not MAX.
+        let under = a.sub(min, one);
+        assert_ne!(under, max);
+        assert!(matches!(a.kind(under), TermKind::Sub(..)));
+        // MAX * 2 stays symbolic, not -2.
+        let dbl = a.mul(max, two);
+        assert!(matches!(a.kind(dbl), TermKind::Mul(..)));
+        // -MIN stays symbolic, not MIN.
+        let negated = a.neg(min);
+        assert_ne!(negated, min);
+        assert!(matches!(a.kind(negated), TermKind::Neg(_)));
+        // In-range folds still happen.
+        let m1 = a.int(-1);
+        let max_again = a.add2(over, m1);
+        assert_eq!(max_again, max);
     }
 
     #[test]

@@ -222,17 +222,25 @@ impl LinExpr {
         }
     }
 
-    fn scale(&self, k: i128) -> Self {
+    /// Scales by `k` with checked `i128` arithmetic. `None` means the
+    /// coefficients left the `i128` range — callers treat that as "give
+    /// up, assume feasible" (consistent-biased, like [`FM_LIMIT`]).
+    fn scale(&self, k: i128) -> Option<Self> {
         if k == 0 {
-            return LinExpr::constant(0);
+            return Some(LinExpr::constant(0));
         }
-        LinExpr {
-            coeffs: self.coeffs.iter().map(|&(t, c)| (t, c * k)).collect(),
-            constant: self.constant * k,
+        let mut coeffs = Vec::with_capacity(self.coeffs.len());
+        for &(t, c) in &self.coeffs {
+            coeffs.push((t, c.checked_mul(k)?));
         }
+        Some(LinExpr {
+            coeffs,
+            constant: self.constant.checked_mul(k)?,
+        })
     }
 
-    fn add(&self, other: &LinExpr) -> Self {
+    /// Adds two expressions with checked `i128` arithmetic.
+    fn add(&self, other: &LinExpr) -> Option<Self> {
         let mut out = Vec::with_capacity(self.coeffs.len() + other.coeffs.len());
         let (mut i, mut j) = (0, 0);
         while i < self.coeffs.len() && j < other.coeffs.len() {
@@ -248,8 +256,9 @@ impl LinExpr {
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    if ca + cb != 0 {
-                        out.push((ta, ca + cb));
+                    let c = ca.checked_add(cb)?;
+                    if c != 0 {
+                        out.push((ta, c));
                     }
                     i += 1;
                     j += 1;
@@ -258,14 +267,14 @@ impl LinExpr {
         }
         out.extend_from_slice(&self.coeffs[i..]);
         out.extend_from_slice(&other.coeffs[j..]);
-        LinExpr {
+        Some(LinExpr {
             coeffs: out,
-            constant: self.constant + other.constant,
-        }
+            constant: self.constant.checked_add(other.constant)?,
+        })
     }
 
-    fn sub(&self, other: &LinExpr) -> Self {
-        self.add(&other.scale(-1))
+    fn sub(&self, other: &LinExpr) -> Option<Self> {
+        self.add(&other.scale(-1)?)
     }
 
     fn is_const(&self) -> bool {
@@ -274,15 +283,22 @@ impl LinExpr {
 }
 
 /// Linearises an integer term; non-linear subterms become opaque bases.
+/// A subterm whose exact coefficients overflow `i128` also goes opaque —
+/// losing precision (the solver may call an infeasible conjunction
+/// feasible), never soundness.
 fn linearize(arena: &TermArena, t: TermId) -> LinExpr {
+    try_linearize(arena, t).unwrap_or_else(|| LinExpr::base(t))
+}
+
+fn try_linearize(arena: &TermArena, t: TermId) -> Option<LinExpr> {
     match arena.kind(t) {
-        TermKind::IntConst(v) => LinExpr::constant(i128::from(*v)),
+        TermKind::IntConst(v) => Some(LinExpr::constant(i128::from(*v))),
         TermKind::Add(xs) => {
             let mut acc = LinExpr::constant(0);
             for &x in xs {
-                acc = acc.add(&linearize(arena, x));
+                acc = acc.add(&linearize(arena, x))?;
             }
-            acc
+            Some(acc)
         }
         TermKind::Sub(a, b) => linearize(arena, *a).sub(&linearize(arena, *b)),
         TermKind::Neg(a) => linearize(arena, *a).scale(-1),
@@ -294,10 +310,10 @@ fn linearize(arena: &TermArena, t: TermId) -> LinExpr {
             } else if lb.is_const() {
                 la.scale(lb.constant)
             } else {
-                LinExpr::base(t) // opaque non-linear product
+                Some(LinExpr::base(t)) // opaque non-linear product
             }
         }
-        _ => LinExpr::base(t), // Var, Ite, … opaque
+        _ => Some(LinExpr::base(t)), // Var, Ite, … opaque
     }
 }
 
@@ -354,7 +370,9 @@ fn fm_feasible(mut ineqs: Vec<Ineq>) -> bool {
             for up in &upper {
                 let cu = coeff_of(up, v); // > 0
                                           // cl*up + cu*lo eliminates v: (cu*lo + cl*up) ≤ 0.
-                let combined = up.scale(cl).add(&lo.scale(cu));
+                let Some(combined) = up.scale(cl).and_then(|u| u.add(&lo.scale(cu)?)) else {
+                    return true; // coefficient overflow: give up, assume feasible
+                };
                 debug_assert_eq!(coeff_of(&combined, v), 0);
                 if combined.is_const() {
                     if combined.constant > 0 {
@@ -388,37 +406,44 @@ fn check_arith(arena: &TermArena, lits: &[TheoryLit]) -> TheoryVerdict {
     let mut ineqs: Vec<Ineq> = Vec::new();
     let mut diseqs: Vec<LinExpr> = Vec::new(); // e ≠ 0
     for l in lits {
-        match arena.kind(l.atom) {
-            TermKind::Lt(a, b) => {
-                let e = linearize(arena, *a).sub(&linearize(arena, *b));
-                if l.positive {
-                    // a < b  ⇔  a - b + 1 ≤ 0 (integers)
-                    ineqs.push(Ineq(e.add(&LinExpr::constant(1))));
-                } else {
-                    // ¬(a < b) ⇔ b ≤ a ⇔ b - a ≤ 0
-                    ineqs.push(Ineq(e.scale(-1)));
+        // A literal whose normalisation overflows `i128` is dropped —
+        // the conjunction gets weaker, so the verdict can only err
+        // toward Consistent (the documented safe direction).
+        let _ = (|| -> Option<()> {
+            match arena.kind(l.atom) {
+                TermKind::Lt(a, b) => {
+                    let e = linearize(arena, *a).sub(&linearize(arena, *b))?;
+                    if l.positive {
+                        // a < b  ⇔  a - b + 1 ≤ 0 (integers)
+                        ineqs.push(Ineq(e.add(&LinExpr::constant(1))?));
+                    } else {
+                        // ¬(a < b) ⇔ b ≤ a ⇔ b - a ≤ 0
+                        ineqs.push(Ineq(e.scale(-1)?));
+                    }
                 }
-            }
-            TermKind::Le(a, b) => {
-                let e = linearize(arena, *a).sub(&linearize(arena, *b));
-                if l.positive {
-                    ineqs.push(Ineq(e.clone()));
-                } else {
-                    // ¬(a ≤ b) ⇔ b < a ⇔ b - a + 1 ≤ 0
-                    ineqs.push(Ineq(e.scale(-1).add(&LinExpr::constant(1))));
+                TermKind::Le(a, b) => {
+                    let e = linearize(arena, *a).sub(&linearize(arena, *b))?;
+                    if l.positive {
+                        ineqs.push(Ineq(e));
+                    } else {
+                        // ¬(a ≤ b) ⇔ b < a ⇔ b - a + 1 ≤ 0
+                        ineqs.push(Ineq(e.scale(-1)?.add(&LinExpr::constant(1))?));
+                    }
                 }
-            }
-            TermKind::Eq(a, b) if arena.sort(*a) == crate::term::Sort::Int => {
-                let e = linearize(arena, *a).sub(&linearize(arena, *b));
-                if l.positive {
-                    ineqs.push(Ineq(e.clone()));
-                    ineqs.push(Ineq(e.scale(-1)));
-                } else {
-                    diseqs.push(e);
+                TermKind::Eq(a, b) if arena.sort(*a) == crate::term::Sort::Int => {
+                    let e = linearize(arena, *a).sub(&linearize(arena, *b))?;
+                    if l.positive {
+                        let neg = e.scale(-1)?;
+                        ineqs.push(Ineq(e));
+                        ineqs.push(Ineq(neg));
+                    } else {
+                        diseqs.push(e);
+                    }
                 }
+                _ => {}
             }
-            _ => {}
-        }
+            Some(())
+        })();
     }
     // Constant-only quick conflicts.
     for Ineq(e) in &ineqs {
@@ -440,12 +465,17 @@ fn check_arith(arena: &TermArena, lits: &[TheoryLit]) -> TheoryVerdict {
         if e.is_const() {
             continue; // already handled
         }
+        // e ≥ 1 ⇔ 1 - e ≤ 0; e ≤ -1 ⇔ e + 1 ≤ 0. Overflow while
+        // building either probe means: skip it, assume consistent.
+        let (Some(ge_one), Some(le_neg_one)) =
+            (LinExpr::constant(1).sub(e), e.add(&LinExpr::constant(1)))
+        else {
+            continue;
+        };
         let mut with_pos = ineqs.clone();
-        // e ≥ 1 ⇔ 1 - e ≤ 0
-        with_pos.push(Ineq(LinExpr::constant(1).sub(e)));
+        with_pos.push(Ineq(ge_one));
         let mut with_neg = ineqs.clone();
-        // e ≤ -1 ⇔ e + 1 ≤ 0
-        with_neg.push(Ineq(e.add(&LinExpr::constant(1))));
+        with_neg.push(Ineq(le_neg_one));
         if !fm_feasible(with_pos) && !fm_feasible(with_neg) {
             return TheoryVerdict::Conflict;
         }
@@ -742,6 +772,77 @@ mod chain_tests {
         let l3 = a.le(one, y);
         let lits = [pos(l1), pos(l2), pos(l3)];
         assert_eq!(check_conjunction(&a, &lits), TheoryVerdict::Conflict);
+    }
+
+    #[test]
+    fn boundary_add_is_exact_not_wrapped() {
+        // x = i64::MAX + 1 ∧ x ≤ i64::MAX must conflict: the sum is the
+        // exact integer 2^63, not a wrapped i64::MIN (which would make
+        // the conjunction satisfiable).
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let max = a.int(i64::MAX);
+        let one = a.int(1);
+        let over = a.add2(max, one);
+        let eq = a.eq(x, over);
+        let le = a.le(x, max);
+        assert_eq!(
+            check_conjunction(&a, &[pos(eq), pos(le)]),
+            TheoryVerdict::Conflict
+        );
+        // …and x = MAX + 1 ∧ MAX ≤ x is fine.
+        let ge = a.le(max, x);
+        assert_eq!(
+            check_conjunction(&a, &[pos(eq), pos(ge)]),
+            TheoryVerdict::Consistent
+        );
+    }
+
+    #[test]
+    fn boundary_sub_is_exact_not_wrapped() {
+        // y = i64::MIN - 1 ∧ MIN ≤ y conflicts; wrapped folding would
+        // have made y = i64::MAX and the conjunction satisfiable.
+        let mut a = TermArena::new();
+        let y = a.var("y", Sort::Int);
+        let min = a.int(i64::MIN);
+        let one = a.int(1);
+        let under = a.sub(min, one);
+        let eq = a.eq(y, under);
+        let ge = a.le(min, y);
+        assert_eq!(
+            check_conjunction(&a, &[pos(eq), pos(ge)]),
+            TheoryVerdict::Conflict
+        );
+    }
+
+    #[test]
+    fn boundary_neg_is_exact_not_wrapped() {
+        // -i64::MIN is the exact 2^63: it is > 0 (consistent) and ≠ MIN
+        // (conflict if equated). Wrapped folding said -MIN = MIN < 0.
+        let mut a = TermArena::new();
+        let min = a.int(i64::MIN);
+        let zero = a.int(0);
+        let negated = a.neg(min);
+        let gt = a.lt(zero, negated);
+        assert_eq!(check_conjunction(&a, &[pos(gt)]), TheoryVerdict::Consistent);
+        let eq = a.eq(negated, min);
+        assert_eq!(check_conjunction(&a, &[pos(eq)]), TheoryVerdict::Conflict);
+    }
+
+    #[test]
+    fn boundary_mul_is_exact_not_wrapped() {
+        // i64::MAX * 2 = 2^64 - 2 exactly, which is positive; the
+        // wrapped fold said -2.
+        let mut a = TermArena::new();
+        let max = a.int(i64::MAX);
+        let two = a.int(2);
+        let zero = a.int(0);
+        let dbl = a.mul(max, two);
+        let neg_claim = a.lt(dbl, zero);
+        assert_eq!(
+            check_conjunction(&a, &[pos(neg_claim)]),
+            TheoryVerdict::Conflict
+        );
     }
 
     #[test]

@@ -11,17 +11,22 @@
 //!   bugs and path-infeasible decoys) with ground truth;
 //! * [`juliet`] — a 51-variant flaw-template suite (~1428 cases at paper
 //!   scale) for recall measurement;
+//! * [`fuzzgen`] — a grammar-based generator of arbitrary well-typed
+//!   programs (plus validity-preserving mutations) feeding the
+//!   `pinpoint-fuzz` differential oracles;
 //! * [`subjects`] — a registry mirroring Table 1's subject list, mapping
 //!   each subject to a scaled-down generated project.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fuzzgen;
 pub mod gen;
 pub mod juliet;
 pub mod rng;
 pub mod subjects;
 
+pub use fuzzgen::{generate as generate_fuzz, mutate as mutate_fuzz, FuzzGenConfig};
 pub use gen::{generate, BugKind, GenConfig, Generated, InjectedBug};
 pub use juliet::{generate as generate_juliet, JulietCase, JulietSuite};
 pub use subjects::{generate_subject, Subject, DEFAULT_SCALE, SUBJECTS};

@@ -93,6 +93,7 @@ const USAGE: &str = "usage:
   pinpoint profile <file> [--top K] [--threads N]
   pinpoint cache info|clear|verify <dir>
   pinpoint serve [--threads N] [--no-solve]
+  pinpoint fuzz [--seed N] [--iters N] [--time-budget SECS] [--oracle NAME]... [--threads N] [--out-dir DIR] [--stats-json FILE]
 
   serve reads line-delimited JSON commands on stdin and answers one JSON
   object per line on stdout:
@@ -103,6 +104,12 @@ const USAGE: &str = "usage:
     {\"cmd\":\"quit\"}
   Warm checks reuse cached per-source queries whose searched functions
   the edit did not touch; results are byte-identical to a cold run.
+
+  fuzz generates seeded well-typed programs and cross-checks the
+  analysis against its differential oracles (--oracle baseline, threads,
+  warm, smt, verify, or all — repeatable; default all). Fresh failures
+  are minimized by delta debugging and, with --out-dir, written as
+  corpus-ready reproducers. Exit 0 = clean, 1 = findings.
 
   --threads N defaults to the available parallelism.
   --cache-dir persists per-function analysis artifacts keyed by content
@@ -120,6 +127,9 @@ fn run(args: &[String]) -> Result<bool, CliError> {
     }
     if cmd == "serve" {
         return serve(&args[1..]);
+    }
+    if cmd == "fuzz" {
+        return fuzz_cmd(&args[1..]);
     }
     let file = args.get(1).ok_or("missing input file")?;
     let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
@@ -222,13 +232,116 @@ fn cache_cmd(args: &[String]) -> Result<bool, CliError> {
     }
 }
 
+/// `pinpoint fuzz`: run the differential fuzzing engine — generate
+/// seeded programs, push each through the selected oracle stack, shrink
+/// and persist fresh failures. Findings surface through the exit code
+/// (1 = findings) and, with `--stats-json`, as
+/// `fuzz.{iters,discrepancies,crashes,shrink_steps}` counters in the
+/// `pinpoint-stats-v1` document.
+fn fuzz_cmd(flags: &[String]) -> Result<bool, CliError> {
+    use pinpoint::fuzz::{run_fuzz, FuzzConfig, OracleKind};
+    let mut cfg = FuzzConfig::default();
+    let mut oracles: Vec<OracleKind> = Vec::new();
+    let mut stats_json: Option<String> = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cfg.seed = v
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value `{v}`"))?;
+            }
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a value")?;
+                cfg.iters = v
+                    .parse()
+                    .map_err(|_| format!("invalid --iters value `{v}`"))?;
+            }
+            "--time-budget" => {
+                let v = it.next().ok_or("--time-budget needs a value (seconds)")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --time-budget value `{v}`"))?;
+                cfg.time_budget = Some(std::time::Duration::from_secs(secs));
+            }
+            "--oracle" => {
+                let v = it.next().ok_or("--oracle needs a value")?;
+                if v == "all" {
+                    oracles.extend(OracleKind::ALL);
+                } else {
+                    oracles
+                        .push(OracleKind::parse(v).ok_or_else(|| format!("unknown oracle `{v}`"))?);
+                }
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid --threads value `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                cfg.threads = n;
+            }
+            "--out-dir" => {
+                let v = it.next().ok_or("--out-dir needs a value")?;
+                cfg.out_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--stats-json" => {
+                let v = it.next().ok_or("--stats-json needs a value")?;
+                stats_json = Some(v.clone());
+            }
+            other => return Err(format!("unknown flag `{other}`").into()),
+        }
+    }
+    if !oracles.is_empty() {
+        oracles.sort_by_key(|k| OracleKind::ALL.iter().position(|a| a == k));
+        oracles.dedup();
+        cfg.oracles = oracles;
+    }
+    let outcome = run_fuzz(&cfg);
+    println!("iterations:     {}", outcome.iters);
+    println!("discrepancies:  {}", outcome.discrepancies);
+    println!("crashes:        {}", outcome.crashes);
+    println!("shrink steps:   {}", outcome.shrink_steps);
+    println!("elapsed:        {:?}", outcome.elapsed);
+    for f in &outcome.findings {
+        println!(
+            "[{}] {:?} at iteration {}: {}",
+            f.oracle.name(),
+            f.kind,
+            f.iteration,
+            f.detail.lines().next().unwrap_or_default()
+        );
+        if let Some(p) = &f.reproducer {
+            println!("  reproducer: {}", p.display());
+        }
+    }
+    if let Some(path) = &stats_json {
+        let mut m = pinpoint::obs::MetricsRegistry::new();
+        m.counter_add("fuzz.iters", outcome.iters);
+        m.counter_add("fuzz.discrepancies", outcome.discrepancies);
+        m.counter_add("fuzz.crashes", outcome.crashes);
+        m.counter_add("fuzz.shrink_steps", outcome.shrink_steps);
+        m.counter_add("fuzz.findings", outcome.findings.len() as u64);
+        let doc = m.stats_json(
+            &[("seed", cfg.seed), ("threads", cfg.threads as u64)],
+            None,
+            false,
+        );
+        std::fs::write(path, doc).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(!outcome.findings.is_empty())
+}
+
 /// `pinpoint serve`: a long-lived incremental workspace speaking
 /// line-delimited JSON on stdin/stdout. Each request is one flat JSON
 /// object; each response is one line, `{"ok":true,...}` or
 /// `{"ok":false,"error":"..."}`. Protocol errors keep the session alive;
 /// only `quit` or end-of-input end it.
 fn serve(flags: &[String]) -> Result<bool, CliError> {
-    use std::io::{BufRead, Write};
+    use std::io::Write;
     let threads = parse_threads(flags)?;
     let mut solve = true;
     let mut it = flags.iter();
@@ -244,8 +357,33 @@ fn serve(flags: &[String]) -> Result<bool, CliError> {
     let mut ws: Option<Workspace> = None;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
+    let mut input = stdin.lock();
+    loop {
+        // Hostile input must not kill the session: oversized lines are
+        // drained without buffering, and bytes that are not UTF-8 get an
+        // error reply instead of terminating the loop. Only genuine IO
+        // failures (and EOF) end the session.
+        let line = match read_frame(&mut input, MAX_SERVE_LINE)? {
+            Frame::Eof => break,
+            Frame::Oversized => {
+                let msg = format!("request line exceeds {MAX_SERVE_LINE} bytes");
+                reply(
+                    &stdout,
+                    &format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(&msg)),
+                )?;
+                continue;
+            }
+            Frame::Line(bytes) => match String::from_utf8(bytes) {
+                Ok(s) => s,
+                Err(_) => {
+                    reply(
+                        &stdout,
+                        "{\"ok\":false,\"error\":\"request is not valid UTF-8\"}",
+                    )?;
+                    continue;
+                }
+            },
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -258,12 +396,83 @@ fn serve(flags: &[String]) -> Result<bool, CliError> {
             }
             Err(msg) => format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(&msg)),
         };
-        let mut out = stdout.lock();
-        writeln!(out, "{response}").map_err(|e| format!("cannot write stdout: {e}"))?;
-        out.flush()
-            .map_err(|e| format!("cannot write stdout: {e}"))?;
+        reply(&stdout, &response)?;
     }
     Ok(false)
+}
+
+/// Longest serve request the session will buffer (1 MiB). Longer lines
+/// are drained and rejected without allocating for them.
+const MAX_SERVE_LINE: usize = 1 << 20;
+
+/// One stdin frame for `serve`.
+enum Frame {
+    /// A complete line (without the trailing newline), raw bytes.
+    Line(Vec<u8>),
+    /// The line exceeded [`MAX_SERVE_LINE`]; its bytes were discarded.
+    Oversized,
+    /// End of input.
+    Eof,
+}
+
+/// Reads one newline-delimited frame without assuming valid UTF-8 and
+/// without buffering more than `cap` bytes — the remainder of an
+/// oversized line is consumed and thrown away so the next frame starts
+/// clean.
+fn read_frame(input: &mut impl std::io::BufRead, cap: usize) -> Result<Frame, CliError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = input
+            .fill_buf()
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        if chunk.is_empty() {
+            return Ok(if oversized {
+                Frame::Oversized
+            } else if buf.is_empty() {
+                Frame::Eof
+            } else {
+                Frame::Line(buf)
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if !oversized {
+                    buf.extend_from_slice(&chunk[..i]);
+                    if buf.len() > cap {
+                        oversized = true;
+                    }
+                }
+                input.consume(i + 1);
+                return Ok(if oversized {
+                    Frame::Oversized
+                } else {
+                    Frame::Line(buf)
+                });
+            }
+            None => {
+                let len = chunk.len();
+                if !oversized {
+                    buf.extend_from_slice(chunk);
+                    if buf.len() > cap {
+                        oversized = true;
+                        buf = Vec::new();
+                    }
+                }
+                input.consume(len);
+            }
+        }
+    }
+}
+
+/// Writes one response line and flushes it.
+fn reply(stdout: &std::io::Stdout, response: &str) -> Result<(), CliError> {
+    use std::io::Write;
+    let mut out = stdout.lock();
+    writeln!(out, "{response}").map_err(|e| format!("cannot write stdout: {e}"))?;
+    out.flush()
+        .map_err(|e| format!("cannot write stdout: {e}"))?;
+    Ok(())
 }
 
 /// Handles one serve request line. `Ok(None)` means `quit`.
@@ -274,6 +483,15 @@ fn serve_line(
     solve: bool,
 ) -> Result<Option<String>, String> {
     let fields = parse_json_object(line)?;
+    // Reject unknown keys outright: a typo like "sorce" silently falling
+    // back to "path" (or being ignored) is worse than an error reply.
+    const KNOWN_KEYS: [&str; 4] = ["cmd", "path", "source", "checker"];
+    if let Some((k, _)) = fields
+        .iter()
+        .find(|(k, _)| !KNOWN_KEYS.contains(&k.as_str()))
+    {
+        return Err(format!("unknown key `{k}`"));
+    }
     let get = |k: &str| {
         fields
             .iter()

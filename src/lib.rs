@@ -66,6 +66,7 @@
 pub use pinpoint_baseline as baseline;
 pub use pinpoint_cache as cache;
 pub use pinpoint_core as core;
+pub use pinpoint_fuzz as fuzz;
 pub use pinpoint_ir as ir;
 pub use pinpoint_obs as obs;
 pub use pinpoint_pta as pta;

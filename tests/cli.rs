@@ -274,3 +274,93 @@ fn serve_session_reuses_warm_queries() {
     assert!(lines[6].contains("\"workspace\""), "{}", lines[6]);
     assert!(lines[7].contains("\"event\":\"bye\""), "{}", lines[7]);
 }
+
+#[test]
+fn serve_survives_hostile_stdin() {
+    use std::process::Stdio;
+    // Malformed frames — invalid UTF-8, an oversized line, unknown JSON
+    // keys, nested values, bare garbage — must each get an error reply
+    // while the session keeps answering well-formed requests.
+    let mut requests: Vec<u8> = Vec::new();
+    requests.extend_from_slice(b"{\"cmd\":\"open\",\"source\":\"fn main() { return; }\"}\n");
+    requests.extend_from_slice(b"\xff\xfe{\"cmd\":\"check\"}\n");
+    let huge = format!(
+        "{{\"cmd\":\"open\",\"source\":\"{}\"}}\n",
+        "a".repeat(2 * 1024 * 1024)
+    );
+    requests.extend_from_slice(huge.as_bytes());
+    requests.extend_from_slice(b"{\"cmd\":\"check\",\"sorce\":\"x\"}\n");
+    requests.extend_from_slice(b"{\"cmd\":\"check\",\"opts\":{\"x\":1}}\n");
+    requests.extend_from_slice(b"not json at all\n");
+    requests.extend_from_slice(b"{\"cmd\":\"check\"}\n");
+    requests.extend_from_slice(b"{\"cmd\":\"quit\"}\n");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(&requests)
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits");
+    assert_eq!(out.status.code(), Some(0), "serve exits cleanly");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 8, "one response per request: {stdout}");
+    assert!(lines[0].contains("\"event\":\"opened\""), "{}", lines[0]);
+    assert!(lines[1].contains("not valid UTF-8"), "{}", lines[1]);
+    assert!(lines[2].contains("exceeds"), "{}", lines[2]);
+    assert!(lines[3].contains("unknown key `sorce`"), "{}", lines[3]);
+    assert!(lines[4].contains("\"ok\":false"), "{}", lines[4]);
+    assert!(lines[5].contains("\"ok\":false"), "{}", lines[5]);
+    // The session is still healthy after five hostile frames.
+    assert!(lines[6].contains("\"event\":\"reports\""), "{}", lines[6]);
+    assert!(lines[7].contains("\"event\":\"bye\""), "{}", lines[7]);
+}
+
+#[test]
+fn fuzz_subcommand_writes_stats() {
+    let stats = tempfile_path();
+    let out = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .args([
+            "fuzz",
+            "--seed",
+            "5",
+            "--iters",
+            "5",
+            "--oracle",
+            "verify",
+            "--oracle",
+            "smt",
+            "--stats-json",
+            &stats.0,
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "clean fuzz run: {stdout}");
+    assert!(stdout.contains("iterations:     5"), "{stdout}");
+    let doc = std::fs::read_to_string(&stats.0).expect("stats written");
+    let _ = std::fs::remove_file(&stats.0);
+    assert!(doc.contains("\"schema\":\"pinpoint-stats-v1\""), "{doc}");
+    assert!(doc.contains("\"fuzz\":{"), "{doc}");
+    assert!(doc.contains("\"iters\":5"), "{doc}");
+    assert!(doc.contains("\"discrepancies\":0"), "{doc}");
+    assert!(doc.contains("\"crashes\":0"), "{doc}");
+}
+
+#[test]
+fn fuzz_rejects_unknown_oracle() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .args(["fuzz", "--oracle", "astrology"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown oracle"), "{stderr}");
+}

@@ -1,0 +1,19 @@
+// fuzz-regression: oracle=baseline sparse UAF report f2 -> main has no layered counterpart (12 warnings)
+// expect: uaf=1 taint-pt=0 taint-dt=0 null=0 leak=1
+fn f2(p: int*) -> int {
+    let v0: int = 0;
+    free(p);
+    if (false) {
+    }
+    return v0;
+}
+fn main() -> int {
+    let v0: int = 0;
+    let v1: int = 0;
+    let m0: int* = malloc();
+    let w0: int** = malloc();
+    *w0 = m0;
+    v0 = f2(m0);
+    v0 = **w0;
+    return v1;
+}

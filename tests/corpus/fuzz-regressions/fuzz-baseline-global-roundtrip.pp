@@ -1,0 +1,13 @@
+// fuzz-regression: oracle=baseline sparse UAF through a global store/load round trip
+// expect: uaf=1 taint-pt=0 taint-dt=0 null=0 leak=0
+global gp0: int*;
+
+fn main() {
+    let m0: int* = malloc();
+    *gp0 = m0;
+    let w0: int* = *gp0;
+    free(w0);
+    let v0: int = *w0;
+    print(v0);
+    return;
+}

@@ -1,0 +1,25 @@
+// fuzz-regression: oracle=threads reports differ between 1 and 2 threads:
+// expect: uaf=2 taint-pt=0 taint-dt=0 null=0 leak=2
+global gi0: int;
+fn f2(p: int*) -> int {
+    let v0: int = 0;
+    let m0: int* = malloc();
+    let w0: int** = malloc();
+    p = f3(w0);
+    if (true) {
+        *w0 = p;
+    }
+    m0 = f3(w0);
+    while (true) {
+    }
+    *m0 = nondet_int();
+    return v0;
+}
+fn f3(q: int**) -> int* {
+    let m1: int* = malloc();
+    while (true) {
+        print(*gi0 * **q);
+    }
+    free(m1);
+    return m1;
+}

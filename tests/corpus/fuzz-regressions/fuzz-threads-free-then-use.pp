@@ -1,0 +1,9 @@
+// fuzz-regression: oracle=threads reports differ between 1 and N threads (merge drop)
+// expect: uaf=1 taint-pt=0 taint-dt=0 null=0 leak=0
+fn main() {
+    let m0: int* = malloc();
+    free(m0);
+    let v0: int = *m0;
+    print(v0);
+    return;
+}

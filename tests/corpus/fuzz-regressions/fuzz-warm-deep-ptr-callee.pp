@@ -1,0 +1,17 @@
+// fuzz-regression: oracle=warm interprocedural free through int** parameter
+// expect: uaf=1 taint-pt=0 taint-dt=0 null=0 leak=1
+fn take(q: int**) -> int {
+    let p0: int* = *q;
+    free(p0);
+    let v0: int = *p0;
+    return v0;
+}
+
+fn main() {
+    let m0: int* = malloc();
+    let w0: int** = malloc();
+    *w0 = m0;
+    let r0: int = take(w0);
+    print(r0);
+    return;
+}

@@ -10,6 +10,10 @@
 //! every checker and compares report counts, and additionally asserts
 //! that the verdicts are invariant under IR optimisation (the cleanup
 //! passes must not change what the analysis finds).
+//!
+//! Minimized reproducers written by `pinpoint fuzz` land in
+//! `tests/corpus/fuzz-regressions/` and are picked up the same way, so
+//! every fuzz-found bug stays pinned after its fix.
 
 use pinpoint::{Analysis, CheckerKind};
 use std::collections::HashMap;
@@ -78,16 +82,38 @@ fn check_counts(
     }
 }
 
-#[test]
-fn corpus_expectations_hold() {
-    let dir = corpus_dir();
-    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+/// Lists the `.pp` programs directly inside `dir` (non-recursive).
+fn pp_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
         .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
         .filter_map(Result::ok)
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|x| x == "pp"))
         .collect();
     entries.sort();
+    entries
+}
+
+#[test]
+fn fuzz_regression_corpus_is_discovered() {
+    // The shrinker writes reproducers into this directory; the corpus
+    // run must see it and it must stay seeded.
+    let dir = corpus_dir().join("fuzz-regressions");
+    assert!(dir.is_dir(), "{} must exist", dir.display());
+    assert!(
+        !pp_files(&dir).is_empty(),
+        "fuzz-regressions corpus must not be empty"
+    );
+}
+
+#[test]
+fn corpus_expectations_hold() {
+    let dir = corpus_dir();
+    let mut entries = pp_files(&dir);
+    let fuzz_dir = dir.join("fuzz-regressions");
+    if fuzz_dir.is_dir() {
+        entries.extend(pp_files(&fuzz_dir));
+    }
     assert!(!entries.is_empty(), "corpus must not be empty");
     let mut failures = Vec::new();
     for path in &entries {
