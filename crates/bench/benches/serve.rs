@@ -1,0 +1,130 @@
+//! Serving-layer benchmarks: request latency and throughput of the
+//! concurrent multi-session [`Server`] under 1 / 10 / 100 simulated
+//! editors.
+//!
+//! Each simulated editor replays its seeded traffic script (open, then
+//! interleaved edits and checks) synchronously — submit one request,
+//! wait for its reply — the way a real editor integration blocks on
+//! each answer. Latency is measured per request and aggregated into
+//! `pinpoint-obs` histograms; the run ends with one `pinpoint-stats-v1`
+//! document carrying the `p50`/`p95` summaries and per-group
+//! throughput (also written to `$PINPOINT_SERVE_BENCH_STATS` when set).
+
+use pinpoint_bench::harness::smoke_mode;
+use pinpoint_core::{CheckerKind, Op, Query, Request, Server, ServerConfig};
+use pinpoint_obs::MetricsRegistry;
+use pinpoint_workload::{generate_traffic, TrafficConfig, TrafficOp};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Maps a traffic op onto the server's typed operation.
+fn op_of(op: &TrafficOp) -> Op {
+    match op {
+        TrafficOp::Open(src) => Op::Open {
+            source: src.clone(),
+        },
+        TrafficOp::Update(src) => Op::Update {
+            source: src.clone(),
+        },
+        TrafficOp::Check(None) => Op::Query(Query::All),
+        TrafficOp::Check(Some(name)) => Op::Query(Query::Check(
+            CheckerKind::parse(name).expect("known checker"),
+        )),
+        TrafficOp::Stats => Op::Stats { canonical: true },
+    }
+}
+
+/// Runs one fleet of `clients` editors against a fresh server and
+/// returns every request's latency in nanoseconds plus the wall time.
+fn run_group(clients: usize, kloc: f64) -> (Vec<u64>, std::time::Duration, u64) {
+    let cfg = TrafficConfig {
+        seed: 7,
+        clients,
+        edits_per_client: 2,
+        kloc,
+        stats_at_end: false,
+    };
+    let scripts = generate_traffic(&cfg);
+    let server = Server::start(ServerConfig::default());
+    let t0 = Instant::now();
+    let per_client: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let server = &server;
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                s.spawn(move || {
+                    let (tx, rx) = mpsc::channel();
+                    let mut lat = Vec::with_capacity(script.ops.len());
+                    for (k, op) in script.ops.iter().enumerate() {
+                        let t = Instant::now();
+                        server.submit(
+                            Request {
+                                id: k.to_string(),
+                                session: script.session.clone(),
+                                op: op_of(op),
+                            },
+                            &tx,
+                        );
+                        let resp = rx.recv().expect("one reply per request");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        assert!(
+                            resp.reply.is_ok(),
+                            "request {k} of {} failed: {:?}",
+                            script.session,
+                            resp.reply
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed();
+    let stats = server.stats();
+    let total: u64 = per_client.iter().map(|v| v.len() as u64).sum();
+    assert_eq!(stats.completed, total, "every request completed");
+    assert_eq!(stats.shed, 0, "synchronous editors never overrun the queue");
+    (per_client.into_iter().flatten().collect(), elapsed, total)
+}
+
+fn main() {
+    println!("# group: serve");
+    let smoke = smoke_mode();
+    let fleets: &[usize] = if smoke { &[1, 2] } else { &[1, 10, 100] };
+    let kloc = if smoke { 0.3 } else { 1.0 };
+    let mut m = MetricsRegistry::new();
+    for &clients in fleets {
+        let (latencies, elapsed, total) = run_group(clients, kloc);
+        let hist_name = format!("serve.latency_c{clients}_ns");
+        for &ns in &latencies {
+            m.hist_record(&hist_name, ns);
+        }
+        let (p50, p95) = {
+            let h = m.histogram(&hist_name).expect("just recorded");
+            (h.p50(), h.p95())
+        };
+        let throughput = total as f64 / elapsed.as_secs_f64().max(1e-9);
+        m.counter_add(&format!("serve.c{clients}.requests"), total);
+        m.counter_add(
+            &format!("serve.c{clients}.throughput_rps"),
+            throughput as u64,
+        );
+        println!(
+            "serve/{clients}-editors/{kloc}kloc               p50 {:>10.3?}  p95 {:>10.3?}  {total} requests in {elapsed:.3?}  ({throughput:.1} req/s)",
+            std::time::Duration::from_nanos(p50),
+            std::time::Duration::from_nanos(p95),
+        );
+    }
+    let doc = m.stats_json(
+        &[("workers", pinpoint_core::default_threads() as u64)],
+        None,
+        false,
+    );
+    println!("# stats: {doc}");
+    if let Ok(path) = std::env::var("PINPOINT_SERVE_BENCH_STATS") {
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("cannot write `{path}`: {e}");
+        }
+    }
+}

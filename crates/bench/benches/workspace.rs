@@ -8,7 +8,7 @@
 //! source text plus re-running the few dirtied queries.
 
 use pinpoint_bench::harness::{bench, smoke_mode};
-use pinpoint_core::{AnalysisBuilder, Workspace};
+use pinpoint_core::{AnalysisBuilder, Query, Workspace};
 use pinpoint_workload::{generate, GenConfig};
 
 /// Inserts a harmless statement at the start of `func`'s body.
@@ -40,7 +40,7 @@ fn bench_workspace() {
             .threads(1)
             .open_workspace(&project.source)
             .unwrap();
-        ws.check_all().len()
+        ws.query(&Query::All).len()
     });
 
     // Warm: one primed workspace absorbs an alternating one-function
@@ -49,7 +49,12 @@ fn bench_workspace() {
         .threads(1)
         .open_workspace(&project.source)
         .unwrap();
-    let cold_reports: Vec<String> = ws.check_all().iter().map(ToString::to_string).collect();
+    let cold_reports: Vec<String> = ws
+        .query(&Query::All)
+        .into_reports()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     let edits = [
         edit_function(&project.source, "filler1", 1),
         edit_function(&project.source, "filler2", 2),
@@ -59,7 +64,7 @@ fn bench_workspace() {
         let edited = &edits[i % edits.len()];
         i += 1;
         ws.update_source(edited).unwrap();
-        ws.check_all().len()
+        ws.query(&Query::All).len()
     });
     let c = ws.counters();
     let total = c.queries_reused + c.queries_rerun;
@@ -78,10 +83,16 @@ fn bench_workspace() {
     // program.
     let last = &edits[(i + edits.len() - 1) % edits.len()];
     ws.update_source(last).unwrap();
-    let warm_reports: Vec<String> = ws.check_all().iter().map(ToString::to_string).collect();
+    let warm_reports: Vec<String> = ws
+        .query(&Query::All)
+        .into_reports()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     let fresh: Vec<String> = Workspace::open(last)
         .unwrap()
-        .check_all()
+        .query(&Query::All)
+        .into_reports()
         .iter()
         .map(ToString::to_string)
         .collect();

@@ -1,0 +1,53 @@
+//! `serve_traffic`: prints a seeded multi-client `pinpoint-rpc-v2`
+//! conversation on stdout, ready to pipe into `pinpoint serve`:
+//!
+//! ```sh
+//! serve_traffic --clients 10 --edits 2 | pinpoint serve --workers 4
+//! ```
+//!
+//! The output is one `hello` handshake, the clients' requests
+//! interleaved round-robin (each client in its own session, ids of the
+//! form `client3:2`), and a final `quit`. Same flags ⇒ same bytes, so
+//! CI smoke jobs can assert on the replies.
+
+use pinpoint_workload::{generate_traffic, render_ndjson_v2, TrafficConfig};
+
+const USAGE: &str =
+    "usage: serve_traffic [--clients N] [--edits N] [--seed N] [--kloc F] [--stats]";
+
+fn main() {
+    let mut cfg = TrafficConfig {
+        clients: 10,
+        edits_per_client: 2,
+        kloc: 1.0,
+        ..TrafficConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--clients" => cfg.clients = parse(&value("--clients"), "--clients"),
+            "--edits" => cfg.edits_per_client = parse(&value("--edits"), "--edits"),
+            "--seed" => cfg.seed = parse(&value("--seed"), "--seed"),
+            "--kloc" => cfg.kloc = parse(&value("--kloc"), "--kloc"),
+            "--stats" => cfg.stats_at_end = true,
+            other => {
+                eprintln!("error: unknown flag `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    print!("{}", render_ndjson_v2(&generate_traffic(&cfg)));
+}
+
+fn parse<T: std::str::FromStr>(v: &str, name: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid {name} value `{v}`\n{USAGE}");
+        std::process::exit(2);
+    })
+}

@@ -1,10 +1,81 @@
-//! Graphviz export of symbolic expression graphs, for debugging and for
-//! the paper's Fig. 4-style visualisations.
+//! Machine-readable exports: Graphviz SEG dumps (for the paper's
+//! Fig. 4-style visualisations) and the JSON report renderings shared by
+//! the CLI's `--json` output and the serve protocol.
 
+use crate::detect::Report;
+use crate::leak::LeakReport;
 use crate::seg::{EdgeKind, ModuleSeg};
 use pinpoint_ir::{FuncId, Module};
 use pinpoint_smt::TermArena;
 use std::fmt::Write;
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders value-flow reports as the JSON array used by `pinpoint check
+/// --json` and the serve protocol's `reports` events: one object per
+/// report with the property, endpoint functions, the step-by-step path,
+/// and the SMT witness assignment.
+pub fn reports_json(module: &Module, reports: &[Report]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let witness: Vec<String> = r
+            .witness
+            .iter()
+            .map(|(n, v)| format!("{{\"var\":\"{}\",\"value\":{v}}}", json_escape(n)))
+            .collect();
+        let path: Vec<String> = r
+            .path
+            .iter()
+            .map(|s| {
+                let f = module.func(s.func);
+                format!(
+                    "{{\"function\":\"{}\",\"value\":\"{}\",\"note\":\"{}\"}}",
+                    json_escape(&f.name),
+                    json_escape(&f.value(s.value).name),
+                    json_escape(s.note)
+                )
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "{{\"property\":\"{}\",\"source_function\":\"{}\",\"sink_function\":\"{}\",\"sink_role\":\"{:?}\",\"path\":[{}],\"witness\":[{}]}}",
+            json_escape(&r.property),
+            json_escape(&r.source_func_name),
+            json_escape(&r.sink_func_name),
+            r.sink_role,
+            path.join(","),
+            witness.join(",")
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Renders leak reports as the JSON array used by `pinpoint leaks
+/// --json` and the serve protocol's `leaks` events.
+pub fn leaks_json(module: &Module, reports: &[LeakReport]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"function\":\"{}\",\"kind\":\"{:?}\",\"site\":\"{}\"}}",
+            json_escape(&module.func(r.func).name),
+            r.kind,
+            r.alloc_site
+        );
+    }
+    out.push(']');
+    out
+}
 
 /// Renders one function's SEG as a Graphviz `digraph`.
 ///

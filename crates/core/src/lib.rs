@@ -49,7 +49,9 @@ pub mod driver;
 pub mod error;
 pub mod export;
 pub mod leak;
+pub mod query;
 pub mod seg;
+pub mod server;
 pub mod spec;
 pub mod summary;
 pub mod workspace;
@@ -60,6 +62,10 @@ pub use driver::{
 };
 pub use error::PinpointError;
 pub use leak::{LeakKind, LeakReport};
+pub use query::{Query, QueryResponse};
 pub use seg::{EdgeKind, ModuleSeg, Seg, SegArtifact, SegEdge, SegStore};
+pub use server::{
+    ErrorCode, Op, Reply, Request, Response, Server, ServerConfig, ServerError, ServerStats,
+};
 pub use spec::{CheckerKind, SinkRole, SinkSite, SinkSpec, SourceSite, SourceSpec, Spec};
 pub use workspace::{Workspace, WorkspaceCounters};

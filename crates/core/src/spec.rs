@@ -52,6 +52,20 @@ impl CheckerKind {
             CheckerKind::PathTraversal | CheckerKind::DataTransmission
         )
     }
+
+    /// Parses a checker name as accepted everywhere a checker is named —
+    /// the CLI `--checker` flag, the serve protocol's `"checker"` field,
+    /// traffic scripts. Both the short alias and the full
+    /// [`Display`](fmt::Display) name are accepted.
+    pub fn parse(name: &str) -> Option<CheckerKind> {
+        match name {
+            "uaf" | "use-after-free" => Some(CheckerKind::UseAfterFree),
+            "taint-pt" | "path-traversal" => Some(CheckerKind::PathTraversal),
+            "taint-dt" | "data-transmission" => Some(CheckerKind::DataTransmission),
+            "null" | "null-deref" | "null-dereference" => Some(CheckerKind::NullDeref),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CheckerKind {

@@ -45,7 +45,7 @@
 //! # Examples
 //!
 //! ```
-//! use pinpoint_core::{CheckerKind, Workspace};
+//! use pinpoint_core::{CheckerKind, Query, Workspace};
 //!
 //! let mut ws = Workspace::open(
 //!     "fn main() {
@@ -56,7 +56,8 @@
 //!         return;
 //!     }",
 //! )?;
-//! assert_eq!(ws.check(CheckerKind::UseAfterFree).len(), 1);
+//! let uaf = Query::Check(CheckerKind::UseAfterFree);
+//! assert_eq!(ws.query(&uaf).len(), 1);
 //! // Fix the bug; only the edited function re-runs.
 //! ws.update_source(
 //!     "fn main() {
@@ -67,7 +68,7 @@
 //!         return;
 //!     }",
 //! )?;
-//! assert_eq!(ws.check(CheckerKind::UseAfterFree).len(), 0);
+//! assert_eq!(ws.query(&uaf).len(), 0);
 //! # Ok::<(), pinpoint_core::PinpointError>(())
 //! ```
 
@@ -170,29 +171,59 @@ impl Workspace {
     }
 
     /// Runs one checker, reusing cached per-source outcomes where valid.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Query::Check` and call `Workspace::query`"
+    )]
     pub fn check(&mut self, kind: CheckerKind) -> Vec<Report> {
+        self.run_kind(kind)
+    }
+
+    /// Runs a user-defined property specification with query reuse.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Query::Custom` and call `Workspace::query`"
+    )]
+    pub fn check_custom(&mut self, spec: &crate::spec::Spec) -> Vec<Report> {
+        self.run_custom(spec)
+    }
+
+    /// Runs every supported checker with query reuse.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Query::All` and call `Workspace::query`"
+    )]
+    pub fn check_all(&mut self) -> Vec<Report> {
+        self.query(&crate::query::Query::All).into_reports()
+    }
+
+    /// Runs the memory-leak checker.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Query::Leaks` and call `Workspace::query`"
+    )]
+    pub fn check_leaks(&mut self) -> Vec<crate::leak::LeakReport> {
+        self.run_leaks()
+    }
+
+    /// One built-in checker (the [`Query::Check`](crate::query::Query)
+    /// arm).
+    pub(crate) fn run_kind(&mut self, kind: CheckerKind) -> Vec<Report> {
         let spec = kind.spec();
         self.run(&spec, Some(kind))
     }
 
-    /// Runs a user-defined property specification with query reuse.
-    pub fn check_custom(&mut self, spec: &crate::spec::Spec) -> Vec<Report> {
+    /// A user-defined specification (the
+    /// [`Query::Custom`](crate::query::Query) arm).
+    pub(crate) fn run_custom(&mut self, spec: &crate::spec::Spec) -> Vec<Report> {
         self.run(spec, None)
     }
 
-    /// Runs every supported checker with query reuse.
-    pub fn check_all(&mut self) -> Vec<Report> {
-        CheckerKind::ALL
-            .into_iter()
-            .flat_map(|k| self.check(k))
-            .collect()
-    }
-
-    /// Runs the memory-leak checker. Leak checking is a whole-module
-    /// graph reachability pass without per-source structure, so it is
-    /// not query-cached; it is still incremental through layer 1 (it
-    /// reads the spliced SEGs).
-    pub fn check_leaks(&mut self) -> Vec<crate::leak::LeakReport> {
+    /// The memory-leak pass (the [`Query::Leaks`](crate::query::Query)
+    /// arm). Leak checking is a whole-module graph reachability pass
+    /// without per-source structure, so it is not query-cached; it is
+    /// still incremental through layer 1 (it reads the spliced SEGs).
+    pub(crate) fn run_leaks(&mut self) -> Vec<crate::leak::LeakReport> {
         let t0 = Instant::now();
         let span = self.trace.open("detect", "memory-leak");
         let mut symbols = self.analysis.pta.symbols.clone();
@@ -292,6 +323,7 @@ impl AnalysisBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Query;
 
     const UAF: &str = "fn helper(q: int*) { free(q); return; }
         fn main() {
@@ -305,13 +337,13 @@ mod tests {
     #[test]
     fn warm_check_reuses_untouched_queries() {
         let mut ws = Workspace::open(UAF).unwrap();
-        let cold = ws.check_all();
+        let cold = ws.query(&Query::All).into_reports();
         assert!(!cold.is_empty());
         let rerun_cold = ws.counters().queries_rerun;
         assert!(rerun_cold > 0);
         assert_eq!(ws.counters().queries_reused, 0);
         // Unchanged program: every query replays from the cache.
-        let warm = ws.check_all();
+        let warm = ws.query(&Query::All).into_reports();
         assert_eq!(
             cold.iter().map(ToString::to_string).collect::<Vec<_>>(),
             warm.iter().map(ToString::to_string).collect::<Vec<_>>()
@@ -356,12 +388,22 @@ mod tests {
                 return;
             }";
         let mut ws = Workspace::open(base).unwrap();
-        let cold: Vec<String> = ws.check_all().iter().map(ToString::to_string).collect();
+        let cold: Vec<String> = ws
+            .query(&Query::All)
+            .into_reports()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         let outcome = ws.update_source(edited).unwrap();
         assert!(!outcome.fell_back);
         assert!(outcome.reused > 0, "{outcome:?}");
         let before = ws.counters();
-        let warm: Vec<String> = ws.check_all().iter().map(ToString::to_string).collect();
+        let warm: Vec<String> = ws
+            .query(&Query::All)
+            .into_reports()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         let after = ws.counters();
         assert!(
             after.queries_reused > before.queries_reused,
@@ -370,7 +412,10 @@ mod tests {
         // The edited function's sources re-ran.
         assert!(after.queries_rerun > before.queries_rerun, "{after:?}");
         // Warm reports equal a cold build of the edited program.
-        let fresh = Workspace::open(edited).unwrap().check_all();
+        let fresh = Workspace::open(edited)
+            .unwrap()
+            .query(&Query::All)
+            .into_reports();
         let fresh: Vec<String> = fresh.iter().map(ToString::to_string).collect();
         assert_eq!(warm, fresh);
         let _ = cold;
@@ -379,17 +424,23 @@ mod tests {
     #[test]
     fn shape_change_falls_back_and_clears_cache() {
         let mut ws = Workspace::open(UAF).unwrap();
-        ws.check_all();
+        ws.query(&Query::All).into_reports();
         assert!(ws.cached_queries() > 0);
         let with_extra = format!("{UAF}\nfn extra() {{ return; }}");
         let outcome = ws.update_source(&with_extra).unwrap();
         assert!(outcome.fell_back);
         assert_eq!(ws.cached_queries(), 0, "stale arena lineage must drop");
         // Still correct after the fallback.
-        let warm: Vec<String> = ws.check_all().iter().map(ToString::to_string).collect();
+        let warm: Vec<String> = ws
+            .query(&Query::All)
+            .into_reports()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         let fresh: Vec<String> = Workspace::open(&with_extra)
             .unwrap()
-            .check_all()
+            .query(&Query::All)
+            .into_reports()
             .iter()
             .map(ToString::to_string)
             .collect();
@@ -399,8 +450,8 @@ mod tests {
     #[test]
     fn stats_json_exports_workspace_family() {
         let mut ws = Workspace::open(UAF).unwrap();
-        ws.check_all();
-        ws.check_all();
+        ws.query(&Query::All).into_reports();
+        ws.query(&Query::All).into_reports();
         let json = ws.stats_json(true);
         // Families are nested by their first dot segment in the document.
         assert!(json.contains("\"workspace\":{"), "{json}");

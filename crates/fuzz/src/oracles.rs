@@ -8,7 +8,7 @@
 
 use crate::{formula, OracleKind};
 use pinpoint_baseline::{layered_check_uaf, Fsvfg};
-use pinpoint_core::{Analysis, AnalysisBuilder, CheckerKind, Workspace};
+use pinpoint_core::{Analysis, AnalysisBuilder, CheckerKind, Query, Workspace};
 use pinpoint_workload::fuzzgen;
 use pinpoint_workload::rng::SmallRng;
 use std::collections::HashSet;
@@ -243,19 +243,19 @@ fn warm_oracle(src: &str, seed: u64) -> CheckResult {
             )
         }
     };
-    let _ = ws.check_all();
+    let _ = ws.query(&Query::All);
     let mut cur = src.to_string();
     for step in 0..2 {
         cur = fuzzgen::mutate(&cur, &mut rng);
         if let Err(e) = ws.update_source(&cur) {
             return fail("mutant-reject", format!("edit {step} rejected: {e}"));
         }
-        let warm = render(&ws.check_all());
+        let warm = render(&ws.query(&Query::All).into_reports());
         let mut cold_ws = match Workspace::open(&cur) {
             Ok(w) => w,
             Err(e) => return fail("mutant-reject", format!("cold reopen {step}: {e}")),
         };
-        let cold = render(&cold_ws.check_all());
+        let cold = render(&cold_ws.query(&Query::All).into_reports());
         if warm != cold {
             return fail(
                 "warm-mismatch",

@@ -15,7 +15,10 @@
 //!   programs (plus validity-preserving mutations) feeding the
 //!   `pinpoint-fuzz` differential oracles;
 //! * [`subjects`] — a registry mirroring Table 1's subject list, mapping
-//!   each subject to a scaled-down generated project.
+//!   each subject to a scaled-down generated project;
+//! * [`traffic`] — seeded multi-client request scripts (interleaved
+//!   open/update/check sessions) for serving-layer benchmarks and
+//!   concurrency tests.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,8 +28,10 @@ pub mod gen;
 pub mod juliet;
 pub mod rng;
 pub mod subjects;
+pub mod traffic;
 
 pub use fuzzgen::{generate as generate_fuzz, mutate as mutate_fuzz, FuzzGenConfig};
 pub use gen::{generate, BugKind, GenConfig, Generated, InjectedBug};
 pub use juliet::{generate as generate_juliet, JulietCase, JulietSuite};
 pub use subjects::{generate_subject, Subject, DEFAULT_SCALE, SUBJECTS};
+pub use traffic::{generate_traffic, render_ndjson_v2, ClientScript, TrafficConfig, TrafficOp};

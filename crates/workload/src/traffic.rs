@@ -1,0 +1,264 @@
+//! Seeded multi-client traffic for the serving layer.
+//!
+//! Models "N engineers with editors open": each simulated client gets
+//! its own seeded project (via [`gen`](crate::gen)), opens it in its own
+//! session, and then interleaves incremental edits with checks — the
+//! request mix `pinpoint serve` sees in production. The same
+//! [`TrafficConfig`] always produces the same scripts, so serving
+//! benchmarks and concurrency tests are reproducible, and a concurrent
+//! run can be byte-compared against replaying each client's script
+//! alone.
+//!
+//! Scripts are transport-agnostic [`TrafficOp`] lists; use
+//! [`render_ndjson_v2`] to serialize a round-robin interleaving as
+//! `pinpoint-rpc-v2` request lines ready to pipe into `pinpoint serve`.
+
+use crate::gen::{generate, GenConfig};
+use crate::rng::SmallRng;
+
+/// Traffic-generator configuration (same config ⇒ same scripts).
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Base RNG seed; each client derives its own stream from it.
+    pub seed: u64,
+    /// Number of simulated clients (one session each).
+    pub clients: usize,
+    /// Edit → check rounds per client after the initial open + check.
+    pub edits_per_client: usize,
+    /// Project size per client, in thousand source lines.
+    pub kloc: f64,
+    /// End each script with a `stats` request (canonical form).
+    pub stats_at_end: bool,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 42,
+            clients: 10,
+            edits_per_client: 2,
+            kloc: 2.0,
+            stats_at_end: false,
+        }
+    }
+}
+
+/// One request of a client script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrafficOp {
+    /// Open the session's workspace over the given program text.
+    Open(String),
+    /// Apply an edited program incrementally.
+    Update(String),
+    /// Run a checker by serve-protocol name, or every checker (`None`).
+    Check(Option<&'static str>),
+    /// Export the canonical `pinpoint-stats-v1` document.
+    Stats,
+}
+
+/// One simulated client: a session name and its ordered requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientScript {
+    /// Session name, unique per client.
+    pub session: String,
+    /// Requests in submission order.
+    pub ops: Vec<TrafficOp>,
+}
+
+/// Checker names rotated through by generated checks (serve-protocol
+/// spellings; `taint` defects are off in the generated projects, so the
+/// taint checkers exercise the no-findings path).
+const CHECKERS: [Option<&str>; 3] = [None, Some("uaf"), Some("null")];
+
+/// Generates the per-client scripts for `config`.
+pub fn generate_traffic(config: &TrafficConfig) -> Vec<ClientScript> {
+    (0..config.clients)
+        .map(|i| {
+            // splitmix-style stream separation: clients share nothing.
+            let client_seed = config
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+            let mut rng = SmallRng::seed_from_u64(client_seed);
+            let project = generate(&GenConfig {
+                seed: client_seed,
+                real_bugs: 1,
+                decoys: 1,
+                taint: false,
+                ..GenConfig::default().with_target_kloc(config.kloc)
+            });
+            let mut ops = vec![
+                TrafficOp::Open(project.source.clone()),
+                TrafficOp::Check(CHECKERS[rng.gen_range(0..CHECKERS.len())]),
+            ];
+            let mut source = project.source;
+            for round in 0..config.edits_per_client {
+                source = edit_filler(&source, &mut rng, round);
+                ops.push(TrafficOp::Update(source.clone()));
+                ops.push(TrafficOp::Check(CHECKERS[rng.gen_range(0..CHECKERS.len())]));
+            }
+            if config.stats_at_end {
+                ops.push(TrafficOp::Stats);
+            }
+            ClientScript {
+                session: format!("client{i}"),
+                ops,
+            }
+        })
+        .collect()
+}
+
+/// Body-only edit to a random filler function: inserts a padding
+/// statement after its opening brace, preserving the function set so
+/// the workspace's artefact splicing stays live.
+fn edit_filler(source: &str, rng: &mut SmallRng, round: usize) -> String {
+    let fillers: Vec<usize> = {
+        let mut starts = Vec::new();
+        let mut from = 0;
+        while let Some(i) = source[from..].find("fn filler") {
+            starts.push(from + i);
+            from += i + 1;
+        }
+        starts
+    };
+    if fillers.is_empty() {
+        return source.to_string();
+    }
+    let start = fillers[rng.gen_range(0..fillers.len())];
+    let brace = match source[start..].find('{') {
+        Some(i) => start + i + 1,
+        None => return source.to_string(),
+    };
+    format!(
+        "{}\n    let traffic_pad_{round}: int = {};\n    print(traffic_pad_{round});{}",
+        &source[..brace],
+        rng.gen_range(1..100),
+        &source[brace..]
+    )
+}
+
+/// Serializes the scripts as one `pinpoint-rpc-v2` NDJSON conversation:
+/// a `hello` handshake, the clients' requests interleaved round-robin
+/// (the worst case for cross-session isolation), and a final `quit`.
+/// Request ids are `"<session>:<index>"`, so replies can be matched
+/// back to script positions.
+pub fn render_ndjson_v2(scripts: &[ClientScript]) -> String {
+    let mut out =
+        String::from("{\"cmd\":\"hello\",\"id\":\"hello\",\"proto\":\"pinpoint-rpc-v2\"}\n");
+    let mut cursors = vec![0usize; scripts.len()];
+    loop {
+        let mut progressed = false;
+        for (c, script) in scripts.iter().enumerate() {
+            let Some(op) = script.ops.get(cursors[c]) else {
+                continue;
+            };
+            out.push_str(&render_op_v2(
+                &script.session,
+                &format!("{}:{}", script.session, cursors[c]),
+                op,
+            ));
+            out.push('\n');
+            cursors[c] += 1;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    out.push_str("{\"cmd\":\"quit\",\"id\":\"quit\"}\n");
+    out
+}
+
+/// Renders one op as a v2 request line (no trailing newline).
+pub fn render_op_v2(session: &str, id: &str, op: &TrafficOp) -> String {
+    let head = format!("\"id\":\"{}\",\"session\":\"{}\"", esc(id), esc(session));
+    match op {
+        TrafficOp::Open(src) => {
+            format!("{{\"cmd\":\"open\",{head},\"source\":\"{}\"}}", esc(src))
+        }
+        TrafficOp::Update(src) => {
+            format!("{{\"cmd\":\"update\",{head},\"source\":\"{}\"}}", esc(src))
+        }
+        TrafficOp::Check(None) => format!("{{\"cmd\":\"check\",{head}}}"),
+        TrafficOp::Check(Some(name)) => {
+            format!("{{\"cmd\":\"check\",{head},\"checker\":\"{name}\"}}")
+        }
+        TrafficOp::Stats => format!("{{\"cmd\":\"stats\",{head},\"canonical\":true}}"),
+    }
+}
+
+/// Escapes program text for a JSON string literal.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
+        .replace('\r', "\\r")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_is_deterministic() {
+        let cfg = TrafficConfig {
+            clients: 3,
+            edits_per_client: 2,
+            kloc: 0.5,
+            ..TrafficConfig::default()
+        };
+        let a = generate_traffic(&cfg);
+        let b = generate_traffic(&cfg);
+        assert_eq!(a, b, "same config must produce identical scripts");
+        assert_eq!(a.len(), 3);
+        // open + check + 2 × (update + check)
+        assert!(a.iter().all(|s| s.ops.len() == 6));
+        // Clients are distinct streams: different projects.
+        assert_ne!(a[0].ops[0], a[1].ops[0]);
+    }
+
+    #[test]
+    fn edits_preserve_the_function_set() {
+        let cfg = TrafficConfig {
+            clients: 1,
+            edits_per_client: 3,
+            kloc: 0.5,
+            ..TrafficConfig::default()
+        };
+        let script = generate_traffic(&cfg).remove(0);
+        let TrafficOp::Open(base) = &script.ops[0] else {
+            panic!("first op is open");
+        };
+        let fn_count = base.matches("fn ").count();
+        for op in &script.ops {
+            if let TrafficOp::Update(src) = op {
+                assert_eq!(src.matches("fn ").count(), fn_count, "body-only edits");
+                assert_ne!(src, base, "edits change the text");
+            }
+        }
+    }
+
+    #[test]
+    fn ndjson_rendering_shape() {
+        let cfg = TrafficConfig {
+            clients: 2,
+            edits_per_client: 1,
+            kloc: 0.5,
+            stats_at_end: true,
+            ..TrafficConfig::default()
+        };
+        let scripts = generate_traffic(&cfg);
+        let ndjson = render_ndjson_v2(&scripts);
+        let lines: Vec<&str> = ndjson.lines().collect();
+        // hello + 2 clients × (open+check+update+check+stats) + quit
+        assert_eq!(lines.len(), 1 + 2 * 5 + 1, "{}", lines.len());
+        assert!(lines[0].contains("\"cmd\":\"hello\""));
+        assert!(lines[0].contains("pinpoint-rpc-v2"));
+        assert!(lines.last().unwrap().contains("\"cmd\":\"quit\""));
+        // Round-robin: the two opens come first, one per client.
+        assert!(lines[1].contains("\"cmd\":\"open\"") && lines[1].contains("client0"));
+        assert!(lines[2].contains("\"cmd\":\"open\"") && lines[2].contains("client1"));
+        // Sources with newlines stay one line per request.
+        assert!(lines[1].contains("\\n") && !lines[1].contains('\n'));
+    }
+}

@@ -24,7 +24,7 @@
 //! ```
 
 use pinpoint::workload::{generate, GenConfig};
-use pinpoint::{AnalysisBuilder, CheckerKind, Workspace};
+use pinpoint::{AnalysisBuilder, CheckerKind, Query, Workspace};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let mut ws = Workspace::open(&project.source)?;
     let full_time = t0.elapsed();
-    let baseline: usize = ws.check(CheckerKind::UseAfterFree).len();
+    let uaf = Query::Check(CheckerKind::UseAfterFree);
+    let baseline: usize = ws.query(&uaf).len();
     println!("cold open + check: {full_time:?}, {baseline} reports");
 
     // Edit one leaf-ish filler function.
@@ -63,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // No need to say what changed: the workspace diffs per-function
     // fingerprints and dirties exactly the edit's caller chain.
     let outcome = ws.update_source(&edited)?;
-    let after = ws.check(CheckerKind::UseAfterFree).len();
+    let after = ws.query(&uaf).len();
     let warm_time = t1.elapsed();
     let total = ws.analysis().module.funcs.len();
     let c = ws.counters();

@@ -1,0 +1,162 @@
+//! Line-delimited JSON plumbing shared by the serve transports: frame
+//! reading with an allocation cap, and a flat JSON object parser.
+
+/// Longest request line a serve transport will buffer (1 MiB). Longer
+/// lines are drained and rejected without allocating for them, and the
+/// stream resynchronizes at the next newline.
+pub const MAX_SERVE_LINE: usize = 1 << 20;
+
+/// One input frame.
+pub enum Frame {
+    /// A complete line (without the trailing newline), raw bytes.
+    Line(Vec<u8>),
+    /// The line exceeded [`MAX_SERVE_LINE`]; its bytes were discarded.
+    Oversized,
+    /// End of input.
+    Eof,
+}
+
+/// Reads one newline-delimited frame without assuming valid UTF-8 and
+/// without buffering more than `cap` bytes — the remainder of an
+/// oversized line is consumed and thrown away so the next frame starts
+/// clean.
+pub fn read_frame(input: &mut impl std::io::BufRead, cap: usize) -> Result<Frame, String> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = input
+            .fill_buf()
+            .map_err(|e| format!("cannot read input: {e}"))?;
+        if chunk.is_empty() {
+            return Ok(if oversized {
+                Frame::Oversized
+            } else if buf.is_empty() {
+                Frame::Eof
+            } else {
+                Frame::Line(buf)
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if !oversized {
+                    buf.extend_from_slice(&chunk[..i]);
+                    if buf.len() > cap {
+                        oversized = true;
+                    }
+                }
+                input.consume(i + 1);
+                return Ok(if oversized {
+                    Frame::Oversized
+                } else {
+                    Frame::Line(buf)
+                });
+            }
+            None => {
+                let len = chunk.len();
+                if !oversized {
+                    buf.extend_from_slice(chunk);
+                    if buf.len() > cap {
+                        oversized = true;
+                        buf = Vec::new();
+                    }
+                }
+                input.consume(len);
+            }
+        }
+    }
+}
+
+/// Parses one *flat* JSON object (`{"k":"v",...}`) into key/value pairs.
+/// String values are unescaped; numbers, booleans, and `null` are kept
+/// as their literal text. Enough JSON for the serve protocol — nested
+/// objects and arrays are rejected.
+pub fn parse_json_object(line: &str) -> Result<Vec<(String, String)>, String> {
+    type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+    fn skip_ws(chars: &mut Chars) {
+        while matches!(chars.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            chars.next();
+        }
+    }
+    fn parse_string(chars: &mut Chars) -> Result<String, String> {
+        if chars.next() != Some('"') {
+            return Err("expected string".to_string());
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(s),
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + c.to_digit(16).ok_or("invalid \\u escape")?;
+                        }
+                        s.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    _ => return Err("unsupported escape".to_string()),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+    let mut chars: Chars = line.chars().peekable();
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected a JSON object".to_string());
+    }
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected `:` after key \"{key}\""));
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some('"') => parse_string(&mut chars)?,
+                Some('{' | '[') => return Err("nested values are not supported".to_string()),
+                _ => {
+                    // Bare literal: number, true/false, null.
+                    let mut v = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c == ',' || c == '}' {
+                            break;
+                        }
+                        v.push(c);
+                        chars.next();
+                    }
+                    let v = v.trim().to_string();
+                    if v.is_empty() {
+                        return Err(format!("missing value for key \"{key}\""));
+                    }
+                    v
+                }
+            };
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                _ => return Err("expected `,` or `}`".to_string()),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after object".to_string());
+    }
+    Ok(fields)
+}

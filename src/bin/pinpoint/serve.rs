@@ -1,0 +1,595 @@
+//! The `pinpoint serve` transports.
+//!
+//! Both transports — newline-delimited JSON on stdio and, with
+//! `--listen PATH`, a Unix-domain socket — are thin codecs over the
+//! same dispatch core, [`pinpoint::Server`]: they parse request lines
+//! into typed [`Request`]s, submit them, and render [`Response`]s back
+//! to one line each.
+//!
+//! The protocol is negotiated per connection by the first request line:
+//!
+//! * `{"cmd":"hello",...}` selects **`pinpoint-rpc-v2`** — every
+//!   request carries a client-chosen `id` (echoed in its reply) and a
+//!   `session` name (requests of one session execute FIFO; sessions run
+//!   concurrently on the server's worker pool). Errors are typed
+//!   objects: `{"ok":false,"id":..,"session":..,"error":{"code":..,
+//!   "message":..}}`.
+//! * anything else falls back to the **v1** protocol: a single implicit
+//!   session, flat `{"ok":true,"event":..}` / `{"ok":false,
+//!   "error":"msg"}` replies, byte-compatible with pre-v2 clients.
+//!
+//! Malformed and oversized (> 1 MiB) request lines never kill a
+//! connection: they get a `protocol_error` reply and the stream
+//! resynchronizes at the next newline.
+
+use crate::flags::{self, Common, CommonFlags};
+use crate::jsonl::{parse_json_object, read_frame, Frame, MAX_SERVE_LINE};
+use pinpoint::core::export::json_escape;
+use pinpoint::core::server::PROTOCOL;
+use pinpoint::{
+    CheckerKind, ErrorCode, Op, Query, Reply, Request, Response, Server, ServerConfig, ServerError,
+};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Capabilities advertised by the `hello` reply: the v2 command set.
+const CAPABILITIES: [&str; 8] = [
+    "open", "update", "check", "leaks", "stats", "close", "quit", "shutdown",
+];
+
+/// `pinpoint serve [--threads N] [--no-solve] [--cache-dir DIR]
+/// [--workers N] [--queue-cap N] [--listen PATH]`.
+pub fn serve(args: &[String]) -> Result<bool, String> {
+    let mut rest = args.to_vec();
+    let common = CommonFlags::extract(
+        &mut rest,
+        &[Common::Threads, Common::NoSolve, Common::CacheDir],
+    )?;
+    let workers = flags::take_parsed::<usize>(&mut rest, "--workers")?;
+    let queue_cap = flags::take_parsed::<usize>(&mut rest, "--queue-cap")?;
+    let listen = flags::take_value(&mut rest, "--listen")?;
+    flags::reject_unknown(&rest)?;
+    let mut config = ServerConfig {
+        builder: common.builder(),
+        ..ServerConfig::default()
+    };
+    if let Some(n) = workers {
+        if n == 0 {
+            return Err("--workers must be at least 1".to_string());
+        }
+        config.workers = n;
+    }
+    if let Some(n) = queue_cap {
+        if n == 0 {
+            return Err("--queue-cap must be at least 1".to_string());
+        }
+        config.queue_capacity = n;
+    }
+    let server = Arc::new(Server::start(config));
+    match listen {
+        Some(path) => listen_unix(&server, &path)?,
+        None => {
+            let stdin = std::io::stdin();
+            let _ = serve_connection(
+                &server,
+                "stdio".to_string(),
+                stdin.lock(),
+                std::io::stdout(),
+            )?;
+        }
+    }
+    // Dropping the last handle drains queued requests and joins the pool.
+    drop(server);
+    Ok(false)
+}
+
+/// How a connection ended.
+#[derive(Debug, PartialEq, Eq)]
+enum LoopEnd {
+    /// `quit` (or end of input): only this connection ends.
+    Quit,
+    /// v2 `shutdown`: the whole server should stop accepting.
+    Shutdown,
+}
+
+/// Accept loop for `--listen PATH`: one thread per connection, all
+/// multiplexed onto the shared server. Sessions are namespaced per
+/// connection, so two clients' `"main"` sessions never collide. A v2
+/// `shutdown` request stops the accept loop; connections still open at
+/// that point are severed when the process exits.
+fn listen_unix(server: &Arc<Server>, path: &str) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+    // A previous run's socket file would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("cannot listen on `{path}`: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot configure `{path}`: {e}"))?;
+    eprintln!("pinpoint serve: listening on {path} ({PROTOCOL})");
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut next_conn = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                next_conn += 1;
+                let prefix = format!("c{next_conn}");
+                let server = Arc::clone(server);
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::spawn(move || {
+                    let Ok(write_half) = stream.try_clone() else {
+                        return;
+                    };
+                    let input = std::io::BufReader::new(stream);
+                    match serve_connection(&server, prefix, input, write_half) {
+                        Ok(LoopEnd::Shutdown) => stop.store(true, Ordering::Relaxed),
+                        Ok(LoopEnd::Quit) | Err(_) => {}
+                    }
+                });
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("accept on `{path}` failed: {e}")),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    let _ = std::fs::remove_file(path);
+    // Join connections that already drained; leave stuck ones behind —
+    // the process is about to exit anyway.
+    for h in conns {
+        if h.is_finished() {
+            let _ = h.join();
+        }
+    }
+    Ok(())
+}
+
+/// Serves one connection: negotiates the protocol on the first frame,
+/// then runs the matching loop. `prefix` namespaces this connection's
+/// sessions inside the shared server.
+fn serve_connection<R, W>(
+    server: &Arc<Server>,
+    prefix: String,
+    mut input: R,
+    out: W,
+) -> Result<LoopEnd, String>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    // Peek the first non-empty frame: a parsable `hello` selects v2,
+    // anything else (including an oversized line) replays through v1.
+    let mut pending: Option<Frame> = None;
+    let hello = loop {
+        match read_frame(&mut input, MAX_SERVE_LINE)? {
+            Frame::Eof => return Ok(LoopEnd::Quit),
+            Frame::Oversized => {
+                pending = Some(Frame::Oversized);
+                break None;
+            }
+            Frame::Line(bytes) => {
+                if std::str::from_utf8(&bytes).is_ok_and(|s| s.trim().is_empty()) {
+                    continue;
+                }
+                let fields = std::str::from_utf8(&bytes)
+                    .ok()
+                    .and_then(|s| parse_json_object(s).ok());
+                match fields {
+                    Some(f) if field(&f, "cmd") == Some("hello") => break Some(f),
+                    _ => {
+                        pending = Some(Frame::Line(bytes));
+                        break None;
+                    }
+                }
+            }
+        }
+    };
+    match hello {
+        Some(fields) => v2_loop(server, &prefix, input, out, &fields),
+        None => v1_loop(server, &prefix, input, out, pending),
+    }
+}
+
+fn field<'a>(fields: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(name, _)| name == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Resolves `source`/`path` into program text (shared by v1 and v2).
+fn load_source(fields: &[(String, String)]) -> Result<String, String> {
+    if let Some(s) = field(fields, "source") {
+        Ok(s.to_string())
+    } else if let Some(p) = field(fields, "path") {
+        std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))
+    } else {
+        Err("open/update needs \"source\" or \"path\"".to_string())
+    }
+}
+
+/// Parses the optional `checker` field into a [`Query`].
+fn parse_query(fields: &[(String, String)]) -> Result<Query, String> {
+    match field(fields, "checker") {
+        Some(name) => CheckerKind::parse(name)
+            .map(Query::Check)
+            .ok_or_else(|| format!("unknown checker `{name}`")),
+        None => Ok(Query::All),
+    }
+}
+
+/// Submits one request and waits for its reply — the synchronous shape
+/// used by the v1 loop, where responses must interleave with nothing.
+fn roundtrip(server: &Server, session: &str, op: Op) -> Response {
+    let (tx, rx) = mpsc::channel();
+    server.submit(
+        Request {
+            id: String::new(),
+            session: session.to_string(),
+            op,
+        },
+        &tx,
+    );
+    rx.recv().unwrap_or_else(|_| Response {
+        id: String::new(),
+        session: session.to_string(),
+        reply: Err(ServerError::new(
+            ErrorCode::Internal,
+            "server dropped the request",
+        )),
+    })
+}
+
+// ---------------------------------------------------------------------
+// v1: the legacy single-session protocol, byte-compatible.
+// ---------------------------------------------------------------------
+
+/// Keys the v1 protocol accepts; anything else is rejected so a typo
+/// like `sorce` errors instead of being ignored.
+const KNOWN_KEYS_V1: [&str; 4] = ["cmd", "path", "source", "checker"];
+
+fn v1_loop<R: BufRead, W: Write>(
+    server: &Arc<Server>,
+    prefix: &str,
+    mut input: R,
+    mut out: W,
+    mut pending: Option<Frame>,
+) -> Result<LoopEnd, String> {
+    let session = format!("{prefix}/v1");
+    let reply = |out: &mut W, line: &str| -> Result<(), String> {
+        writeln!(out, "{line}").map_err(|e| format!("cannot write output: {e}"))?;
+        out.flush().map_err(|e| format!("cannot write output: {e}"))
+    };
+    loop {
+        let frame = match pending.take() {
+            Some(f) => f,
+            None => read_frame(&mut input, MAX_SERVE_LINE)?,
+        };
+        let line = match frame {
+            Frame::Eof => break,
+            Frame::Oversized => {
+                let msg = format!("request line exceeds {MAX_SERVE_LINE} bytes");
+                reply(
+                    &mut out,
+                    &format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(&msg)),
+                )?;
+                continue;
+            }
+            Frame::Line(bytes) => match String::from_utf8(bytes) {
+                Ok(s) => s,
+                Err(_) => {
+                    reply(
+                        &mut out,
+                        "{\"ok\":false,\"error\":\"request is not valid UTF-8\"}",
+                    )?;
+                    continue;
+                }
+            },
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match v1_line(server, &session, &line) {
+            Ok(Some(resp)) => resp,
+            Ok(None) => {
+                reply(&mut out, "{\"ok\":true,\"event\":\"bye\"}")?;
+                break;
+            }
+            Err(msg) => format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(&msg)),
+        };
+        reply(&mut out, &response)?;
+    }
+    // Free the implicit session's workspace (a no-op when nothing was
+    // ever opened).
+    let _ = roundtrip(server, &session, Op::Close);
+    Ok(LoopEnd::Quit)
+}
+
+/// Handles one v1 request line. `Ok(None)` means `quit`.
+fn v1_line(server: &Server, session: &str, line: &str) -> Result<Option<String>, String> {
+    let fields = parse_json_object(line)?;
+    if let Some((k, _)) = fields
+        .iter()
+        .find(|(k, _)| !KNOWN_KEYS_V1.contains(&k.as_str()))
+    {
+        return Err(format!("unknown key `{k}`"));
+    }
+    let op = match field(&fields, "cmd").ok_or("missing \"cmd\" field")? {
+        "open" => Op::Open {
+            source: load_source(&fields)?,
+        },
+        "update" => Op::Update {
+            source: load_source(&fields)?,
+        },
+        "check" => Op::Query(parse_query(&fields)?),
+        "stats" => Op::Stats { canonical: false },
+        "quit" => return Ok(None),
+        other => return Err(format!("unknown cmd `{other}`")),
+    };
+    match roundtrip(server, session, op).reply {
+        Ok(Reply::Opened { funcs }) => Ok(Some(format!(
+            "{{\"ok\":true,\"event\":\"opened\",\"funcs\":{funcs}}}"
+        ))),
+        Ok(Reply::Updated {
+            reanalyzed,
+            reused,
+            fell_back,
+        }) => Ok(Some(format!(
+            "{{\"ok\":true,\"event\":\"updated\",\"reanalyzed\":{reanalyzed},\"reused\":{reused},\"fell_back\":{fell_back}}}"
+        ))),
+        Ok(Reply::Reports { json, reused, rerun }) => Ok(Some(format!(
+            "{{\"ok\":true,\"event\":\"reports\",\"reports\":{json},\"queries_reused\":{reused},\"queries_rerun\":{rerun}}}"
+        ))),
+        Ok(Reply::Leaks { json }) => Ok(Some(format!(
+            "{{\"ok\":true,\"event\":\"leaks\",\"leaks\":{json}}}"
+        ))),
+        Ok(Reply::Stats { json }) => Ok(Some(format!(
+            "{{\"ok\":true,\"event\":\"stats\",\"stats\":{json}}}"
+        ))),
+        Ok(Reply::Closed) => Ok(Some("{\"ok\":true,\"event\":\"closed\"}".to_string())),
+        // v1 errors are plain strings; the typed code is a v2 affordance.
+        Err(e) => Err(e.message),
+    }
+}
+
+// ---------------------------------------------------------------------
+// v2: pinpoint-rpc-v2 — sessions, ids, typed errors.
+// ---------------------------------------------------------------------
+
+/// Keys a v2 request may carry.
+const KNOWN_KEYS_V2: [&str; 7] = [
+    "cmd",
+    "id",
+    "session",
+    "path",
+    "source",
+    "checker",
+    "canonical",
+];
+
+fn v2_loop<R, W>(
+    server: &Arc<Server>,
+    prefix: &str,
+    mut input: R,
+    mut out: W,
+    hello: &[(String, String)],
+) -> Result<LoopEnd, String>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let hello_id = field(hello, "id").unwrap_or_default();
+    if let Some(proto) = field(hello, "proto") {
+        if proto != PROTOCOL {
+            // Version negotiation failed: say what we speak and end the
+            // connection so the client can reconnect with a protocol it
+            // understands (or without a hello, for v1).
+            let err = ServerError::new(
+                ErrorCode::ProtocolError,
+                format!(
+                    "unsupported protocol `{proto}` (this server speaks {PROTOCOL} and legacy v1)"
+                ),
+            );
+            let _ = writeln!(
+                out,
+                "{{\"ok\":false,\"id\":\"{}\",\"session\":\"\",\"error\":{}}}",
+                json_escape(hello_id),
+                err.to_json()
+            );
+            let _ = out.flush();
+            return Ok(LoopEnd::Quit);
+        }
+    }
+    let caps: Vec<String> = CAPABILITIES.iter().map(|c| format!("\"{c}\"")).collect();
+    writeln!(
+        out,
+        "{{\"ok\":true,\"id\":\"{}\",\"event\":\"hello\",\"proto\":\"{PROTOCOL}\",\"capabilities\":[{}],\"max_line_bytes\":{MAX_SERVE_LINE},\"workers\":{},\"queue_capacity\":{}}}",
+        json_escape(hello_id),
+        caps.join(","),
+        server.workers(),
+        server.queue_capacity()
+    )
+    .map_err(|e| format!("cannot write output: {e}"))?;
+    out.flush()
+        .map_err(|e| format!("cannot write output: {e}"))?;
+
+    // One writer thread renders every response — computed replies from
+    // the server's workers and protocol errors from this reader — so
+    // output lines never interleave. The final `bye` is written when
+    // the channel drains, which (senders being dropped per-request)
+    // can only happen after every outstanding reply was delivered.
+    let (tx, rx) = mpsc::channel::<Response>();
+    let bye_id: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let writer = {
+        let prefix = prefix.to_string();
+        let bye_id = Arc::clone(&bye_id);
+        std::thread::spawn(move || {
+            for resp in rx {
+                let _ = writeln!(out, "{}", v2_render(&resp, &prefix));
+                let _ = out.flush();
+            }
+            let bye = bye_id.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(id) = bye {
+                let _ = writeln!(
+                    out,
+                    "{{\"ok\":true,\"id\":\"{}\",\"event\":\"bye\"}}",
+                    json_escape(&id)
+                );
+                let _ = out.flush();
+            }
+        })
+    };
+
+    let mut end = LoopEnd::Quit;
+    loop {
+        let line = match read_frame(&mut input, MAX_SERVE_LINE)? {
+            Frame::Eof => break,
+            Frame::Oversized => {
+                protocol_error(
+                    &tx,
+                    prefix,
+                    "",
+                    "",
+                    &format!("request line exceeds {MAX_SERVE_LINE} bytes"),
+                );
+                continue;
+            }
+            Frame::Line(bytes) => match String::from_utf8(bytes) {
+                Ok(s) => s,
+                Err(_) => {
+                    protocol_error(&tx, prefix, "", "", "request is not valid UTF-8");
+                    continue;
+                }
+            },
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match v2_line(server, prefix, &line, &tx) {
+            None => {}
+            Some(e) => {
+                *bye_id.lock().unwrap_or_else(|err| err.into_inner()) = Some(e.1);
+                end = e.0;
+                break;
+            }
+        }
+    }
+    // Hang up: once in-flight requests drop their channel clones the
+    // writer sees the channel close, emits `bye`, and exits.
+    drop(tx);
+    let _ = writer.join();
+    Ok(end)
+}
+
+/// Sends a typed `protocol_error` response through the writer channel.
+fn protocol_error(tx: &mpsc::Sender<Response>, prefix: &str, id: &str, session: &str, msg: &str) {
+    let _ = tx.send(Response {
+        id: id.to_string(),
+        session: format!("{prefix}/{session}"),
+        reply: Err(ServerError::new(ErrorCode::ProtocolError, msg)),
+    });
+}
+
+/// Handles one v2 request line; returns `Some((end, id))` when the
+/// connection should stop (`quit`/`shutdown`).
+fn v2_line(
+    server: &Server,
+    prefix: &str,
+    line: &str,
+    tx: &mpsc::Sender<Response>,
+) -> Option<(LoopEnd, String)> {
+    let fields = match parse_json_object(line) {
+        Ok(f) => f,
+        Err(msg) => {
+            protocol_error(tx, prefix, "", "", &msg);
+            return None;
+        }
+    };
+    let id = field(&fields, "id").unwrap_or_default().to_string();
+    let session = field(&fields, "session").unwrap_or_default().to_string();
+    let proto_err = |msg: &str| {
+        protocol_error(tx, prefix, &id, &session, msg);
+        None
+    };
+    if let Some((k, _)) = fields
+        .iter()
+        .find(|(k, _)| !KNOWN_KEYS_V2.contains(&k.as_str()))
+    {
+        return proto_err(&format!("unknown key `{k}`"));
+    }
+    let op = match field(&fields, "cmd") {
+        None => return proto_err("missing \"cmd\" field"),
+        Some("hello") => return proto_err("hello was already negotiated on this connection"),
+        Some("open") => match load_source(&fields) {
+            Ok(source) => Op::Open { source },
+            Err(msg) => return proto_err(&msg),
+        },
+        Some("update") => match load_source(&fields) {
+            Ok(source) => Op::Update { source },
+            Err(msg) => return proto_err(&msg),
+        },
+        Some("check") => match parse_query(&fields) {
+            Ok(q) => Op::Query(q),
+            Err(msg) => return proto_err(&msg),
+        },
+        Some("leaks") => Op::Query(Query::Leaks),
+        Some("stats") => Op::Stats {
+            canonical: field(&fields, "canonical") == Some("true"),
+        },
+        Some("close") => Op::Close,
+        Some("quit") => return Some((LoopEnd::Quit, id)),
+        Some("shutdown") => return Some((LoopEnd::Shutdown, id)),
+        Some(other) => return proto_err(&format!("unknown cmd `{other}`")),
+    };
+    server.submit(
+        Request {
+            id,
+            session: format!("{prefix}/{session}"),
+            op,
+        },
+        tx,
+    );
+    None
+}
+
+/// Renders one v2 response line, stripping the connection prefix off
+/// the session before echoing it.
+fn v2_render(resp: &Response, prefix: &str) -> String {
+    let session = resp
+        .session
+        .strip_prefix(prefix)
+        .and_then(|s| s.strip_prefix('/'))
+        .unwrap_or(&resp.session);
+    let head = format!(
+        "\"id\":\"{}\",\"session\":\"{}\"",
+        json_escape(&resp.id),
+        json_escape(session)
+    );
+    match &resp.reply {
+        Ok(Reply::Opened { funcs }) => {
+            format!("{{\"ok\":true,{head},\"event\":\"opened\",\"funcs\":{funcs}}}")
+        }
+        Ok(Reply::Updated {
+            reanalyzed,
+            reused,
+            fell_back,
+        }) => format!(
+            "{{\"ok\":true,{head},\"event\":\"updated\",\"reanalyzed\":{reanalyzed},\"reused\":{reused},\"fell_back\":{fell_back}}}"
+        ),
+        Ok(Reply::Reports { json, reused, rerun }) => format!(
+            "{{\"ok\":true,{head},\"event\":\"reports\",\"reports\":{json},\"queries_reused\":{reused},\"queries_rerun\":{rerun}}}"
+        ),
+        Ok(Reply::Leaks { json }) => {
+            format!("{{\"ok\":true,{head},\"event\":\"leaks\",\"leaks\":{json}}}")
+        }
+        Ok(Reply::Stats { json }) => {
+            format!("{{\"ok\":true,{head},\"event\":\"stats\",\"stats\":{json}}}")
+        }
+        Ok(Reply::Closed) => format!("{{\"ok\":true,{head},\"event\":\"closed\"}}"),
+        Err(e) => format!("{{\"ok\":false,{head},\"error\":{}}}", e.to_json()),
+    }
+}

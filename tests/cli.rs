@@ -323,6 +323,222 @@ fn serve_survives_hostile_stdin() {
     assert!(lines[7].contains("\"event\":\"bye\""), "{}", lines[7]);
 }
 
+/// Runs `pinpoint serve` over stdio with the given extra flags, feeds
+/// it `requests`, and returns stdout's lines.
+fn serve_stdio(extra: &[&str], requests: &[u8]) -> Vec<String> {
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .arg("serve")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(requests)
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits");
+    assert_eq!(out.status.code(), Some(0), "serve exits cleanly");
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn serve_v2_hello_multiplexes_sessions() {
+    // A hello handshake upgrades the connection to pinpoint-rpc-v2:
+    // two sessions interleave on one stdio connection, every reply
+    // echoes its request's id and session, and bye comes last.
+    let buggy = BUGGY
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    let requests = format!(
+        concat!(
+            "{{\"cmd\":\"hello\",\"id\":\"h0\",\"proto\":\"pinpoint-rpc-v2\"}}\n",
+            "{{\"cmd\":\"open\",\"id\":\"a1\",\"session\":\"alpha\",\"source\":\"{buggy}\"}}\n",
+            "{{\"cmd\":\"open\",\"id\":\"b1\",\"session\":\"beta\",\"source\":\"fn main() {{ return; }}\"}}\n",
+            "{{\"cmd\":\"check\",\"id\":\"a2\",\"session\":\"alpha\",\"checker\":\"uaf\"}}\n",
+            "{{\"cmd\":\"check\",\"id\":\"b2\",\"session\":\"beta\"}}\n",
+            "{{\"cmd\":\"stats\",\"id\":\"a3\",\"session\":\"alpha\",\"canonical\":\"true\"}}\n",
+            "{{\"cmd\":\"quit\",\"id\":\"z9\"}}\n",
+        ),
+        buggy = buggy,
+    );
+    let lines = serve_stdio(&["--workers", "2"], requests.as_bytes());
+    assert_eq!(lines.len(), 7, "one reply per request: {lines:?}");
+    assert!(
+        !lines.iter().any(|l| l.contains("\"ok\":false")),
+        "no errors expected: {lines:?}"
+    );
+    assert!(lines[0].contains("\"event\":\"hello\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"id\":\"h0\""), "{}", lines[0]);
+    assert!(
+        lines[0].contains("\"proto\":\"pinpoint-rpc-v2\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("\"capabilities\":["), "{}", lines[0]);
+    let find = |id: &str| {
+        lines
+            .iter()
+            .position(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .unwrap_or_else(|| panic!("no reply with id {id}: {lines:?}"))
+    };
+    // Replies of different sessions may interleave, but each session's
+    // replies come back in its own request order.
+    let (a1, a2, a3) = (find("a1"), find("a2"), find("a3"));
+    let (b1, b2) = (find("b1"), find("b2"));
+    assert!(a1 < a2 && a2 < a3, "alpha FIFO: {lines:?}");
+    assert!(b1 < b2, "beta FIFO: {lines:?}");
+    // Session names echo without the connection's internal namespace.
+    assert!(lines[a2].contains("\"session\":\"alpha\""), "{}", lines[a2]);
+    assert!(lines[a2].contains("\"event\":\"reports\""), "{}", lines[a2]);
+    assert!(lines[a2].contains("use-after-free"), "{}", lines[a2]);
+    assert!(lines[b2].contains("\"session\":\"beta\""), "{}", lines[b2]);
+    assert!(lines[b2].contains("\"reports\":[]"), "{}", lines[b2]);
+    assert!(lines[a3].contains("pinpoint-stats-v1"), "{}", lines[a3]);
+    assert!(lines[a3].contains("\"server\":{"), "{}", lines[a3]);
+    assert!(lines[6].contains("\"event\":\"bye\""), "{}", lines[6]);
+    assert!(lines[6].contains("\"id\":\"z9\""), "{}", lines[6]);
+}
+
+#[test]
+fn serve_v2_protocol_errors_are_typed_and_resync() {
+    // Regression set distilled from fuzzing the framing layer: every
+    // hostile frame — invalid UTF-8, an oversized line, unknown keys,
+    // nested JSON, bare garbage, unknown/missing cmd, a second hello —
+    // must get a typed `protocol_error` reply and the stream must
+    // resynchronize at the next newline so the session keeps working.
+    let mut requests: Vec<u8> = Vec::new();
+    requests.extend_from_slice(b"{\"cmd\":\"hello\",\"id\":\"h0\"}\n");
+    requests.extend_from_slice(
+        b"{\"cmd\":\"open\",\"id\":\"o1\",\"session\":\"s\",\"source\":\"fn main() { return; }\"}\n",
+    );
+    requests.extend_from_slice(b"\xff\xfe{\"cmd\":\"check\",\"id\":\"u1\",\"session\":\"s\"}\n");
+    let huge = format!(
+        "{{\"cmd\":\"open\",\"id\":\"big\",\"session\":\"s\",\"source\":\"{}\"}}\n",
+        "a".repeat(2 * 1024 * 1024)
+    );
+    requests.extend_from_slice(huge.as_bytes());
+    requests.extend_from_slice(
+        b"{\"cmd\":\"check\",\"id\":\"x1\",\"session\":\"s\",\"sorce\":\"x\"}\n",
+    );
+    requests.extend_from_slice(
+        b"{\"cmd\":\"check\",\"id\":\"x2\",\"session\":\"s\",\"opts\":{\"x\":1}}\n",
+    );
+    requests.extend_from_slice(b"not json at all\n");
+    requests.extend_from_slice(b"{\"cmd\":\"nope\",\"id\":\"x3\",\"session\":\"s\"}\n");
+    requests.extend_from_slice(b"{\"id\":\"x4\",\"session\":\"s\"}\n");
+    requests.extend_from_slice(b"{\"cmd\":\"hello\",\"id\":\"x5\"}\n");
+    requests.extend_from_slice(b"{\"cmd\":\"check\",\"id\":\"c1\",\"session\":\"s\"}\n");
+    requests.extend_from_slice(b"{\"cmd\":\"quit\",\"id\":\"q9\"}\n");
+    let lines = serve_stdio(&[], &requests);
+    assert_eq!(lines.len(), 12, "one reply per request: {lines:?}");
+    assert!(lines[0].contains("\"event\":\"hello\""), "{}", lines[0]);
+    let errors: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"code\":\"protocol_error\""))
+        .collect();
+    assert_eq!(errors.len(), 8, "each hostile frame errors once: {lines:?}");
+    for l in &errors {
+        assert!(l.contains("\"ok\":false"), "{l}");
+        assert!(l.contains("\"message\":"), "{l}");
+    }
+    let has = |needle: &str| {
+        assert!(
+            lines.iter().any(|l| l.contains(needle)),
+            "missing `{needle}`: {lines:?}"
+        )
+    };
+    has("not valid UTF-8");
+    has("exceeds");
+    has("unknown key `sorce`");
+    has("unknown cmd `nope`");
+    has("missing \\\"cmd\\\" field");
+    has("hello was already negotiated");
+    // Parse-level errors still echo the request's id for correlation.
+    has("\"id\":\"x1\"");
+    has("\"id\":\"x3\"");
+    // The session survived all eight hostile frames.
+    let check = lines
+        .iter()
+        .find(|l| l.contains("\"id\":\"c1\""))
+        .expect("check after the hostile frames is answered");
+    assert!(check.contains("\"event\":\"reports\""), "{check}");
+    assert!(lines[11].contains("\"event\":\"bye\""), "{}", lines[11]);
+    assert!(lines[11].contains("\"id\":\"q9\""), "{}", lines[11]);
+}
+
+#[test]
+fn serve_v2_listen_unix_socket() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+    use std::process::Stdio;
+    let sock = std::env::temp_dir()
+        .join(format!("pinpoint_serve_{}.sock", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .args(["serve", "--listen", &sock, "--workers", "2"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    // The socket appears once the listener is bound.
+    let mut stream = None;
+    for _ in 0..200 {
+        match UnixStream::connect(&sock) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(25)),
+        }
+    }
+    let stream = stream.expect("server binds the socket");
+    let mut writer = stream.try_clone().expect("clone stream");
+    writer
+        .write_all(
+            concat!(
+                "{\"cmd\":\"hello\",\"id\":\"h\"}\n",
+                "{\"cmd\":\"open\",\"id\":\"1\",\"session\":\"m\",\"source\":\"fn main() { return; }\"}\n",
+                "{\"cmd\":\"check\",\"id\":\"2\",\"session\":\"m\"}\n",
+                "{\"cmd\":\"shutdown\",\"id\":\"3\"}\n",
+            )
+            .as_bytes(),
+        )
+        .expect("write requests");
+    let reader = BufReader::new(stream);
+    let lines: Vec<String> = reader.lines().map(|l| l.expect("read reply")).collect();
+    assert_eq!(lines.len(), 4, "hello, opened, reports, bye: {lines:?}");
+    assert!(lines[0].contains("\"event\":\"hello\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"event\":\"opened\""), "{}", lines[1]);
+    assert!(lines[2].contains("\"event\":\"reports\""), "{}", lines[2]);
+    assert!(lines[3].contains("\"event\":\"bye\""), "{}", lines[3]);
+    assert!(lines[3].contains("\"id\":\"3\""), "{}", lines[3]);
+    // `shutdown` stops the accept loop and the process exits cleanly.
+    let mut code = None;
+    for _ in 0..400 {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            code = status.code();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    if code.is_none() {
+        let _ = child.kill();
+    }
+    assert_eq!(code, Some(0), "serve exits cleanly after shutdown");
+    assert!(!std::path::Path::new(&sock).exists(), "socket file removed");
+}
+
 #[test]
 fn fuzz_subcommand_writes_stats() {
     let stats = tempfile_path();

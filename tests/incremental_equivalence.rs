@@ -12,7 +12,7 @@
 //! added and deleted functions — and across thread counts.
 
 use pinpoint::workload::{generate, GenConfig};
-use pinpoint::{Analysis, AnalysisBuilder, Workspace};
+use pinpoint::{Analysis, AnalysisBuilder, Query, Workspace};
 use std::path::{Path, PathBuf};
 
 /// Minimal SplitMix64 (the workspace vendors no PRNG dependency).
@@ -75,14 +75,14 @@ fn render_reports(analysis: &Analysis) -> String {
 /// through the query-cached check path.
 fn render_workspace(ws: &mut Workspace) -> String {
     let mut out = String::new();
-    for r in ws.check_all() {
+    for r in ws.query(&Query::All).into_reports() {
         out.push_str(&r.to_string());
         for (name, value) in &r.witness {
             out.push_str(&format!(" {name}={value}"));
         }
         out.push('\n');
     }
-    let leaks = ws.check_leaks();
+    let leaks = ws.query(&Query::Leaks).into_leaks();
     let module = &ws.analysis().module;
     for l in leaks {
         out.push_str(&format!(

@@ -1,0 +1,290 @@
+//! Concurrency invariants of the serving layer.
+//!
+//! The [`Server`] promises that sessions are isolated and per-session
+//! FIFO: a session's replies — reports, reuse counters, update
+//! outcomes — must be byte-identical whether the session runs alone on
+//! a dedicated server or interleaved with nine other sessions on a
+//! shared worker pool, at any pool size. These tests drive the seeded
+//! multi-client traffic generator against in-process servers and
+//! byte-compare everything.
+
+use pinpoint::workload::{generate_traffic, ClientScript, TrafficConfig, TrafficOp};
+use pinpoint::{
+    AnalysisBuilder, CheckerKind, ErrorCode, Op, Query, Reply, Request, Response, Server,
+    ServerConfig,
+};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+fn op_of(op: &TrafficOp) -> Op {
+    match op {
+        TrafficOp::Open(src) => Op::Open {
+            source: src.clone(),
+        },
+        TrafficOp::Update(src) => Op::Update {
+            source: src.clone(),
+        },
+        TrafficOp::Check(None) => Op::Query(Query::All),
+        TrafficOp::Check(Some(name)) => Op::Query(Query::Check(
+            CheckerKind::parse(name).expect("known checker"),
+        )),
+        TrafficOp::Stats => Op::Stats { canonical: true },
+    }
+}
+
+/// Canonical rendering of a reply: every byte a client could act on.
+fn render(resp: &Response) -> String {
+    match &resp.reply {
+        Ok(Reply::Opened { funcs }) => format!("opened funcs={funcs}"),
+        Ok(Reply::Updated {
+            reanalyzed,
+            reused,
+            fell_back,
+        }) => format!("updated reanalyzed={reanalyzed} reused={reused} fell_back={fell_back}"),
+        Ok(Reply::Reports {
+            json,
+            reused,
+            rerun,
+        }) => {
+            format!("reports reused={reused} rerun={rerun} {json}")
+        }
+        Ok(Reply::Leaks { json }) => format!("leaks {json}"),
+        Ok(Reply::Stats { json }) => format!("stats {json}"),
+        Ok(Reply::Closed) => "closed".to_string(),
+        Err(e) => format!("error {}: {}", e.code.as_str(), e.message),
+    }
+}
+
+/// Replays one session's script synchronously (submit, wait, next) and
+/// returns its rendered replies in order.
+fn replay(server: &Server, script: &ClientScript) -> Vec<String> {
+    let (tx, rx) = mpsc::channel();
+    script
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(k, op)| {
+            server.submit(
+                Request {
+                    id: k.to_string(),
+                    session: script.session.clone(),
+                    op: op_of(op),
+                },
+                &tx,
+            );
+            let resp = rx.recv().expect("one reply per request");
+            assert_eq!(resp.id, k.to_string(), "replies arrive in request order");
+            render(&resp)
+        })
+        .collect()
+}
+
+/// Runs all scripts concurrently (one thread per session) on a shared
+/// server with the given worker-pool size.
+fn run_fleet(scripts: &[ClientScript], workers: usize) -> BTreeMap<String, Vec<String>> {
+    let server = Server::start(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    });
+    let out = std::thread::scope(|s| {
+        let server = &server;
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| s.spawn(move || (script.session.clone(), replay(server, script))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect::<BTreeMap<_, _>>()
+    });
+    let stats = server.stats();
+    assert_eq!(stats.shed, 0, "synchronous clients never overrun the queue");
+    assert_eq!(stats.sessions, scripts.len() as u64);
+    out
+}
+
+#[test]
+fn ten_concurrent_sessions_match_serial_runs() {
+    let scripts = generate_traffic(&TrafficConfig {
+        seed: 11,
+        clients: 10,
+        edits_per_client: 2,
+        kloc: 0.25,
+        stats_at_end: false,
+    });
+    // Ground truth: each session alone on its own single-worker server.
+    let alone: BTreeMap<String, Vec<String>> = scripts
+        .iter()
+        .map(|script| {
+            let server = Server::start(ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            });
+            (script.session.clone(), replay(&server, script))
+        })
+        .collect();
+    // The same scripts interleaved on a shared pool must produce the
+    // same bytes per session, at any pool size.
+    for workers in [1usize, 4] {
+        let fleet = run_fleet(&scripts, workers);
+        assert_eq!(
+            fleet, alone,
+            "concurrent sessions (workers={workers}) must be byte-identical to serial runs"
+        );
+    }
+}
+
+#[test]
+fn server_counters_land_in_stats_schema() {
+    let server = Server::start(ServerConfig::default());
+    let (tx, rx) = mpsc::channel();
+    let src = "fn main() {
+        let p: int* = malloc();
+        free(p);
+        let x: int = *p;
+        print(x);
+        return;
+    }";
+    for (id, op) in [
+        ("0", Op::Open { source: src.into() }),
+        ("1", Op::Query(Query::All)),
+        ("2", Op::Stats { canonical: true }),
+    ] {
+        server.submit(
+            Request {
+                id: id.into(),
+                session: "s".into(),
+                op,
+            },
+            &tx,
+        );
+    }
+    let responses: Vec<Response> = (0..3).map(|_| rx.recv().unwrap()).collect();
+    let Ok(Reply::Stats { json }) = &responses[2].reply else {
+        panic!("expected stats reply: {:?}", responses[2].reply);
+    };
+    assert!(json.contains("\"schema\":\"pinpoint-stats-v1\""), "{json}");
+    // The server.* counter family sits in its own stage, zero-valued
+    // counters included (shed is 0 here but must still be visible).
+    let server_stage = json
+        .split("\"server\":{")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no server stage in {json}"))
+        .split('}')
+        .next()
+        .unwrap();
+    for key in ["queued", "shed", "sessions", "completed", "workers"] {
+        assert!(server_stage.contains(&format!("\"{key}\":")), "{json}");
+    }
+    assert!(server_stage.contains("\"shed\":0"), "{json}");
+    assert!(server_stage.contains("\"sessions\":1"), "{json}");
+}
+
+#[test]
+fn overload_is_shed_with_typed_error_not_queued() {
+    // One worker, capacity 1: while the worker chews on the open, at
+    // most one more request may wait; the rest must be refused with the
+    // typed `overloaded` error and the queued ones still complete.
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        builder: AnalysisBuilder::new(),
+    });
+    let (tx, rx) = mpsc::channel();
+    let big: String = (0..80)
+        .map(|i| {
+            format!(
+                "fn f{i}(c: bool) {{
+                    let p: int* = malloc();
+                    if (c) {{ free(p); }}
+                    let x: int = *p;
+                    print(x);
+                    return;
+                }}\n"
+            )
+        })
+        .collect();
+    server.submit(
+        Request {
+            id: "open".into(),
+            session: "s".into(),
+            op: Op::Open { source: big },
+        },
+        &tx,
+    );
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    for i in 0..16 {
+        let queued = server.submit(
+            Request {
+                id: format!("q{i}"),
+                session: "s".into(),
+                op: Op::Query(Query::All),
+            },
+            &tx,
+        );
+        if queued {
+            accepted += 1;
+        } else {
+            shed += 1;
+        }
+    }
+    assert!(shed > 0, "16 submissions over a 1-slot queue must shed");
+    let mut ok = 0u64;
+    let mut overloaded = 0u64;
+    for _ in 0..17 {
+        match rx.recv().expect("every submission is answered").reply {
+            Ok(_) => ok += 1,
+            Err(e) => {
+                assert_eq!(e.code, ErrorCode::Overloaded, "{e}");
+                overloaded += 1;
+            }
+        }
+    }
+    assert_eq!(overloaded, shed, "exactly the shed requests error");
+    assert_eq!(ok, accepted + 1, "open plus every accepted query succeed");
+    let stats = server.stats();
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.queued, accepted + 1);
+}
+
+#[test]
+fn per_session_fifo_under_cross_session_load() {
+    // Two sessions ping-ponging on a 2-worker pool: each session's
+    // replies must come back in its own submission order even though
+    // the sessions' requests interleave arbitrarily at the workers.
+    let src = "fn main() { let x: int = 1; print(x); return; }";
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let (tx_a, rx_a) = mpsc::channel();
+    let (tx_b, rx_b) = mpsc::channel();
+    for (session, tx) in [("a", &tx_a), ("b", &tx_b)] {
+        server.submit(
+            Request {
+                id: "open".into(),
+                session: session.into(),
+                op: Op::Open { source: src.into() },
+            },
+            tx,
+        );
+        for i in 0..8 {
+            server.submit(
+                Request {
+                    id: format!("q{i}"),
+                    session: session.into(),
+                    op: Op::Query(Query::All),
+                },
+                tx,
+            );
+        }
+    }
+    for rx in [rx_a, rx_b] {
+        let ids: Vec<String> = (0..9).map(|_| rx.recv().unwrap().id).collect();
+        let want: Vec<String> = std::iter::once("open".to_string())
+            .chain((0..8).map(|i| format!("q{i}")))
+            .collect();
+        assert_eq!(ids, want, "per-session FIFO");
+    }
+}
