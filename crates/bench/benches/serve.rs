@@ -42,7 +42,7 @@ fn run_group(clients: usize, kloc: f64) -> (Vec<u64>, std::time::Duration, u64) 
         clients,
         edits_per_client: 2,
         kloc,
-        stats_at_end: false,
+        ..TrafficConfig::default()
     };
     let scripts = generate_traffic(&cfg);
     let server = Server::start(ServerConfig::default());
@@ -100,9 +100,9 @@ fn main() {
         for &ns in &latencies {
             m.hist_record(&hist_name, ns);
         }
-        let (p50, p95) = {
+        let (p50, p95, p99) = {
             let h = m.histogram(&hist_name).expect("just recorded");
-            (h.p50(), h.p95())
+            (h.p50(), h.p95(), h.p99())
         };
         let throughput = total as f64 / elapsed.as_secs_f64().max(1e-9);
         m.counter_add(&format!("serve.c{clients}.requests"), total);
@@ -111,9 +111,10 @@ fn main() {
             throughput as u64,
         );
         println!(
-            "serve/{clients}-editors/{kloc}kloc               p50 {:>10.3?}  p95 {:>10.3?}  {total} requests in {elapsed:.3?}  ({throughput:.1} req/s)",
+            "serve/{clients}-editors/{kloc}kloc               p50 {:>10.3?}  p95 {:>10.3?}  p99 {:>10.3?}  {total} requests in {elapsed:.3?}  ({throughput:.1} req/s)",
             std::time::Duration::from_nanos(p50),
             std::time::Duration::from_nanos(p95),
+            std::time::Duration::from_nanos(p99),
         );
     }
     let doc = m.stats_json(

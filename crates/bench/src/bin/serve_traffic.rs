@@ -8,12 +8,18 @@
 //! The output is one `hello` handshake, the clients' requests
 //! interleaved round-robin (each client in its own session, ids of the
 //! form `client3:2`), and a final `quit`. Same flags ⇒ same bytes, so
-//! CI smoke jobs can assert on the replies.
+//! CI smoke jobs can assert on the replies. `--status-every N` splices
+//! an in-band `status` probe after every N requests (ids `probe:K`),
+//! exercising the server's worker-pool bypass under load.
+//!
+//! The effective seed and per-client request counts echo on stderr
+//! (silence with `--quiet`) so any run seen in a CI log can be
+//! regenerated with the printed command line.
 
-use pinpoint_workload::{generate_traffic, render_ndjson_v2, TrafficConfig};
+use pinpoint_workload::{generate_traffic, render_ndjson_v2_probed, TrafficConfig};
 
-const USAGE: &str =
-    "usage: serve_traffic [--clients N] [--edits N] [--seed N] [--kloc F] [--stats]";
+const USAGE: &str = "usage: serve_traffic [--clients N] [--edits N] [--seed N] [--kloc F] \
+[--stats] [--status-every N] [--quiet]";
 
 fn main() {
     let mut cfg = TrafficConfig {
@@ -22,6 +28,7 @@ fn main() {
         kloc: 1.0,
         ..TrafficConfig::default()
     };
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -36,13 +43,48 @@ fn main() {
             "--seed" => cfg.seed = parse(&value("--seed"), "--seed"),
             "--kloc" => cfg.kloc = parse(&value("--kloc"), "--kloc"),
             "--stats" => cfg.stats_at_end = true,
+            "--status-every" => {
+                cfg.status_every = parse(&value("--status-every"), "--status-every")
+            }
+            "--quiet" => quiet = true,
             other => {
                 eprintln!("error: unknown flag `{other}`\n{USAGE}");
                 std::process::exit(2);
             }
         }
     }
-    print!("{}", render_ndjson_v2(&generate_traffic(&cfg)));
+    let scripts = generate_traffic(&cfg);
+    if !quiet {
+        // The effective config on stderr, so a hostile or slow run seen
+        // in CI is reproducible from the log with one command line.
+        let counts: Vec<String> = scripts
+            .iter()
+            .map(|s| format!("{}={}", s.session, s.ops.len()))
+            .collect();
+        let total: usize = scripts.iter().map(|s| s.ops.len()).sum();
+        eprintln!(
+            "serve_traffic: seed {} | {} clients x {} edits @ {} kloc | {total} requests ({})",
+            cfg.seed,
+            cfg.clients,
+            cfg.edits_per_client,
+            cfg.kloc,
+            counts.join(" ")
+        );
+        eprintln!(
+            "serve_traffic: reproduce with: serve_traffic --seed {} --clients {} --edits {} --kloc {}{}{}",
+            cfg.seed,
+            cfg.clients,
+            cfg.edits_per_client,
+            cfg.kloc,
+            if cfg.stats_at_end { " --stats" } else { "" },
+            if cfg.status_every > 0 {
+                format!(" --status-every {}", cfg.status_every)
+            } else {
+                String::new()
+            }
+        );
+    }
+    print!("{}", render_ndjson_v2_probed(&scripts, cfg.status_every));
 }
 
 fn parse<T: std::str::FromStr>(v: &str, name: &str) -> T {

@@ -54,6 +54,7 @@ pub mod seg;
 pub mod server;
 pub mod spec;
 pub mod summary;
+pub mod telemetry;
 pub mod workspace;
 
 pub use detect::{DetectConfig, DetectStats, Report, Step};
@@ -68,4 +69,5 @@ pub use server::{
     ErrorCode, Op, Reply, Request, Response, Server, ServerConfig, ServerError, ServerStats,
 };
 pub use spec::{CheckerKind, SinkRole, SinkSite, SinkSpec, SourceSite, SourceSpec, Spec};
+pub use telemetry::{ServerTelemetry, TelemetryConfig};
 pub use workspace::{Workspace, WorkspaceCounters};

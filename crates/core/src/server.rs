@@ -76,8 +76,10 @@
 use crate::driver::AnalysisBuilder;
 use crate::export::{json_escape, leaks_json, reports_json};
 use crate::query::{Query, QueryResponse};
+use crate::telemetry::{ServerTelemetry, TelemetryConfig};
 use crate::workspace::Workspace;
-use pinpoint_obs::queries_json;
+use pinpoint_obs::json::{Arr, Obj};
+use pinpoint_obs::{prometheus_text, queries_json, FlightEventKind, FlightSample, MetricsRegistry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
@@ -193,6 +195,21 @@ pub enum Op {
     Close,
 }
 
+impl Op {
+    /// A short stable label of the operation kind, used by the flight
+    /// recorder and the per-op rolling latency windows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Op::Open { .. } => "open",
+            Op::Update { .. } => "update",
+            Op::Query(Query::Leaks) => "leaks",
+            Op::Query(_) => "check",
+            Op::Stats { .. } => "stats",
+            Op::Close => "close",
+        }
+    }
+}
+
 /// One request: a client-chosen `id` echoed in the reply, the session
 /// it belongs to, and the operation.
 #[derive(Debug, Clone)]
@@ -243,6 +260,19 @@ pub enum Reply {
         /// The `pinpoint-stats-v1` JSON document.
         json: String,
     },
+    /// The live status document. Produced by the *transport* calling
+    /// [`Server::status_json`] directly — never by a worker — so it is
+    /// deliverable even when the pool is saturated.
+    Status {
+        /// The `pinpoint-status-v1` JSON document.
+        json: String,
+    },
+    /// The Prometheus text exposition. Like [`Reply::Status`], produced
+    /// by the transport without touching the worker pool.
+    Metrics {
+        /// Prometheus text-format body (multi-line).
+        body: String,
+    },
     /// The session was closed.
     Closed,
 }
@@ -271,6 +301,9 @@ pub struct ServerConfig {
     /// toggles, persistent cache directory — the cache store is shared
     /// across sessions through the directory).
     pub builder: AnalysisBuilder,
+    /// Live-telemetry parameters (flight-recorder capacity, slow-query
+    /// threshold, rolling-window geometry).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -279,6 +312,7 @@ impl Default for ServerConfig {
             workers: crate::driver::default_threads(),
             queue_capacity: 1024,
             builder: AnalysisBuilder::new(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -336,6 +370,7 @@ struct Shared {
     shed: AtomicU64,
     sessions_created: AtomicU64,
     completed: AtomicU64,
+    telemetry: ServerTelemetry,
 }
 
 impl Shared {
@@ -382,6 +417,7 @@ impl Server {
             shed: AtomicU64::new(0),
             sessions_created: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            telemetry: ServerTelemetry::new(&config.telemetry),
         });
         let workers = (0..shared.workers)
             .map(|i| {
@@ -417,8 +453,16 @@ impl Server {
             );
         }
         if st.pending >= self.shared.queue_capacity {
+            let depth = st.pending as u64;
             drop(st);
             self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            self.shared.telemetry.record(FlightSample {
+                session: req.session.clone(),
+                request_id: req.id.clone(),
+                op: req.op.label().to_string(),
+                queue_depth: depth,
+                ..FlightSample::of(FlightEventKind::Shed)
+            });
             return refuse(
                 req,
                 ServerError::new(
@@ -437,6 +481,10 @@ impl Server {
             if matches!(req.op, Op::Open { .. }) {
                 st.sessions.insert(req.session.clone(), Session::default());
                 self.shared.sessions_created.fetch_add(1, Ordering::Relaxed);
+                self.shared.telemetry.record(FlightSample {
+                    session: req.session.clone(),
+                    ..FlightSample::of(FlightEventKind::SessionOpen)
+                });
             } else {
                 drop(st);
                 return refuse(req, ServerError::no_workspace());
@@ -445,6 +493,13 @@ impl Server {
         let key = req.session.clone();
         st.pending += 1;
         self.shared.queued.fetch_add(1, Ordering::Relaxed);
+        self.shared.telemetry.record(FlightSample {
+            session: req.session.clone(),
+            request_id: req.id.clone(),
+            op: req.op.label().to_string(),
+            queue_depth: st.pending as u64,
+            ..FlightSample::of(FlightEventKind::Accepted)
+        });
         let sess = st.sessions.get_mut(&key).expect("session just ensured");
         sess.queue.push_back((req, reply.clone()));
         if !sess.active && !sess.scheduled {
@@ -468,6 +523,96 @@ impl Server {
     /// The configured backpressure bound.
     pub fn queue_capacity(&self) -> usize {
         self.shared.queue_capacity
+    }
+
+    /// The live-telemetry hub (flight recorder, rolling latencies).
+    pub fn telemetry(&self) -> &ServerTelemetry {
+        &self.shared.telemetry
+    }
+
+    /// The `pinpoint-status-v1` document: uptime, pool/queue occupancy,
+    /// per-session queue depths, rolling latencies, and the newest
+    /// `tail` flight events. Built from the scheduler mutex and the
+    /// telemetry hub only — **never** the worker pool — so it answers
+    /// even when every worker is busy and the queue is saturated.
+    /// `canonical` zeroes wall-clock values for byte-stable output.
+    pub fn status_json(&self, tail: usize, canonical: bool) -> String {
+        let (queue_depth, shutting_down, sessions) = {
+            let st = self.shared.lock();
+            let mut rows = Vec::with_capacity(st.sessions.len());
+            let mut names: Vec<&String> = st.sessions.keys().collect();
+            names.sort();
+            for name in names {
+                let sess = &st.sessions[name];
+                let mut o = Obj::new();
+                o.str("name", name)
+                    .u64("queue_depth", sess.queue.len() as u64)
+                    .raw("active", if sess.active { "true" } else { "false" })
+                    .raw(
+                        "has_workspace",
+                        if sess.ws.is_some() { "true" } else { "false" },
+                    );
+                rows.push(o.finish());
+            }
+            (st.pending as u64, st.shutting_down, rows)
+        };
+        let s = self.shared.snapshot();
+        let t = &self.shared.telemetry;
+        let mut counters = Obj::new();
+        counters
+            .u64("queued", s.queued)
+            .u64("shed", s.shed)
+            .u64("sessions", s.sessions)
+            .u64("completed", s.completed);
+        let mut sess_arr = Arr::new();
+        for row in &sessions {
+            sess_arr.raw(row);
+        }
+        let mut o = Obj::new();
+        o.str("schema", "pinpoint-status-v1")
+            .str("protocol", PROTOCOL)
+            .u64("uptime_ns", if canonical { 0 } else { t.now_ns() })
+            .u64("workers", self.shared.workers as u64)
+            .u64("queue_capacity", self.shared.queue_capacity as u64)
+            .u64("queue_depth", queue_depth)
+            .u64("sessions_open", s.sessions_open)
+            .raw(
+                "shutting_down",
+                if shutting_down { "true" } else { "false" },
+            )
+            .raw("counters", &counters.finish())
+            .raw("sessions", &sess_arr.finish())
+            .raw("rolling", &t.rolling_json(canonical))
+            .raw("flight", &t.flight_json(tail, canonical));
+        o.finish()
+    }
+
+    /// The server's metrics registry: `server.*` cumulative counters,
+    /// point-in-time gauges, and the cumulative latency histograms the
+    /// telemetry hub accumulated. Like [`Server::status_json`] this
+    /// never touches the worker pool.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let (queue_depth, sessions_open) = {
+            let st = self.shared.lock();
+            (st.pending as u64, st.sessions.len() as u64)
+        };
+        let s = self.shared.snapshot();
+        let mut m = MetricsRegistry::new();
+        m.counter_add("server.queued", s.queued);
+        m.counter_add("server.shed", s.shed);
+        m.counter_add("server.sessions", s.sessions);
+        m.counter_add("server.completed", s.completed);
+        m.gauge_set("server.workers", self.shared.workers as u64);
+        m.gauge_set("server.queue_depth", queue_depth);
+        m.gauge_set("server.queue_capacity", self.shared.queue_capacity as u64);
+        m.gauge_set("server.sessions_open", sessions_open);
+        self.shared.telemetry.fold_latency_into(&mut m);
+        m
+    }
+
+    /// The Prometheus text exposition of [`Server::metrics_registry`].
+    pub fn prometheus(&self) -> String {
+        prometheus_text(&self.metrics_registry())
     }
 
     /// Graceful shutdown: already-queued requests are drained, new
@@ -498,7 +643,7 @@ impl Drop for Server {
 fn worker_loop(shared: &Shared) {
     loop {
         // Claim the next ready session's front request.
-        let (key, req, reply_tx) = {
+        let (key, req, reply_tx, depth) = {
             let mut st = shared.lock();
             loop {
                 if let Some(key) = st.ready.pop_front() {
@@ -507,7 +652,7 @@ fn worker_loop(shared: &Shared) {
                     sess.active = true;
                     let (req, tx) = sess.queue.pop_front().expect("scheduled session has work");
                     st.pending -= 1;
-                    break (key, req, tx);
+                    break (key, req, tx, st.pending as u64);
                 }
                 if st.shutting_down {
                     return;
@@ -529,9 +674,23 @@ fn worker_loop(shared: &Shared) {
                 .take()
         };
         let closing = matches!(req.op, Op::Close);
+        let op_label = req.op.label();
+        // Snapshot the attribution cursor so a slow request can capture
+        // exactly its own solver work afterwards.
+        let queries_before = ws.as_ref().map_or(0, |w| w.queries().len());
+        shared.telemetry.record(FlightSample {
+            session: req.session.clone(),
+            request_id: req.id.clone(),
+            op: op_label.to_string(),
+            queue_depth: depth,
+            ..FlightSample::of(FlightEventKind::Started)
+        });
+        let t0 = shared.telemetry.now_ns();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             process(&req.op, &mut ws, shared)
         }));
+        let duration_ns = shared.telemetry.now_ns().saturating_sub(t0);
+        let panicked = outcome.is_err();
         let reply = match outcome {
             Ok(r) => r,
             Err(_) => {
@@ -547,6 +706,43 @@ fn worker_loop(shared: &Shared) {
         // Count completion before delivering, so a client that has its
         // reply in hand never reads a `completed` that excludes it.
         shared.completed.fetch_add(1, Ordering::Relaxed);
+        // Record telemetry before delivering too: a synchronous client
+        // that acts on the reply must find its request's terminal event
+        // already in the flight tail.
+        let depth_now = shared.lock().pending as u64;
+        let terminal = FlightSample {
+            session: req.session.clone(),
+            request_id: req.id.clone(),
+            op: op_label.to_string(),
+            queue_depth: depth_now,
+            duration_ns,
+            ..FlightSample::default()
+        };
+        if panicked {
+            shared.telemetry.record(FlightSample {
+                kind: Some(FlightEventKind::WorkerPanic),
+                ..terminal.clone()
+            });
+        } else {
+            if duration_ns >= shared.telemetry.slow_query_ns() {
+                let detail = ws
+                    .as_ref()
+                    .map(|w| queries_json(w.queries_since(queries_before), true))
+                    .unwrap_or_default();
+                shared.telemetry.record(FlightSample {
+                    kind: Some(FlightEventKind::SlowQuery),
+                    detail,
+                    ..terminal.clone()
+                });
+            }
+            shared
+                .telemetry
+                .observe_latency(op_label, &req.session, duration_ns);
+            shared.telemetry.record(FlightSample {
+                kind: Some(FlightEventKind::Completed),
+                ..terminal
+            });
+        }
         // Deliver before releasing the session: the next request of
         // this session must not produce its response first.
         let _ = reply_tx.send(Response {
@@ -571,6 +767,10 @@ fn worker_loop(shared: &Shared) {
         };
         if remove {
             st.sessions.remove(&key);
+            shared.telemetry.record(FlightSample {
+                session: key.clone(),
+                ..FlightSample::of(FlightEventKind::SessionClose)
+            });
         } else if st.sessions[&key].scheduled {
             st.ready.push_back(key);
             shared.wake.notify_one();
@@ -626,7 +826,10 @@ fn process(op: &Op, ws: &mut Option<Workspace>, shared: &Shared) -> Result<Reply
             m.counter_add("server.shed", s.shed);
             m.counter_add("server.sessions", s.sessions);
             m.counter_add("server.completed", s.completed);
-            m.counter_add("server.workers", shared.workers as u64);
+            // Point-in-time values are gauges, not counters: a counter
+            // would inflate on every repeated stats snapshot.
+            m.gauge_set("server.workers", shared.workers as u64);
+            m.gauge_set("server.sessions_open", s.sessions_open);
             let json = m.stats_json(
                 &[
                     ("threads", w.analysis().threads() as u64),

@@ -78,7 +78,7 @@ use crate::driver::{
 };
 use crate::error::PinpointError;
 use crate::spec::CheckerKind;
-use pinpoint_obs::{queries_json, MetricsRegistry, QueryRecord, TraceBuf};
+use pinpoint_obs::{queries_json, MetricsRegistry, ProfileTable, QueryRecord, TraceBuf};
 use std::time::{Duration, Instant};
 
 /// Cumulative reuse counters across a workspace's lifetime.
@@ -284,6 +284,21 @@ impl Workspace {
     /// a cold run's.
     pub fn queries(&self) -> &[QueryRecord] {
         &self.queries
+    }
+
+    /// The attribution rows recorded after the first `n` — the slice a
+    /// caller that snapshotted `queries().len()` before an operation
+    /// uses to attribute exactly that operation's solver work (the
+    /// server's slow-query capture). `n` past the end yields an empty
+    /// slice.
+    pub fn queries_since(&self, n: usize) -> &[QueryRecord] {
+        &self.queries[n.min(self.queries.len())..]
+    }
+
+    /// The top-`k` most expensive queries so far, rendered as a
+    /// "where did the time go" profile table.
+    pub fn profile(&self, k: usize) -> String {
+        ProfileTable::build(&self.queries).render(k)
     }
 
     /// The unified metrics registry: the standard five stage families

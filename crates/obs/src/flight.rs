@@ -1,0 +1,303 @@
+//! Flight recorder: a fixed-capacity ring buffer of structured server
+//! events.
+//!
+//! A long-lived `pinpoint serve` process needs a "what just happened"
+//! view that costs almost nothing while nobody is looking: the
+//! [`FlightRecorder`] keeps the last *capacity* [`FlightEvent`]s in a
+//! preallocated ring — request accepted / started / completed / shed,
+//! session open / close, worker panic, slow query — each tagged with
+//! its session, request id, operation kind, the queue depth at the
+//! instant of the event, and (for completions) the request's wall-clock
+//! duration. Recording is one short mutex hold and an O(1) slot
+//! overwrite; nothing allocates beyond the event's own strings, and a
+//! capacity of 0 disables recording entirely (the push is a single
+//! branch).
+//!
+//! The tail is exported as a JSON array. The *canonical* form zeroes
+//! the per-event timestamp and duration, so a deterministic request
+//! sequence (e.g. one synchronous session) produces byte-identical
+//! tails at any worker-pool size — the same invariant the stats
+//! document keeps.
+
+use crate::json::{Arr, Obj};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What happened. Wire names are [`FlightEventKind::label`] — stable
+/// snake_case strings, never the Rust variant names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A request passed admission and entered its session's queue.
+    Accepted,
+    /// A request was refused because the global queue was full.
+    Shed,
+    /// A worker began executing a request.
+    Started,
+    /// A worker finished a request (`duration_ns` is meaningful).
+    Completed,
+    /// A session's workspace was (re)opened.
+    SessionOpen,
+    /// A session was closed and removed.
+    SessionClose,
+    /// A worker panicked mid-request; the session's workspace dropped.
+    WorkerPanic,
+    /// A request exceeded the slow-query threshold; `detail` carries its
+    /// per-query solver attribution rows.
+    SlowQuery,
+}
+
+impl FlightEventKind {
+    /// The stable wire name of this event kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightEventKind::Accepted => "accepted",
+            FlightEventKind::Shed => "shed",
+            FlightEventKind::Started => "started",
+            FlightEventKind::Completed => "completed",
+            FlightEventKind::SessionOpen => "session_open",
+            FlightEventKind::SessionClose => "session_close",
+            FlightEventKind::WorkerPanic => "worker_panic",
+            FlightEventKind::SlowQuery => "slow_query",
+        }
+    }
+}
+
+/// One recorded event. `seq` is a global monotonically increasing
+/// sequence number (events older than `capacity` are overwritten but
+/// their numbers are never reused), `t_ns` is nanoseconds since the
+/// recorder was created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number (assigned by the recorder).
+    pub seq: u64,
+    /// Nanoseconds since recorder creation (assigned by the recorder).
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: FlightEventKind,
+    /// Session the event belongs to (empty for connection-level events).
+    pub session: String,
+    /// Client-chosen request id (empty for session-level events).
+    pub request_id: String,
+    /// Operation kind label (`open`, `update`, `check`, `stats`, …).
+    pub op: String,
+    /// Requests waiting across all sessions at the instant of the event.
+    pub queue_depth: u64,
+    /// Request wall-clock duration (0 unless the kind carries one).
+    pub duration_ns: u64,
+    /// Free-form extra payload, already-rendered JSON (`slow_query`
+    /// events carry their per-query attribution array here); empty when
+    /// unused.
+    pub detail: String,
+}
+
+impl FlightEvent {
+    /// JSON row. With `canonical`, `t_ns` and `duration_ns` are zeroed;
+    /// everything else (including `seq` and `queue_depth`) is already
+    /// deterministic for a deterministic request sequence.
+    pub fn json(&self, canonical: bool) -> String {
+        let mut o = Obj::new();
+        o.u64("seq", self.seq)
+            .u64("t_ns", if canonical { 0 } else { self.t_ns })
+            .str("kind", self.kind.label())
+            .str("session", &self.session)
+            .str("id", &self.request_id)
+            .str("op", &self.op)
+            .u64("queue_depth", self.queue_depth)
+            .u64("duration_ns", if canonical { 0 } else { self.duration_ns });
+        if !self.detail.is_empty() {
+            o.raw("detail", &self.detail);
+        }
+        o.finish()
+    }
+}
+
+/// What a caller records; the recorder assigns `seq` and `t_ns`.
+#[derive(Debug, Clone, Default)]
+pub struct FlightSample {
+    /// What happened.
+    pub kind: Option<FlightEventKind>,
+    /// Session name.
+    pub session: String,
+    /// Request id.
+    pub request_id: String,
+    /// Operation kind label.
+    pub op: String,
+    /// Queue depth at the event.
+    pub queue_depth: u64,
+    /// Wall-clock duration, when the kind carries one.
+    pub duration_ns: u64,
+    /// Already-rendered JSON payload (or empty).
+    pub detail: String,
+}
+
+impl FlightSample {
+    /// A sample of the given kind with everything else empty/zero.
+    pub fn of(kind: FlightEventKind) -> Self {
+        FlightSample {
+            kind: Some(kind),
+            ..FlightSample::default()
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<FlightEvent>,
+    seq: u64,
+}
+
+/// The fixed-capacity event ring (see the [module docs](self)).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    start: Instant,
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events. Capacity 0
+    /// disables recording (every [`FlightRecorder::record`] is a
+    /// branch and a return).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            start: Instant::now(),
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity),
+                seq: 0,
+            }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Nanoseconds since the recorder was created (the `t_ns` clock).
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Records one event, overwriting the oldest once full.
+    pub fn record(&self, sample: FlightSample) {
+        let Some(kind) = sample.kind else { return };
+        if self.capacity == 0 {
+            return;
+        }
+        let t_ns = self.now_ns();
+        let mut ring = self.lock();
+        let seq = ring.seq;
+        ring.seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(FlightEvent {
+            seq,
+            t_ns,
+            kind,
+            session: sample.session,
+            request_id: sample.request_id,
+            op: sample.op,
+            queue_depth: sample.queue_depth,
+            duration_ns: sample.duration_ns,
+            detail: sample.detail,
+        });
+    }
+
+    /// The last `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<FlightEvent> {
+        let ring = self.lock();
+        let skip = ring.events.len().saturating_sub(n);
+        ring.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total events ever recorded (retained or overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.lock().seq
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        let ring = self.lock();
+        ring.seq - ring.events.len() as u64
+    }
+
+    /// The last `n` events as a JSON array, oldest first. See
+    /// [`FlightEvent::json`] for the `canonical` contract.
+    pub fn tail_json(&self, n: usize, canonical: bool) -> String {
+        let mut a = Arr::new();
+        for ev in self.tail(n) {
+            a.raw(&ev.json(canonical));
+        }
+        a.finish()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: FlightEventKind, id: &str) -> FlightSample {
+        FlightSample {
+            request_id: id.to_string(),
+            session: "s".to_string(),
+            op: "check".to_string(),
+            ..FlightSample::of(kind)
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_keeps_sequence() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5 {
+            fr.record(sample(FlightEventKind::Completed, &i.to_string()));
+        }
+        let tail = fr.tail(10);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(
+            tail.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest two were overwritten, seq never reused"
+        );
+        assert_eq!(fr.recorded(), 5);
+        assert_eq!(fr.dropped(), 2);
+        let short = fr.tail(2);
+        assert_eq!(short.len(), 2);
+        assert_eq!(short[0].seq, 3, "tail(n) keeps the newest n");
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let fr = FlightRecorder::new(0);
+        fr.record(sample(FlightEventKind::Accepted, "x"));
+        assert_eq!(fr.recorded(), 0);
+        assert_eq!(fr.tail_json(8, true), "[]");
+    }
+
+    #[test]
+    fn canonical_json_zeroes_times_only() {
+        let fr = FlightRecorder::new(4);
+        fr.record(FlightSample {
+            queue_depth: 2,
+            duration_ns: 999,
+            detail: "[{\"id\":0}]".to_string(),
+            ..sample(FlightEventKind::SlowQuery, "q1")
+        });
+        let json = fr.tail_json(4, true);
+        assert!(json.contains(r#""kind":"slow_query""#), "{json}");
+        assert!(json.contains(r#""t_ns":0"#), "{json}");
+        assert!(json.contains(r#""duration_ns":0"#), "{json}");
+        assert!(json.contains(r#""queue_depth":2"#), "{json}");
+        assert!(json.contains(r#""detail":[{"id":0}]"#), "{json}");
+        let real = fr.tail_json(4, false);
+        assert!(real.contains(r#""duration_ns":999"#), "{real}");
+    }
+}

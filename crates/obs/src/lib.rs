@@ -11,7 +11,16 @@
 //!   JSON serializer, superseding the per-crate ad-hoc `*Stats` structs;
 //! * [`attr`] — per-query solver attribution: each source→sink query the
 //!   detector evaluates carries an id and its DPLL(T) cost, aggregated
-//!   into a top-K "where did the time go" [`attr::ProfileTable`].
+//!   into a top-K "where did the time go" [`attr::ProfileTable`];
+//! * [`flight::FlightRecorder`] — a fixed-capacity ring of structured
+//!   server events (accepted/started/completed/shed, session lifecycle,
+//!   worker panics, slow queries) for live "what just happened"
+//!   inspection of a long-running `pinpoint serve`;
+//! * [`rolling::RollingWindow`] / [`rolling::RollingSet`] — rolling-window
+//!   latency histograms (per-op / per-session p50/p95/p99 over the last N
+//!   seconds) built on the log2 [`metrics::Histogram`];
+//! * [`prom::prometheus_text`] — Prometheus text exposition of a
+//!   [`metrics::MetricsRegistry`], next to the pinpoint-stats-v1 JSON.
 //!
 //! Everything is behind enums/plain structs (no trait objects per
 //! event): a disabled [`span::TraceBuf::Off`] recorder is a branch and a
@@ -23,10 +32,16 @@
 #![warn(missing_docs)]
 
 pub mod attr;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod prom;
+pub mod rolling;
 pub mod span;
 
 pub use attr::{queries_json, ProfileTable, QueryCost, QueryOutcome, QueryRecord};
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder, FlightSample};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use prom::prometheus_text;
+pub use rolling::{RollingSet, RollingWindow};
 pub use span::{SpanId, SpanRecord, TraceBuf};

@@ -1,4 +1,5 @@
-//! Metrics registry: monotonic counters and log2 histograms.
+//! Metrics registry: monotonic counters, point-in-time gauges, and log2
+//! histograms.
 //!
 //! Counter and histogram names are dotted paths whose first segment is
 //! the stage family (`frontend`, `pta`, `seg`, `detect`, `smt`, `bench`);
@@ -7,10 +8,17 @@
 //! `BTreeMap`s, so export order — and therefore the serialized bytes —
 //! is deterministic.
 //!
+//! Counters are cumulative and only ever added to; **gauges** are
+//! point-in-time values (worker-pool size, queue depth, open sessions)
+//! that are *set*, never summed — re-snapshotting a gauge can never
+//! inflate it the way repeated `counter_add` calls would.
+//!
 //! The canonical export ([`MetricsRegistry::stats_json`] with
-//! `canonical = true`) zeroes every value whose key ends in `_ns` and
-//! omits run metadata, producing bytes that are identical across thread
-//! counts; the non-canonical form keeps real timings.
+//! `canonical = true`) zeroes every counter/histogram value whose key
+//! ends in `_ns`, zeroes **every** gauge (a point-in-time reading is
+//! inherently not reproducible across runs or worker counts), and omits
+//! run metadata, producing bytes that are identical across thread
+//! counts; the non-canonical form keeps real values.
 
 use crate::json::{Arr, Obj};
 use std::collections::BTreeMap;
@@ -45,11 +53,13 @@ impl Histogram {
     }
 
     /// Upper bound (inclusive representative) of bucket `i`: the largest
-    /// value that lands in it. Percentiles report this bound.
+    /// value that lands in it. Percentiles report this bound. The last
+    /// physical bucket is the overflow bucket — bit-length-64 samples
+    /// clamp into it — so its bound is `u64::MAX`.
     fn bucket_bound(i: usize) -> u64 {
         if i == 0 {
             0
-        } else if i >= 64 {
+        } else if i >= HIST_BUCKETS - 1 {
             u64::MAX
         } else {
             (1u64 << i) - 1
@@ -109,6 +119,22 @@ impl Histogram {
         self.quantile(0.95)
     }
 
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Iterates the non-empty buckets as `(inclusive upper bound,
+    /// count)` pairs in ascending bound order — the shape a Prometheus
+    /// `_bucket{le=...}` exposition needs.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (Self::bucket_bound(i), n))
+    }
+
     /// Adds another histogram's samples into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -126,11 +152,16 @@ impl Histogram {
         let mut o = Obj::new();
         o.u64("count", self.count);
         if canonical {
-            o.u64("sum", 0).u64("p50", 0).u64("p95", 0).u64("max", 0);
+            o.u64("sum", 0)
+                .u64("p50", 0)
+                .u64("p95", 0)
+                .u64("p99", 0)
+                .u64("max", 0);
         } else {
             o.u64("sum", self.sum)
                 .u64("p50", self.p50())
                 .u64("p95", self.p95())
+                .u64("p99", self.p99())
                 .u64("max", self.max);
         }
         o.finish()
@@ -143,10 +174,11 @@ impl Default for Histogram {
     }
 }
 
-/// Named monotonic counters plus named histograms.
+/// Named monotonic counters, point-in-time gauges, and histograms.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -170,6 +202,24 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Sets gauge `name` to its current point-in-time value. Unlike
+    /// [`MetricsRegistry::counter_add`], setting is idempotent: taking
+    /// two snapshots of the same state writes the same value twice
+    /// instead of doubling it.
+    pub fn gauge_set(&mut self, name: &str, v: u64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Reads gauge `name` (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Records a sample into histogram `name`.
     pub fn hist_record(&mut self, name: &str, v: u64) {
         self.histograms
@@ -188,10 +238,20 @@ impl MetricsRegistry {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
-    /// Absorbs another registry (counters summed, histograms merged).
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Absorbs another registry (counters summed, histograms merged,
+    /// gauges overwritten — the other registry's reading is the newer
+    /// point-in-time value).
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
@@ -223,6 +283,17 @@ impl MetricsRegistry {
         o.finish()
     }
 
+    /// The `"gauges"` object: a flat name → value map. With `canonical`
+    /// every value is zeroed — gauges are point-in-time readings, so
+    /// only their *names* are reproducible across runs.
+    fn gauges_json(&self, canonical: bool) -> String {
+        let mut o = Obj::new();
+        for (name, &v) in &self.gauges {
+            o.u64(name, if canonical { 0 } else { v });
+        }
+        o.finish()
+    }
+
     /// The `"histograms"` object.
     fn histograms_json(&self, canonical: bool) -> String {
         let mut o = Obj::new();
@@ -237,7 +308,7 @@ impl MetricsRegistry {
     ///
     /// ```json
     /// {"schema":"pinpoint-stats-v1","run":{...},"stages":{...},
-    ///  "histograms":{...},"queries":[...]}
+    ///  "gauges":{...},"histograms":{...},"queries":[...]}
     /// ```
     ///
     /// `run_meta` fields (thread count etc.) and `queries` rows come from
@@ -259,6 +330,7 @@ impl MetricsRegistry {
             o.raw("run", &run.finish());
         }
         o.raw("stages", &self.stages_json(canonical));
+        o.raw("gauges", &self.gauges_json(canonical));
         o.raw("histograms", &self.histograms_json(canonical));
         if let Some(q) = queries_json {
             o.raw("queries", q);
@@ -341,6 +413,74 @@ mod tests {
         assert!(!canon.contains("\"run\""));
         assert!(canon.contains(r#""solve_ns":0"#));
         assert!(canon.contains(r#""queries":2"#));
+    }
+
+    #[test]
+    fn empty_histogram_summaries_are_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!((h.p50(), h.p95(), h.p99(), h.max()), (0, 0, 0, 0));
+        assert_eq!(h.buckets().count(), 0, "no non-empty buckets");
+        assert_eq!(
+            h.summary_json(false),
+            r#"{"count":0,"sum":0,"p50":0,"p95":0,"p99":0,"max":0}"#
+        );
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(37);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 37, "q={q}");
+        }
+        assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(63, 1)]);
+    }
+
+    #[test]
+    fn overflow_bucket_holds_u64_max() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1);
+        // Bit length 64 lands in the last bucket, whose bound is MAX.
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        let (bound, n) = h.buckets().last().unwrap();
+        assert_eq!((bound, n), (u64::MAX, 2));
+    }
+
+    #[test]
+    fn gauges_are_set_not_summed() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("server.workers", 4);
+        m.gauge_set("server.workers", 4);
+        m.gauge_set("server.queue_depth", 7);
+        assert_eq!(m.gauge("server.workers"), 4, "re-setting never inflates");
+        assert_eq!(m.gauge("absent"), 0);
+        let doc = m.stats_json(&[], None, false);
+        assert!(
+            doc.contains(r#""gauges":{"server.queue_depth":7,"server.workers":4}"#),
+            "{doc}"
+        );
+        // Canonical zeroes every gauge: point-in-time readings are not
+        // reproducible across runs or worker counts, only their names.
+        let canon = m.stats_json(&[], None, true);
+        assert!(
+            canon.contains(r#""gauges":{"server.queue_depth":0,"server.workers":0}"#),
+            "{canon}"
+        );
+    }
+
+    #[test]
+    fn merge_overwrites_gauges_with_newer_reading() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.gauge_set("server.sessions_open", 9);
+        b.gauge_set("server.sessions_open", 2);
+        a.merge(&b);
+        assert_eq!(a.gauge("server.sessions_open"), 2);
     }
 
     #[test]

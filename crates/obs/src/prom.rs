@@ -1,0 +1,147 @@
+//! Prometheus text-exposition renderer.
+//!
+//! Renders a [`MetricsRegistry`] in the Prometheus text format
+//! (version 0.0.4): one `# TYPE` comment per metric, dotted pinpoint
+//! names sanitized to `snake_case` identifiers, histograms exposed as
+//! cumulative `_bucket{le="..."}` series plus `_sum`/`_count`. The
+//! output is the other half of the observability story from the
+//! pinpoint-stats-v1 JSON document: same registry, scrapeable shape.
+//!
+//! Registry iteration is `BTreeMap`-ordered, so the exposition is
+//! deterministic for a deterministic registry.
+
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+
+/// Maps a dotted metric name to a Prometheus identifier: every
+/// character outside `[a-zA-Z0-9_]` becomes `_`, and a leading digit
+/// gains a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders the registry as Prometheus text exposition. Every metric
+/// name gains the `pinpoint_` prefix so a scrape of a shared host stays
+/// collision-free.
+pub fn prometheus_text(m: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, v) in m.counters() {
+        let id = format!("pinpoint_{}", sanitize_name(name));
+        let _ = writeln!(out, "# TYPE {id} counter");
+        let _ = writeln!(out, "{id} {v}");
+    }
+    for (name, v) in m.gauges() {
+        let id = format!("pinpoint_{}", sanitize_name(name));
+        let _ = writeln!(out, "# TYPE {id} gauge");
+        let _ = writeln!(out, "{id} {v}");
+    }
+    for (name, h) in m.histograms() {
+        let id = format!("pinpoint_{}", sanitize_name(name));
+        let _ = writeln!(out, "# TYPE {id} histogram");
+        let mut cumulative = 0u64;
+        for (bound, n) in h.buckets() {
+            cumulative += n;
+            if bound == u64::MAX {
+                // The overflow bucket is only representable as +Inf.
+                continue;
+            }
+            let _ = writeln!(out, "{id}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{id}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{id}_sum {}", h.sum());
+        let _ = writeln!(out, "{id}_count {}", h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("server.queue_depth"), "server_queue_depth");
+        assert_eq!(sanitize_name("smt.solve-ns"), "smt_solve_ns");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn counters_and_gauges_are_typed_lines() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("server.completed", 12);
+        m.gauge_set("server.workers", 4);
+        let text = prometheus_text(&m);
+        assert!(
+            text.contains(
+                "# TYPE pinpoint_server_completed counter\npinpoint_server_completed 12\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE pinpoint_server_workers gauge\npinpoint_server_workers 4\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let mut m = MetricsRegistry::new();
+        for v in [1u64, 1, 3, 200] {
+            m.hist_record("server.latency_ns", v);
+        }
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE pinpoint_server_latency_ns histogram"));
+        // Bucket bounds: 1 (two samples), 3 (one), 255 (one) — cumulative.
+        assert!(
+            text.contains("pinpoint_server_latency_ns_bucket{le=\"1\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pinpoint_server_latency_ns_bucket{le=\"3\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pinpoint_server_latency_ns_bucket{le=\"255\"} 4\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pinpoint_server_latency_ns_bucket{le=\"+Inf\"} 4\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pinpoint_server_latency_ns_sum 205\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pinpoint_server_latency_ns_count 4\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn overflow_bucket_folds_into_inf() {
+        let mut m = MetricsRegistry::new();
+        m.hist_record("x.h", u64::MAX);
+        let text = prometheus_text(&m);
+        assert!(!text.contains(&format!("le=\"{}\"", u64::MAX)), "{text}");
+        assert!(
+            text.contains("pinpoint_x_h_bucket{le=\"+Inf\"} 1\n"),
+            "{text}"
+        );
+    }
+}

@@ -34,4 +34,7 @@ pub use fuzzgen::{generate as generate_fuzz, mutate as mutate_fuzz, FuzzGenConfi
 pub use gen::{generate, BugKind, GenConfig, Generated, InjectedBug};
 pub use juliet::{generate as generate_juliet, JulietCase, JulietSuite};
 pub use subjects::{generate_subject, Subject, DEFAULT_SCALE, SUBJECTS};
-pub use traffic::{generate_traffic, render_ndjson_v2, ClientScript, TrafficConfig, TrafficOp};
+pub use traffic::{
+    generate_traffic, render_ndjson_v2, render_ndjson_v2_probed, ClientScript, TrafficConfig,
+    TrafficOp,
+};

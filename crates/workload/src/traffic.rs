@@ -29,6 +29,10 @@ pub struct TrafficConfig {
     pub kloc: f64,
     /// End each script with a `stats` request (canonical form).
     pub stats_at_end: bool,
+    /// When non-zero, [`render_ndjson_v2`] inserts an in-band `status`
+    /// probe after every N client request lines — exercising the
+    /// worker-pool bypass while the queue is busy. `0` disables.
+    pub status_every: usize,
 }
 
 impl Default for TrafficConfig {
@@ -39,6 +43,7 @@ impl Default for TrafficConfig {
             edits_per_client: 2,
             kloc: 2.0,
             stats_at_end: false,
+            status_every: 0,
         }
     }
 }
@@ -142,9 +147,18 @@ fn edit_filler(source: &str, rng: &mut SmallRng, round: usize) -> String {
 /// Request ids are `"<session>:<index>"`, so replies can be matched
 /// back to script positions.
 pub fn render_ndjson_v2(scripts: &[ClientScript]) -> String {
+    render_ndjson_v2_probed(scripts, 0)
+}
+
+/// Like [`render_ndjson_v2`], but when `status_every > 0` an in-band
+/// `status` probe (ids `probe:1`, `probe:2`, …) is inserted after every
+/// `status_every` client request lines — the mix a monitoring client
+/// produces while the editors keep the queue busy.
+pub fn render_ndjson_v2_probed(scripts: &[ClientScript], status_every: usize) -> String {
     let mut out =
         String::from("{\"cmd\":\"hello\",\"id\":\"hello\",\"proto\":\"pinpoint-rpc-v2\"}\n");
     let mut cursors = vec![0usize; scripts.len()];
+    let (mut emitted, mut probes) = (0usize, 0usize);
     loop {
         let mut progressed = false;
         for (c, script) in scripts.iter().enumerate() {
@@ -159,6 +173,13 @@ pub fn render_ndjson_v2(scripts: &[ClientScript]) -> String {
             out.push('\n');
             cursors[c] += 1;
             progressed = true;
+            emitted += 1;
+            if status_every > 0 && emitted % status_every == 0 {
+                probes += 1;
+                out.push_str(&format!(
+                    "{{\"cmd\":\"status\",\"id\":\"probe:{probes}\",\"tail\":4}}\n"
+                ));
+            }
         }
         if !progressed {
             break;
@@ -260,5 +281,35 @@ mod tests {
         assert!(lines[2].contains("\"cmd\":\"open\"") && lines[2].contains("client1"));
         // Sources with newlines stay one line per request.
         assert!(lines[1].contains("\\n") && !lines[1].contains('\n'));
+    }
+
+    #[test]
+    fn status_probes_interleave_on_schedule() {
+        let cfg = TrafficConfig {
+            clients: 2,
+            edits_per_client: 1,
+            kloc: 0.5,
+            ..TrafficConfig::default()
+        };
+        let scripts = generate_traffic(&cfg);
+        let ndjson = render_ndjson_v2_probed(&scripts, 3);
+        let lines: Vec<&str> = ndjson.lines().collect();
+        // 8 client requests ⇒ probes after lines 3 and 6.
+        let probe_at: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains("\"cmd\":\"status\""))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(probe_at.len(), 2, "8 requests / every 3 = 2 probes");
+        assert!(lines[probe_at[0]].contains("\"id\":\"probe:1\""));
+        assert!(lines[probe_at[1]].contains("\"id\":\"probe:2\""));
+        // Probes ride in-band: after the hello, before the quit.
+        assert!(probe_at.iter().all(|&i| i > 0 && i < lines.len() - 1));
+        // status_every = 0 matches the plain rendering byte-for-byte.
+        assert_eq!(
+            render_ndjson_v2_probed(&scripts, 0),
+            render_ndjson_v2(&scripts)
+        );
     }
 }

@@ -1,5 +1,7 @@
-//! Line-delimited JSON plumbing shared by the serve transports: frame
-//! reading with an allocation cap, and a flat JSON object parser.
+//! Line-delimited JSON plumbing shared by the serve transports and the
+//! `top` dashboard client: frame reading with an allocation cap, a flat
+//! JSON object parser (the request side), and a small recursive value
+//! parser (the response side, whose documents nest).
 
 /// Longest request line a serve transport will buffer (1 MiB). Longer
 /// lines are drained and rejected without allocating for them, and the
@@ -159,4 +161,204 @@ pub fn parse_json_object(line: &str) -> Result<Vec<(String, String)>, String> {
         return Err("trailing characters after object".to_string());
     }
     Ok(fields)
+}
+
+/// A parsed JSON value — just enough structure for a client to walk the
+/// nested response documents (`status`, `stats`) the server emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `{...}`, field order preserved.
+    Obj(Vec<(String, Json)>),
+    /// `[...]`.
+    Arr(Vec<Json>),
+    /// A string, unescaped.
+    Str(String),
+    /// A number, boolean, or `null`, kept as its literal text.
+    Lit(String),
+}
+
+impl Json {
+    /// Object field lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's fields in document order.
+    pub fn entries(&self) -> &[(String, Json)] {
+        match self {
+            Json::Obj(fields) => fields,
+            _ => &[],
+        }
+    }
+
+    /// The array's items.
+    pub fn items(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            _ => &[],
+        }
+    }
+
+    /// String content (strings only).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer content (numeric literals only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Lit(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// `true`/`false` literals.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Lit(s) if s == "true" => Some(true),
+            Json::Lit(s) if s == "false" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value (objects, arrays, strings, literals).
+pub fn parse_json_value(text: &str) -> Result<Json, String> {
+    type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+    fn skip_ws(chars: &mut Chars) {
+        while matches!(chars.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            chars.next();
+        }
+    }
+    fn parse_string(chars: &mut Chars) -> Result<String, String> {
+        if chars.next() != Some('"') {
+            return Err("expected string".to_string());
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(s),
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + c.to_digit(16).ok_or("invalid \\u escape")?;
+                        }
+                        s.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    _ => return Err("unsupported escape".to_string()),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+    fn parse_value(chars: &mut Chars, depth: usize) -> Result<Json, String> {
+        if depth > 64 {
+            return Err("value nests too deeply".to_string());
+        }
+        skip_ws(chars);
+        match chars.peek() {
+            Some('"') => Ok(Json::Str(parse_string(chars)?)),
+            Some('{') => {
+                chars.next();
+                let mut fields = Vec::new();
+                skip_ws(chars);
+                if chars.peek() == Some(&'}') {
+                    chars.next();
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    skip_ws(chars);
+                    let key = parse_string(chars)?;
+                    skip_ws(chars);
+                    if chars.next() != Some(':') {
+                        return Err(format!("expected `:` after key \"{key}\""));
+                    }
+                    fields.push((key, parse_value(chars, depth + 1)?));
+                    skip_ws(chars);
+                    match chars.next() {
+                        Some(',') => continue,
+                        Some('}') => return Ok(Json::Obj(fields)),
+                        _ => return Err("expected `,` or `}`".to_string()),
+                    }
+                }
+            }
+            Some('[') => {
+                chars.next();
+                let mut items = Vec::new();
+                skip_ws(chars);
+                if chars.peek() == Some(&']') {
+                    chars.next();
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(chars, depth + 1)?);
+                    skip_ws(chars);
+                    match chars.next() {
+                        Some(',') => continue,
+                        Some(']') => return Ok(Json::Arr(items)),
+                        _ => return Err("expected `,` or `]`".to_string()),
+                    }
+                }
+            }
+            Some(_) => {
+                let mut v = String::new();
+                while let Some(&c) = chars.peek() {
+                    if matches!(c, ',' | '}' | ']' | ' ' | '\t' | '\r' | '\n') {
+                        break;
+                    }
+                    v.push(c);
+                    chars.next();
+                }
+                if v.is_empty() {
+                    Err("missing value".to_string())
+                } else {
+                    Ok(Json::Lit(v))
+                }
+            }
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+    let mut chars: Chars = text.chars().peekable();
+    let value = parse_value(&mut chars, 0)?;
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after value".to_string());
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_values_round_trip() {
+        let v = parse_json_value(
+            r#"{"ok":true,"status":{"sessions":[{"name":"a","queue_depth":2}],"uptime_ns":17}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let status = v.get("status").unwrap();
+        assert_eq!(status.get("uptime_ns").and_then(Json::as_u64), Some(17));
+        let sessions = status.get("sessions").unwrap().items();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].get("name").and_then(Json::as_str), Some("a"));
+        assert!(parse_json_value("{\"x\":}").is_err());
+        assert!(parse_json_value("[1,2] trailing").is_err());
+    }
 }

@@ -33,6 +33,7 @@
 mod flags;
 mod jsonl;
 mod serve;
+mod top;
 
 use flags::{Common, CommonFlags};
 use pinpoint::core::export::{leaks_json, reports_json, seg_to_dot};
@@ -97,7 +98,8 @@ const USAGE: &str = "usage:
   pinpoint stats <file> [--threads N] [--cache-dir DIR] [--trace-out FILE] [--stats-json FILE]
   pinpoint profile <file> [--top K] [--threads N]
   pinpoint cache info|clear|verify <dir>
-  pinpoint serve [--threads N] [--no-solve] [--cache-dir DIR] [--workers N] [--queue-cap N] [--listen PATH]
+  pinpoint serve [--threads N] [--no-solve] [--cache-dir DIR] [--workers N] [--queue-cap N] [--listen PATH] [--slow-ms N] [--flight-cap N]
+  pinpoint top [--connect PATH] [--interval-ms N] [--frames N] [--tail N] [--plain] [--prometheus]
   pinpoint fuzz [--seed N] [--iters N] [--time-budget SECS] [--oracle NAME]... [--threads N] [--out-dir DIR] [--stats-json FILE]
 
   serve reads line-delimited JSON requests (stdin, or a Unix socket with
@@ -111,8 +113,17 @@ const USAGE: &str = "usage:
   Sessions run concurrently on --workers threads (per-session FIFO);
   replies echo the request id and session; errors are typed
   {\"code\":...,\"message\":...} objects, and submissions past --queue-cap
-  are shed with code \"overloaded\". Without a hello, the legacy
-  single-session v1 protocol applies unchanged:
+  are shed with code \"overloaded\". The in-band {\"cmd\":\"status\"} and
+  {\"cmd\":\"metrics\"} verbs are answered by the transport itself — never
+  a worker — so an overloaded server stays inspectable: status returns
+  the pinpoint-status-v1 document (uptime, queue depths, per-session
+  state, rolling p50/p95/p99 latencies, flight-recorder tail); metrics
+  returns a Prometheus text exposition. Requests slower than --slow-ms
+  land in the flight recorder with per-query solver attribution.
+  `pinpoint top` renders status as a refreshing terminal dashboard
+  (--connect dials a --listen socket; --prometheus prints the scrape
+  body instead). Without a hello, the legacy single-session v1 protocol
+  applies unchanged:
     {\"cmd\":\"open\",\"path\":\"prog.pp\"}     or {\"cmd\":\"open\",\"source\":\"...\"}
     {\"cmd\":\"update\",\"path\":\"prog.pp\"}   re-analyzes only what changed
     {\"cmd\":\"check\"}                      every checker (or \"checker\":\"uaf\")
@@ -143,6 +154,9 @@ fn run(args: &[String]) -> Result<bool, CliError> {
     }
     if cmd == "serve" {
         return serve::serve(&args[1..]).map_err(CliError::Usage);
+    }
+    if cmd == "top" {
+        return top::top(&args[1..]).map_err(CliError::Usage);
     }
     if cmd == "fuzz" {
         return fuzz_cmd(&args[1..]);

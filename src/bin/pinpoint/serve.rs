@@ -34,12 +34,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 /// Capabilities advertised by the `hello` reply: the v2 command set.
-const CAPABILITIES: [&str; 8] = [
-    "open", "update", "check", "leaks", "stats", "close", "quit", "shutdown",
+/// `status` and `metrics` are answered by the transport itself — never
+/// a worker — so they work even on a saturated pool.
+const CAPABILITIES: [&str; 10] = [
+    "open", "update", "check", "leaks", "stats", "status", "metrics", "close", "quit", "shutdown",
 ];
 
 /// `pinpoint serve [--threads N] [--no-solve] [--cache-dir DIR]
-/// [--workers N] [--queue-cap N] [--listen PATH]`.
+/// [--workers N] [--queue-cap N] [--listen PATH] [--slow-ms N]
+/// [--flight-cap N]`.
 pub fn serve(args: &[String]) -> Result<bool, String> {
     let mut rest = args.to_vec();
     let common = CommonFlags::extract(
@@ -49,6 +52,8 @@ pub fn serve(args: &[String]) -> Result<bool, String> {
     let workers = flags::take_parsed::<usize>(&mut rest, "--workers")?;
     let queue_cap = flags::take_parsed::<usize>(&mut rest, "--queue-cap")?;
     let listen = flags::take_value(&mut rest, "--listen")?;
+    let slow_ms = flags::take_parsed::<u64>(&mut rest, "--slow-ms")?;
+    let flight_cap = flags::take_parsed::<usize>(&mut rest, "--flight-cap")?;
     flags::reject_unknown(&rest)?;
     let mut config = ServerConfig {
         builder: common.builder(),
@@ -65,6 +70,13 @@ pub fn serve(args: &[String]) -> Result<bool, String> {
             return Err("--queue-cap must be at least 1".to_string());
         }
         config.queue_capacity = n;
+    }
+    if let Some(ms) = slow_ms {
+        // --slow-ms 0 marks every request slow (handy to force coverage).
+        config.telemetry.slow_query_ns = ms.saturating_mul(1_000_000);
+    }
+    if let Some(cap) = flight_cap {
+        config.telemetry.flight_capacity = cap;
     }
     let server = Arc::new(Server::start(config));
     match listen {
@@ -351,6 +363,10 @@ fn v1_line(server: &Server, session: &str, line: &str) -> Result<Option<String>,
             "{{\"ok\":true,\"event\":\"stats\",\"stats\":{json}}}"
         ))),
         Ok(Reply::Closed) => Ok(Some("{\"ok\":true,\"event\":\"closed\"}".to_string())),
+        // The v1 command set never produces transport-level replies.
+        Ok(Reply::Status { .. }) | Ok(Reply::Metrics { .. }) => {
+            Err("status/metrics require the v2 protocol (send `hello` first)".to_string())
+        }
         // v1 errors are plain strings; the typed code is a v2 affordance.
         Err(e) => Err(e.message),
     }
@@ -361,7 +377,7 @@ fn v1_line(server: &Server, session: &str, line: &str) -> Result<Option<String>,
 // ---------------------------------------------------------------------
 
 /// Keys a v2 request may carry.
-const KNOWN_KEYS_V2: [&str; 7] = [
+const KNOWN_KEYS_V2: [&str; 8] = [
     "cmd",
     "id",
     "session",
@@ -369,6 +385,7 @@ const KNOWN_KEYS_V2: [&str; 7] = [
     "source",
     "checker",
     "canonical",
+    "tail",
 ];
 
 fn v2_loop<R, W>(
@@ -540,6 +557,33 @@ fn v2_line(
         Some("stats") => Op::Stats {
             canonical: field(&fields, "canonical") == Some("true"),
         },
+        // `status` and `metrics` are answered right here on the reader
+        // thread — not submitted to the pool — so an overloaded server
+        // (every worker busy, queue saturated) still answers them. The
+        // reply goes through the writer channel like any other so lines
+        // never interleave.
+        Some("status") => {
+            let tail = field(&fields, "tail")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(16);
+            let canonical = field(&fields, "canonical") == Some("true");
+            let json = server.status_json(tail, canonical);
+            let _ = tx.send(Response {
+                id,
+                session: format!("{prefix}/{session}"),
+                reply: Ok(Reply::Status { json }),
+            });
+            return None;
+        }
+        Some("metrics") => {
+            let body = server.prometheus();
+            let _ = tx.send(Response {
+                id,
+                session: format!("{prefix}/{session}"),
+                reply: Ok(Reply::Metrics { body }),
+            });
+            return None;
+        }
         Some("close") => Op::Close,
         Some("quit") => return Some((LoopEnd::Quit, id)),
         Some("shutdown") => return Some((LoopEnd::Shutdown, id)),
@@ -589,6 +633,13 @@ fn v2_render(resp: &Response, prefix: &str) -> String {
         Ok(Reply::Stats { json }) => {
             format!("{{\"ok\":true,{head},\"event\":\"stats\",\"stats\":{json}}}")
         }
+        Ok(Reply::Status { json }) => {
+            format!("{{\"ok\":true,{head},\"event\":\"status\",\"status\":{json}}}")
+        }
+        Ok(Reply::Metrics { body }) => format!(
+            "{{\"ok\":true,{head},\"event\":\"metrics\",\"format\":\"prometheus\",\"body\":\"{}\"}}",
+            json_escape(body)
+        ),
         Ok(Reply::Closed) => format!("{{\"ok\":true,{head},\"event\":\"closed\"}}"),
         Err(e) => format!("{{\"ok\":false,{head},\"error\":{}}}", e.to_json()),
     }

@@ -1,0 +1,341 @@
+//! The `pinpoint top` terminal dashboard.
+//!
+//! A thin `pinpoint-rpc-v2` client that polls the in-band `status` (or,
+//! with `--prometheus`, `metrics`) verb and renders a live view of a
+//! running server: worker/queue occupancy, per-session queue depths,
+//! throughput counters, rolling p50/p95/p99 latencies, and the flight-
+//! recorder tail. Because `status`/`metrics` are answered by the
+//! server's transport thread — never its worker pool — the dashboard
+//! keeps refreshing even while the server is saturated with analysis
+//! work.
+//!
+//! Transports mirror `pinpoint serve`: `--connect PATH` dials a Unix
+//! socket of an already-running server; without it, `top` spawns its
+//! own `pinpoint serve` child over piped stdio (mostly useful for
+//! demos and tests — a fresh child has no sessions to watch).
+
+use crate::flags;
+use crate::jsonl::{parse_json_value, Json};
+use std::io::{BufRead, BufReader, Write};
+
+/// `pinpoint top [--connect PATH] [--interval-ms N] [--frames N]
+/// [--tail N] [--plain] [--prometheus]`.
+pub fn top(args: &[String]) -> Result<bool, String> {
+    let mut rest = args.to_vec();
+    let connect = flags::take_value(&mut rest, "--connect")?;
+    let interval_ms = flags::take_parsed::<u64>(&mut rest, "--interval-ms")?.unwrap_or(1000);
+    let frames = flags::take_parsed::<u64>(&mut rest, "--frames")?.unwrap_or(0);
+    let tail = flags::take_parsed::<usize>(&mut rest, "--tail")?.unwrap_or(8);
+    let plain = flags::take_switch(&mut rest, "--plain");
+    let prometheus = flags::take_switch(&mut rest, "--prometheus");
+    flags::reject_unknown(&rest)?;
+
+    let mut conn = match connect {
+        Some(path) => Conn::dial(&path)?,
+        None => Conn::spawn_child()?,
+    };
+    conn.send(r#"{"cmd":"hello","id":"top-hello","proto":"pinpoint-rpc-v2"}"#)?;
+    let hello = conn.recv_value()?;
+    if hello.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("server rejected hello: {hello:?}"));
+    }
+
+    let out = std::io::stdout();
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        let view = if prometheus {
+            conn.send(&format!(r#"{{"cmd":"metrics","id":"top-{frame}"}}"#))?;
+            let resp = conn.recv_value()?;
+            resp.get("body")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("malformed metrics reply: {resp:?}"))?
+                .to_string()
+        } else {
+            conn.send(&format!(
+                r#"{{"cmd":"status","id":"top-{frame}","tail":{tail}}}"#
+            ))?;
+            let resp = conn.recv_value()?;
+            let status = resp
+                .get("status")
+                .ok_or_else(|| format!("malformed status reply: {resp:?}"))?;
+            render_dashboard(status, frame)
+        };
+        {
+            let mut o = out.lock();
+            if !plain {
+                // Clear and home, like top(1); --plain appends frames.
+                let _ = write!(o, "\x1b[2J\x1b[1;1H");
+            }
+            let _ = write!(o, "{view}");
+            let _ = o.flush();
+        }
+        if frames != 0 && frame >= frames {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    conn.send(r#"{"cmd":"quit","id":"top-quit"}"#)?;
+    conn.finish();
+    Ok(false)
+}
+
+/// The dashboard's transport: a spawned `pinpoint serve` child over
+/// piped stdio, or a Unix-socket connection to a running server.
+enum Conn {
+    Child {
+        child: std::process::Child,
+        reader: BufReader<std::process::ChildStdout>,
+        writer: std::process::ChildStdin,
+    },
+    Unix {
+        reader: BufReader<std::os::unix::net::UnixStream>,
+        writer: std::os::unix::net::UnixStream,
+    },
+}
+
+impl Conn {
+    fn dial(path: &str) -> Result<Self, String> {
+        let stream = std::os::unix::net::UnixStream::connect(path)
+            .map_err(|e| format!("cannot connect to `{path}`: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone socket: {e}"))?,
+        );
+        Ok(Conn::Unix {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn spawn_child() -> Result<Self, String> {
+        let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+        let mut child = std::process::Command::new(exe)
+            .arg("serve")
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn `pinpoint serve`: {e}"))?;
+        let writer = child.stdin.take().expect("piped stdin");
+        let reader = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(Conn::Child {
+            child,
+            reader,
+            writer,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        let w: &mut dyn Write = match self {
+            Conn::Child { writer, .. } => writer,
+            Conn::Unix { writer, .. } => writer,
+        };
+        writeln!(w, "{line}").map_err(|e| format!("cannot write to server: {e}"))?;
+        w.flush()
+            .map_err(|e| format!("cannot write to server: {e}"))
+    }
+
+    /// Reads the next non-empty response line and parses it.
+    fn recv_value(&mut self) -> Result<Json, String> {
+        let r: &mut dyn BufRead = match self {
+            Conn::Child { reader, .. } => reader,
+            Conn::Unix { reader, .. } => reader,
+        };
+        loop {
+            let mut line = String::new();
+            let n = r
+                .read_line(&mut line)
+                .map_err(|e| format!("cannot read from server: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection".to_string());
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return parse_json_value(line.trim())
+                .map_err(|e| format!("unparsable server reply: {e}: {line}"));
+        }
+    }
+
+    /// Best-effort teardown (drains the child so it exits cleanly).
+    fn finish(self) {
+        if let Conn::Child {
+            mut child,
+            reader,
+            writer,
+        } = self
+        {
+            drop(writer);
+            drop(reader);
+            let _ = child.wait();
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.0}us", ns as f64 / 1e3)
+    }
+}
+
+fn u(v: Option<&Json>) -> u64 {
+    v.and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Renders one `pinpoint-status-v1` document as the dashboard text.
+/// Pure so the layout is unit-testable.
+fn render_dashboard(status: &Json, frame: u64) -> String {
+    use std::fmt::Write as _;
+    let mut o = String::new();
+    let proto = status.get("protocol").and_then(Json::as_str).unwrap_or("?");
+    let _ = writeln!(
+        o,
+        "pinpoint top · frame {frame} · uptime {} · {proto}",
+        fmt_ns(u(status.get("uptime_ns")))
+    );
+    let counters = status.get("counters");
+    let c = |k: &str| u(counters.and_then(|c| c.get(k)));
+    let _ = writeln!(
+        o,
+        "workers {} · queue {}/{} · sessions open {} · queued {} · completed {} · shed {}",
+        u(status.get("workers")),
+        u(status.get("queue_depth")),
+        u(status.get("queue_capacity")),
+        u(status.get("sessions_open")),
+        c("queued"),
+        c("completed"),
+        c("shed"),
+    );
+    let sessions = status.get("sessions").map(Json::items).unwrap_or_default();
+    if !sessions.is_empty() {
+        let _ = writeln!(
+            o,
+            "\n{:<24} {:>6}  {:<6}  workspace",
+            "session", "queue", "active"
+        );
+        for s in sessions {
+            let _ = writeln!(
+                o,
+                "{:<24} {:>6}  {:<6}  {}",
+                s.get("name").and_then(Json::as_str).unwrap_or("?"),
+                u(s.get("queue_depth")),
+                if s.get("active").and_then(Json::as_bool) == Some(true) {
+                    "yes"
+                } else {
+                    "no"
+                },
+                if s.get("has_workspace").and_then(Json::as_bool) == Some(true) {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+        }
+    }
+    let rolling = status.get("rolling");
+    let mut rows: Vec<(String, &Json)> = Vec::new();
+    for (scope, label) in [("per_op", "op"), ("per_session", "session")] {
+        for (name, h) in rolling
+            .and_then(|r| r.get(scope))
+            .map(Json::entries)
+            .unwrap_or_default()
+        {
+            rows.push((format!("{label}/{name}"), h));
+        }
+    }
+    if !rows.is_empty() {
+        let window = fmt_ns(u(rolling.and_then(|r| r.get("window_ns"))));
+        let _ = writeln!(
+            o,
+            "\nrolling (last {window})        {:>6} {:>9} {:>9} {:>9}",
+            "count", "p50", "p95", "p99"
+        );
+        for (name, h) in rows {
+            let _ = writeln!(
+                o,
+                "  {:<28} {:>6} {:>9} {:>9} {:>9}",
+                name,
+                u(h.get("count")),
+                fmt_ns(u(h.get("p50"))),
+                fmt_ns(u(h.get("p95"))),
+                fmt_ns(u(h.get("p99"))),
+            );
+        }
+    }
+    let flight = status.get("flight");
+    let tail = flight
+        .and_then(|f| f.get("tail"))
+        .map(Json::items)
+        .unwrap_or_default();
+    if !tail.is_empty() {
+        let _ = writeln!(
+            o,
+            "\nflight tail ({} recorded, {} dropped)",
+            u(flight.and_then(|f| f.get("recorded"))),
+            u(flight.and_then(|f| f.get("dropped"))),
+        );
+        for ev in tail {
+            let kind = ev.get("kind").and_then(Json::as_str).unwrap_or("?");
+            let _ = writeln!(
+                o,
+                "  #{:<6} {:<13} {:<16} id={:<8} op={:<7} depth={} {}",
+                u(ev.get("seq")),
+                kind,
+                ev.get("session").and_then(Json::as_str).unwrap_or(""),
+                ev.get("id").and_then(Json::as_str).unwrap_or(""),
+                ev.get("op").and_then(Json::as_str).unwrap_or(""),
+                u(ev.get("queue_depth")),
+                if kind == "completed" || kind == "slow_query" {
+                    fmt_ns(u(ev.get("duration_ns")))
+                } else {
+                    String::new()
+                },
+            );
+        }
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dashboard_renders_every_section() {
+        let doc = r#"{
+            "schema":"pinpoint-status-v1","protocol":"pinpoint-rpc-v2",
+            "uptime_ns":2500000000,"workers":4,"queue_capacity":1024,
+            "queue_depth":3,"sessions_open":1,"shutting_down":false,
+            "counters":{"queued":10,"shed":1,"sessions":2,"completed":7},
+            "sessions":[{"name":"c1/a","queue_depth":3,"active":true,"has_workspace":true}],
+            "rolling":{"window_ns":10000000000,
+                "per_op":{"check":{"count":5,"sum":0,"p50":1000000,"p95":2000000,"p99":2000000,"max":1900000}},
+                "per_session":{"c1/a":{"count":5,"sum":0,"p50":1000000,"p95":2000000,"p99":2000000,"max":1900000}}},
+            "flight":{"capacity":256,"recorded":12,"dropped":0,
+                "tail":[{"seq":11,"t_ns":1,"kind":"completed","session":"c1/a","id":"9","op":"check","queue_depth":2,"duration_ns":1500000}]}
+        }"#;
+        let status = parse_json_value(doc).unwrap();
+        let view = render_dashboard(&status, 3);
+        assert!(view.contains("frame 3"), "{view}");
+        assert!(view.contains("uptime 2.50s"), "{view}");
+        assert!(view.contains("workers 4"), "{view}");
+        assert!(view.contains("queue 3/1024"), "{view}");
+        assert!(view.contains("op/check"), "{view}");
+        assert!(view.contains("session/c1/a"), "{view}");
+        assert!(view.contains("#11"), "{view}");
+        assert!(view.contains("1.5ms"), "{view}");
+    }
+
+    #[test]
+    fn durations_humanize_across_magnitudes() {
+        assert_eq!(fmt_ns(500_000), "500us");
+        assert_eq!(fmt_ns(1_500_000), "1.5ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+    }
+}

@@ -76,6 +76,7 @@ pub use pinpoint_workload as workload;
 pub use pinpoint_core::{
     default_threads, Analysis, AnalysisBuilder, CheckerKind, DetectConfig, DetectSession,
     ErrorCode, Op, PinpointError, Query, QueryResponse, Reply, Report, Request, Response, Server,
-    ServerConfig, ServerError, ServerStats, UpdateOutcome, Workspace, WorkspaceCounters,
+    ServerConfig, ServerError, ServerStats, ServerTelemetry, TelemetryConfig, UpdateOutcome,
+    Workspace, WorkspaceCounters,
 };
 pub use pinpoint_ir::compile;

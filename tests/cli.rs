@@ -540,6 +540,128 @@ fn serve_v2_listen_unix_socket() {
 }
 
 #[test]
+fn serve_v2_status_and_metrics_verbs() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+    // In-band telemetry over one v2 stdio connection. The first status
+    // is sent right behind open+check and answers from the transport
+    // thread with the accepted work already in its flight tail. A
+    // second status after the replies drain must carry the forced
+    // (`--slow-ms 0`) slow_query events with attribution.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .args(["serve", "--slow-ms", "0", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut read_line = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        line
+    };
+    stdin
+        .write_all(
+            concat!(
+                "{\"cmd\":\"hello\",\"id\":\"h\"}\n",
+                "{\"cmd\":\"open\",\"id\":\"1\",\"session\":\"s\",\"source\":\"fn main() { let p: int* = malloc(); free(p); let x: int = *p; print(x); return; }\"}\n",
+                "{\"cmd\":\"check\",\"id\":\"2\",\"session\":\"s\"}\n",
+                "{\"cmd\":\"status\",\"id\":\"3\",\"tail\":16}\n",
+            )
+            .as_bytes(),
+        )
+        .expect("write requests");
+    assert!(read_line().contains("\"event\":\"hello\""));
+    // The status reply is answered on the transport thread, never the
+    // worker pool, so it may overtake the queued open/check replies —
+    // or trail them when the tiny program finishes first. Either way
+    // all three arrive, and the status tail already carries the
+    // `accepted` events (recorded at submission, before the reader
+    // reached the status line). The strict overtake-under-load ordering
+    // is pinned in tests/telemetry.rs and the CI telemetry-smoke job.
+    let batch = [read_line(), read_line(), read_line()];
+    let find = |marker: &str| {
+        batch
+            .iter()
+            .find(|l| l.contains(marker))
+            .unwrap_or_else(|| panic!("no {marker} in {batch:?}"))
+    };
+    let early = find("\"event\":\"status\"");
+    assert!(early.contains("\"id\":\"3\""), "{early}");
+    assert!(
+        early.contains("\"schema\":\"pinpoint-status-v1\""),
+        "{early}"
+    );
+    assert!(early.contains("\"kind\":\"accepted\""), "{early}");
+    assert!(find("\"event\":\"opened\"").contains("\"funcs\":1"));
+    find("\"event\":\"reports\"");
+    // Now the flight tail has the forced slow queries.
+    stdin
+        .write_all(
+            concat!(
+                "{\"cmd\":\"status\",\"id\":\"4\",\"tail\":16}\n",
+                "{\"cmd\":\"metrics\",\"id\":\"5\"}\n",
+                "{\"cmd\":\"quit\",\"id\":\"q\"}\n",
+            )
+            .as_bytes(),
+        )
+        .expect("write requests");
+    let late = read_line();
+    assert!(late.contains("\"event\":\"status\""), "{late}");
+    assert!(late.contains("\"kind\":\"slow_query\""), "{late}");
+    assert!(late.contains("\"per_op\":{\"check\":"), "{late}");
+    let metrics = read_line();
+    assert!(metrics.contains("\"event\":\"metrics\""), "{metrics}");
+    assert!(metrics.contains("\"format\":\"prometheus\""), "{metrics}");
+    // The multi-line scrape body rides inside one NDJSON line.
+    assert!(
+        metrics.contains("# TYPE pinpoint_server_workers gauge"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("\\n"), "escaped newlines: {metrics}");
+    let bye = read_line();
+    assert!(bye.contains("\"event\":\"bye\""), "{bye}");
+    let out = child.wait_with_output().expect("serve exits");
+    assert_eq!(out.status.code(), Some(0), "serve exits cleanly");
+}
+
+#[test]
+fn top_renders_one_frame_over_child_stdio() {
+    // `pinpoint top` with no --connect spawns its own `pinpoint serve`
+    // child over stdio; one plain frame must carry the dashboard
+    // sections and exit cleanly.
+    let out = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .args(["top", "--frames", "1", "--plain"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stdout}{stderr}");
+    assert!(stdout.contains("pinpoint top"), "{stdout}");
+    assert!(stdout.contains("workers"), "{stdout}");
+    assert!(stdout.contains("sessions open"), "{stdout}");
+    // Plain mode never emits ANSI clear-screen sequences.
+    assert!(!stdout.contains('\x1b'), "{stdout}");
+}
+
+#[test]
+fn top_prometheus_mode_prints_scrape() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pinpoint"))
+        .args(["top", "--frames", "1", "--plain", "--prometheus"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(
+        stdout.contains("# TYPE pinpoint_server_workers gauge"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("pinpoint_server_completed"), "{stdout}");
+}
+
+#[test]
 fn fuzz_subcommand_writes_stats() {
     let stats = tempfile_path();
     let out = Command::new(env!("CARGO_BIN_EXE_pinpoint"))

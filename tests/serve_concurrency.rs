@@ -50,6 +50,8 @@ fn render(resp: &Response) -> String {
         }
         Ok(Reply::Leaks { json }) => format!("leaks {json}"),
         Ok(Reply::Stats { json }) => format!("stats {json}"),
+        Ok(Reply::Status { json }) => format!("status {json}"),
+        Ok(Reply::Metrics { body }) => format!("metrics {body}"),
         Ok(Reply::Closed) => "closed".to_string(),
         Err(e) => format!("error {}: {}", e.code.as_str(), e.message),
     }
@@ -110,7 +112,7 @@ fn ten_concurrent_sessions_match_serial_runs() {
         clients: 10,
         edits_per_client: 2,
         kloc: 0.25,
-        stats_at_end: false,
+        ..TrafficConfig::default()
     });
     // Ground truth: each session alone on its own single-worker server.
     let alone: BTreeMap<String, Vec<String>> = scripts
@@ -173,11 +175,19 @@ fn server_counters_land_in_stats_schema() {
         .split('}')
         .next()
         .unwrap();
-    for key in ["queued", "shed", "sessions", "completed", "workers"] {
+    for key in ["queued", "shed", "sessions", "completed"] {
         assert!(server_stage.contains(&format!("\"{key}\":")), "{json}");
     }
     assert!(server_stage.contains("\"shed\":0"), "{json}");
     assert!(server_stage.contains("\"sessions\":1"), "{json}");
+    // Point-in-time values moved out of the counter stage into gauges,
+    // where repeated snapshots can never inflate them; canonical zeroes
+    // their values but keeps their names.
+    assert!(!server_stage.contains("\"workers\":"), "{json}");
+    assert!(
+        json.contains("\"gauges\":{\"server.sessions_open\":0,\"server.workers\":0}"),
+        "{json}"
+    );
 }
 
 #[test]
@@ -189,6 +199,7 @@ fn overload_is_shed_with_typed_error_not_queued() {
         workers: 1,
         queue_capacity: 1,
         builder: AnalysisBuilder::new(),
+        ..ServerConfig::default()
     });
     let (tx, rx) = mpsc::channel();
     let big: String = (0..80)
