@@ -3,8 +3,10 @@
 //! argument: the cheap solver discharges most conditions for a fraction
 //! of the price).
 
-use pinpoint_bench::harness::bench;
+use pinpoint_bench::harness::{bench, smoke_mode};
+use pinpoint_core::AnalysisBuilder;
 use pinpoint_smt::{LinearSolver, SmtSolver, Sort, TermArena, TermId};
+use pinpoint_workload::{generate, GenConfig};
 
 /// Builds a path-condition-shaped formula: a conjunction of branch
 /// literals, value-flow equalities, and guarded implications.
@@ -62,6 +64,86 @@ fn bench_solvers() {
     }
 }
 
+/// Cold-vs-warm end-to-end solver cost: the same `check_all` workload
+/// with an empty verdict table versus one preloaded from a persisted
+/// verdict store (`--cache-dir`). The warm rows replay cached verdicts
+/// by canonical fingerprint instead of re-running CDCL, so the delta is
+/// the wall-clock the cross-query cache buys.
+fn bench_solver_reuse() {
+    println!("# group: solver-reuse");
+    let kloc = if smoke_mode() { 1.0 } else { 5.0 };
+    let project = generate(&GenConfig {
+        seed: 29,
+        real_bugs: 2,
+        decoys: 2,
+        taint: true,
+        ..GenConfig::default().with_target_kloc(kloc)
+    });
+    let dir = std::env::temp_dir().join(format!(
+        "pinpoint-bench-solver-reuse-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Prime the verdict store: one full run against the cache directory
+    // solves every condition once and persists the table.
+    {
+        let a = AnalysisBuilder::new()
+            .threads(1)
+            .cache_dir(&dir)
+            .build_source(&project.source)
+            .unwrap();
+        a.check_all();
+    }
+
+    // Cold: no cache directory, so every session starts from an empty
+    // verdict table and pays for every CDCL solve.
+    let cold = AnalysisBuilder::new()
+        .threads(1)
+        .build_source(&project.source)
+        .unwrap();
+    let mut cold_reports: Vec<String> = Vec::new();
+    let mut cold_misses = 0u64;
+    bench(&format!("cold-check_all/{kloc}kloc"), 5, || {
+        let mut s = cold.session();
+        cold_reports = s.check_all().iter().map(ToString::to_string).collect();
+        cold_misses = s.stats().detect.verdict_misses;
+        cold_reports.len()
+    });
+
+    // Warm: the analysis loads the persisted verdict table, so sessions
+    // replay cached verdicts instead of re-deriving them.
+    let warm = AnalysisBuilder::new()
+        .threads(1)
+        .cache_dir(&dir)
+        .build_source(&project.source)
+        .unwrap();
+    let mut warm_reports: Vec<String> = Vec::new();
+    let mut warm_hits = 0u64;
+    let mut warm_misses = 0u64;
+    bench(&format!("warm-check_all/{kloc}kloc"), 5, || {
+        let mut s = warm.session();
+        warm_reports = s.check_all().iter().map(ToString::to_string).collect();
+        let d = s.stats().detect;
+        warm_hits = d.verdict_hits;
+        warm_misses = d.verdict_misses;
+        warm_reports.len()
+    });
+
+    assert_eq!(warm_reports, cold_reports, "warm reports equal cold");
+    assert!(warm_hits > 0, "warm run replays cached verdicts");
+    assert!(
+        warm_misses < cold_misses,
+        "warm run must solve strictly less ({warm_misses} vs {cold_misses})"
+    );
+    println!(
+        "# solver reuse: warm run replayed {warm_hits} verdicts and solved {warm_misses} \
+         (cold solved {cold_misses})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     bench_solvers();
+    bench_solver_reuse();
 }

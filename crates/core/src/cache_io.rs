@@ -20,7 +20,9 @@ use crate::seg::{ArgUse, EdgeKind, RecvDef, Seg, SegArtifact, SegEdge, SegStore}
 use pinpoint_cache::codec::{get_arena, get_term_id, put_arena, put_term_id};
 use pinpoint_cache::{ByteReader, ByteWriter, CacheStore, DecodeError};
 use pinpoint_ir::{BlockId, InstId, ValueId};
+use pinpoint_smt::{verdict_config_fp, SmtSession, Verdict, VerdictTable};
 use std::collections::HashMap;
+use std::path::Path;
 
 type Result<T> = std::result::Result<T, DecodeError>;
 
@@ -311,6 +313,99 @@ impl SegStore for SegCacheStore<'_> {
     }
 }
 
+/// Encodes a verdict table into cache-frame payload bytes: entries
+/// sorted by fingerprint (so encoding is deterministic), each a
+/// fingerprint plus its verdict. A SAT verdict carries its canonical
+/// boolean witness, sorted by canonical variable index.
+pub fn encode_verdicts(table: &VerdictTable) -> Vec<u8> {
+    let mut entries: Vec<(u128, &Verdict)> = table.iter().map(|(fp, v)| (*fp, v)).collect();
+    entries.sort_unstable_by_key(|&(fp, _)| fp);
+    let mut w = ByteWriter::new();
+    w.len(entries.len());
+    for (fp, v) in entries {
+        w.u128(fp);
+        match v {
+            Verdict::Unsat => w.u8(0),
+            Verdict::Sat(vals) => {
+                w.u8(1);
+                w.len(vals.len());
+                for &(idx, value) in vals {
+                    w.u32(idx);
+                    w.bool(value);
+                }
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a verdict table from cache-frame payload bytes.
+pub fn decode_verdicts(bytes: &[u8]) -> Result<VerdictTable> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.len()?;
+    let mut table = VerdictTable::new();
+    for _ in 0..n {
+        let fp = r.u128()?;
+        let verdict = match r.u8()? {
+            0 => Verdict::Unsat,
+            1 => {
+                let m = r.len()?;
+                let mut vals = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let idx = r.u32()?;
+                    let value = r.bool()?;
+                    vals.push((idx, value));
+                }
+                Verdict::Sat(vals)
+            }
+            _ => return Err(DecodeError("bad verdict tag")),
+        };
+        if !table.insert(fp, verdict) {
+            return Err(DecodeError("duplicate verdict fingerprint"));
+        }
+    }
+    if !r.is_at_end() {
+        return Err(DecodeError("trailing bytes in verdict table"));
+    }
+    Ok(table)
+}
+
+/// The cache key persisted verdicts live under: the solver-configuration
+/// fingerprint (canonicalisation version + round budget), widened to the
+/// store's `u128` key space. A configuration change moves the key, so
+/// stale tables simply stop being found.
+fn verdict_store_key() -> u128 {
+    u128::from(verdict_config_fp(SmtSession::default().max_rounds))
+}
+
+/// Loads the persisted verdict table from `dir`, or an empty table when
+/// there is none — or when the stored record is truncated, corrupt, or
+/// written under a different solver configuration. Any failure degrades
+/// to a cold (empty) table, never a wrong one: the frame checksum and
+/// decoder reject damaged bytes, and the key covers the configuration.
+///
+/// Uses a private [`CacheStore`] instance on the same directory so
+/// verdict traffic never shows up in the artifact cache's hit/miss
+/// counters.
+pub fn load_verdicts(dir: &Path) -> VerdictTable {
+    let Ok(mut store) = CacheStore::open(dir) else {
+        return VerdictTable::new();
+    };
+    store
+        .load_with("verdicts", verdict_store_key(), |bytes| {
+            decode_verdicts(bytes).ok()
+        })
+        .unwrap_or_default()
+}
+
+/// Persists `table` to `dir` (atomic temp-file + rename, checksummed
+/// frame). Failures are swallowed — the next run just starts cold.
+pub fn persist_verdicts(dir: &Path, table: &VerdictTable) {
+    if let Ok(mut store) = CacheStore::open(dir) {
+        store.store("verdicts", verdict_store_key(), &encode_verdicts(table));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,5 +467,72 @@ mod tests {
         let mut extended = bytes.clone();
         extended.push(0);
         assert!(decode_seg_artifact(&extended).is_err());
+    }
+
+    fn sample_verdicts() -> VerdictTable {
+        let mut t = VerdictTable::new();
+        t.insert(7, Verdict::Unsat);
+        t.insert(3, Verdict::Sat(vec![(0, true), (2, false)]));
+        t.insert(u128::MAX, Verdict::Sat(Vec::new()));
+        t
+    }
+
+    #[test]
+    fn verdict_table_roundtrips_deterministically() {
+        let t = sample_verdicts();
+        let bytes = encode_verdicts(&t);
+        let back = decode_verdicts(&bytes).unwrap();
+        assert_eq!(back.len(), t.len());
+        for (fp, v) in t.iter() {
+            assert_eq!(back.get(*fp), Some(v));
+        }
+        // Sorted-by-fingerprint encoding: re-encoding the decoded table
+        // (whatever its hash-map iteration order) is byte-identical.
+        assert_eq!(encode_verdicts(&back), bytes);
+    }
+
+    #[test]
+    fn damaged_verdict_payloads_are_rejected() {
+        let bytes = encode_verdicts(&sample_verdicts());
+        for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_verdicts(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode_verdicts(&extended).is_err(), "trailing bytes");
+        let mut bad_tag = bytes.clone();
+        bad_tag[8 + 16] = 9; // first entry's verdict tag
+        assert!(decode_verdicts(&bad_tag).is_err(), "unknown verdict tag");
+    }
+
+    #[test]
+    fn verdict_store_roundtrips_and_shrugs_off_corruption() {
+        let dir =
+            std::env::temp_dir().join(format!("pinpoint-verdict-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_verdicts(&dir).is_empty(), "no store yet");
+        let t = sample_verdicts();
+        persist_verdicts(&dir, &t);
+        let back = load_verdicts(&dir);
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.get(7), Some(&Verdict::Unsat));
+        // Flip one payload bit: the frame checksum rejects the record and
+        // the table degrades to cold.
+        let obj = std::fs::read_dir(dir.join("objects"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("verdicts-"))
+            })
+            .unwrap();
+        let mut raw = std::fs::read(&obj).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 1;
+        std::fs::write(&obj, &raw).unwrap();
+        assert!(load_verdicts(&dir).is_empty(), "corrupt record reads cold");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -15,6 +15,14 @@
 //! computed once in the callee's own namespace (memoised in
 //! [`pinpoint_pta::Symbols`]' term cache) and instantiated per context by
 //! cloning plus formal/actual binding, exactly as the paper's Example 3.10.
+//!
+//! All construction happens against the worker's [`TermArena`], which is
+//! an O(1) *overlay* of the module-wide interner built during the PTA and
+//! SEG stages: every build-time condition is visible by its original
+//! interned id, and the ids this module mints extend that shared space.
+//! Downstream, each finished condition is canonically fingerprinted and
+//! checked against the cross-run verdict table before any solver call
+//! (see DESIGN.md "Cross-query condition reuse").
 
 use crate::seg::ModuleSeg;
 use pinpoint_ir::{intrinsics, BlockId, FuncId, Inst, InstId, Module, ValueId};

@@ -20,10 +20,13 @@ use crate::spec::{self, CheckerKind, SinkRole, SinkSite, SourceSite, Spec};
 use pinpoint_ir::{Cfg, DomTree, FuncId, InstId, Module, ValueId};
 use pinpoint_obs::{QueryCost, QueryOutcome, QueryRecord, TraceBuf};
 use pinpoint_pta::Symbols;
-use pinpoint_smt::{LastQueryCost, SmtResult, SmtSolver, TermArena};
+use pinpoint_smt::{
+    canon_info, LastQueryCost, SmtResult, SmtSession, TermArena, Verdict, VerdictTable,
+};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Detection tunables.
 #[derive(Debug, Clone, Copy)]
@@ -139,6 +142,21 @@ pub struct DetectStats {
     pub budget_exhausted: u64,
     /// Reports emitted.
     pub reports: u64,
+    /// Candidate conditions answered from the verdict table — the run's
+    /// starting snapshot or an earlier candidate of the same source —
+    /// without a CDCL solve.
+    pub verdict_hits: u64,
+    /// Candidate conditions that required a full solver call. A warm run
+    /// over an unchanged program performs strictly fewer of these than a
+    /// cold one whenever any condition was previously solved.
+    pub verdict_misses: u64,
+    /// Learned clauses already resident in a worker's incremental solver
+    /// session when a query arrived, summed over queries — the clause
+    /// reuse that per-query solver construction would have thrown away.
+    pub reused_clauses: u64,
+    /// Incremental solver sessions that performed at least one solve
+    /// (one session per source search that missed the verdict table).
+    pub sessions: u64,
 }
 
 /// One node of the search: a value in a function under a context, with the
@@ -250,6 +268,16 @@ struct SourceOutcome {
     events: Vec<CandidateEvent>,
     visited: u64,
     skipped_descents: u64,
+    /// Candidates answered from the verdict table without a solver call.
+    verdict_hits: u64,
+    /// Candidates that went through a full solve.
+    verdict_misses: u64,
+    /// Learned clauses already resident in the source's incremental
+    /// session when each query arrived, summed over queries.
+    reused_clauses: u64,
+    /// Verdicts this source's solves established, in discovery order,
+    /// excluding fingerprints already answered by the run's snapshot.
+    new_verdicts: Vec<(u128, Verdict)>,
     /// The search stopped early on the vertex budget.
     truncated: bool,
     /// Sorted, deduplicated functions visited (always contains the
@@ -325,7 +353,8 @@ fn run_sources(
     cx: &SpecContext<'_>,
     sources: &[(FuncId, SourceSite)],
     symbols: &Symbols,
-    arena: &TermArena,
+    arena: &Arc<TermArena>,
+    verdicts: &VerdictTable,
     threads: usize,
     trace: &mut TraceBuf,
 ) -> Vec<SourceOutcome> {
@@ -335,7 +364,12 @@ fn run_sources(
     let threads = threads.max(1);
     if threads == 1 || sources.len() <= 1 {
         let mut lane = trace.fork(1);
-        let mut w = Worker::new(cx, symbols.clone(), arena.clone());
+        let mut w = Worker::new(
+            cx,
+            symbols.clone(),
+            TermArena::overlay(Arc::clone(arena)),
+            verdicts,
+        );
         let out = sources
             .iter()
             .map(|&(fid, s)| w.run_source(fid, s, &mut lane))
@@ -351,10 +385,10 @@ fn run_sources(
             .enumerate()
             .map(|(shard_idx, shard)| {
                 let symbols = symbols.clone();
-                let arena = arena.clone();
+                let arena = TermArena::overlay(Arc::clone(arena));
                 sc.spawn(move || {
                     let mut lane = trace_ref.fork(shard_idx as u32 + 1);
-                    let mut w = Worker::new(cx, symbols, arena);
+                    let mut w = Worker::new(cx, symbols, arena, verdicts);
                     let outcomes = shard
                         .iter()
                         .map(|&(fid, s)| w.run_source(fid, s, &mut lane))
@@ -383,12 +417,30 @@ fn run_sources(
 /// as a single-threaded pass over the same results would. A pure function
 /// of the outcomes, so replaying a mix of cached and freshly-computed
 /// outcomes is byte-identical to replaying all-fresh ones.
+/// Output of one detection pass: reports, stats, per-query attribution,
+/// and the verdicts newly solved during the pass (fingerprint → verdict).
+pub(crate) type DetectOutput = (
+    Vec<Report>,
+    DetectStats,
+    Vec<QueryRecord>,
+    Vec<(u128, Verdict)>,
+);
+
+/// A [`DetectOutput`] plus the query-cache reuse split of a cached pass.
+pub(crate) type CachedDetectOutput = (
+    Vec<Report>,
+    DetectStats,
+    Vec<QueryRecord>,
+    QueryReuse,
+    Vec<(u128, Verdict)>,
+);
+
 fn merge_outcomes(
     module: &Module,
     spec: &Spec,
     source_count: usize,
     outcomes: Vec<SourceOutcome>,
-) -> (Vec<Report>, DetectStats, Vec<QueryRecord>) {
+) -> DetectOutput {
     let mut stats = DetectStats {
         sources: source_count as u64,
         ..DetectStats::default()
@@ -396,10 +448,24 @@ fn merge_outcomes(
     let mut reports = Vec::new();
     let mut queries: Vec<QueryRecord> = Vec::new();
     let mut seen: HashSet<CandidateKey> = HashSet::new();
+    // Newly-established verdicts, deduplicated first-wins in canonical
+    // source order — the same fingerprint solved by two sources keeps the
+    // first source's verdict, independent of sharding.
+    let mut new_verdicts: Vec<(u128, Verdict)> = Vec::new();
+    let mut verdict_seen: HashSet<u128> = HashSet::new();
     for outcome in outcomes {
         stats.visited += outcome.visited;
         stats.skipped_descents += outcome.skipped_descents;
         stats.budget_exhausted += u64::from(outcome.truncated);
+        stats.verdict_hits += outcome.verdict_hits;
+        stats.verdict_misses += outcome.verdict_misses;
+        stats.reused_clauses += outcome.reused_clauses;
+        stats.sessions += u64::from(outcome.verdict_misses > 0);
+        for (fp, v) in outcome.new_verdicts {
+            if verdict_seen.insert(fp) {
+                new_verdicts.push((fp, v));
+            }
+        }
         for ev in outcome.events {
             // Every evaluated candidate is attributed — its outcome is a
             // pure function of the artefact, so the list (ids included)
@@ -445,7 +511,7 @@ fn merge_outcomes(
             }
         }
     }
-    (reports, stats, queries)
+    (reports, stats, queries, new_verdicts)
 }
 
 /// One detection worker: owns private copies of the condition vocabulary
@@ -461,8 +527,28 @@ fn merge_outcomes(
 struct Worker<'cx, 'a> {
     cx: &'cx SpecContext<'a>,
     symbols: Symbols,
+    /// Scratch overlay over the shared module-global interner: base terms
+    /// are read in place, per-source terms are appended locally and
+    /// truncated away between sources.
     arena: TermArena,
-    smt: SmtSolver,
+    /// Incremental solver session, fresh per source: all of one source's
+    /// candidate conditions run through it, sharing the Tseitin encoding,
+    /// learned clauses, and theory lemmas of earlier candidates. Scoping
+    /// the session to a source (rather than the worker) keeps every
+    /// query's cost a pure function of the source, independent of which
+    /// other sources shared the worker's shard.
+    session: SmtSession,
+    /// The run-wide verdict snapshot, consulted before every solve.
+    /// Read-only during the run so lookups are shard-independent.
+    verdicts: &'cx VerdictTable,
+    /// Verdicts established by the current source's solves, in discovery
+    /// order, with an index by fingerprint for intra-source reuse.
+    new_verdicts: Vec<(u128, Verdict)>,
+    local_idx: HashMap<u128, usize>,
+    /// Per-source counters mirrored into the [`SourceOutcome`].
+    verdict_hits: u64,
+    verdict_misses: u64,
+    reused_clauses: u64,
     /// Fresh per source: its memo is keyed by `TermId`, which rollback
     /// recycles.
     linear: pinpoint_smt::LinearSolver,
@@ -492,21 +578,23 @@ pub(crate) fn run_spec(
     module: &Module,
     segs: &ModuleSeg,
     symbols: &Symbols,
-    arena: &TermArena,
+    arena: &Arc<TermArena>,
+    verdicts: &VerdictTable,
     spec: &Spec,
     kind: Option<CheckerKind>,
     config: DetectConfig,
     threads: usize,
     trace: &mut TraceBuf,
-) -> (Vec<Report>, DetectStats, Vec<QueryRecord>) {
+) -> DetectOutput {
     let cx = SpecContext::build(module, segs, spec, kind, config);
     let sources = enumerate_sources(module, spec);
-    let outcomes = run_sources(&cx, &sources, symbols, arena, threads, trace);
-    let (mut reports, stats, queries) = merge_outcomes(module, spec, sources.len(), outcomes);
+    let outcomes = run_sources(&cx, &sources, symbols, arena, verdicts, threads, trace);
+    let (mut reports, stats, queries, new_verdicts) =
+        merge_outcomes(module, spec, sources.len(), outcomes);
     if threads > 1 && faults::drop_last_report_mt() {
         reports.pop();
     }
-    (reports, stats, queries)
+    (reports, stats, queries, new_verdicts)
 }
 
 /// Test-only fault injection points.
@@ -688,8 +776,12 @@ fn cone_fingerprint(out: &SourceOutcome, segs: &ModuleSeg, keys: &[u128]) -> Opt
 /// [`run_spec`] with a per-source query cache: sources whose recomputed
 /// cone fingerprint still matches their cached entry are answered from
 /// the cache; only the rest are re-searched. All outcomes — cached and
-/// fresh — feed the same canonical merge, so the reports, statistics,
-/// and query attribution are byte-identical to an uncached run.
+/// fresh — feed the same canonical merge, so the reports are
+/// byte-identical to an uncached run. A cached outcome replays the
+/// verdict counters and costs recorded when it was computed (its
+/// verdict snapshot may predate the current one), so solver-side
+/// statistics reflect the work actually performed, not a hypothetical
+/// fresh run.
 ///
 /// `keys` are the current per-function transitive fingerprint keys of
 /// the *pre-transform* module (`pinpoint_cache::module_keys` order).
@@ -698,7 +790,8 @@ pub(crate) fn run_spec_cached(
     module: &Module,
     segs: &ModuleSeg,
     symbols: &Symbols,
-    arena: &TermArena,
+    arena: &Arc<TermArena>,
+    verdicts: &VerdictTable,
     spec: &Spec,
     kind: Option<CheckerKind>,
     config: DetectConfig,
@@ -706,7 +799,7 @@ pub(crate) fn run_spec_cached(
     trace: &mut TraceBuf,
     keys: &[u128],
     cache: &mut QueryCache,
-) -> (Vec<Report>, DetectStats, Vec<QueryRecord>, QueryReuse) {
+) -> CachedDetectOutput {
     let spec_fp = spec_fingerprint(spec, &config);
     let sources = enumerate_sources(module, spec);
     let mut slots: Vec<Option<SourceOutcome>> = Vec::with_capacity(sources.len());
@@ -731,7 +824,15 @@ pub(crate) fn run_spec_cached(
     if !rerun.is_empty() {
         let cx = SpecContext::build(module, segs, spec, kind, config);
         let rerun_sources: Vec<(FuncId, SourceSite)> = rerun.iter().map(|&(_, src)| src).collect();
-        let fresh = run_sources(&cx, &rerun_sources, symbols, arena, threads, trace);
+        let fresh = run_sources(
+            &cx,
+            &rerun_sources,
+            symbols,
+            arena,
+            verdicts,
+            threads,
+            trace,
+        );
         for ((slot, (fid, s)), outcome) in rerun.into_iter().zip(fresh) {
             if let Some(fp) = cone_fingerprint(&outcome, segs, keys) {
                 cache.entries.insert(
@@ -749,17 +850,29 @@ pub(crate) fn run_spec_cached(
         .into_iter()
         .map(|s| s.expect("every source slot filled"))
         .collect();
-    let (reports, stats, queries) = merge_outcomes(module, spec, sources.len(), outcomes);
-    (reports, stats, queries, reuse)
+    let (reports, stats, queries, new_verdicts) =
+        merge_outcomes(module, spec, sources.len(), outcomes);
+    (reports, stats, queries, reuse, new_verdicts)
 }
 
 impl<'cx, 'a> Worker<'cx, 'a> {
-    fn new(cx: &'cx SpecContext<'a>, symbols: Symbols, arena: TermArena) -> Self {
+    fn new(
+        cx: &'cx SpecContext<'a>,
+        symbols: Symbols,
+        arena: TermArena,
+        verdicts: &'cx VerdictTable,
+    ) -> Self {
         Worker {
             cx,
             symbols,
             arena,
-            smt: SmtSolver::new(),
+            session: SmtSession::new(),
+            verdicts,
+            new_verdicts: Vec::new(),
+            local_idx: HashMap::new(),
+            verdict_hits: 0,
+            verdict_misses: 0,
+            reused_clauses: 0,
             linear: pinpoint_smt::LinearSolver::new(),
             doms: HashMap::new(),
         }
@@ -806,10 +919,24 @@ impl<'cx, 'a> Worker<'cx, 'a> {
         let mark = self.arena.mark();
         let ckpt = self.symbols.checkpoint();
         self.linear = pinpoint_smt::LinearSolver::new();
+        // Fresh incremental session and verdict scratch per source: the
+        // session's state (and hence every query's cost attribution) is a
+        // pure function of this source alone, and the verdicts it learns
+        // are published only through the deterministic merge.
+        self.session = SmtSession::new();
+        self.new_verdicts.clear();
+        self.local_idx.clear();
+        self.verdict_hits = 0;
+        self.verdict_misses = 0;
+        self.reused_clauses = 0;
         let mut out = SourceOutcome {
             events: Vec::new(),
             visited: 0,
             skipped_descents: 0,
+            verdict_hits: 0,
+            verdict_misses: 0,
+            reused_clauses: 0,
+            new_verdicts: Vec::new(),
             truncated: false,
             cone: Vec::new(),
             callers_consulted: Vec::new(),
@@ -1121,6 +1248,10 @@ impl<'cx, 'a> Worker<'cx, 'a> {
         self.arena.truncate_to(mark);
         self.symbols.rollback(ckpt);
         lane.close(source_span);
+        out.verdict_hits = self.verdict_hits;
+        out.verdict_misses = self.verdict_misses;
+        out.reused_clauses = self.reused_clauses;
+        out.new_verdicts = std::mem::take(&mut self.new_verdicts);
         out.cone = cone.into_iter().collect();
         out.cone.sort_unstable();
         out.callers_consulted = callers_consulted.into_iter().collect();
@@ -1299,8 +1430,7 @@ impl<'cx, 'a> Worker<'cx, 'a> {
         let mut witness = Vec::new();
         let mut cost = LastQueryCost::default();
         if self.cx.config.solve {
-            let (result, model) = self.smt.check_with_model(&self.arena, cond);
-            cost = self.smt.last_cost;
+            let (result, model) = self.solve_candidate(cond, &mut cost);
             witness = model
                 .into_iter()
                 .filter_map(|(name, value)| Some((self.friendly_var_name(&name)?, value)))
@@ -1344,6 +1474,83 @@ impl<'cx, 'a> Worker<'cx, 'a> {
             false,
             cost,
         )
+    }
+
+    /// Solves one candidate path condition through the verdict table.
+    ///
+    /// Constant conditions short-circuit without touching the table (they
+    /// are free either way and would only pollute the hit/miss counters).
+    /// Otherwise the condition is canonicalised; a fingerprint already in
+    /// the run snapshot — or already solved by an earlier candidate of
+    /// this source — replays its recorded verdict, rebinding a recorded
+    /// SAT witness from canonical variable indices to this instance's
+    /// names, so a hit yields byte-identical output to the solve it
+    /// replaced. A genuine miss runs on the source's incremental session
+    /// and records the verdict (unless the round budget forced a
+    /// conservative answer, which is never cached).
+    fn solve_candidate(
+        &mut self,
+        cond: pinpoint_smt::TermId,
+        cost: &mut LastQueryCost,
+    ) -> (SmtResult, Vec<(String, bool)>) {
+        if self.arena.is_true(cond) || self.arena.is_false(cond) {
+            let (result, model) = self.session.check_with_model(&self.arena, cond);
+            *cost = self.session.last_cost;
+            return (result, model);
+        }
+        let info = canon_info(&self.arena, cond);
+        let cached: Option<Verdict> = self.verdicts.get(info.fingerprint).cloned().or_else(|| {
+            self.local_idx
+                .get(&info.fingerprint)
+                .map(|&i| self.new_verdicts[i].1.clone())
+        });
+        if let Some(verdict) = cached {
+            self.verdict_hits += 1;
+            return match verdict {
+                Verdict::Unsat => (SmtResult::Unsat, Vec::new()),
+                Verdict::Sat(vals) => {
+                    // Rebind the recorded witness to this instance's
+                    // variables, sorted by name exactly as a fresh
+                    // solve's model would be.
+                    let mut model: Vec<(String, bool)> = vals
+                        .iter()
+                        .filter_map(|&(idx, value)| {
+                            let (name, _) = info.vars.get(idx as usize)?;
+                            Some((name.clone(), value))
+                        })
+                        .collect();
+                    model.sort();
+                    (SmtResult::Sat, model)
+                }
+            };
+        }
+        self.verdict_misses += 1;
+        self.reused_clauses += self.session.num_learnt() as u64;
+        let (result, model) = self.session.check_with_model(&self.arena, cond);
+        *cost = self.session.last_cost;
+        if !self.session.last_budget_exhausted {
+            let verdict = match result {
+                SmtResult::Unsat => Verdict::Unsat,
+                SmtResult::Sat => {
+                    let mut vals: Vec<(u32, bool)> = model
+                        .iter()
+                        .filter_map(|(name, value)| {
+                            let idx = info.vars.iter().position(|(n, _)| n == name)?;
+                            Some((u32::try_from(idx).ok()?, *value))
+                        })
+                        .collect();
+                    vals.sort_unstable();
+                    Verdict::Sat(vals)
+                }
+            };
+            if let std::collections::hash_map::Entry::Vacant(e) =
+                self.local_idx.entry(info.fingerprint)
+            {
+                e.insert(self.new_verdicts.len());
+                self.new_verdicts.push((info.fingerprint, verdict));
+            }
+        }
+        (result, model)
     }
 
     /// Maps an internal variable name (`f3.v12` or `f3.v12|c7`) back to

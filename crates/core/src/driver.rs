@@ -30,8 +30,9 @@ use pinpoint_obs::{queries_json, MetricsRegistry, ProfileTable, QueryRecord, Tra
 use pinpoint_pta::{
     analyze_module_cached, analyze_module_par, ModuleAnalysis, PtaConfig, PtaStats,
 };
-use pinpoint_smt::TermArena;
+use pinpoint_smt::{TermArena, VerdictTable};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// An empty placeholder `ModuleAnalysis` used while swapping state
@@ -354,11 +355,21 @@ impl AnalysisBuilder {
         stats.seg_vertices = segs.vertex_count;
         stats.seg_edges = segs.edge_count;
         stats.terms = arena.len();
+        // Solver verdicts persist through their own store instance on the
+        // same directory, so the artifact-cache hit/miss counters above
+        // stay exactly the artifact traffic.
+        let verdicts = self
+            .cache_dir
+            .as_deref()
+            .map(crate::cache_io::load_verdicts)
+            .unwrap_or_default();
         Ok(Analysis {
             module,
             pta,
             segs,
-            arena,
+            arena: Arc::new(arena),
+            verdicts,
+            cache_dir: self.cache_dir,
             config: self.config,
             pta_config: self.pta,
             threads: self.threads,
@@ -417,8 +428,19 @@ pub struct Analysis {
     pub pta: ModuleAnalysis,
     /// Per-function SEGs.
     pub segs: ModuleSeg,
-    /// Shared term arena.
-    pub arena: TermArena,
+    /// The module-global term interner. Shared behind an [`Arc`] so
+    /// detection workers overlay it ([`TermArena::overlay`]) instead of
+    /// deep-cloning: base terms are read in place, per-source scratch
+    /// terms live in the overlay.
+    pub arena: Arc<TermArena>,
+    /// Solver verdicts known at build time (loaded from the persistent
+    /// cache when a cache directory is configured; empty otherwise).
+    /// Sessions and workspaces seed their own accumulating tables from
+    /// this snapshot.
+    pub(crate) verdicts: VerdictTable,
+    /// Where to persist newly-established verdicts (the builder's
+    /// [`AnalysisBuilder::cache_dir`]).
+    pub(crate) cache_dir: Option<PathBuf>,
     /// Session-default detection configuration (from the builder).
     config: DetectConfig,
     /// Points-to configuration (from the builder) — needed to recompute
@@ -489,6 +511,7 @@ impl Analysis {
     /// borrow the artefact immutably, so several can run concurrently
     /// (from separate threads) without synchronisation.
     pub fn session(&self) -> DetectSession<'_> {
+        let verdicts = self.verdicts.clone();
         DetectSession {
             analysis: self,
             config: self.config,
@@ -497,6 +520,9 @@ impl Analysis {
             detect: DetectStats::default(),
             trace: self.trace.clone(),
             queries: Vec::new(),
+            persisted_len: verdicts.len(),
+            verdicts,
+            verdicts_persisted: 0,
         }
     }
 
@@ -573,7 +599,7 @@ impl Analysis {
         // Reassemble the ModuleAnalysis (the driver holds the arena
         // separately for detection-time term building).
         let mut old = std::mem::replace(&mut self.pta, blank_module_analysis());
-        old.arena = std::mem::take(&mut self.arena);
+        old.arena = self.take_arena();
         let outcome = pinpoint_pta::analyze_module_incremental_dirty(
             &mut new_module,
             &self.module,
@@ -614,7 +640,7 @@ impl Analysis {
             Some((old_segs, &dirty)),
         );
         self.pta.symbols = symbols;
-        self.arena = arena;
+        self.arena = Arc::new(arena);
         self.stats.seg_time = t1.elapsed();
         self.stats.seg_vertices = self.segs.vertex_count;
         self.stats.seg_edges = self.segs.edge_count;
@@ -626,6 +652,16 @@ impl Analysis {
             reused,
             fell_back: outcome.fell_back,
         }
+    }
+
+    /// Takes the interner out of its shared handle for mutation. The
+    /// `&mut self` receiver guarantees no session borrows the artefact;
+    /// worker overlays only hold the `Arc` during a run, so this is
+    /// normally free (falls back to a deep clone if a stray handle
+    /// survives).
+    fn take_arena(&mut self) -> TermArena {
+        let arc = std::mem::take(&mut self.arena);
+        Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone())
     }
 
     /// A rough structural memory proxy in bytes: term arena + SEG edges +
@@ -677,6 +713,16 @@ pub struct DetectSession<'a> {
     /// Per-query solver attribution accumulated across this session's
     /// checker runs, ids in deterministic replay order.
     queries: Vec<QueryRecord>,
+    /// The session's accumulating verdict table, seeded from the
+    /// artefact's persisted snapshot. Each run consults the table as it
+    /// stood when the run started and merges what it learned afterwards,
+    /// so later queries in a long-lived session reuse earlier verdicts
+    /// while each run stays thread-count invariant.
+    verdicts: VerdictTable,
+    /// Table size at the last persist — the already-durable prefix.
+    persisted_len: usize,
+    /// Verdicts newly written to the persistent store by this session.
+    verdicts_persisted: u64,
 }
 
 impl<'a> DetectSession<'a> {
@@ -732,7 +778,7 @@ impl<'a> DetectSession<'a> {
         let t0 = Instant::now();
         let span = self.trace.open("detect", "memory-leak");
         let mut symbols = self.analysis.pta.symbols.clone();
-        let mut arena = self.analysis.arena.clone();
+        let mut arena = (*self.analysis.arena).clone();
         let reports = crate::leak::check_leaks(
             &self.analysis.module,
             &self.analysis.segs,
@@ -748,11 +794,12 @@ impl<'a> DetectSession<'a> {
         let t0 = Instant::now();
         let span = self.trace.open("detect", spec.name.clone());
         let base_id = u32::try_from(self.queries.len()).expect("query count fits u32");
-        let (reports, stats, mut queries) = run_spec(
+        let (reports, stats, mut queries, new_verdicts) = run_spec(
             &self.analysis.module,
             &self.analysis.segs,
             &self.analysis.pta.symbols,
             &self.analysis.arena,
+            &self.verdicts,
             spec,
             kind,
             self.config,
@@ -766,6 +813,16 @@ impl<'a> DetectSession<'a> {
         self.queries.extend(queries);
         self.detect_time += t0.elapsed();
         accumulate_detect(&mut self.detect, &stats);
+        for (fp, v) in new_verdicts {
+            self.verdicts.insert(fp, v);
+        }
+        if let Some(dir) = self.analysis.cache_dir.as_deref() {
+            if self.verdicts.len() > self.persisted_len {
+                crate::cache_io::persist_verdicts(dir, &self.verdicts);
+                self.verdicts_persisted += (self.verdicts.len() - self.persisted_len) as u64;
+                self.persisted_len = self.verdicts.len();
+            }
+        }
         reports
     }
 
@@ -805,7 +862,12 @@ impl<'a> DetectSession<'a> {
     /// (frontend, pta, seg, detect, smt), absorbing the per-crate stats
     /// structs into the dotted-name schema.
     pub fn metrics(&self) -> MetricsRegistry {
-        build_metrics(self.analysis, &self.stats(), &self.queries)
+        build_metrics(
+            self.analysis,
+            &self.stats(),
+            &self.queries,
+            self.verdicts_persisted,
+        )
     }
 
     /// The unified stats document (`pinpoint-stats-v1`): run metadata,
@@ -838,6 +900,10 @@ pub(crate) fn accumulate_detect(total: &mut DetectStats, stats: &DetectStats) {
     total.skipped_descents += stats.skipped_descents;
     total.budget_exhausted += stats.budget_exhausted;
     total.reports += stats.reports;
+    total.verdict_hits += stats.verdict_hits;
+    total.verdict_misses += stats.verdict_misses;
+    total.reused_clauses += stats.reused_clauses;
+    total.sessions += stats.sessions;
 }
 
 /// Builds the unified metrics registry for one artefact + accumulated
@@ -848,6 +914,7 @@ pub(crate) fn build_metrics(
     analysis: &Analysis,
     s: &PipelineStats,
     queries: &[QueryRecord],
+    verdicts_persisted: u64,
 ) -> MetricsRegistry {
     let mut m = MetricsRegistry::new();
     m.counter_add("frontend.time_ns", s.front_time.as_nanos() as u64);
@@ -897,6 +964,14 @@ pub(crate) fn build_metrics(
         m.hist_record("smt.query_ns", q.cost.solver_ns);
         m.hist_record("smt.conflicts_per_query", q.cost.conflicts);
     }
+    // Cross-query condition reuse: how often the verdict table answered
+    // for the solver, and how much incremental-session state the misses
+    // inherited.
+    m.counter_add("smt.verdict.hits", s.detect.verdict_hits);
+    m.counter_add("smt.verdict.misses", s.detect.verdict_misses);
+    m.counter_add("smt.verdict.persisted", verdicts_persisted);
+    m.counter_add("smt.incremental.reused_clauses", s.detect.reused_clauses);
+    m.counter_add("smt.incremental.sessions", s.detect.sessions);
     // Keep the family's keys present even with zero queries so the
     // exported schema is shape-stable.
     for key in [
@@ -1081,5 +1156,196 @@ mod tests {
         let rs: Vec<String> = seq.check_all().iter().map(ToString::to_string).collect();
         let rp: Vec<String> = par.check_all().iter().map(ToString::to_string).collect();
         assert_eq!(rs, rp);
+    }
+
+    /// A workload with enough distinct sources and branchy conditions
+    /// that both SAT and UNSAT verdicts get recorded.
+    const VERDICT_WORKLOAD: &str = "fn release(x: int*) { free(x); return; }
+        fn guarded(c: bool) {
+            let p: int* = malloc();
+            if (c) { release(p); }
+            let x: int = *p;
+            print(x);
+            return;
+        }
+        fn twin(d: bool) {
+            let q: int* = malloc();
+            if (d) { release(q); }
+            let y: int = *q;
+            print(y);
+            return;
+        }
+        fn dead(e: bool) {
+            let r: int* = malloc();
+            if (e) { if (!e) { free(r); let z: int = *r; print(z); } }
+            free(r);
+            return;
+        }
+        fn main(c: bool) {
+            let s: int* = malloc();
+            free(s);
+            free(s);
+            guarded(c);
+            twin(c);
+            dead(c);
+            return;
+        }";
+
+    /// Full report rendering including witnesses — stricter than the
+    /// display description, so warm replays must reproduce the exact
+    /// witness assignments the cold solves recorded.
+    fn full_reports(a: &Analysis, threads: usize) -> Vec<String> {
+        let mut s = a.session().with_threads(threads);
+        s.check_all().iter().map(|r| format!("{r:?}")).collect()
+    }
+
+    #[test]
+    fn warm_verdicts_solve_strictly_less_with_identical_reports() {
+        let dir = std::env::temp_dir().join(format!("pinpoint-verdicts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = AnalysisBuilder::new()
+            .cache_dir(&dir)
+            .build_source(VERDICT_WORKLOAD)
+            .unwrap();
+        assert!(cold.verdicts.is_empty(), "first run starts cold");
+        let mut cold_session = cold.session();
+        let cold_reports: Vec<String> = cold_session
+            .check_all()
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        let cold_stats = cold_session.stats().detect;
+        assert!(cold_stats.verdict_misses > 0, "{cold_stats:?}");
+        assert!(cold_stats.sessions > 0, "{cold_stats:?}");
+        // check_all runs five checkers; later ones reuse verdicts the
+        // earlier ones persisted into the session table.
+        drop(cold_session);
+        let warm = AnalysisBuilder::new()
+            .cache_dir(&dir)
+            .build_source(VERDICT_WORKLOAD)
+            .unwrap();
+        assert!(!warm.verdicts.is_empty(), "verdicts persisted to disk");
+        for threads in [1, 4] {
+            let mut s = warm.session().with_threads(threads);
+            let reports: Vec<String> = s.check_all().iter().map(|r| format!("{r:?}")).collect();
+            let stats = s.stats().detect;
+            assert_eq!(reports, cold_reports, "threads={threads}");
+            assert!(stats.verdict_hits > 0, "threads={threads}: {stats:?}");
+            assert!(
+                stats.verdict_misses < cold_stats.verdict_misses,
+                "threads={threads}: warm {stats:?} vs cold {cold_stats:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_accumulates_verdicts_across_queries() {
+        // No cache directory: reuse comes purely from the session's
+        // in-memory table accumulating across runs.
+        let a = Analysis::from_source(VERDICT_WORKLOAD).unwrap();
+        let mut s = a.session();
+        let first: Vec<String> = s
+            .check(CheckerKind::UseAfterFree)
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        let after_first = s.stats().detect;
+        assert!(after_first.verdict_misses > 0);
+        let second: Vec<String> = s
+            .check(CheckerKind::UseAfterFree)
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        let after_second = s.stats().detect;
+        assert_eq!(first, second, "verdict replay must not change reports");
+        assert_eq!(
+            after_second.verdict_misses, after_first.verdict_misses,
+            "an identical re-run must not solve anything anew"
+        );
+        assert!(
+            after_second.verdict_hits > after_first.verdict_hits,
+            "{after_second:?}"
+        );
+        // Nothing was persisted without a cache directory.
+        let json = s.stats_json(true);
+        assert!(json.contains("\"verdict.persisted\":0"), "{json}");
+    }
+
+    #[test]
+    fn stats_json_exports_verdict_and_incremental_counters() {
+        let a = Analysis::from_source(UAF).unwrap();
+        let mut s = a.session();
+        s.check(CheckerKind::UseAfterFree);
+        let json = s.stats_json(true);
+        for key in [
+            "\"verdict.hits\"",
+            "\"verdict.misses\"",
+            "\"verdict.persisted\"",
+            "\"incremental.reused_clauses\"",
+            "\"incremental.sessions\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn corrupt_verdict_store_degrades_to_cold_never_wrong() {
+        let dir =
+            std::env::temp_dir().join(format!("pinpoint-verdicts-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = AnalysisBuilder::new()
+            .cache_dir(&dir)
+            .build_source(VERDICT_WORKLOAD)
+            .unwrap();
+        let cold_reports = full_reports(&cold, 1);
+        let objects = dir.join("objects");
+        let verdict_file = std::fs::read_dir(&objects)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("verdicts-"))
+            })
+            .expect("verdict record persisted");
+        let pristine = std::fs::read(&verdict_file).unwrap();
+        assert!(pristine.len() > 40, "frame has header + payload");
+
+        let corruptions: Vec<(&str, Vec<u8>)> = vec![
+            ("truncated", pristine[..pristine.len() / 2].to_vec()),
+            ("bit-flipped payload", {
+                let mut b = pristine.clone();
+                let i = b.len() - 3;
+                b[i] ^= 0x40;
+                b
+            }),
+            ("wrong format version", {
+                let mut b = pristine.clone();
+                b[4] = b[4].wrapping_add(1);
+                b
+            }),
+        ];
+        for (what, bytes) in corruptions {
+            std::fs::write(&verdict_file, &bytes).unwrap();
+            let damaged = AnalysisBuilder::new()
+                .cache_dir(&dir)
+                .build_source(VERDICT_WORKLOAD)
+                .unwrap();
+            assert!(
+                damaged.verdicts.is_empty(),
+                "{what}: damaged store must read as cold"
+            );
+            let mut s = damaged.session();
+            let reports: Vec<String> = s.check_all().iter().map(|r| format!("{r:?}")).collect();
+            let stats = s.stats().detect;
+            assert_eq!(reports, cold_reports, "{what}: reports must stay correct");
+            assert!(
+                stats.verdict_misses > 0,
+                "{what}: everything re-solves from scratch: {stats:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

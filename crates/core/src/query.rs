@@ -10,7 +10,8 @@
 //! another ([`Workspace::query`]) without a per-shape dispatch at every
 //! call site.
 //!
-//! The old methods survive as thin deprecated wrappers for one release.
+//! The old per-shape `check*` methods went through one deprecation
+//! release and are gone; [`Workspace::query`] is the only entry point.
 //!
 //! # Examples
 //!
@@ -127,8 +128,7 @@ impl Workspace {
     /// Executes one [`Query`] with the workspace's full two-layer reuse
     /// (see the [workspace docs](crate::workspace)). This is the single
     /// entry point the serving layer, the CLI, and the tests build
-    /// requests for; the per-shape `check*` methods are deprecated thin
-    /// wrappers over it.
+    /// requests for.
     pub fn query(&mut self, query: &Query) -> QueryResponse {
         match query {
             Query::Check(kind) => QueryResponse::Reports(self.run_kind(*kind)),
@@ -158,16 +158,18 @@ mod tests {
     }";
 
     #[test]
-    fn query_shapes_match_legacy_wrappers() {
+    fn query_shapes_match_session_equivalents() {
+        // Every query arm must agree with the session-level API run on a
+        // fresh artefact of the same program — the workspace adds reuse,
+        // never different answers.
         let mut q_ws = Workspace::open(UAF).unwrap();
-        #[allow(deprecated)]
-        let legacy = |q: &Query| -> Vec<String> {
-            let mut ws = Workspace::open(UAF).unwrap();
+        let reference = |q: &Query| -> Vec<String> {
+            let a = crate::driver::Analysis::from_source(UAF).unwrap();
             match q {
-                Query::Check(k) => ws.check(*k).iter().map(ToString::to_string).collect(),
-                Query::All => ws.check_all().iter().map(ToString::to_string).collect(),
-                Query::Custom(s) => ws.check_custom(s).iter().map(ToString::to_string).collect(),
-                Query::Leaks => ws.check_leaks().iter().map(|l| format!("{l:?}")).collect(),
+                Query::Check(k) => a.check(*k).iter().map(ToString::to_string).collect(),
+                Query::All => a.check_all().iter().map(ToString::to_string).collect(),
+                Query::Custom(s) => a.check_custom(s).iter().map(ToString::to_string).collect(),
+                Query::Leaks => a.check_leaks().iter().map(|l| format!("{l:?}")).collect(),
             }
         };
         let custom = Query::Custom(Spec {
@@ -186,7 +188,7 @@ mod tests {
                 QueryResponse::Reports(r) => r.iter().map(ToString::to_string).collect(),
                 QueryResponse::Leaks(l) => l.iter().map(|x| format!("{x:?}")).collect(),
             };
-            assert_eq!(unified, legacy(&q), "query {} diverges", q.label());
+            assert_eq!(unified, reference(&q), "query {} diverges", q.label());
         }
     }
 

@@ -15,6 +15,12 @@
 //! fruitless and the detector skips it. The summaries are computed once
 //! per checker by a monotone fixpoint over the call graph (recursion
 //! converges because the domain is boolean).
+//!
+//! Summaries are purely boolean, so they mint no terms themselves — but
+//! by pruning the search they bound which conditions ever reach the
+//! solver, and those conditions all live in the shared module interner
+//! whose overlay arenas and verdict table detect.rs threads through the
+//! workers (see DESIGN.md "Cross-query condition reuse").
 
 use crate::seg::{EdgeKind, ModuleSeg};
 use crate::spec::{self, Spec};

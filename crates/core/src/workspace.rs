@@ -79,6 +79,7 @@ use crate::driver::{
 use crate::error::PinpointError;
 use crate::spec::CheckerKind;
 use pinpoint_obs::{queries_json, MetricsRegistry, ProfileTable, QueryRecord, TraceBuf};
+use pinpoint_smt::VerdictTable;
 use std::time::{Duration, Instant};
 
 /// Cumulative reuse counters across a workspace's lifetime.
@@ -106,6 +107,15 @@ pub struct Workspace {
     detect_time: Duration,
     queries: Vec<QueryRecord>,
     trace: TraceBuf,
+    /// The workspace's accumulating verdict table, seeded from the
+    /// artefact's persisted snapshot. Verdicts survive edits — canonical
+    /// fingerprints are arena-independent, so even a full fallback (which
+    /// clears the per-source query cache) keeps them valid.
+    verdicts: VerdictTable,
+    /// Table size at the last persist — the already-durable prefix.
+    persisted_len: usize,
+    /// Verdicts newly written to the persistent store by this workspace.
+    verdicts_persisted: u64,
 }
 
 impl Workspace {
@@ -121,6 +131,7 @@ impl Workspace {
     /// Wraps an already-built artefact in a workspace.
     pub fn from_analysis(analysis: Analysis) -> Self {
         let trace = analysis.trace().clone();
+        let verdicts = analysis.verdicts.clone();
         Workspace {
             analysis,
             cache: QueryCache::default(),
@@ -129,6 +140,9 @@ impl Workspace {
             detect_time: Duration::ZERO,
             queries: Vec::new(),
             trace,
+            persisted_len: verdicts.len(),
+            verdicts,
+            verdicts_persisted: 0,
         }
     }
 
@@ -170,42 +184,6 @@ impl Workspace {
         Ok(outcome)
     }
 
-    /// Runs one checker, reusing cached per-source outcomes where valid.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Query::Check` and call `Workspace::query`"
-    )]
-    pub fn check(&mut self, kind: CheckerKind) -> Vec<Report> {
-        self.run_kind(kind)
-    }
-
-    /// Runs a user-defined property specification with query reuse.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Query::Custom` and call `Workspace::query`"
-    )]
-    pub fn check_custom(&mut self, spec: &crate::spec::Spec) -> Vec<Report> {
-        self.run_custom(spec)
-    }
-
-    /// Runs every supported checker with query reuse.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Query::All` and call `Workspace::query`"
-    )]
-    pub fn check_all(&mut self) -> Vec<Report> {
-        self.query(&crate::query::Query::All).into_reports()
-    }
-
-    /// Runs the memory-leak checker.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Query::Leaks` and call `Workspace::query`"
-    )]
-    pub fn check_leaks(&mut self) -> Vec<crate::leak::LeakReport> {
-        self.run_leaks()
-    }
-
     /// One built-in checker (the [`Query::Check`](crate::query::Query)
     /// arm).
     pub(crate) fn run_kind(&mut self, kind: CheckerKind) -> Vec<Report> {
@@ -227,7 +205,7 @@ impl Workspace {
         let t0 = Instant::now();
         let span = self.trace.open("detect", "memory-leak");
         let mut symbols = self.analysis.pta.symbols.clone();
-        let mut arena = self.analysis.arena.clone();
+        let mut arena = (*self.analysis.arena).clone();
         let reports = crate::leak::check_leaks(
             &self.analysis.module,
             &self.analysis.segs,
@@ -245,11 +223,12 @@ impl Workspace {
         let base_id = u32::try_from(self.queries.len()).expect("query count fits u32");
         let config = self.analysis.config();
         let threads = self.analysis.threads();
-        let (reports, stats, mut queries, reuse) = run_spec_cached(
+        let (reports, stats, mut queries, reuse, new_verdicts) = run_spec_cached(
             &self.analysis.module,
             &self.analysis.segs,
             &self.analysis.pta.symbols,
             &self.analysis.arena,
+            &self.verdicts,
             spec,
             kind,
             config,
@@ -267,6 +246,16 @@ impl Workspace {
         accumulate_detect(&mut self.detect, &stats);
         self.counters.queries_reused += reuse.reused;
         self.counters.queries_rerun += reuse.rerun;
+        for (fp, v) in new_verdicts {
+            self.verdicts.insert(fp, v);
+        }
+        if let Some(dir) = self.analysis.cache_dir.as_deref() {
+            if self.verdicts.len() > self.persisted_len {
+                crate::cache_io::persist_verdicts(dir, &self.verdicts);
+                self.verdicts_persisted += (self.verdicts.len() - self.persisted_len) as u64;
+                self.persisted_len = self.verdicts.len();
+            }
+        }
         reports
     }
 
@@ -304,7 +293,12 @@ impl Workspace {
     /// The unified metrics registry: the standard five stage families
     /// plus the `workspace.*` reuse counters.
     pub fn metrics(&self) -> MetricsRegistry {
-        let mut m = build_metrics(&self.analysis, &self.stats(), &self.queries);
+        let mut m = build_metrics(
+            &self.analysis,
+            &self.stats(),
+            &self.queries,
+            self.verdicts_persisted,
+        );
         m.counter_add("workspace.queries.reused", self.counters.queries_reused);
         m.counter_add("workspace.queries.rerun", self.counters.queries_rerun);
         m.counter_add("workspace.funcs.dirty", self.counters.funcs_dirty);

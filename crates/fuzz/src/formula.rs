@@ -9,7 +9,9 @@
 //! ±arithmetic the enumeration witness is still sound, so `Sat` is
 //! mandatory whenever enumeration finds one.
 
-use pinpoint_smt::{SmtResult, SmtSolver, Sort, TermArena, TermId};
+use pinpoint_smt::{
+    canon_info, SmtResult, SmtSolver, Sort, TermArena, TermId, Verdict, VerdictTable,
+};
 use pinpoint_workload::rng::SmallRng;
 
 const NB: usize = 3;
@@ -70,26 +72,40 @@ fn eval_formula(f: &Formula, bs: &[bool], xs: &[i64]) -> bool {
     }
 }
 
-fn term_of_expr(arena: &mut TermArena, e: &IntExpr) -> TermId {
+/// Variable-name prefixes for one term build. The verdict oracle builds
+/// the same [`Formula`] twice under different prefixes to exercise the
+/// alpha-invariance of the canonical fingerprint.
+#[derive(Debug, Clone, Copy)]
+struct Names {
+    bool_pfx: &'static str,
+    int_pfx: &'static str,
+}
+
+const ORACLE_NAMES: Names = Names {
+    bool_pfx: "ob",
+    int_pfx: "ox",
+};
+
+fn term_of_expr(arena: &mut TermArena, e: &IntExpr, names: Names) -> TermId {
     match e {
-        IntExpr::Var(i) => arena.var(format!("ox{i}"), Sort::Int),
+        IntExpr::Var(i) => arena.var(format!("{}{i}", names.int_pfx), Sort::Int),
         IntExpr::Const(c) => arena.int(*c),
         IntExpr::Add(a, b) => {
-            let (a, b) = (term_of_expr(arena, a), term_of_expr(arena, b));
+            let (a, b) = (term_of_expr(arena, a, names), term_of_expr(arena, b, names));
             arena.add2(a, b)
         }
         IntExpr::Sub(a, b) => {
-            let (a, b) = (term_of_expr(arena, a), term_of_expr(arena, b));
+            let (a, b) = (term_of_expr(arena, a, names), term_of_expr(arena, b, names));
             arena.sub(a, b)
         }
     }
 }
 
-fn term_of_formula(arena: &mut TermArena, f: &Formula) -> TermId {
+fn term_of_formula(arena: &mut TermArena, f: &Formula, names: Names) -> TermId {
     match f {
-        Formula::BVar(i) => arena.var(format!("ob{i}"), Sort::Bool),
+        Formula::BVar(i) => arena.var(format!("{}{i}", names.bool_pfx), Sort::Bool),
         Formula::Cmp(op, a, b) => {
-            let (a, b) = (term_of_expr(arena, a), term_of_expr(arena, b));
+            let (a, b) = (term_of_expr(arena, a, names), term_of_expr(arena, b, names));
             match op {
                 CmpOp::Lt => arena.lt(a, b),
                 CmpOp::Le => arena.le(a, b),
@@ -98,15 +114,21 @@ fn term_of_formula(arena: &mut TermArena, f: &Formula) -> TermId {
             }
         }
         Formula::Not(x) => {
-            let t = term_of_formula(arena, x);
+            let t = term_of_formula(arena, x, names);
             arena.not(t)
         }
         Formula::And(a, b) => {
-            let (a, b) = (term_of_formula(arena, a), term_of_formula(arena, b));
+            let (a, b) = (
+                term_of_formula(arena, a, names),
+                term_of_formula(arena, b, names),
+            );
             arena.and2(a, b)
         }
         Formula::Or(a, b) => {
-            let (a, b) = (term_of_formula(arena, a), term_of_formula(arena, b));
+            let (a, b) = (
+                term_of_formula(arena, a, names),
+                term_of_formula(arena, b, names),
+            );
             arena.or2(a, b)
         }
     }
@@ -223,7 +245,7 @@ pub fn smt_oracle(seed: u64) -> Result<(), (String, String)> {
     // Family A: exact agreement.
     let f = gen_formula(&mut rng, 3, true);
     let mut arena = TermArena::new();
-    let t = term_of_formula(&mut arena, &f);
+    let t = term_of_formula(&mut arena, &f, ORACLE_NAMES);
     let expected = enumerate_sat(&f, &[]);
     let mut smt = SmtSolver::new();
     let (got, model) = smt.check_with_model(&arena, t);
@@ -242,7 +264,7 @@ pub fn smt_oracle(seed: u64) -> Result<(), (String, String)> {
     // Family B: enumeration witnesses are sound.
     let f = gen_formula(&mut rng, 3, false);
     let mut arena = TermArena::new();
-    let t = term_of_formula(&mut arena, &f);
+    let t = term_of_formula(&mut arena, &f, ORACLE_NAMES);
     let mut smt = SmtSolver::new();
     let got = smt.check(&arena, t);
     if enumerate_sat(&f, &[]) && got != SmtResult::Sat {
@@ -250,6 +272,105 @@ pub fn smt_oracle(seed: u64) -> Result<(), (String, String)> {
             "soundness".into(),
             format!("solver refuted a formula with a finite witness: {f:?}"),
         ));
+    }
+    Ok(())
+}
+
+/// Runs the cached-vs-fresh verdict oracle for one seed: random formulas
+/// are solved fresh to populate a [`VerdictTable`] keyed by canonical
+/// fingerprint (exactly like a cold detection run), then rebuilt under
+/// *renamed* variables and answered from the table. Every rebuild must
+/// hit (fingerprints are alpha-invariant), every replayed verdict must
+/// match what a fresh solver says about the renamed build, and on the
+/// clamp-complete family a replayed `Sat` model — transferred across the
+/// renaming through canonical variable indices — must extend to a real
+/// witness.
+pub fn verdicts_oracle(seed: u64) -> Result<(), (String, String)> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7E4D_1C7C_AC8E_D0AB);
+    let formulas: Vec<(Formula, bool)> = (0..4)
+        .map(|i| {
+            let family_a = i % 2 == 0;
+            (gen_formula(&mut rng, 3, family_a), family_a)
+        })
+        .collect();
+    let renamed = Names {
+        bool_pfx: "qb",
+        int_pfx: "qx",
+    };
+
+    // Cold pass: fresh solves populate the table under canonical
+    // fingerprints, with `Sat` models rewritten to canonical indices.
+    let mut table = VerdictTable::new();
+    for (f, _) in &formulas {
+        let mut arena = TermArena::new();
+        let t = term_of_formula(&mut arena, f, ORACLE_NAMES);
+        let info = canon_info(&arena, t);
+        let mut smt = SmtSolver::new();
+        let (got, model) = smt.check_with_model(&arena, t);
+        let verdict = match got {
+            SmtResult::Unsat => Verdict::Unsat,
+            SmtResult::Sat => {
+                let mut vals: Vec<(u32, bool)> = model
+                    .iter()
+                    .filter_map(|(name, v)| {
+                        let idx = info.vars.iter().position(|(n, _)| n == name)?;
+                        Some((u32::try_from(idx).ok()?, *v))
+                    })
+                    .collect();
+                vals.sort_unstable();
+                Verdict::Sat(vals)
+            }
+        };
+        table.insert(info.fingerprint, verdict);
+    }
+
+    // Warm pass: alpha-renamed rebuilds must be answered by the table,
+    // and the answers must agree with fresh solves.
+    for (f, family_a) in &formulas {
+        let mut arena = TermArena::new();
+        let t = term_of_formula(&mut arena, f, renamed);
+        let info = canon_info(&arena, t);
+        let Some(verdict) = table.get(info.fingerprint) else {
+            return Err((
+                "verdict-miss".into(),
+                format!("alpha-renamed formula missed the verdict table: {f:?}"),
+            ));
+        };
+        let mut smt = SmtSolver::new();
+        let fresh = smt.check(&arena, t);
+        let replayed = match verdict {
+            Verdict::Unsat => SmtResult::Unsat,
+            Verdict::Sat(_) => SmtResult::Sat,
+        };
+        if replayed != fresh {
+            return Err((
+                "verdict-mismatch".into(),
+                format!("cached verdict {replayed:?} but fresh solve says {fresh:?} on {f:?}"),
+            ));
+        }
+        if let Verdict::Sat(vals) = verdict {
+            let mut fixed = Vec::new();
+            for &(idx, v) in vals {
+                let Some((name, _)) = info.vars.get(idx as usize) else {
+                    return Err((
+                        "verdict-index".into(),
+                        format!("canonical index {idx} out of range for {f:?}"),
+                    ));
+                };
+                if let Some(i) = name
+                    .strip_prefix(renamed.bool_pfx)
+                    .and_then(|s| s.parse::<usize>().ok())
+                {
+                    fixed.push((i, v));
+                }
+            }
+            if *family_a && !enumerate_sat(f, &fixed) {
+                return Err((
+                    "verdict-model".into(),
+                    format!("replayed model {vals:?} does not extend to a witness of {f:?}"),
+                ));
+            }
+        }
     }
     Ok(())
 }
@@ -262,6 +383,13 @@ mod tests {
     fn oracle_clean_over_many_seeds() {
         for seed in 0..64 {
             smt_oracle(seed).unwrap_or_else(|(tag, d)| panic!("seed {seed} [{tag}]: {d}"));
+        }
+    }
+
+    #[test]
+    fn verdict_oracle_clean_over_many_seeds() {
+        for seed in 0..64 {
+            verdicts_oracle(seed).unwrap_or_else(|(tag, d)| panic!("seed {seed} [{tag}]: {d}"));
         }
     }
 }

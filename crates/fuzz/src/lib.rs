@@ -1,11 +1,13 @@
 //! `pinpoint-fuzz`: the differential fuzzing and auto-shrinking
 //! subsystem of the Pinpoint reproduction.
 //!
-//! The analysis ships four consistency contracts spread across the test
-//! suite — sparse reports are a subset of the layered baseline's,
-//! reports are byte-identical for any thread count, warm incremental
-//! results equal cold rebuilds, and the DPLL(T) solver agrees with
-//! brute-force enumeration. This crate turns those contracts into an
+//! The analysis ships a stack of consistency contracts spread across
+//! the test suite — sparse reports are a subset of the layered
+//! baseline's, reports are byte-identical for any thread count, warm
+//! incremental results equal cold rebuilds, the DPLL(T) solver agrees
+//! with brute-force enumeration, and verdicts replayed from the
+//! canonical-fingerprint cache equal fresh solves. This crate turns
+//! those contracts into an
 //! *engine*: a seeded grammar generator ([`pinpoint_workload::fuzzgen`])
 //! produces arbitrary well-typed §3 programs, each program is pushed
 //! through a configurable stack of [`OracleKind`]s, panics are caught
@@ -55,6 +57,11 @@ pub enum OracleKind {
     /// clamp-complete formula fragment (and never refute a finite
     /// witness elsewhere).
     Smt,
+    /// Verdicts replayed from a canonical-fingerprint
+    /// [`pinpoint_smt::VerdictTable`] must equal fresh solves — including
+    /// across alpha-renaming, and with replayed `Sat` models still
+    /// extending to real witnesses.
+    Verdicts,
     /// `verify_module` invariants must hold after lowering and after
     /// IR optimisation.
     Verify,
@@ -62,11 +69,12 @@ pub enum OracleKind {
 
 impl OracleKind {
     /// All oracles, in canonical execution order.
-    pub const ALL: [OracleKind; 5] = [
+    pub const ALL: [OracleKind; 6] = [
         OracleKind::Baseline,
         OracleKind::Threads,
         OracleKind::Warm,
         OracleKind::Smt,
+        OracleKind::Verdicts,
         OracleKind::Verify,
     ];
 
@@ -77,6 +85,7 @@ impl OracleKind {
             OracleKind::Threads => "threads",
             OracleKind::Warm => "warm",
             OracleKind::Smt => "smt",
+            OracleKind::Verdicts => "verdicts",
             OracleKind::Verify => "verify",
         }
     }
@@ -84,6 +93,14 @@ impl OracleKind {
     /// Parses a CLI flag value (`all` is handled by the caller).
     pub fn parse(s: &str) -> Option<OracleKind> {
         OracleKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Whether this oracle consumes the generated program (and so has
+    /// something for the shrinker to minimize). The formula-based
+    /// oracles ([`OracleKind::Smt`], [`OracleKind::Verdicts`]) derive
+    /// everything from the seed instead.
+    pub fn uses_program(self) -> bool {
+        !matches!(self, OracleKind::Smt | OracleKind::Verdicts)
     }
 }
 
@@ -224,7 +241,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
                 shrink_steps: 0,
                 reproducer: None,
             };
-            if oracle != OracleKind::Smt {
+            if oracle.uses_program() {
                 let mut steps = 0u64;
                 let minimized = shrink::shrink(
                     &src,

@@ -133,6 +133,7 @@ fn check(kind: OracleKind, src: &str, seed: u64, threads: usize) -> CheckResult 
         OracleKind::Threads => threads_oracle(src, threads),
         OracleKind::Warm => warm_oracle(src, seed),
         OracleKind::Smt => formula::smt_oracle(seed),
+        OracleKind::Verdicts => formula::verdicts_oracle(seed),
         OracleKind::Verify => verify_oracle(src),
     }
 }

@@ -37,12 +37,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod canon;
 pub mod linear;
 pub mod sat;
+pub mod session;
 pub mod solver;
 pub mod term;
 pub mod theory;
+pub mod verdict;
 
+pub use canon::{canon_info, CanonInfo, CANON_VERSION};
 pub use linear::{LinearSolver, LinearVerdict};
+pub use session::SmtSession;
 pub use solver::{LastQueryCost, SmtResult, SmtSolver};
 pub use term::{RawTermError, Sort, TermArena, TermId, TermKind, TermMark, TermTranslator};
+pub use verdict::{verdict_config_fp, Verdict, VerdictTable};

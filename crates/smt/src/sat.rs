@@ -406,6 +406,20 @@ impl SatSolver {
 
     /// Solves the current clause set.
     pub fn solve(&mut self) -> SatResult {
+        self.solve_assuming(&[])
+    }
+
+    /// Solves the current clause set under `assumptions` (MiniSat-style
+    /// incremental interface). Each assumption is established as its own
+    /// decision level before ordinary search decisions; `Unsat` under
+    /// assumptions does *not* mark the instance permanently unsatisfiable
+    /// (only a level-0 conflict does), so the solver — including every
+    /// clause learned along the way — remains usable for further queries
+    /// with different assumptions. Learned clauses are implied by the
+    /// clause database alone (conflict analysis resolves only on clause
+    /// reasons, never on assumption decisions), so keeping them across
+    /// queries is sound.
+    pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SatResult {
         self.backtrack_to(0);
         if self.unsat {
             return SatResult::Unsat;
@@ -446,6 +460,29 @@ impl SatSolver {
                     });
                     let ok = self.enqueue(asserting, Reason::Clause(idx));
                     debug_assert!(ok, "asserting literal must be enqueueable");
+                }
+            } else if self.trail_lim.len() < assumptions.len() {
+                // Establish the next assumption at its own decision level.
+                // (Restarts and learnt-clause backtracking may strip
+                // assumption levels; they are re-established here.)
+                let a = assumptions[self.trail_lim.len()];
+                match self.lit_value(a) {
+                    Value::True => {
+                        // Already implied: a dummy level keeps the
+                        // level ↔ assumption-index correspondence.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    Value::False => {
+                        // Conflicts with the clause set under the earlier
+                        // assumptions: unsatisfiable *under assumptions*
+                        // only — the instance itself stays usable.
+                        return SatResult::Unsat;
+                    }
+                    Value::Undef => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(a, Reason::Decision);
+                        debug_assert!(ok, "assumption variable was unassigned");
+                    }
                 }
             } else if conflicts_since_restart >= restart_limit {
                 self.stats.restarts += 1;
@@ -677,6 +714,89 @@ mod tests {
         for (i, &e) in expected.iter().enumerate() {
             assert_eq!(SatSolver::luby(i as u64), e, "luby({i})");
         }
+    }
+
+    #[test]
+    fn assumptions_do_not_poison_the_instance() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        // a ∨ b, ¬a ∨ b  ⇒  b is implied.
+        s.add_clause(vec![Lit::new(a, true), Lit::new(b, true)]);
+        s.add_clause(vec![Lit::new(a, false), Lit::new(b, true)]);
+        assert_eq!(s.solve_assuming(&[Lit::new(b, false)]), SatResult::Unsat);
+        assert!(!s.is_unsat(), "assumption failure must not be permanent");
+        assert_eq!(s.solve_assuming(&[Lit::new(b, true)]), SatResult::Sat);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn assumptions_force_model_values() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![Lit::new(a, true), Lit::new(b, true)]);
+        assert_eq!(
+            s.solve_assuming(&[Lit::new(a, false), Lit::new(b, true)]),
+            SatResult::Sat
+        );
+        assert_eq!(s.value(a), Some(false));
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn contradictory_assumptions_unsat_but_recoverable() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert_eq!(
+            s.solve_assuming(&[Lit::new(a, true), Lit::new(a, false)]),
+            SatResult::Unsat
+        );
+        assert!(!s.is_unsat());
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn learnt_clauses_survive_assumption_queries() {
+        // PHP(4,3) gated behind a selector g: with g assumed true the
+        // instance is UNSAT and learns clauses; afterwards the instance
+        // (and its learnt clauses) must still answer SAT with ¬g.
+        let mut s = SatSolver::new();
+        let g = s.new_var();
+        let mut x = vec![vec![BVar(0); 3]; 4];
+        for row in x.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &x {
+            let mut c: Vec<Lit> = row.iter().map(|&v| Lit::new(v, true)).collect();
+            c.push(Lit::new(g, false));
+            s.add_clause(c);
+        }
+        for h in 0..3 {
+            for p1 in 0..4 {
+                for p2 in (p1 + 1)..4 {
+                    s.add_clause(vec![
+                        Lit::new(x[p1][h], false),
+                        Lit::new(x[p2][h], false),
+                        Lit::new(g, false),
+                    ]);
+                }
+            }
+        }
+        assert_eq!(s.solve_assuming(&[Lit::new(g, true)]), SatResult::Unsat);
+        assert!(!s.is_unsat());
+        let learnt_after_first = s.num_learnt();
+        assert!(learnt_after_first > 0, "expected learnt clauses");
+        assert_eq!(s.solve_assuming(&[Lit::new(g, false)]), SatResult::Sat);
+        assert!(
+            s.num_learnt() >= learnt_after_first,
+            "learnt clauses must persist across queries"
+        );
+        // Re-asking the UNSAT query still answers UNSAT.
+        assert_eq!(s.solve_assuming(&[Lit::new(g, true)]), SatResult::Unsat);
     }
 
     #[test]

@@ -235,16 +235,22 @@ impl SmtSolver {
 
 /// Tseitin encoder: maps boolean subterms to SAT variables and emits the
 /// defining clauses.
-struct Encoder {
-    sat: SatSolver,
+///
+/// All emitted clauses are *definitions* (full Tseitin equivalences) or
+/// globally valid theory lemmas, so one encoder may serve many roots over
+/// its lifetime: asserting a root is done with an assumption literal, not
+/// a permanent unit clause (see [`crate::session::SmtSession`]).
+#[derive(Debug)]
+pub(crate) struct Encoder {
+    pub(crate) sat: SatSolver,
     /// SAT variable for every boolean subterm (atoms and gates alike).
-    term_vars: HashMap<TermId, BVar>,
+    pub(crate) term_vars: HashMap<TermId, BVar>,
     /// The subset of `term_vars` that are theory atoms or free booleans.
-    atom_vars: HashMap<TermId, BVar>,
+    pub(crate) atom_vars: HashMap<TermId, BVar>,
 }
 
 impl Encoder {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             sat: SatSolver::new(),
             term_vars: HashMap::new(),
@@ -253,7 +259,7 @@ impl Encoder {
     }
 
     /// Returns the literal representing `t` (positive polarity).
-    fn encode(&mut self, arena: &TermArena, t: TermId) -> Lit {
+    pub(crate) fn encode(&mut self, arena: &TermArena, t: TermId) -> Lit {
         if let Some(&v) = self.term_vars.get(&t) {
             return Lit::new(v, true);
         }

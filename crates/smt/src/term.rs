@@ -90,6 +90,16 @@ pub enum TermKind {
 
 /// Arena owning all terms; the sole way to create or inspect terms.
 ///
+/// An arena is either *standalone* (it owns every term) or an *overlay*
+/// over a shared, immutable base arena (see [`TermArena::overlay`]): ids
+/// below the base length resolve in the base, new terms are appended
+/// locally starting at the base length. An overlay therefore behaves
+/// exactly like a deep clone of its base — identical ids for identical
+/// construction sequences — while sharing the base storage. This is what
+/// makes the module-wide term interner practical: the points-to and SEG
+/// stages build one shared arena, and each detection worker layers a
+/// cheap scratch overlay on top instead of cloning it.
+///
 /// # Examples
 ///
 /// ```
@@ -104,6 +114,11 @@ pub enum TermKind {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct TermArena {
+    /// Shared immutable base (overlay arenas only).
+    base: Option<std::sync::Arc<TermArena>>,
+    /// Number of terms owned by `base` (0 for standalone arenas). Local
+    /// ids start here.
+    base_len: usize,
     terms: Vec<TermKind>,
     sorts: Vec<Sort>,
     consed: HashMap<TermKind, TermId>,
@@ -115,14 +130,29 @@ impl TermArena {
         Self::default()
     }
 
-    /// Number of distinct terms created so far.
-    pub fn len(&self) -> usize {
-        self.terms.len()
+    /// Creates a scratch overlay over a shared base arena. Every base
+    /// term is visible (same ids, same hash-consing), and new terms are
+    /// allocated locally from `base.len()` upward — the overlay is
+    /// indistinguishable from a deep clone of the base, at O(1) cost.
+    pub fn overlay(base: std::sync::Arc<TermArena>) -> Self {
+        let base_len = base.len();
+        TermArena {
+            base: Some(base),
+            base_len,
+            terms: Vec::new(),
+            sorts: Vec::new(),
+            consed: HashMap::new(),
+        }
     }
 
-    /// Returns `true` if no terms have been created.
+    /// Number of distinct terms visible (base + local).
+    pub fn len(&self) -> usize {
+        self.base_len + self.terms.len()
+    }
+
+    /// Returns `true` if no terms are visible.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.len() == 0
     }
 
     /// Returns the structure of `t`.
@@ -131,23 +161,55 @@ impl TermArena {
     ///
     /// Panics if `t` was produced by a different arena.
     pub fn kind(&self, t: TermId) -> &TermKind {
-        &self.terms[t.index()]
+        if t.index() < self.base_len {
+            self.base
+                .as_ref()
+                .expect("ids below base_len require a base")
+                .kind(t)
+        } else {
+            &self.terms[t.index() - self.base_len]
+        }
     }
 
     /// Returns the sort of `t`.
     pub fn sort(&self, t: TermId) -> Sort {
-        self.sorts[t.index()]
+        if t.index() < self.base_len {
+            self.base
+                .as_ref()
+                .expect("ids below base_len require a base")
+                .sort(t)
+        } else {
+            self.sorts[t.index() - self.base_len]
+        }
+    }
+
+    /// Looks up a structurally equal term anywhere in the base chain or
+    /// the local layer.
+    fn lookup_consed(&self, kind: &TermKind) -> Option<TermId> {
+        if let Some(base) = &self.base {
+            if let Some(id) = base.lookup_consed(kind) {
+                return Some(id);
+            }
+        }
+        self.consed.get(kind).copied()
     }
 
     /// Iterates over every term in insertion (id) order as `(kind, sort)`
-    /// pairs. This is the serialization view of the arena: replaying the
-    /// sequence through [`TermArena::push_raw`] reconstructs a bit-identical
-    /// arena, because ids are dense indices assigned in insertion order.
+    /// pairs, base layers first. This is the serialization view of the
+    /// arena: replaying the sequence through [`TermArena::push_raw`]
+    /// reconstructs a bit-identical arena, because ids are dense indices
+    /// assigned in insertion order.
     pub fn kinds(&self) -> impl Iterator<Item = (&TermKind, Sort)> {
-        self.terms
-            .iter()
-            .zip(self.sorts.iter())
-            .map(|(k, &s)| (k, s))
+        let mut chain: Vec<&TermArena> = Vec::new();
+        let mut cur = Some(self);
+        while let Some(a) = cur {
+            chain.push(a);
+            cur = a.base.as_deref();
+        }
+        chain.reverse();
+        chain
+            .into_iter()
+            .flat_map(|a| a.terms.iter().zip(a.sorts.iter()).map(|(k, &s)| (k, s)))
     }
 
     /// Appends a term with an explicit structure, for rebuilding an arena
@@ -160,7 +222,7 @@ impl TermArena {
     /// equal term already exists — either would break the hash-consing
     /// invariant that every id has a unique structure.
     pub fn push_raw(&mut self, kind: TermKind, sort: Sort) -> Result<TermId, RawTermError> {
-        let len = self.terms.len();
+        let len = self.len();
         let ok = |t: TermId| t.index() < len;
         let children_ok = match &kind {
             TermKind::BoolConst(_) | TermKind::IntConst(_) | TermKind::Var(..) => true,
@@ -176,7 +238,7 @@ impl TermArena {
         if !children_ok {
             return Err(RawTermError::ForwardReference);
         }
-        if self.consed.contains_key(&kind) {
+        if self.lookup_consed(&kind).is_some() {
             return Err(RawTermError::Duplicate);
         }
         let id = TermId(u32::try_from(len).expect("term arena overflow"));
@@ -187,10 +249,10 @@ impl TermArena {
     }
 
     fn intern(&mut self, kind: TermKind, sort: Sort) -> TermId {
-        if let Some(&id) = self.consed.get(&kind) {
+        if let Some(id) = self.lookup_consed(&kind) {
             return id;
         }
-        let id = TermId(u32::try_from(self.terms.len()).expect("term arena overflow"));
+        let id = TermId(u32::try_from(self.len()).expect("term arena overflow"));
         self.terms.push(kind.clone());
         self.sorts.push(sort);
         self.consed.insert(kind, id);
@@ -542,7 +604,7 @@ impl TermArena {
     /// detection stage give every source site a private scratch region in
     /// an otherwise shared arena.
     pub fn mark(&self) -> TermMark {
-        TermMark(self.terms.len())
+        TermMark(self.len())
     }
 
     /// Drops every term created after `mark`, including its hash-consing
@@ -551,13 +613,19 @@ impl TermArena {
     ///
     /// # Panics
     ///
-    /// Panics if `mark` came from a different (or longer) arena.
+    /// Panics if `mark` came from a different (or longer) arena, or if it
+    /// would truncate into an overlay's immutable base.
     pub fn truncate_to(&mut self, mark: TermMark) {
-        assert!(mark.0 <= self.terms.len(), "mark beyond arena length");
-        for kind in self.terms.drain(mark.0..) {
+        assert!(mark.0 <= self.len(), "mark beyond arena length");
+        assert!(
+            mark.0 >= self.base_len,
+            "mark would truncate into the shared base arena"
+        );
+        let local = mark.0 - self.base_len;
+        for kind in self.terms.drain(local..) {
             self.consed.remove(&kind);
         }
-        self.sorts.truncate(mark.0);
+        self.sorts.truncate(local);
     }
 
     /// Pretty-prints a term as an S-expression.
@@ -926,6 +994,70 @@ mod tests {
         a.truncate_to(mark);
         a.truncate_to(mark);
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn overlay_behaves_like_a_clone() {
+        use std::sync::Arc;
+        let mut base = TermArena::new();
+        let x = base.var("x", Sort::Int);
+        let zero = base.int(0);
+        let atom = base.eq(x, zero);
+        let base_len = base.len();
+        let shared = Arc::new(base);
+
+        let mut cloned = (*shared).clone();
+        let mut over = TermArena::overlay(Arc::clone(&shared));
+        assert_eq!(over.len(), base_len);
+        // Base terms hash-cons to their base ids.
+        assert_eq!(over.eq(x, zero), atom);
+        assert_eq!(over.sort(atom), Sort::Bool);
+        // New terms allocate identically to a clone.
+        let y_c = cloned.var("y", Sort::Int);
+        let y_o = over.var("y", Sort::Int);
+        assert_eq!(y_c, y_o);
+        let lt_c = cloned.lt(y_c, zero);
+        let lt_o = over.lt(y_o, zero);
+        assert_eq!(lt_c, lt_o);
+        assert_eq!(over.len(), cloned.len());
+        assert_eq!(over.display(lt_o), cloned.display(lt_c));
+        // kinds() streams base + local in id order.
+        let ks: Vec<Sort> = over.kinds().map(|(_, s)| s).collect();
+        let kc: Vec<Sort> = cloned.kinds().map(|(_, s)| s).collect();
+        assert_eq!(ks, kc);
+    }
+
+    #[test]
+    fn overlay_truncate_drops_only_local_terms() {
+        use std::sync::Arc;
+        let mut base = TermArena::new();
+        let x = base.var("x", Sort::Int);
+        let zero = base.int(0);
+        let _ = base.eq(x, zero);
+        let shared = Arc::new(base);
+        let mut over = TermArena::overlay(Arc::clone(&shared));
+        let mark = over.mark();
+        let len = over.len();
+        let y = over.var("y", Sort::Int);
+        let _ = over.lt(y, zero);
+        assert!(over.len() > len);
+        over.truncate_to(mark);
+        assert_eq!(over.len(), len);
+        // Dropped local consed entries are gone; base entries survive.
+        let y2 = over.var("y", Sort::Int);
+        assert_eq!(y2.index(), len);
+        assert_eq!(over.var("x", Sort::Int), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared base arena")]
+    fn overlay_truncate_into_base_panics() {
+        use std::sync::Arc;
+        let mut base = TermArena::new();
+        let mark = base.mark();
+        let _ = base.var("x", Sort::Int);
+        let mut over = TermArena::overlay(Arc::new(base));
+        over.truncate_to(mark);
     }
 
     #[test]

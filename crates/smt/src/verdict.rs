@@ -1,0 +1,119 @@
+//! The verdict table: remembered outcomes of canonical SMT queries.
+//!
+//! A verdict records what one solver call concluded about one canonical
+//! formula fingerprint (see [`crate::canon`]): unsatisfiable, or
+//! satisfiable together with the boolean witness expressed over
+//! *canonical* variable indices so it can be re-bound to any
+//! alpha-equivalent instance of the formula. Conservative answers (the
+//! DPLL(T) round budget ran out) are never recorded.
+//!
+//! The table is consulted before any solver call in the detection stage
+//! and persisted through `pinpoint-cache` keyed by
+//! `(fingerprint, verdict_config_fp)`, so both warm re-runs and other
+//! queries in the same run skip already-solved conditions.
+
+use crate::canon::CANON_VERSION;
+use std::collections::HashMap;
+
+/// Outcome of one fully-solved canonical query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The formula is satisfiable; the witness assigns the formula's
+    /// free *boolean* variables, addressed by canonical variable index
+    /// (see [`crate::canon::CanonInfo::vars`]), sorted by index.
+    Sat(Vec<(u32, bool)>),
+}
+
+/// An in-memory verdict table keyed by canonical formula fingerprint.
+///
+/// Inserts are first-wins: once a fingerprint has a verdict it is never
+/// replaced. Any two correct solvers agree on SAT/UNSAT for the same
+/// canonical formula, and keeping the first recorded witness makes merge
+/// results independent of insertion order beyond the (deterministic)
+/// order the merger chooses.
+#[derive(Debug, Default, Clone)]
+pub struct VerdictTable {
+    map: HashMap<u128, Verdict>,
+}
+
+impl VerdictTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of verdicts stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up the verdict for a canonical fingerprint.
+    pub fn get(&self, fingerprint: u128) -> Option<&Verdict> {
+        self.map.get(&fingerprint)
+    }
+
+    /// Records a verdict unless the fingerprint already has one.
+    /// Returns `true` if the verdict was newly inserted.
+    pub fn insert(&mut self, fingerprint: u128, verdict: Verdict) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.map.entry(fingerprint) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(e) => {
+                e.insert(verdict);
+                true
+            }
+        }
+    }
+
+    /// Iterates over all `(fingerprint, verdict)` pairs in unspecified
+    /// order (persistence sorts by fingerprint for determinism).
+    pub fn iter(&self) -> impl Iterator<Item = (&u128, &Verdict)> {
+        self.map.iter()
+    }
+}
+
+/// Fingerprint of the solver configuration a verdict is valid under.
+///
+/// Persisted verdicts are keyed by this value in addition to the formula
+/// fingerprint; a mismatch (different canonicalisation scheme or solver
+/// round budget) makes stored verdicts invisible — a warm run degrades
+/// to cold, never to a wrong answer.
+pub fn verdict_config_fp(max_rounds: u32) -> u64 {
+    // FNV-1a 64.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in CANON_VERSION
+        .to_le_bytes()
+        .into_iter()
+        .chain(max_rounds.to_le_bytes())
+    {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_first_wins() {
+        let mut t = VerdictTable::new();
+        assert!(t.insert(42, Verdict::Unsat));
+        assert!(!t.insert(42, Verdict::Sat(vec![(0, true)])));
+        assert_eq!(t.get(42), Some(&Verdict::Unsat));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn config_fp_varies_with_round_budget() {
+        assert_ne!(verdict_config_fp(10_000), verdict_config_fp(9_999));
+        assert_eq!(verdict_config_fp(10_000), verdict_config_fp(10_000));
+    }
+}

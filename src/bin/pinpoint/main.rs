@@ -134,7 +134,8 @@ const USAGE: &str = "usage:
 
   fuzz generates seeded well-typed programs and cross-checks the
   analysis against its differential oracles (--oracle baseline, threads,
-  warm, smt, verify, or all — repeatable; default all). Fresh failures
+  warm, smt, verdicts, verify, or all — repeatable; default all). Fresh
+  failures
   are minimized by delta debugging and, with --out-dir, written as
   corpus-ready reproducers. Exit 0 = clean, 1 = findings.
 
