@@ -406,6 +406,47 @@ pub fn persist_verdicts(dir: &Path, table: &VerdictTable) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Interface summaries (the "vfsum" cache stage)
+// ---------------------------------------------------------------------
+
+/// Encodes one function's interface summary (see `vfsummary`): per-value
+/// class flags plus the return- and parameter-index bitsets. The layout
+/// is purely structural — no [`TermId`]s — so records are stable across
+/// processes.
+pub fn encode_func_summary(s: &crate::vfsummary::FuncSummary) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.len(s.len());
+    for i in 0..s.len() {
+        w.u8(s.flags[i]);
+        w.u64(s.rets[i]);
+        w.u64(s.params[i]);
+    }
+    w.into_bytes()
+}
+
+/// Decodes [`encode_func_summary`] bytes. Callers must additionally
+/// validate the value count against the live function before trusting
+/// the record.
+pub fn decode_func_summary(bytes: &[u8]) -> Result<crate::vfsummary::FuncSummary> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.len()?;
+    let mut s = crate::vfsummary::FuncSummary {
+        flags: Vec::with_capacity(n),
+        rets: Vec::with_capacity(n),
+        params: Vec::with_capacity(n),
+    };
+    for _ in 0..n {
+        s.flags.push(r.u8()?);
+        s.rets.push(r.u64()?);
+        s.params.push(r.u64()?);
+    }
+    if !r.is_at_end() {
+        return Err(DecodeError("trailing bytes in func summary"));
+    }
+    Ok(s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -157,6 +157,18 @@ pub struct DetectStats {
     /// Incremental solver sessions that performed at least one solve
     /// (one session per source search that missed the verdict table).
     pub sessions: u64,
+    /// Sources the summary engine's whole-program gate proved fruitless
+    /// and answered with an empty outcome, no search run (always 0 under
+    /// the demand engine).
+    pub summary_gated: u64,
+    /// Function interface summaries computed cold this run (summary
+    /// engine only).
+    pub summary_built: u64,
+    /// Function interface summaries reused — loaded from the persistent
+    /// store or replayed from a prior in-memory build.
+    pub summary_reused: u64,
+    /// Interface edges composed at call sites while building summaries.
+    pub summary_composed: u64,
 }
 
 /// One node of the search: a value in a function under a context, with the
@@ -852,6 +864,178 @@ pub(crate) fn run_spec_cached(
         .collect();
     let (reports, stats, queries, new_verdicts) =
         merge_outcomes(module, spec, sources.len(), outcomes);
+    (reports, stats, queries, reuse, new_verdicts)
+}
+
+/// The outcome the summary engine synthesises for a gated source: the
+/// whole-program gate proved its search would visit nothing fruitful, so
+/// it contributes no events, no verdicts, and no cost — exactly what the
+/// demand search would have produced, minus the walking.
+fn gated_outcome(fid: FuncId) -> SourceOutcome {
+    SourceOutcome {
+        events: Vec::new(),
+        visited: 0,
+        skipped_descents: 0,
+        verdict_hits: 0,
+        verdict_misses: 0,
+        reused_clauses: 0,
+        new_verdicts: Vec::new(),
+        truncated: false,
+        cone: vec![fid],
+        callers_consulted: Vec::new(),
+        globals_consulted: Vec::new(),
+    }
+}
+
+/// [`run_spec`] with the summary engine: every source is first tested
+/// against the prebuilt whole-program interface summaries
+/// ([`crate::vfsummary::ModuleSummaries`]); sources the gate proves
+/// fruitless get a synthesised empty outcome, the rest run the unchanged
+/// demand-driven search. All outcomes feed the same canonical merge, so
+/// reports (and query attribution — gated sources evaluate no
+/// candidates) are byte-identical to [`run_spec`] at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_spec_summary(
+    module: &Module,
+    segs: &ModuleSeg,
+    symbols: &Symbols,
+    arena: &Arc<TermArena>,
+    verdicts: &VerdictTable,
+    spec: &Spec,
+    kind: Option<CheckerKind>,
+    config: DetectConfig,
+    threads: usize,
+    trace: &mut TraceBuf,
+    sums: &crate::vfsummary::ModuleSummaries,
+) -> DetectOutput {
+    let sources = enumerate_sources(module, spec);
+    let mut slots: Vec<Option<SourceOutcome>> = Vec::with_capacity(sources.len());
+    let mut rerun: Vec<(usize, (FuncId, SourceSite))> = Vec::new();
+    for (i, &(fid, s)) in sources.iter().enumerate() {
+        if sums.source_fruitful(module, segs, spec, fid, s) {
+            slots.push(None);
+            rerun.push((i, (fid, s)));
+        } else {
+            slots.push(Some(gated_outcome(fid)));
+        }
+    }
+    let gated = (sources.len() - rerun.len()) as u64;
+    if !rerun.is_empty() {
+        let cx = SpecContext::build(module, segs, spec, kind, config);
+        let rerun_sources: Vec<(FuncId, SourceSite)> = rerun.iter().map(|&(_, src)| src).collect();
+        let fresh = run_sources(
+            &cx,
+            &rerun_sources,
+            symbols,
+            arena,
+            verdicts,
+            threads,
+            trace,
+        );
+        for ((slot, _), outcome) in rerun.into_iter().zip(fresh) {
+            slots[slot] = Some(outcome);
+        }
+    }
+    let outcomes: Vec<SourceOutcome> = slots
+        .into_iter()
+        .map(|s| s.expect("every source slot filled"))
+        .collect();
+    let (mut reports, mut stats, queries, new_verdicts) =
+        merge_outcomes(module, spec, sources.len(), outcomes);
+    stats.summary_gated = gated;
+    stats.summary_built = sums.built;
+    stats.summary_reused = sums.reused;
+    stats.summary_composed = sums.composed;
+    if threads > 1 && faults::drop_last_report_mt() {
+        reports.pop();
+    }
+    (reports, stats, queries, new_verdicts)
+}
+
+/// [`run_spec_cached`] with the summary engine: gated sources bypass the
+/// per-source query cache entirely — their cached cone would not cover
+/// the summary consultations the gate made, so they are neither read
+/// from nor written to it — while fruitful sources go through the normal
+/// cone-fingerprint reuse path. Gated sources count in
+/// [`DetectStats::summary_gated`], not in the [`QueryReuse`] split.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_spec_summary_cached(
+    module: &Module,
+    segs: &ModuleSeg,
+    symbols: &Symbols,
+    arena: &Arc<TermArena>,
+    verdicts: &VerdictTable,
+    spec: &Spec,
+    kind: Option<CheckerKind>,
+    config: DetectConfig,
+    threads: usize,
+    trace: &mut TraceBuf,
+    keys: &[u128],
+    cache: &mut QueryCache,
+    sums: &crate::vfsummary::ModuleSummaries,
+) -> CachedDetectOutput {
+    let spec_fp = spec_fingerprint(spec, &config);
+    let sources = enumerate_sources(module, spec);
+    let mut slots: Vec<Option<SourceOutcome>> = Vec::with_capacity(sources.len());
+    let mut rerun: Vec<(usize, (FuncId, SourceSite))> = Vec::new();
+    let mut gated = 0u64;
+    for (i, &(fid, s)) in sources.iter().enumerate() {
+        if !sums.source_fruitful(module, segs, spec, fid, s) {
+            gated += 1;
+            slots.push(Some(gated_outcome(fid)));
+            continue;
+        }
+        let key = (spec_fp, fid, s.site, s.value);
+        let hit = cache.entries.get(&key).and_then(|e| {
+            (cone_fingerprint(&e.outcome, segs, keys) == Some(e.cone_fp)).then(|| e.outcome.clone())
+        });
+        match hit {
+            Some(outcome) => slots.push(Some(outcome)),
+            None => {
+                slots.push(None);
+                rerun.push((i, (fid, s)));
+            }
+        }
+    }
+    let reuse = QueryReuse {
+        reused: sources.len() as u64 - gated - rerun.len() as u64,
+        rerun: rerun.len() as u64,
+    };
+    if !rerun.is_empty() {
+        let cx = SpecContext::build(module, segs, spec, kind, config);
+        let rerun_sources: Vec<(FuncId, SourceSite)> = rerun.iter().map(|&(_, src)| src).collect();
+        let fresh = run_sources(
+            &cx,
+            &rerun_sources,
+            symbols,
+            arena,
+            verdicts,
+            threads,
+            trace,
+        );
+        for ((slot, (fid, s)), outcome) in rerun.into_iter().zip(fresh) {
+            if let Some(fp) = cone_fingerprint(&outcome, segs, keys) {
+                cache.entries.insert(
+                    (spec_fp, fid, s.site, s.value),
+                    CachedSource {
+                        cone_fp: fp,
+                        outcome: outcome.clone(),
+                    },
+                );
+            }
+            slots[slot] = Some(outcome);
+        }
+    }
+    let outcomes: Vec<SourceOutcome> = slots
+        .into_iter()
+        .map(|s| s.expect("every source slot filled"))
+        .collect();
+    let (reports, mut stats, queries, new_verdicts) =
+        merge_outcomes(module, spec, sources.len(), outcomes);
+    stats.summary_gated = gated;
+    stats.summary_built = sums.built;
+    stats.summary_reused = sums.reused;
+    stats.summary_composed = sums.composed;
     (reports, stats, queries, reuse, new_verdicts)
 }
 

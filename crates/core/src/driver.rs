@@ -20,10 +20,11 @@
 //!   checkers can run concurrently.
 
 use crate::cache_io::SegCacheStore;
-use crate::detect::{run_spec, DetectConfig, DetectStats, Report};
+use crate::detect::{run_spec, run_spec_summary, DetectConfig, DetectStats, Report};
 use crate::error::PinpointError;
 use crate::seg::ModuleSeg;
 use crate::spec::CheckerKind;
+use crate::vfsummary::{summary_fingerprint, Engine, ModuleSummaries};
 use pinpoint_cache::{config_fp, module_keys, CacheStats, CacheStore, PtaArtifactStore};
 use pinpoint_ir::Module;
 use pinpoint_obs::{queries_json, MetricsRegistry, ProfileTable, QueryRecord, TraceBuf};
@@ -118,6 +119,7 @@ pub struct AnalysisBuilder {
     verify: bool,
     trace: bool,
     cache_dir: Option<PathBuf>,
+    engine: Option<Engine>,
 }
 
 impl Default for AnalysisBuilder {
@@ -138,7 +140,18 @@ impl AnalysisBuilder {
             verify: false,
             trace: false,
             cache_dir: None,
+            engine: None,
         }
+    }
+
+    /// Forces a whole-program engine for every query of the built
+    /// artefact. Without an override, single checks use
+    /// [`Engine::Demand`] and whole-program checks (`check_all`,
+    /// `check_configured`, `Query::All`) use [`Engine::Summary`]; both
+    /// produce byte-identical reports at any thread count.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
     }
 
     /// Persists per-function analysis artifacts under `dir` and reuses
@@ -374,6 +387,7 @@ impl AnalysisBuilder {
             pta_config: self.pta,
             threads: self.threads,
             checkers: self.checkers,
+            engine: self.engine,
             func_keys,
             stats,
             trace,
@@ -450,6 +464,9 @@ pub struct Analysis {
     threads: usize,
     /// Checker selection (from the builder).
     checkers: Vec<CheckerKind>,
+    /// Engine override (from the builder); `None` = per-query default
+    /// (demand for single checks, summary for whole-program checks).
+    engine: Option<Engine>,
     /// Per-function transitive fingerprint keys of the pre-transform
     /// module ([`pinpoint_cache::module_keys`] order, indexed by
     /// `FuncId`). Kept current across incremental updates; the query
@@ -496,6 +513,13 @@ impl Analysis {
         self.threads
     }
 
+    /// The engine override configured at build time (`None` = per-query
+    /// default: demand for single checks, summary for whole-program
+    /// checks).
+    pub fn engine(&self) -> Option<Engine> {
+        self.engine
+    }
+
     /// The checkers [`Analysis::check_configured`] runs.
     pub fn checkers(&self) -> &[CheckerKind] {
         &self.checkers
@@ -516,6 +540,7 @@ impl Analysis {
             analysis: self,
             config: self.config,
             threads: self.threads,
+            engine: self.engine,
             detect_time: Duration::ZERO,
             detect: DetectStats::default(),
             trace: self.trace.clone(),
@@ -523,6 +548,8 @@ impl Analysis {
             persisted_len: verdicts.len(),
             verdicts,
             verdicts_persisted: 0,
+            summaries: std::collections::HashMap::new(),
+            callgraph: None,
         }
     }
 
@@ -626,8 +653,8 @@ impl Analysis {
             ModuleSeg {
                 segs: Vec::new(),
                 callers: std::collections::HashMap::new(),
-                global_stores: std::collections::HashMap::new(),
-                global_loads: std::collections::HashMap::new(),
+                global_stores: std::collections::BTreeMap::new(),
+                global_loads: std::collections::BTreeMap::new(),
                 vertex_count: 0,
                 edge_count: 0,
             },
@@ -723,6 +750,17 @@ pub struct DetectSession<'a> {
     persisted_len: usize,
     /// Verdicts newly written to the persistent store by this session.
     verdicts_persisted: u64,
+    /// Engine override for this session's queries (`None` = per-query
+    /// default: demand for single checks, summary for whole-program
+    /// checks).
+    engine: Option<Engine>,
+    /// Whole-program interface summaries built by this session's
+    /// summary-engine runs, keyed by property fingerprint — the artefact
+    /// is immutable, so repeated `check_all`s replay them for free.
+    summaries: std::collections::HashMap<u128, ModuleSummaries>,
+    /// Call-graph condensation, built lazily by the first summary-engine
+    /// run and shared by every spec (the artefact is immutable).
+    callgraph: Option<pinpoint_ir::CallGraph>,
 }
 
 impl<'a> DetectSession<'a> {
@@ -743,32 +781,44 @@ impl<'a> DetectSession<'a> {
         self
     }
 
+    /// Overrides the whole-program engine for this session's queries
+    /// (reports are byte-identical either way; only the work differs).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
     /// Runs one checker, returning its reports.
     pub fn check(&mut self, kind: CheckerKind) -> Vec<Report> {
         let spec = kind.spec();
-        self.run(&spec, Some(kind))
+        let engine = self.engine.unwrap_or(Engine::Demand);
+        self.run(&spec, Some(kind), engine)
     }
 
     /// Runs a user-defined property specification.
     pub fn check_custom(&mut self, spec: &crate::spec::Spec) -> Vec<Report> {
-        self.run(spec, None)
+        let engine = self.engine.unwrap_or(Engine::Demand);
+        self.run(spec, None, engine)
     }
 
-    /// Runs every supported checker.
+    /// Runs every supported checker. Whole-program queries default to the
+    /// summary engine (reports stay byte-identical to demand).
     pub fn check_all(&mut self) -> Vec<Report> {
+        let engine = self.engine.unwrap_or(Engine::Summary);
         CheckerKind::ALL
             .into_iter()
-            .flat_map(|k| self.check(k))
+            .flat_map(|k| self.run(&k.spec(), Some(k), engine))
             .collect()
     }
 
     /// Runs the checkers selected at build time.
     pub fn check_configured(&mut self) -> Vec<Report> {
+        let engine = self.engine.unwrap_or(Engine::Summary);
         self.analysis
             .checkers
             .clone()
             .into_iter()
-            .flat_map(|k| self.check(k))
+            .flat_map(|k| self.run(&k.spec(), Some(k), engine))
             .collect()
     }
 
@@ -790,22 +840,83 @@ impl<'a> DetectSession<'a> {
         reports
     }
 
-    fn run(&mut self, spec: &crate::spec::Spec, kind: Option<CheckerKind>) -> Vec<Report> {
+    /// Builds (or replays) the whole-program interface summaries for
+    /// `spec`, consulting the persistent cache when one is configured.
+    /// An in-session replay is a full reuse: the artefact is immutable,
+    /// so the counters report every function as reused.
+    fn summaries_for(&mut self, spec: &crate::spec::Spec) -> ModuleSummaries {
+        let sum_fp = summary_fingerprint(spec);
+        match self.summaries.remove(&sum_fp) {
+            Some(mut sums) => {
+                sums.reused = sums.len() as u64;
+                sums.built = 0;
+                sums.composed = 0;
+                sums
+            }
+            None => {
+                if self.callgraph.is_none() {
+                    self.callgraph = Some(pinpoint_ir::CallGraph::new(&self.analysis.module));
+                }
+                let mut store = self
+                    .analysis
+                    .cache_dir
+                    .as_deref()
+                    .and_then(|dir| CacheStore::open(dir).ok());
+                ModuleSummaries::build_with_graph(
+                    &self.analysis.module,
+                    &self.analysis.segs,
+                    spec,
+                    self.threads,
+                    store
+                        .as_mut()
+                        .map(|st| (st, self.analysis.func_keys.as_slice())),
+                    self.callgraph.as_ref().expect("just built"),
+                )
+            }
+        }
+    }
+
+    fn run(
+        &mut self,
+        spec: &crate::spec::Spec,
+        kind: Option<CheckerKind>,
+        engine: Engine,
+    ) -> Vec<Report> {
         let t0 = Instant::now();
         let span = self.trace.open("detect", spec.name.clone());
         let base_id = u32::try_from(self.queries.len()).expect("query count fits u32");
-        let (reports, stats, mut queries, new_verdicts) = run_spec(
-            &self.analysis.module,
-            &self.analysis.segs,
-            &self.analysis.pta.symbols,
-            &self.analysis.arena,
-            &self.verdicts,
-            spec,
-            kind,
-            self.config,
-            self.threads,
-            &mut self.trace,
-        );
+        let (reports, stats, mut queries, new_verdicts) = match engine {
+            Engine::Demand => run_spec(
+                &self.analysis.module,
+                &self.analysis.segs,
+                &self.analysis.pta.symbols,
+                &self.analysis.arena,
+                &self.verdicts,
+                spec,
+                kind,
+                self.config,
+                self.threads,
+                &mut self.trace,
+            ),
+            Engine::Summary => {
+                let sums = self.summaries_for(spec);
+                let out = run_spec_summary(
+                    &self.analysis.module,
+                    &self.analysis.segs,
+                    &self.analysis.pta.symbols,
+                    &self.analysis.arena,
+                    &self.verdicts,
+                    spec,
+                    kind,
+                    self.config,
+                    self.threads,
+                    &mut self.trace,
+                    &sums,
+                );
+                self.summaries.insert(summary_fingerprint(spec), sums);
+                out
+            }
+        };
         self.trace.close(span);
         for q in &mut queries {
             q.id += base_id;
@@ -904,6 +1015,10 @@ pub(crate) fn accumulate_detect(total: &mut DetectStats, stats: &DetectStats) {
     total.verdict_misses += stats.verdict_misses;
     total.reused_clauses += stats.reused_clauses;
     total.sessions += stats.sessions;
+    total.summary_gated += stats.summary_gated;
+    total.summary_built += stats.summary_built;
+    total.summary_reused += stats.summary_reused;
+    total.summary_composed += stats.summary_composed;
 }
 
 /// Builds the unified metrics registry for one artefact + accumulated
@@ -950,6 +1065,14 @@ pub(crate) fn build_metrics(
     m.counter_add("detect.skipped_descents", s.detect.skipped_descents);
     m.counter_add("detect.budget_exhausted", s.detect.budget_exhausted);
     m.counter_add("detect.reports", s.detect.reports);
+    // The whole-program summary engine: interface summaries built cold
+    // vs. reused, the interface edges composed while building, and the
+    // sources the gate answered without a search. All zero under the
+    // demand engine; always present so the schema is shape-stable.
+    m.counter_add("summary.built", s.detect.summary_built);
+    m.counter_add("summary.reused", s.detect.summary_reused);
+    m.counter_add("summary.composed", s.detect.summary_composed);
+    m.counter_add("summary.gated", s.detect.summary_gated);
     // The SMT family is derived from per-query attribution, so the
     // aggregate and the query rows can never disagree.
     m.counter_add("smt.queries", queries.len() as u64);

@@ -55,6 +55,7 @@ pub mod server;
 pub mod spec;
 pub mod summary;
 pub mod telemetry;
+pub mod vfsummary;
 pub mod workspace;
 
 pub use detect::{DetectConfig, DetectStats, Report, Step};
@@ -70,4 +71,5 @@ pub use server::{
 };
 pub use spec::{CheckerKind, SinkRole, SinkSite, SinkSpec, SourceSite, SourceSpec, Spec};
 pub use telemetry::{ServerTelemetry, TelemetryConfig};
+pub use vfsummary::{Engine, ModuleSummaries};
 pub use workspace::{Workspace, WorkspaceCounters};

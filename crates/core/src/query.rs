@@ -135,7 +135,7 @@ impl Workspace {
             Query::All => QueryResponse::Reports(
                 CheckerKind::ALL
                     .into_iter()
-                    .flat_map(|k| self.run_kind(k))
+                    .flat_map(|k| self.run_kind_all(k))
                     .collect(),
             ),
             Query::Custom(spec) => QueryResponse::Reports(self.run_custom(spec)),

@@ -30,7 +30,7 @@ use pinpoint_ir::{
 };
 use pinpoint_pta::{FuncPta, Symbols};
 use pinpoint_smt::{TermArena, TermId, TermTranslator};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Kind of a data-dependence edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -327,10 +327,12 @@ pub struct ModuleSeg {
     /// Call sites of each function: callee `FuncId` → `(caller, site)`.
     pub callers: HashMap<FuncId, Vec<(FuncId, InstId)>>,
     /// Cross-function global-cell flows: for each global, the stores into
-    /// it and the loads out of it.
-    pub global_stores: HashMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>>,
+    /// it and the loads out of it. Ordered maps: the detection search
+    /// iterates them whole, so their order feeds DFS exploration order
+    /// and must not depend on per-process hash seeds.
+    pub global_stores: BTreeMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>>,
     /// Loads out of global cells.
-    pub global_loads: HashMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>>,
+    pub global_loads: BTreeMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>>,
     /// Total SEG vertices (distinct values touched by edges).
     pub vertex_count: usize,
     /// Total SEG edges.
@@ -608,10 +610,10 @@ impl ModuleSeg {
     /// vertex/edge totals) over finished per-function graphs.
     fn assemble(module: &Module, segs: Vec<Seg>, pta: &[FuncPta]) -> Self {
         let mut callers: HashMap<FuncId, Vec<(FuncId, InstId)>> = HashMap::new();
-        let mut global_stores: HashMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>> =
-            HashMap::new();
-        let mut global_loads: HashMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>> =
-            HashMap::new();
+        let mut global_stores: BTreeMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>> =
+            BTreeMap::new();
+        let mut global_loads: BTreeMap<pinpoint_ir::GlobalId, Vec<(FuncId, ValueId, TermId)>> =
+            BTreeMap::new();
         for (fid, _) in module.iter_funcs() {
             let seg = &segs[fid.0 as usize];
             // `call_sites` is a HashMap, so its iteration order is not

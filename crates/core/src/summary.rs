@@ -149,6 +149,12 @@ impl ParamSummaries {
                         {
                             return true; // the callee can do something with it
                         }
+                    } else if !pinpoint_ir::intrinsics::is_intrinsic(&au.callee) {
+                        // An unresolved, non-intrinsic callee (external or
+                        // undeclared) may do anything with the argument —
+                        // summarising it fruitless would prune paths the
+                        // §4.2 soundiness rules don't license.
+                        return true;
                     }
                 }
             }
@@ -236,6 +242,53 @@ mod tests {
         let f = m.func_by_name("sendit").unwrap();
         assert!(!uaf.descend_useful(f, 0), "sendto is not a UAF sink");
         assert!(dt.descend_useful(f, 0), "sendto is the DT sink");
+    }
+
+    #[test]
+    fn unresolved_extern_callee_is_fruitful() {
+        // Regression: a parameter whose only escape is a call to an
+        // undeclared external function used to be summarised fruitless
+        // (param_reaches ignored unresolvable callees), pruning a descent
+        // the §4.2 soundiness rules don't license. The frontend rejects
+        // unknown callees at lowering time, so build a resolved module
+        // first and then retarget the call at an external name — exactly
+        // the shape a linker-resolved extern has in a real module.
+        let mut module = pinpoint_ir::compile(
+            "fn inner(q: int*) { return; }
+             fn wrap(p: int*) { inner(p); return; }
+             fn main() { let p: int* = malloc(); free(p); wrap(p); return; }",
+        )
+        .unwrap();
+        let wrap = module.func_by_name("wrap").unwrap();
+        let mut retargeted = false;
+        for block in &mut module.funcs[wrap.0 as usize].blocks {
+            for inst in &mut block.insts {
+                if let pinpoint_ir::Inst::Call { callee, .. } = inst {
+                    if callee == "inner" {
+                        *callee = "ext_fn".to_string();
+                        retargeted = true;
+                    }
+                }
+            }
+        }
+        assert!(retargeted, "wrap must contain the call to retarget");
+        let mut analysis = pinpoint_pta::analyze_module(&mut module);
+        let mut arena = std::mem::take(&mut analysis.arena);
+        let mut symbols = std::mem::take(&mut analysis.symbols);
+        let segs = ModuleSeg::build(&module, &mut arena, &mut symbols, &analysis.pta);
+        let s = ParamSummaries::build(&module, &segs, &CheckerKind::UseAfterFree.spec());
+        assert!(
+            s.descend_useful(wrap, 0),
+            "an unresolved extern callee may do anything with its argument"
+        );
+        // Intrinsic sinks-by-name are unaffected: print stays fruitless.
+        let (m, s) = summaries(
+            "fn harmless(p: int*) { print(p); return; }
+             fn main() { let p: int* = malloc(); harmless(p); free(p); return; }",
+            CheckerKind::UseAfterFree,
+        );
+        let f = m.func_by_name("harmless").unwrap();
+        assert!(!s.descend_useful(f, 0));
     }
 
     #[test]

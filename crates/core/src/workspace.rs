@@ -72,14 +72,19 @@
 //! # Ok::<(), pinpoint_core::PinpointError>(())
 //! ```
 
-use crate::detect::{run_spec_cached, DetectStats, QueryCache, Report};
+use crate::detect::{
+    run_spec_cached, run_spec_summary_cached, DetectConfig, DetectStats, QueryCache, Report,
+};
 use crate::driver::{
     accumulate_detect, build_metrics, Analysis, AnalysisBuilder, PipelineStats, UpdateOutcome,
 };
 use crate::error::PinpointError;
 use crate::spec::CheckerKind;
+use crate::vfsummary::{keys_fingerprint, summary_fingerprint, Engine, ModuleSummaries};
+use pinpoint_cache::CacheStore;
 use pinpoint_obs::{queries_json, MetricsRegistry, ProfileTable, QueryRecord, TraceBuf};
 use pinpoint_smt::VerdictTable;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Cumulative reuse counters across a workspace's lifetime.
@@ -102,6 +107,20 @@ pub struct WorkspaceCounters {
 pub struct Workspace {
     analysis: Analysis,
     cache: QueryCache,
+    /// Detection configuration for this workspace's queries (starts from
+    /// the artefact's build-time configuration; see
+    /// [`Workspace::set_detect_config`]).
+    config: DetectConfig,
+    /// Whole-program interface summaries per property fingerprint,
+    /// validated by the fingerprint of the artefact's per-function keys:
+    /// an edit changes the keys of exactly the edited functions and (via
+    /// transitive folding) their SCCs' callers, so a stale entry rebuilds
+    /// — consulting the persistent store, where every clean function's
+    /// summary is still a hit.
+    summaries: HashMap<u128, (u128, ModuleSummaries)>,
+    /// Call-graph condensation for the current artefact, built lazily by
+    /// the first summary-engine query and dropped on every edit.
+    callgraph: Option<pinpoint_ir::CallGraph>,
     counters: WorkspaceCounters,
     detect: DetectStats,
     detect_time: Duration,
@@ -132,9 +151,13 @@ impl Workspace {
     pub fn from_analysis(analysis: Analysis) -> Self {
         let trace = analysis.trace().clone();
         let verdicts = analysis.verdicts.clone();
+        let config = analysis.config();
         Workspace {
             analysis,
             cache: QueryCache::default(),
+            config,
+            summaries: HashMap::new(),
+            callgraph: None,
             counters: WorkspaceCounters::default(),
             detect: DetectStats::default(),
             detect_time: Duration::ZERO,
@@ -174,6 +197,7 @@ impl Workspace {
     /// is unchanged when it does.
     pub fn update_source(&mut self, new_source: &str) -> Result<UpdateOutcome, PinpointError> {
         let outcome = self.analysis.update_incremental(new_source)?;
+        self.callgraph = None;
         if outcome.fell_back {
             // The artefact (term arena included) was rebuilt from
             // scratch: cached outcomes reference the dead arena lineage.
@@ -184,17 +208,43 @@ impl Workspace {
         Ok(outcome)
     }
 
+    /// Replaces the detection configuration for subsequent queries.
+    /// Because the per-source query cache is keyed by the spec *and*
+    /// configuration fingerprint (budgets included), outcomes computed
+    /// under the old configuration — truncated searches in particular —
+    /// are never replayed as answers for the new one; they simply stop
+    /// being found and the affected sources re-run.
+    pub fn set_detect_config(&mut self, config: DetectConfig) {
+        self.config = config;
+    }
+
+    /// The detection configuration current queries run under.
+    pub fn detect_config(&self) -> DetectConfig {
+        self.config
+    }
+
     /// One built-in checker (the [`Query::Check`](crate::query::Query)
     /// arm).
     pub(crate) fn run_kind(&mut self, kind: CheckerKind) -> Vec<Report> {
         let spec = kind.spec();
-        self.run(&spec, Some(kind))
+        let engine = self.analysis.engine().unwrap_or(Engine::Demand);
+        self.run(&spec, Some(kind), engine)
+    }
+
+    /// One built-in checker as part of a whole-program query (the
+    /// [`Query::All`](crate::query::Query) arm) — defaults to the
+    /// summary engine.
+    pub(crate) fn run_kind_all(&mut self, kind: CheckerKind) -> Vec<Report> {
+        let spec = kind.spec();
+        let engine = self.analysis.engine().unwrap_or(Engine::Summary);
+        self.run(&spec, Some(kind), engine)
     }
 
     /// A user-defined specification (the
     /// [`Query::Custom`](crate::query::Query) arm).
     pub(crate) fn run_custom(&mut self, spec: &crate::spec::Spec) -> Vec<Report> {
-        self.run(spec, None)
+        let engine = self.analysis.engine().unwrap_or(Engine::Demand);
+        self.run(spec, None, engine)
     }
 
     /// The memory-leak pass (the [`Query::Leaks`](crate::query::Query)
@@ -217,26 +267,92 @@ impl Workspace {
         reports
     }
 
-    fn run(&mut self, spec: &crate::spec::Spec, kind: Option<CheckerKind>) -> Vec<Report> {
+    /// In-memory whole-program summaries for `spec`, validated against
+    /// the artefact's current per-function keys (an edit changes the keys
+    /// of every function whose summary could differ, so a key-fingerprint
+    /// match proves the cached table is still exact). Stale or missing
+    /// tables rebuild through the persistent store, where per-function
+    /// entries for clean cones are still hits.
+    fn summaries_for(&mut self, spec: &crate::spec::Spec) -> ModuleSummaries {
+        let sum_fp = summary_fingerprint(spec);
+        let keys_fp = keys_fingerprint(&self.analysis.func_keys);
+        if let Some((fp, mut sums)) = self.summaries.remove(&sum_fp) {
+            if fp == keys_fp {
+                sums.reused = sums.len() as u64;
+                sums.built = 0;
+                sums.composed = 0;
+                return sums;
+            }
+        }
+        if self.callgraph.is_none() {
+            self.callgraph = Some(pinpoint_ir::CallGraph::new(&self.analysis.module));
+        }
+        let mut store = self
+            .analysis
+            .cache_dir
+            .as_deref()
+            .and_then(|dir| CacheStore::open(dir).ok());
+        ModuleSummaries::build_with_graph(
+            &self.analysis.module,
+            &self.analysis.segs,
+            spec,
+            self.analysis.threads(),
+            store
+                .as_mut()
+                .map(|st| (st, self.analysis.func_keys.as_slice())),
+            self.callgraph.as_ref().expect("just built"),
+        )
+    }
+
+    fn run(
+        &mut self,
+        spec: &crate::spec::Spec,
+        kind: Option<CheckerKind>,
+        engine: Engine,
+    ) -> Vec<Report> {
         let t0 = Instant::now();
         let span = self.trace.open("detect", spec.name.clone());
         let base_id = u32::try_from(self.queries.len()).expect("query count fits u32");
-        let config = self.analysis.config();
+        let config = self.config;
         let threads = self.analysis.threads();
-        let (reports, stats, mut queries, reuse, new_verdicts) = run_spec_cached(
-            &self.analysis.module,
-            &self.analysis.segs,
-            &self.analysis.pta.symbols,
-            &self.analysis.arena,
-            &self.verdicts,
-            spec,
-            kind,
-            config,
-            threads,
-            &mut self.trace,
-            &self.analysis.func_keys,
-            &mut self.cache,
-        );
+        let (reports, stats, mut queries, reuse, new_verdicts) = match engine {
+            Engine::Demand => run_spec_cached(
+                &self.analysis.module,
+                &self.analysis.segs,
+                &self.analysis.pta.symbols,
+                &self.analysis.arena,
+                &self.verdicts,
+                spec,
+                kind,
+                config,
+                threads,
+                &mut self.trace,
+                &self.analysis.func_keys,
+                &mut self.cache,
+            ),
+            Engine::Summary => {
+                let sums = self.summaries_for(spec);
+                let out = run_spec_summary_cached(
+                    &self.analysis.module,
+                    &self.analysis.segs,
+                    &self.analysis.pta.symbols,
+                    &self.analysis.arena,
+                    &self.verdicts,
+                    spec,
+                    kind,
+                    config,
+                    threads,
+                    &mut self.trace,
+                    &self.analysis.func_keys,
+                    &mut self.cache,
+                    &sums,
+                );
+                let keys_fp = keys_fingerprint(&self.analysis.func_keys);
+                self.summaries
+                    .insert(summary_fingerprint(spec), (keys_fp, sums));
+                out
+            }
+        };
         self.trace.close(span);
         for q in &mut queries {
             q.id += base_id;
@@ -454,6 +570,39 @@ mod tests {
             .map(ToString::to_string)
             .collect();
         assert_eq!(warm, fresh);
+    }
+
+    #[test]
+    fn raising_budget_reruns_truncated_sources() {
+        let chain = "fn f3(r: int*) { free(r); return; }
+            fn f2(q: int*) { f3(q); return; }
+            fn f1(p: int*) { f2(p); return; }
+            fn main() {
+                let p: int* = malloc();
+                f1(p);
+                let x: int = *p;
+                print(x);
+                return;
+            }";
+        let mut ws = Workspace::open(chain).unwrap();
+        let mut tight = ws.detect_config();
+        tight.max_visited_per_source = 1;
+        ws.set_detect_config(tight);
+        let starved = ws
+            .query(&Query::Check(CheckerKind::UseAfterFree))
+            .into_reports();
+        assert!(starved.is_empty(), "budget 1 must truncate before the sink");
+        assert!(ws.stats().detect.budget_exhausted > 0);
+        let rerun_before = ws.counters().queries_rerun;
+        // Restore the default budget: the truncated outcome is keyed to
+        // the old configuration fingerprint, so the source re-runs
+        // instead of replaying its truncated (empty) answer.
+        ws.set_detect_config(DetectConfig::default());
+        let full = ws
+            .query(&Query::Check(CheckerKind::UseAfterFree))
+            .into_reports();
+        assert_eq!(full.len(), 1, "{full:?}");
+        assert!(ws.counters().queries_rerun > rerun_before);
     }
 
     #[test]

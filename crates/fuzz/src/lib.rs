@@ -65,17 +65,23 @@ pub enum OracleKind {
     /// `verify_module` invariants must hold after lowering and after
     /// IR optimisation.
     Verify,
+    /// The summary engine's whole-program reports must be byte-identical
+    /// to the demand engine's — at 1 and N threads, and on an
+    /// alpha-renamed rebuild (helper renaming permutes `FuncId`s, so the
+    /// bottom-up SCC schedule runs in a different order).
+    Engines,
 }
 
 impl OracleKind {
     /// All oracles, in canonical execution order.
-    pub const ALL: [OracleKind; 6] = [
+    pub const ALL: [OracleKind; 7] = [
         OracleKind::Baseline,
         OracleKind::Threads,
         OracleKind::Warm,
         OracleKind::Smt,
         OracleKind::Verdicts,
         OracleKind::Verify,
+        OracleKind::Engines,
     ];
 
     /// Stable lowercase name (CLI flag value, counter suffix).
@@ -87,6 +93,7 @@ impl OracleKind {
             OracleKind::Smt => "smt",
             OracleKind::Verdicts => "verdicts",
             OracleKind::Verify => "verify",
+            OracleKind::Engines => "engines",
         }
     }
 

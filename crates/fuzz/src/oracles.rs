@@ -135,6 +135,7 @@ fn check(kind: OracleKind, src: &str, seed: u64, threads: usize) -> CheckResult 
         OracleKind::Smt => formula::smt_oracle(seed),
         OracleKind::Verdicts => formula::verdicts_oracle(seed),
         OracleKind::Verify => verify_oracle(src),
+        OracleKind::Engines => engines_oracle(src, threads),
     }
 }
 
@@ -296,6 +297,72 @@ fn cache_roundtrip(src: &str, dir: &std::path::Path) -> CheckResult {
         }
     }
     Ok(())
+}
+
+/// Oracle (f): the bottom-up summary engine must answer whole-program
+/// checks byte-identically to the demand-driven reference — at 1 and N
+/// threads, and again after alpha-renaming every generated helper
+/// (`fK` → `rK`), which permutes `FuncId` assignment and therefore runs
+/// the SCC schedule in a different function order.
+fn engines_oracle(src: &str, threads: usize) -> CheckResult {
+    engines_compare(src, 1, "as generated")?;
+    engines_compare(src, threads.max(2), "as generated")?;
+    engines_compare(&alpha_rename_helpers(src), 1, "alpha-renamed")
+}
+
+fn engines_compare(src: &str, threads: usize, variant: &str) -> CheckResult {
+    use pinpoint_core::Engine;
+    let analysis = match AnalysisBuilder::new().threads(threads).build_source(src) {
+        Ok(a) => a,
+        Err(e) => {
+            return fail(
+                "frontend-reject",
+                format!("{variant} program rejected (threads={threads}): {e}"),
+            )
+        }
+    };
+    let mut demand_session = analysis.session().with_engine(Engine::Demand);
+    let demand = render(&demand_session.check_all());
+    let mut summary_session = analysis.session().with_engine(Engine::Summary);
+    let summary = render(&summary_session.check_all());
+    if demand != summary {
+        return fail(
+            "engine-mismatch",
+            format!(
+                "summary engine disagrees with demand engine ({variant}, threads={threads}):\n--- demand\n{demand}\n--- summary\n{summary}"
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Renames every generated helper `fK` (for decimal `K`) to `rK`,
+/// definition and call sites alike. The generator never emits other
+/// identifiers of that shape, so a whole-token rewrite is semantics
+/// preserving while permuting function order.
+fn alpha_rename_helpers(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let tok = &bytes[start..i];
+            if tok[0] == b'f' && tok.len() > 1 && tok[1..].iter().all(u8::is_ascii_digit) {
+                out.push(b'r');
+                out.extend_from_slice(&tok[1..]);
+            } else {
+                out.extend_from_slice(tok);
+            }
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).expect("rename only rewrites ASCII tokens")
 }
 
 /// Oracle (e): the IR verifier must accept both the freshly lowered and

@@ -18,10 +18,11 @@ pub struct CallGraph {
     pub callers: Vec<Vec<FuncId>>,
     /// SCC index per function (condensation node).
     pub scc_of: Vec<usize>,
-    /// Functions per SCC.
+    /// Functions per SCC, each member list sorted by [`FuncId`].
     pub sccs: Vec<Vec<FuncId>>,
     /// Functions in bottom-up order (callees before callers; within an
-    /// SCC, arbitrary).
+    /// SCC, ascending by [`FuncId`]), so schedules derived from the
+    /// condensation are deterministic inputs.
     pub bottom_up: Vec<FuncId>,
 }
 
@@ -75,6 +76,33 @@ impl CallGraph {
     pub fn is_recursive(&self, f: FuncId) -> bool {
         let scc = self.scc_of[f.0 as usize];
         self.sccs[scc].len() > 1 || self.callees[f.0 as usize].contains(&f)
+    }
+
+    /// Condensation levels: SCC indices grouped so that every callee
+    /// component of an SCC lives at a strictly lower level. SCCs within
+    /// one level have no edges between them, so a bottom-up pass may
+    /// process a whole level in parallel; iterating levels in order (and
+    /// each level's SCCs in the returned order) is a deterministic
+    /// schedule because intra-SCC member order is sorted by [`FuncId`].
+    pub fn scc_levels(&self) -> Vec<Vec<usize>> {
+        let mut level = vec![0usize; self.sccs.len()];
+        // `bottom_up` visits callee components before caller components,
+        // so each callee's level is final when its caller reads it.
+        for &f in &self.bottom_up {
+            let sf = self.scc_of[f.0 as usize];
+            for &c in &self.callees[f.0 as usize] {
+                let sc = self.scc_of[c.0 as usize];
+                if sc != sf {
+                    level[sf] = level[sf].max(level[sc] + 1);
+                }
+            }
+        }
+        let depth = level.iter().copied().max().map_or(0, |m| m + 1);
+        let mut out = vec![Vec::new(); depth];
+        for (scc, &l) in level.iter().enumerate() {
+            out[l].push(scc);
+        }
+        out
     }
 }
 
@@ -142,6 +170,10 @@ fn tarjan(n: usize, succs: &[Vec<FuncId>]) -> (Vec<usize>, Vec<Vec<FuncId>>) {
                             break;
                         }
                     }
+                    // Tarjan pops members in stack order, which depends on
+                    // DFS traversal; sort so intra-SCC order is a stable
+                    // function of the module alone.
+                    comp.sort_unstable();
                     sccs.push(comp);
                 }
             }
@@ -218,6 +250,55 @@ mod tests {
         let names = name_map(&m);
         assert!(!cg.is_recursive(names["a"]));
         assert!(!cg.same_scc(names["a"], names["b"]));
+    }
+
+    #[test]
+    fn intra_scc_order_is_sorted_by_func_id() {
+        // Declare the cycle members in an order Tarjan would pop
+        // differently from declaration order: the DFS root is `c`
+        // (declared last but explored first from main), so stack-pop
+        // order differs from FuncId order without the sort.
+        let (m, cg) = build(
+            "fn a(n: int) { b(n - 1); return; }
+             fn b(n: int) { c(n - 1); return; }
+             fn c(n: int) { a(n - 1); return; }
+             fn main() { c(3); return; }",
+        );
+        let names = name_map(&m);
+        let cycle = cg
+            .sccs
+            .iter()
+            .find(|s| s.len() == 3)
+            .expect("a,b,c form one SCC");
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        assert_eq!(*cycle, sorted, "SCC members must be sorted by FuncId");
+        assert_eq!(cycle[0], names["a"]);
+        // bottom_up inherits the same deterministic intra-SCC order.
+        let pos = |n: &str| cg.bottom_up.iter().position(|f| *f == names[n]).unwrap();
+        assert!(pos("a") < pos("b") && pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn scc_levels_respect_condensation_edges() {
+        let (m, cg) = build(
+            "fn leaf() { return; }
+             fn left() { leaf(); return; }
+             fn right() { leaf(); return; }
+             fn top() { left(); right(); return; }",
+        );
+        let names = name_map(&m);
+        let levels = cg.scc_levels();
+        let level_of = |n: &str| {
+            let scc = cg.scc_of[names[n].0 as usize];
+            levels.iter().position(|l| l.contains(&scc)).unwrap()
+        };
+        assert_eq!(level_of("leaf"), 0);
+        assert_eq!(level_of("left"), 1);
+        assert_eq!(level_of("right"), 1);
+        assert_eq!(level_of("top"), 2);
+        let total: usize = levels.iter().map(|l| l.len()).sum();
+        assert_eq!(total, cg.sccs.len(), "every SCC is scheduled exactly once");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::ir::{
     intrinsics, BinOp, BlockId, Const, Function, GlobalId, Inst, Module, Terminator, UnOp, ValueId,
 };
 use crate::types::Type;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Semantic error raised during lowering.
@@ -150,8 +150,11 @@ fn intrinsic_signatures() -> HashMap<String, Signature> {
     m
 }
 
-/// Variable environment: source name → current SSA value.
-type Env = HashMap<String, ValueId>;
+/// Variable environment: source name → current SSA value. Ordered so
+/// φ-merges iterate variables in one canonical (name) order: φ emission
+/// order numbers the join block's values, and every content fingerprint
+/// downstream assumes lowering is a pure function of the source text.
+type Env = BTreeMap<String, ValueId>;
 
 struct FnLowerer<'a> {
     def: &'a FuncDef,
@@ -185,7 +188,7 @@ impl<'a> FnLowerer<'a> {
     }
 
     fn run(mut self) -> Result<Function, LowerError> {
-        let mut env: Env = HashMap::new();
+        let mut env: Env = Env::new();
         for (name, ty) in &self.def.params {
             let v = self.f.new_value(name.clone(), ty.clone());
             self.f.params.push(v);
@@ -737,6 +740,33 @@ mod tests {
             .filter(|(_, i)| matches!(i, Inst::Phi { .. }))
             .collect();
         assert_eq!(phis.len(), 1, "one φ for x at the join");
+    }
+
+    #[test]
+    fn join_phis_are_emitted_in_name_order() {
+        // The φ-merge iterates the branch environments; with an
+        // unordered map the emission order (and hence ValueId numbering
+        // and every content fingerprint downstream) would vary with the
+        // per-process hash seed. Declare the variables in an order that
+        // is neither sorted nor reverse-sorted to catch both accidents.
+        let m = lower_src(
+            "fn f(c: bool) -> int {
+                let z: int = 0;
+                let a: int = 0;
+                let m: int = 0;
+                if (c) { z = 1; a = 1; m = 1; } else { z = 2; a = 2; m = 2; }
+                return z + a + m;
+            }",
+        );
+        let f = &m.funcs[0];
+        let phi_names: Vec<&str> = f
+            .iter_insts()
+            .filter_map(|(_, i)| match i {
+                Inst::Phi { dst, .. } => Some(f.value(*dst).name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phi_names, vec!["a", "m", "z"]);
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl From<&str> for CliError {
 }
 
 const USAGE: &str = "usage:
-  pinpoint check <file> [--checker uaf|taint-pt|taint-dt|null] [--json] [--no-solve] [--ctx-depth N] [--threads N] [--cache-dir DIR] [--trace-out FILE] [--stats-json FILE]
+  pinpoint check <file> [--checker uaf|taint-pt|taint-dt|null] [--engine demand|summary] [--json] [--no-solve] [--ctx-depth N] [--threads N] [--cache-dir DIR] [--trace-out FILE] [--stats-json FILE]
   pinpoint leaks <file> [--json] [--threads N] [--cache-dir DIR] [--trace-out FILE] [--stats-json FILE]
   pinpoint dump-ir <file>
   pinpoint dump-seg <file> <function> [--threads N]
@@ -134,11 +134,17 @@ const USAGE: &str = "usage:
 
   fuzz generates seeded well-typed programs and cross-checks the
   analysis against its differential oracles (--oracle baseline, threads,
-  warm, smt, verdicts, verify, or all — repeatable; default all). Fresh
-  failures
+  warm, smt, verdicts, verify, engines, or all — repeatable; default
+  all). Fresh failures
   are minimized by delta debugging and, with --out-dir, written as
   corpus-ready reproducers. Exit 0 = clean, 1 = findings.
 
+  --engine selects how whole-program checks are answered: `summary`
+  (default for multi-checker runs) gates sources through bottom-up
+  source→sink interface summaries before the demand-driven search runs
+  on the survivors; `demand` searches every source. Reports are
+  byte-identical either way. With --cache-dir, summaries persist per
+  (function, property) and are reused across runs and edits.
   --threads N defaults to the available parallelism.
   --cache-dir persists per-function analysis artifacts keyed by content
   fingerprints, so a warm re-run only re-analyzes edited functions and
@@ -318,6 +324,12 @@ fn check(source: &str, args: &[String]) -> Result<bool, CliError> {
     )?;
     let json = flags::take_switch(&mut rest, "--json");
     let ctx_depth = flags::take_parsed::<u32>(&mut rest, "--ctx-depth")?;
+    let engine = match flags::take_value(&mut rest, "--engine")? {
+        Some(name) => {
+            Some(pinpoint::Engine::parse(&name).ok_or_else(|| format!("unknown engine `{name}`"))?)
+        }
+        None => None,
+    };
     let mut kinds: Vec<CheckerKind> = Vec::new();
     while let Some(name) = flags::take_value(&mut rest, "--checker")? {
         kinds.push(parse_checker(&name)?);
@@ -332,6 +344,9 @@ fn check(source: &str, args: &[String]) -> Result<bool, CliError> {
     }
     let analysis = builder.build_source(source)?;
     let mut session = analysis.session();
+    if let Some(e) = engine {
+        session = session.with_engine(e);
+    }
     let all: Vec<Report> = session.check_configured();
     common.write_obs(&session)?;
     if json {

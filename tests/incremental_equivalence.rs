@@ -351,3 +351,77 @@ fn warm_workspace_check_reruns_only_affected_queries() {
         );
     }
 }
+
+/// Whole-program reports rendered through one explicit engine, plus the
+/// session's detection counters.
+fn engine_reports(
+    analysis: &Analysis,
+    engine: pinpoint::Engine,
+) -> (String, pinpoint::core::DetectStats) {
+    let mut session = analysis.session().with_engine(engine);
+    let mut out = String::new();
+    for r in session.check_all() {
+        out.push_str(&r.to_string());
+        for (name, value) in &r.witness {
+            out.push_str(&format!(" {name}={value}"));
+        }
+        out.push('\n');
+    }
+    (out, session.stats().detect)
+}
+
+/// The summary-engine roundtrip: the demand engine, a cold
+/// summary-engine run, and a warm run replaying the summaries the cold
+/// run persisted must all report byte-identically — with the warm run
+/// loading every summary from the store instead of recomputing. After a
+/// one-function edit, the clean functions' summaries stay store hits
+/// while the dirty cone recomputes, still byte-identical to demand.
+#[test]
+fn summary_engine_warm_equals_cold_equals_demand() {
+    use pinpoint::Engine;
+    let project = generate(&GenConfig {
+        seed: 47,
+        real_bugs: 2,
+        decoys: 2,
+        taint: true,
+        ..GenConfig::default().with_target_kloc(10.0)
+    });
+    // Bug drivers are uncalled roots: editing one dirties only itself.
+    let edited = edit_in_func(
+        &project.source,
+        "fn bug0_driver(",
+        "fn bug0_driver(g: bool) {\n",
+        "fn bug0_driver(g: bool) {\n    let edit_pad: int = 1;\n    print(edit_pad);\n",
+    );
+    for threads in [1usize, 4] {
+        let dir = temp_cache(&format!("vfsum-{threads}"));
+        let (demand, _) = engine_reports(&build(&project.source, threads, None), Engine::Demand);
+        let cold_analysis = build(&project.source, threads, Some(&dir));
+        let (cold, cold_stats) = engine_reports(&cold_analysis, Engine::Summary);
+        assert_eq!(cold, demand, "cold summary vs demand at {threads} threads");
+        assert!(
+            cold_stats.summary_built > 0,
+            "cold run computes summaries: {cold_stats:?}"
+        );
+        let warm_analysis = build(&project.source, threads, Some(&dir));
+        let (warm, warm_stats) = engine_reports(&warm_analysis, Engine::Summary);
+        assert_eq!(warm, demand, "warm summary vs demand at {threads} threads");
+        assert!(
+            warm_stats.summary_reused > 0 && warm_stats.summary_built == 0,
+            "warm run must replay persisted summaries: {warm_stats:?}"
+        );
+        // Edit one uncalled root: its cone recomputes, the rest replays.
+        let edited_analysis = build(&edited, threads, Some(&dir));
+        let (demand_edited, _) = engine_reports(&edited_analysis, Engine::Demand);
+        let (summary_edited, edited_stats) = engine_reports(&edited_analysis, Engine::Summary);
+        assert_eq!(
+            summary_edited, demand_edited,
+            "post-edit summary vs demand at {threads} threads"
+        );
+        assert!(
+            edited_stats.summary_reused > 0 && edited_stats.summary_built > 0,
+            "post-edit run mixes store hits with recomputed cones: {edited_stats:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
